@@ -1,0 +1,42 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* swappiness (Section III-A's best-practice configuration),
+* garbage-collector heap behaviour (Section V-B).
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.gc_study import run_gc_study
+from repro.experiments.swappiness_study import run_swappiness_study
+
+
+def bench_swappiness_ablation(benchmark, paper_scale):
+    """Swap volume vs the swappiness knob (paper uses 0)."""
+    report = run_and_report(
+        benchmark,
+        run_swappiness_study,
+        "Ablation: swappiness (Section III-A best practice)",
+        **paper_scale,
+    )
+    paged = report.extras["paged_mb"]
+    values = report.extras["values"]
+    # swappiness 0 (the paper's setting) pages the least; the curve is
+    # monotone in the knob.
+    assert paged[0] == min(paged)
+    assert paged[-1] > paged[0] * 1.5
+    assert values[0] == 0
+
+
+def bench_gc_ablation(benchmark, paper_scale):
+    """Hoarding vs releasing collectors under suspension (Section V-B)."""
+    report = run_and_report(
+        benchmark,
+        run_gc_study,
+        "Ablation: garbage collector heap behaviour (Section V-B)",
+        **paper_scale,
+    )
+    paged = report.extras["paged_mb"]
+    makespans = report.extras["makespans"]
+    # A releasing collector (G1-style) keeps the suspended footprint
+    # smaller: less swap, smaller makespan.
+    assert paged["release"] < paged["hoard"]
+    assert makespans["release"] < makespans["hoard"]

@@ -1,0 +1,31 @@
+"""Section V-A advisor validation bench.
+
+Runs all three primitives across the progress axis, lets the
+:class:`~repro.preemption.costs.PreemptionAdvisor` pick per point, and
+checks its regret against the simulated optimum.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.adaptive_study import run_adaptive_study
+
+
+def bench_adaptive_advisor(benchmark, paper_scale):
+    """Advisor picks vs per-point optimum."""
+    report = run_and_report(
+        benchmark,
+        run_adaptive_study,
+        "Advisor: per-victim primitive selection (Section V-A)",
+        **paper_scale,
+    )
+    picks = report.extras["picks"]
+    # The paper's endpoint guidance is encoded and applied:
+    assert picks[0] == "kill"  # freshly started victim
+    assert picks[-1] == "wait"  # nearly-done victim
+    assert all(p == "suspend" for p in picks[1:-1])  # the wide middle
+    # And following the advisor stays close to the per-point optimum.
+    assert report.extras["regret"] < 15.0
+    # In the middle of the axis, suspension is strictly optimal.
+    series = report.find_series("adaptive-costs")
+    mid = series.x_values[len(series.x_values) // 2]
+    assert series.point("suspend", mid) < series.point("kill", mid)
+    assert series.point("suspend", mid) < series.point("wait", mid)

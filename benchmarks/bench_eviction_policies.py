@@ -1,0 +1,38 @@
+"""E6 (ablation, Section V-A): eviction policies under suspension.
+
+The paper suggests suspending "tasks with smaller memory footprints,
+which reduces overheads"; Cho et al. suspend tasks closest to
+completion.  The bench compares both (plus controls) and asserts the
+memory-aware claim: smallest-memory victims produce less swap traffic
+than largest-memory victims.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.eviction_study import run_eviction_study
+
+
+def bench_eviction_policies(benchmark, paper_scale):
+    """Run the eviction-policy study."""
+    report = run_and_report(
+        benchmark,
+        run_eviction_study,
+        "E6: eviction-policy study",
+        **paper_scale,
+    )
+    metrics = report.extras["metrics"]
+
+    def mean(policy, key):
+        values = metrics[policy][key]
+        return sum(values) / len(values)
+
+    # The paper's suggestion: small-footprint victims swap less.
+    assert mean("smallest-memory", "swapped_mb") < mean("largest-memory", "swapped_mb")
+    # Evicting nearly-done tasks keeps the overall makespan tighter
+    # than evicting the longest-remaining tasks.
+    assert mean("closest-to-completion", "makespan") < mean(
+        "furthest-from-completion", "makespan"
+    )
+    # The urgent job's sojourn is policy-insensitive (it gets its slots
+    # either way): within 25% across policies.
+    sojourns = [mean(p, "sojourn") for p in report.extras["policies"]]
+    assert max(sojourns) < min(sojourns) * 1.25

@@ -1,0 +1,16 @@
+"""E1 / Figure 1: task execution schedules for the three primitives."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.fig1_schedules import run_fig1
+
+
+def bench_fig1_schedules(benchmark):
+    """Regenerate Figure 1: one traced run per primitive at r=50%."""
+    report = run_and_report(
+        benchmark, run_fig1, "Figure 1: task execution schedules", plots=False
+    )
+    charts = report.extras["charts"]
+    assert set(charts) == {"wait", "kill", "suspend"}
+    # Suspend shows a pause ('.'), kill shows a second attempt row.
+    assert "." in charts["suspend"]
+    assert charts["kill"].count("-a1") >= 1

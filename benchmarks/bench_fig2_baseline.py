@@ -1,0 +1,31 @@
+"""E2 / Figure 2: baseline sojourn time and makespan, light tasks.
+
+Prints both series (2a: sojourn of th; 2b: makespan) over the paper's
+full r-axis (10%..90%) and asserts the paper's orderings at every
+point.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.fig2_baseline import run_fig2
+
+
+def bench_fig2_baseline(benchmark, paper_scale):
+    """Regenerate Figures 2a and 2b."""
+    report = run_and_report(
+        benchmark,
+        run_fig2,
+        "Figure 2: baseline experiments (light-weight tasks)",
+        **paper_scale,
+    )
+    sojourn = report.find_series("baseline-sojourn")
+    makespan = report.find_series("baseline-makespan")
+    for x in sojourn.x_values:
+        # 2a: susp <= kill << wait
+        assert sojourn.point("suspend", x) < sojourn.point("kill", x)
+        assert sojourn.point("kill", x) < sojourn.point("wait", x)
+        # 2b: susp ~= wait << kill
+        assert makespan.point("kill", x) > makespan.point("wait", x)
+        assert makespan.point("suspend", x) <= makespan.point("wait", x) * 1.03
+    # wait's sojourn decays linearly with r; kill's makespan grows.
+    assert sojourn.curves["wait"][0] > sojourn.curves["wait"][-1] + 30
+    assert makespan.curves["kill"][-1] > makespan.curves["kill"][0] + 30

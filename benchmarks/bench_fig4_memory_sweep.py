@@ -1,0 +1,39 @@
+"""E4 / Figure 4: paged bytes and overheads vs th's memory footprint.
+
+tl allocates 2.5 GB; th sweeps 0..2.5 GB.  The bench prints the swap
+volume curve and both overhead curves and asserts the paper's shape
+claims: monotone swap growth that starts super-linear, and overheads
+roughly linear in the swapped volume.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.fig4_memory_sweep import run_fig4
+
+
+def bench_fig4_memory_sweep(benchmark, paper_scale):
+    """Regenerate Figure 4."""
+    report = run_and_report(
+        benchmark,
+        run_fig4,
+        "Figure 4: overheads when varying memory usage",
+        **paper_scale,
+    )
+    swap = report.find_series("fig4-paged-bytes").curves["swap"]
+    overheads = report.find_series("fig4-overheads")
+    sojourn_ovh = overheads.curves["th sojourn time"]
+    makespan_ovh = overheads.curves["makespan"]
+
+    # Swap volume: zero without pressure, then monotonically rising.
+    assert swap[0] < 1.0
+    assert all(a <= b + 1.0 for a, b in zip(swap, swap[1:]))
+    assert swap[-1] > 1000.0  # >1 GB at the 2.5 GB point (paper: ~1.6 GB)
+
+    # Overheads track the swap volume and are clearly visible at the top.
+    assert sojourn_ovh[-1] > 5.0
+    assert makespan_ovh[-1] > 10.0
+    assert makespan_ovh[-1] > makespan_ovh[1]
+
+    # Rough linearity of overhead vs paged bytes at the two largest points.
+    ratio_hi = makespan_ovh[-1] / swap[-1]
+    ratio_mid = makespan_ovh[-2] / swap[-2]
+    assert 0.4 < ratio_hi / ratio_mid < 2.5

@@ -1,0 +1,29 @@
+"""E7: the suspend primitive inside HFSP (size-based scheduling).
+
+The conclusion's "preliminary results": with suspension, HFSP gives
+short jobs kill-like sojourn times without kill's redundant work.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.hfsp_study import run_hfsp_study
+
+
+def bench_hfsp(benchmark, paper_scale):
+    """Run the HFSP primitive comparison."""
+    report = run_and_report(
+        benchmark, run_hfsp_study, "E7: preemption primitives inside HFSP",
+        **paper_scale,
+    )
+    metrics = report.extras["metrics"]
+
+    def mean(primitive, key):
+        values = metrics[primitive][key]
+        return sum(values) / len(values)
+
+    # Short jobs: suspension serves them about as fast as kill, far
+    # faster than waiting.
+    assert mean("suspend", "short_sojourn") < mean("wait", "short_sojourn") * 0.5
+    assert mean("suspend", "short_sojourn") < mean("kill", "short_sojourn") * 1.3
+    # And the long job pays less than under kill (no redundant work).
+    assert mean("suspend", "long_sojourn") < mean("kill", "long_sojourn")
+    assert mean("suspend", "makespan") < mean("kill", "makespan")

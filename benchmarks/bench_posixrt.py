@@ -1,0 +1,43 @@
+"""E8: the real-process prototype at laptop scale.
+
+Replays the two-job microbenchmark with genuine SIGTSTP / SIGCONT /
+SIGKILL on live worker processes and prints the wall-clock metrics --
+the signal-level sanity check behind Figures 2a/2b.
+"""
+
+import sys
+
+import pytest
+
+from repro.posixrt.runner import MiniExperiment
+
+pytestmark = pytest.mark.skipif(
+    not sys.platform.startswith("linux"),
+    reason="requires Linux signals and /proc",
+)
+
+
+def bench_posixrt_two_job(benchmark):
+    """wait vs kill vs suspend on real processes (3 MB tasks)."""
+    holder = {}
+
+    def run():
+        experiment = MiniExperiment(
+            input_mb=3, rate_mb_per_sec=12.0, progress_at_launch=0.5
+        )
+        holder["rows"] = experiment.compare(("wait", "kill", "suspend"))
+        return holder["rows"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = holder["rows"]
+    print()
+    print("##### E8: real-process prototype (wall clock) #####")
+    print(f"{'primitive':>10} | {'th sojourn (s)':>14} | {'makespan (s)':>12}")
+    for name, outcome in rows.items():
+        print(
+            f"{name:>10} | {outcome.sojourn_th:14.2f} | {outcome.makespan:12.2f}"
+        )
+    assert rows["suspend"].tl_was_stopped
+    assert rows["kill"].tl_restarted
+    assert rows["suspend"].sojourn_th < rows["wait"].sojourn_th
+    assert rows["kill"].makespan > rows["suspend"].makespan

@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the simulator itself.
+
+Not a paper figure: these track the engine's own performance (event
+throughput, suspension round-trip cost, end-to-end microbenchmark
+latency) so regressions in the substrate are visible.
+"""
+
+from repro.experiments.harness import TwoJobHarness
+from repro.osmodel.config import NodeConfig
+from repro.osmodel.kernel import NodeKernel
+from repro.osmodel.signals import Signal
+from repro.osmodel.work import CpuWorkItem, WorkEngine, WorkPlan
+from repro.sim.engine import Simulation
+from repro.units import GB, MB
+
+
+def bench_event_loop_throughput(benchmark):
+    """Raw engine: schedule and fire 20k chained events."""
+
+    def run():
+        sim = Simulation()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return count[0]
+
+    result = benchmark(run)
+    assert result == 20_000
+
+
+def bench_suspend_resume_round_trip(benchmark):
+    """1000 suspend/resume cycles against one CPU-bound process."""
+
+    def run():
+        kernel = NodeKernel(
+            Simulation(seed=1),
+            NodeConfig(hostname="bench", os_reserved_bytes=0),
+        )
+        proc = kernel.spawn("p")
+        WorkEngine(proc, WorkPlan([CpuWorkItem(1e9, weight=1.0)]))
+        proc.engine.start()
+        for i in range(1000):
+            kernel.signal(proc.pid, Signal.SIGSTOP)
+            kernel.signal(proc.pid, Signal.SIGCONT)
+        kernel.sim.run(until=kernel.sim.now + 1.0)
+        return proc.stopped_seconds
+
+    benchmark(run)
+
+
+def bench_two_job_simulation(benchmark):
+    """One full light-weight microbenchmark run (the unit of Figure 2)."""
+
+    def run():
+        harness = TwoJobHarness("suspend", 0.5, runs=1)
+        return harness.run_once(seed=99)
+
+    result = benchmark(run)
+    assert result.sojourn_th > 0
+
+
+def bench_heavy_two_job_simulation(benchmark):
+    """One worst-case run with 2 GB footprints (the unit of Figure 3)."""
+
+    def run():
+        harness = TwoJobHarness("suspend", 0.5, heavy=True, runs=1)
+        return harness.run_once(seed=99)
+
+    result = benchmark(run)
+    assert result.tl_paged_bytes > 0

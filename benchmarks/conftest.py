@@ -1,0 +1,36 @@
+"""Shared plumbing for the benchmark suite.
+
+Each ``bench_*`` function regenerates one of the paper's figures (or
+an ablation) and prints the same rows/series the paper reports, so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+run.  ``pytest-benchmark`` times the regeneration; the printed tables
+are the scientific output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_report(benchmark, runner, label: str, plots: bool = True, **kwargs):
+    """Benchmark one experiment runner and print its report."""
+    result_holder = {}
+
+    def target():
+        result_holder["report"] = runner(**kwargs)
+        return result_holder["report"]
+
+    benchmark.pedantic(target, rounds=1, iterations=1)
+    report = result_holder["report"]
+    print()
+    print(f"##### {label} #####")
+    print(report.render(plots=plots))
+    return report
+
+
+@pytest.fixture
+def paper_scale():
+    """Axis scale used by the benches: full paper axes, fewer averaged
+    runs than the paper's 20 to keep the suite snappy (the shapes are
+    stable well before 20; EXPERIMENTS.md records a full 20-run pass)."""
+    return {"runs": 5}

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""HFSP + suspend: size-based scheduling with the new primitive.
+
+The paper's conclusion reports "preliminary results showing that our
+preemption primitive performs well in the context of HFSP, our
+size-based scheduler".  This example schedules a SWIM-like mix of
+short and long jobs under HFSP and compares the primitives on
+short-job sojourn (what size-based scheduling optimises) and total
+makespan (what kill-style preemption damages).
+
+Run:
+    python examples/hfsp_sizebased.py
+"""
+
+from repro import HadoopCluster, MB, make_primitive
+from repro.experiments.params import paper_hadoop_config, paper_node_config
+from repro.metrics.stats import summarize
+from repro.schedulers.hfsp import HfspScheduler
+from repro.workloads.jobspec import JobSpec, TaskSpec
+
+
+def workload():
+    """One long job up front, short jobs trickling in."""
+    long_job = JobSpec(
+        name="long",
+        tasks=[
+            TaskSpec(input_bytes=768 * MB, parse_rate=7 * MB, name=f"long-{i}")
+            for i in range(2)
+        ],
+    )
+    shorts = [
+        JobSpec(
+            name=f"short-{i}",
+            submit_offset=offset,
+            tasks=[TaskSpec(input_bytes=96 * MB, parse_rate=7 * MB)],
+        )
+        for i, offset in enumerate((25.0, 60.0, 95.0))
+    ]
+    return long_job, shorts
+
+
+def run(primitive_name: str):
+    factory = None
+    if primitive_name != "wait":
+        factory = lambda cluster: make_primitive(primitive_name, cluster)
+    scheduler = HfspScheduler(primitive_factory=factory)
+    cluster = HadoopCluster(
+        num_nodes=1,
+        node_config=paper_node_config(),
+        hadoop_config=paper_hadoop_config().replace(map_slots=2),
+        scheduler=scheduler,
+        seed=5,
+        trace=False,
+    )
+    scheduler.attach_cluster(cluster)
+    long_spec, shorts = workload()
+    long_job = cluster.submit_job(long_spec)
+    for spec in shorts:
+        cluster.submit_job(spec)
+    cluster.run_until_jobs_complete(timeout=36_000)
+
+    short_sojourns = [
+        job.sojourn_time
+        for job in cluster.jobtracker.jobs.values()
+        if job.spec.name.startswith("short-")
+    ]
+    finish = max(j.finish_time for j in cluster.jobtracker.jobs.values())
+    return (
+        summarize(short_sojourns).mean,
+        long_job.sojourn_time,
+        finish - long_job.submit_time,
+    )
+
+
+def main() -> None:
+    print("HFSP (shortest-remaining-size-first) over 1 node x 2 slots\n")
+    print(
+        f"{'primitive':>10} | {'short sojourn (s)':>17} | "
+        f"{'long sojourn (s)':>16} | {'makespan (s)':>12}"
+    )
+    print("-" * 66)
+    for name in ("wait", "kill", "suspend"):
+        short, long_s, makespan = run(name)
+        print(f"{name:>10} | {short:17.1f} | {long_s:16.1f} | {makespan:12.1f}")
+    print(
+        "\nWith suspension, HFSP serves short jobs immediately (like kill)\n"
+        "while the long job keeps all of its work (like wait)."
+    )
+
+
+if __name__ == "__main__":
+    main()

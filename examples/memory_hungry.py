@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Worst-case memory study: watching the OS page a suspended task.
+
+Reproduces the mechanics behind Figures 3-4 at one data point and
+narrates what the kernel model does: the high-priority task's
+allocation drops the page cache first (swappiness 0), then pages the
+suspended task out to swap; the resume faults everything back in.
+
+Run:
+    python examples/memory_hungry.py
+"""
+
+from repro import GB, HadoopCluster, MB, SuspendResumePrimitive
+from repro.experiments.params import paper_hadoop_config, paper_node_config
+from repro.schedulers.dummy import DummyScheduler
+from repro.units import format_size
+from repro.workloads.synthetic import two_job_microbenchmark
+
+
+def snapshot(cluster, label: str) -> None:
+    summary = cluster.kernel_of("node00").memory_summary()
+    print(
+        f"  [{cluster.sim.now:7.1f}s] {label:<28} "
+        f"free={format_size(summary['free_ram']):>9} "
+        f"cache={format_size(summary['page_cache']):>9} "
+        f"swap={format_size(summary['swap_used']):>9}"
+    )
+
+
+def main() -> None:
+    cluster = HadoopCluster(
+        num_nodes=1,
+        node_config=paper_node_config(),
+        hadoop_config=paper_hadoop_config(),
+        scheduler=DummyScheduler(),
+        seed=3,
+    )
+    tl_spec, th_spec = two_job_microbenchmark(
+        heavy=True, tl_footprint=int(2.5 * GB), th_footprint=2 * GB
+    )
+    primitive = SuspendResumePrimitive(cluster)
+    job_tl = cluster.submit_job(tl_spec)
+
+    print("4 GB node; tl allocates 2.5 GB, th allocates 2 GB\n")
+    snapshot(cluster, "boot")
+
+    def preempt() -> None:
+        snapshot(cluster, "tl at 50% (before suspend)")
+        cluster.jobtracker.submit_job(th_spec)
+        primitive.preempt(job_tl.tips[0])
+
+    cluster.when_job_progress("tl", 0.5, preempt)
+
+    def on_complete(job) -> None:
+        if job.spec.name == "th":
+            snapshot(cluster, "th done (tl paged out)")
+            primitive.restore(job_tl.tips[0])
+        else:
+            snapshot(cluster, "tl done (faulted back in)")
+
+    cluster.jobtracker.on_job_complete(on_complete)
+    cluster.run_until_jobs_complete()
+
+    attempt_tl = cluster.attempts_of("tl")[0]
+    attempt_th = cluster.attempts_of("th")[0]
+    job_th = cluster.job_by_name("th")
+    makespan = max(job_tl.finish_time, job_th.finish_time) - job_tl.submit_time
+
+    print()
+    print(f"tl bytes ever paged out : {format_size(attempt_tl.lifetime_swapped_bytes())}")
+    print(f"th bytes ever paged out : {format_size(attempt_th.lifetime_swapped_bytes())}"
+          "  (the allocator self-swaps under heavy pressure)")
+    print(f"th sojourn time         : {job_th.sojourn_time:.1f} s")
+    print(f"makespan                : {makespan:.1f} s")
+    print(
+        "\nCompare with examples/quickstart.py (light tasks): the suspended\n"
+        "task stays entirely in RAM there, so suspension is free."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (PEP 660 editable installs via setuptools < 70.1
+require it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,184 @@
+"""Command-line interface.
+
+::
+
+    repro list                          # experiments available
+    repro reproduce --figure 2 --runs 20 --out results/
+    repro reproduce --all --quick
+    repro schedule --primitive suspend --progress 50
+    repro real-demo --input-mb 24       # real-process prototype
+
+``reproduce`` regenerates the paper's figures (tables + ASCII plots +
+CSV files); ``schedule`` prints one Figure 1 style Gantt chart;
+``real-demo`` runs the POSIX-signal prototype with real worker
+processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.registry import get_experiment, list_experiments
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'OS-Assisted Task Preemption for Hadoop' "
+        "(ICDCS 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    rep = sub.add_parser("reproduce", help="regenerate figures")
+    rep.add_argument("--figure", "-f", action="append", default=[],
+                     help="figure/experiment id (fig1..fig4, natjam, "
+                     "eviction, hfsp); repeatable")
+    rep.add_argument("--all", action="store_true", help="run every experiment")
+    rep.add_argument("--runs", type=int, default=None,
+                     help="averaged runs per data point (default: paper's 20)")
+    rep.add_argument("--quick", action="store_true",
+                     help="scaled-down axes and 2 runs per point")
+    rep.add_argument("--out", default=None,
+                     help="directory for CSV output (optional)")
+    rep.add_argument("--no-plots", action="store_true",
+                     help="tables only, no ASCII plots")
+
+    sch = sub.add_parser("schedule", help="print one execution schedule")
+    sch.add_argument("--primitive", "-p", default="suspend",
+                     choices=["wait", "kill", "suspend", "natjam"])
+    sch.add_argument("--progress", type=float, default=50.0,
+                     help="tl progress at launch of th (percent)")
+    sch.add_argument("--heavy", action="store_true",
+                     help="memory-hungry tasks (2 GB footprints)")
+
+    demo = sub.add_parser("real-demo", help="real-process prototype demo")
+    demo.add_argument("--input-mb", type=int, default=24,
+                      help="synthetic input size per task (MB)")
+    demo.add_argument("--progress", type=float, default=50.0,
+                      help="tl progress at launch of th (percent)")
+    demo.add_argument("--memory-mb", type=int, default=0,
+                      help="extra memory each worker allocates (MB)")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for name in list_experiments():
+        print(f"  {name}")
+    return 0
+
+
+def _quick_kwargs(name: str) -> dict:
+    """Scaled-down parameters for --quick."""
+    if name in ("fig2", "fig3"):
+        return {"runs": 2, "progress_points": [0.25, 0.5, 0.75]}
+    if name == "fig4":
+        from repro.units import GB
+
+        return {"runs": 2, "memory_points": [0, int(1.25 * GB), int(2.5 * GB)]}
+    if name == "natjam":
+        return {"runs": 2, "progress_points": [0.5]}
+    if name in ("eviction", "hfsp", "gc"):
+        return {"runs": 2}
+    if name == "swappiness":
+        return {"runs": 2, "swappiness_values": [0, 60]}
+    if name == "adaptive":
+        return {"runs": 2, "progress_points": [0.02, 0.5, 0.98]}
+    return {}
+
+
+def _cmd_reproduce(args) -> int:
+    names: List[str] = list(args.figure)
+    if args.all:
+        names = list_experiments()
+    if not names:
+        print("nothing to do: pass --figure or --all", file=sys.stderr)
+        return 2
+    exit_code = 0
+    for name in names:
+        runner = get_experiment(name)
+        kwargs = _quick_kwargs(name) if args.quick else {}
+        if args.runs is not None:
+            kwargs["runs"] = args.runs
+        if name == "fig1":
+            kwargs.pop("runs", None)
+        report = runner(**kwargs)
+        print(report.render(plots=not args.no_plots))
+        print()
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            for series_name, csv_text in report.to_csv().items():
+                path = os.path.join(args.out, f"{series_name}.csv")
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(csv_text)
+                print(f"wrote {path}")
+    return exit_code
+
+
+def _cmd_schedule(args) -> int:
+    from repro.experiments.harness import TwoJobHarness
+    from repro.metrics.timeline import extract_timeline, render_gantt
+
+    harness = TwoJobHarness(
+        primitive=args.primitive,
+        progress_at_launch=args.progress / 100.0,
+        heavy=args.heavy,
+        runs=1,
+        keep_traces=True,
+    )
+    result = harness.run_once(seed=500)
+    segments = [
+        s for s in extract_timeline(result.trace_cluster.sim.trace_log)
+        if "_m_" in s.task
+    ]
+    print(render_gantt(segments))
+    print(
+        f"th sojourn {result.sojourn_th:.1f}s, makespan {result.makespan:.1f}s, "
+        f"tl paged {result.tl_paged_bytes / (1024 ** 2):.0f} MB"
+    )
+    return 0
+
+
+def _cmd_real_demo(args) -> int:
+    from repro.posixrt.runner import MiniExperiment
+
+    experiment = MiniExperiment(
+        input_mb=args.input_mb,
+        progress_at_launch=args.progress / 100.0,
+        memory_mb=args.memory_mb,
+    )
+    rows = experiment.compare(("wait", "kill", "suspend"))
+    print(f"{'primitive':>10} | {'th sojourn (s)':>14} | {'makespan (s)':>12}")
+    for name, outcome in rows.items():
+        print(f"{name:>10} | {outcome.sojourn_th:14.2f} | {outcome.makespan:12.2f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "reproduce":
+            return _cmd_reproduce(args)
+        if args.command == "schedule":
+            return _cmd_schedule(args)
+        if args.command == "real-demo":
+            return _cmd_real_demo(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-hierarchies mirror the package
+layout: simulation-kernel errors, OS-model errors, Hadoop protocol
+errors, and preemption errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+# --------------------------------------------------------------------------
+# Simulation kernel
+# --------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event kernel."""
+
+
+class SchedulingInPastError(SimulationError):
+    """An event was scheduled at a time earlier than the current clock."""
+
+
+class EventCancelledError(SimulationError):
+    """A cancelled event handle was used where a live one is required."""
+
+
+class SimulationNotRunningError(SimulationError):
+    """An operation required a running simulation but none was active."""
+
+
+# --------------------------------------------------------------------------
+# OS model
+# --------------------------------------------------------------------------
+
+
+class OSModelError(ReproError):
+    """Base class for errors raised by the simulated operating system."""
+
+
+class NoSuchProcessError(OSModelError):
+    """A pid does not name a live process."""
+
+
+class InvalidSignalError(OSModelError):
+    """An unknown or undeliverable signal was requested."""
+
+
+class OutOfMemoryError(OSModelError):
+    """RAM and swap are both exhausted; the OOM killer would fire."""
+
+    def __init__(self, message: str, victim_pid: int | None = None):
+        super().__init__(message)
+        self.victim_pid = victim_pid
+
+
+class SwapExhaustedError(OutOfMemoryError):
+    """The swap device cannot hold the pages that must be evicted."""
+
+
+class ProcessStateError(OSModelError):
+    """An operation is invalid for the process's current state."""
+
+
+# --------------------------------------------------------------------------
+# HDFS
+# --------------------------------------------------------------------------
+
+
+class HDFSError(ReproError):
+    """Base class for errors raised by the HDFS model."""
+
+
+class BlockNotFoundError(HDFSError):
+    """A block id is unknown to the namenode."""
+
+
+class FileNotFoundInHDFSError(HDFSError):
+    """A path is unknown to the namenode."""
+
+
+class FileAlreadyExistsError(HDFSError):
+    """A path already exists and overwrite was not requested."""
+
+
+class ReplicationError(HDFSError):
+    """Block placement could not satisfy the replication factor."""
+
+
+# --------------------------------------------------------------------------
+# Hadoop engine
+# --------------------------------------------------------------------------
+
+
+class HadoopError(ReproError):
+    """Base class for errors raised by the Hadoop engine model."""
+
+
+class UnknownJobError(HadoopError):
+    """A job id does not name a submitted job."""
+
+
+class UnknownTaskError(HadoopError):
+    """A task or attempt id is not known to the JobTracker."""
+
+
+class TaskStateError(HadoopError):
+    """A task-state transition was requested that the state machine forbids."""
+
+
+class SlotExhaustedError(HadoopError):
+    """A TaskTracker was asked to launch a task but has no free slot."""
+
+
+class HeartbeatProtocolError(HadoopError):
+    """A heartbeat message violated the JobTracker/TaskTracker protocol."""
+
+
+# --------------------------------------------------------------------------
+# Preemption
+# --------------------------------------------------------------------------
+
+
+class PreemptionError(ReproError):
+    """Base class for errors raised by preemption primitives."""
+
+
+class NotPreemptibleError(PreemptionError):
+    """The target task cannot be preempted with the requested primitive."""
+
+
+class ResumeLocalityError(PreemptionError):
+    """A suspended task was asked to resume on a different machine."""
+
+
+class CheckpointError(PreemptionError):
+    """An application-level (Natjam-style) checkpoint failed."""
+
+
+# --------------------------------------------------------------------------
+# Real POSIX runtime
+# --------------------------------------------------------------------------
+
+
+class PosixRuntimeError(ReproError):
+    """Base class for errors raised by the real-process prototype."""
+
+
+class WorkerSpawnError(PosixRuntimeError):
+    """A worker process could not be spawned."""
+
+
+class WorkerProtocolError(PosixRuntimeError):
+    """A worker process emitted a malformed status record."""

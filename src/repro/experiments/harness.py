@@ -1,0 +1,192 @@
+"""The paper's two-job microbenchmark harness (Section IV-A).
+
+One :class:`TwoJobHarness` run reproduces one data point of Figures
+2-4: the dummy scheduler runs low-priority ``tl``; at the instant
+``tl`` reaches r% progress the high-priority ``th`` is submitted and
+``tl`` is preempted with the chosen primitive (or not, for ``wait``);
+when ``th`` completes, ``tl`` is restored.  The harness measures the
+sojourn time of ``th``, the makespan, and the bytes ``tl`` paged to
+swap, averaging over seeded repetitions exactly as the paper averages
+20 runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.experiments import params as P
+from repro.hadoop.cluster import HadoopCluster
+from repro.metrics.stats import RunStats, summarize
+from repro.preemption.base import make_primitive
+from repro.schedulers.dummy import DummyScheduler
+from repro.workloads.synthetic import two_job_microbenchmark
+
+
+@dataclass
+class SingleRunResult:
+    """Raw metrics of one simulated run."""
+
+    sojourn_th: float
+    makespan: float
+    tl_paged_bytes: int
+    th_paged_bytes: int
+    tl_wasted_seconds: float
+    suspend_count: int
+    trace_cluster: Optional[HadoopCluster] = None
+
+
+@dataclass
+class TwoJobResult:
+    """Aggregated metrics over the harness's repetitions."""
+
+    primitive: str
+    progress_at_launch: float
+    sojourn_th: RunStats
+    makespan: RunStats
+    tl_paged_bytes: RunStats
+    tl_wasted_seconds: RunStats
+    runs: List[SingleRunResult] = field(default_factory=list)
+
+    def as_row(self) -> List[float]:
+        """Table row: r%, sojourn, makespan, paged MB."""
+        return [
+            self.progress_at_launch * 100,
+            self.sojourn_th.mean,
+            self.makespan.mean,
+            self.tl_paged_bytes.mean / (1024 * 1024),
+        ]
+
+
+class TwoJobHarness:
+    """Builds, runs and measures the two-job microbenchmark."""
+
+    def __init__(
+        self,
+        primitive: str = "suspend",
+        progress_at_launch: float = 0.5,
+        heavy: bool = False,
+        tl_footprint: int = P.FIG3_FOOTPRINT,
+        th_footprint: int = P.FIG3_FOOTPRINT,
+        runs: int = P.PAPER_RUNS,
+        base_seed: int = 1000,
+        keep_traces: bool = False,
+        node_config=None,
+        hadoop_config=None,
+    ):
+        if not 0.0 < progress_at_launch < 1.0:
+            raise ConfigurationError("progress_at_launch must be in (0, 1)")
+        if runs < 1:
+            raise ConfigurationError("need at least one run")
+        self.primitive_name = primitive
+        self.progress_at_launch = progress_at_launch
+        self.heavy = heavy
+        self.tl_footprint = tl_footprint
+        self.th_footprint = th_footprint
+        self.runs = runs
+        self.base_seed = base_seed
+        self.keep_traces = keep_traces
+        self.node_config = node_config
+        self.hadoop_config = hadoop_config
+        # Overridable for the GC ablation (see experiments.gc_study).
+        from repro.hadoop.jvm import GcPolicy
+
+        self.gc_policy = GcPolicy.HOARD
+
+    # -- single run ---------------------------------------------------------------
+
+    def run_once(self, seed: int) -> SingleRunResult:
+        """One simulated run with one seed."""
+        cluster = HadoopCluster(
+            num_nodes=1,
+            node_config=self.node_config or P.paper_node_config(),
+            hadoop_config=self.hadoop_config or P.paper_hadoop_config(),
+            scheduler=DummyScheduler(),
+            seed=seed,
+            trace=self.keep_traces,
+            gc_policy=self.gc_policy,
+        )
+        tl_spec, th_spec = two_job_microbenchmark(
+            heavy=self.heavy,
+            tl_footprint=self.tl_footprint,
+            th_footprint=self.th_footprint,
+            input_bytes=P.INPUT_BYTES,
+            parse_rate=P.PARSE_RATE,
+        )
+        primitive = make_primitive(self.primitive_name, cluster)
+        job_tl = cluster.submit_job(tl_spec)
+
+        def preempt_and_submit() -> None:
+            cluster.jobtracker.submit_job(th_spec)
+            tip = job_tl.tips[0]
+            if tip.state.value == "RUNNING":
+                primitive.preempt(tip)
+
+        cluster.when_job_progress("tl", self.progress_at_launch, preempt_and_submit)
+
+        def restore_tl(job) -> None:
+            if job.spec.name == "th":
+                tip = job_tl.tips[0]
+                primitive.restore(tip)
+
+        cluster.jobtracker.on_job_complete(restore_tl)
+        cluster.run_until_jobs_complete(timeout=14_400.0)
+
+        job_th = cluster.job_by_name("th")
+        finish = max(job_tl.finish_time, job_th.finish_time)
+        tl_paged = max(
+            (a.lifetime_swapped_bytes() for a in cluster.attempts_of("tl")),
+            default=0,
+        )
+        th_paged = max(
+            (a.lifetime_swapped_bytes() for a in cluster.attempts_of("th")),
+            default=0,
+        )
+        suspends = sum(a.suspend_count for a in cluster.attempts_of("tl"))
+        return SingleRunResult(
+            sojourn_th=job_th.sojourn_time,
+            makespan=finish - job_tl.submit_time,
+            tl_paged_bytes=tl_paged,
+            th_paged_bytes=th_paged,
+            tl_wasted_seconds=job_tl.wasted_seconds,
+            suspend_count=suspends,
+            trace_cluster=cluster if self.keep_traces else None,
+        )
+
+    # -- aggregation ---------------------------------------------------------------------
+
+    def run(self) -> TwoJobResult:
+        """Average the configured number of seeded repetitions."""
+        results = [self.run_once(self.base_seed + i) for i in range(self.runs)]
+        return TwoJobResult(
+            primitive=self.primitive_name,
+            progress_at_launch=self.progress_at_launch,
+            sojourn_th=summarize([r.sojourn_th for r in results]),
+            makespan=summarize([r.makespan for r in results]),
+            tl_paged_bytes=summarize([r.tl_paged_bytes for r in results]),
+            tl_wasted_seconds=summarize([r.tl_wasted_seconds for r in results]),
+            runs=results,
+        )
+
+
+def sweep_progress(
+    primitive: str,
+    progress_points: Optional[List[float]] = None,
+    heavy: bool = False,
+    runs: int = P.PAPER_RUNS,
+    base_seed: int = 1000,
+) -> Dict[float, TwoJobResult]:
+    """Run the harness across the paper's r-axis for one primitive."""
+    points = progress_points or P.PAPER_PROGRESS_POINTS
+    out: Dict[float, TwoJobResult] = {}
+    for r in points:
+        harness = TwoJobHarness(
+            primitive=primitive,
+            progress_at_launch=r,
+            heavy=heavy,
+            runs=runs,
+            base_seed=base_seed,
+        )
+        out[r] = harness.run()
+    return out

@@ -1,0 +1,96 @@
+"""Calibration constants for the paper's experimental setup.
+
+Absolute seconds in the paper come from the authors' physical testbed
+(4 GB nodes, one disk, Hadoop 1).  Per DESIGN.md Section 5, four knobs
+are calibrated so that the *baseline wait curve* of Figure 2a lands on
+the paper's endpoints (~150 s at r=10%, ~95 s at r=90%), and then held
+fixed for every other experiment:
+
+* ``PARSE_RATE`` -- synthetic-mapper parse speed; sets the ~73 s task
+  body that dominates every curve;
+* ``HadoopConfig`` latency fields (heartbeats, JVM start-up, job
+  setup/cleanup) -- set the ~8 s per-job framework overhead;
+* disk bandwidths -- set the swap-out/swap-in costs of Figures 3-4;
+* ``os_reserved_bytes`` -- positions the free-RAM threshold where
+  Figure 4's paged-bytes curve leaves zero.
+
+Everything else (who wins, crossovers, the super-linear swap growth)
+is emergent from the mechanisms.
+"""
+
+from __future__ import annotations
+
+from repro.hadoop.config import HadoopConfig
+from repro.osmodel.config import NodeConfig
+from repro.units import GB, MB
+
+#: The x-axis of Figures 2 and 3: "tl progress at launch of th (%)".
+PAPER_PROGRESS_POINTS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+
+#: The x-axis of Figure 4: memory allocated by th.
+PAPER_MEMORY_POINTS = [0, int(0.625 * GB), int(1.25 * GB), int(1.875 * GB), int(2.5 * GB)]
+
+#: Figure 4's tl footprint ("tl allocates 2.5 GB of memory").
+FIG4_TL_FOOTPRINT = int(2.5 * GB)
+
+#: Worst-case footprint of Figure 3 ("2 GB in our case").
+FIG3_FOOTPRINT = 2 * GB
+
+#: Synthetic-mapper parse rate: 512 MB / 7 MBps ~= 73 s task body.
+PARSE_RATE = 7 * MB
+
+#: Input block size (Section IV-A).
+INPUT_BYTES = 512 * MB
+
+#: Number of averaged runs per data point (Section IV-C: 20).
+PAPER_RUNS = 20
+
+
+def paper_node_config() -> NodeConfig:
+    """The testbed node: 4 GB RAM, one disk, swap on it, swappiness 0.
+
+    ``os_reserved_bytes`` covers the OS services plus the TaskTracker
+    and DataNode daemons ("the rest of the memory is needed by the
+    Hadoop framework and by the operating system services").
+    """
+    return NodeConfig(
+        ram_bytes=4 * GB,
+        os_reserved_bytes=int(0.70 * GB),
+        swap_bytes=8 * GB,
+        cores=2,
+        disk_read_bw=130 * MB,
+        disk_write_bw=120 * MB,
+        disk_seek_time=0.004,
+        swap_cluster_bytes=2 * MB,
+        mem_touch_bw=1200 * MB,
+        mem_read_bw=2400 * MB,
+        swappiness=0,
+        page_cache_min_bytes=64 * MB,
+        lru_overshoot=0.35,
+        lru_scan_leak=0.9,
+        working_set_protect_bytes=384 * MB,
+        direct_reclaim_fraction=0.45,
+        fault_in_sync_fraction=0.55,
+        alloc_chunk_bytes=128 * MB,
+        sigtstp_handler_latency=0.15,
+    )
+
+
+def paper_hadoop_config() -> HadoopConfig:
+    """Hadoop 1 with one map slot per node (tl and th contend for it)."""
+    return HadoopConfig(
+        heartbeat_interval=3.0,
+        oob_heartbeat_latency=0.1,
+        rpc_latency=0.05,
+        map_slots=1,
+        reduce_slots=1,
+        jvm_startup_time=1.2,
+        jvm_base_memory=160 * MB,
+        task_finalize_time=0.3,
+        task_cleanup_duration=2.0,
+        job_setup_duration=1.0,
+        job_cleanup_duration=1.0,
+        run_job_setup_cleanup=True,
+        child_heap_limit=3 * GB,
+        task_time_jitter=0.03,
+    )

@@ -1,0 +1,117 @@
+"""Registry mapping experiment ids to their runner functions.
+
+Each runner takes keyword arguments (``runs``, ``seed``, scaled-down
+axes for quick checks) and returns a report object with a
+``render()`` method; the CLI and the benchmark suite both go through
+this table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+
+
+def _fig1(**kwargs):
+    from repro.experiments.fig1_schedules import run_fig1
+
+    return run_fig1(**kwargs)
+
+
+def _fig2(**kwargs):
+    from repro.experiments.fig2_baseline import run_fig2
+
+    return run_fig2(**kwargs)
+
+
+def _fig3(**kwargs):
+    from repro.experiments.fig3_worstcase import run_fig3
+
+    return run_fig3(**kwargs)
+
+
+def _fig4(**kwargs):
+    from repro.experiments.fig4_memory_sweep import run_fig4
+
+    return run_fig4(**kwargs)
+
+
+def _natjam(**kwargs):
+    from repro.experiments.natjam_overhead import run_natjam_overhead
+
+    return run_natjam_overhead(**kwargs)
+
+
+def _eviction(**kwargs):
+    from repro.experiments.eviction_study import run_eviction_study
+
+    return run_eviction_study(**kwargs)
+
+
+def _hfsp(**kwargs):
+    from repro.experiments.hfsp_study import run_hfsp_study
+
+    return run_hfsp_study(**kwargs)
+
+
+def _swappiness(**kwargs):
+    from repro.experiments.swappiness_study import run_swappiness_study
+
+    return run_swappiness_study(**kwargs)
+
+
+def _gc(**kwargs):
+    from repro.experiments.gc_study import run_gc_study
+
+    return run_gc_study(**kwargs)
+
+
+def _adaptive(**kwargs):
+    from repro.experiments.adaptive_study import run_adaptive_study
+
+    return run_adaptive_study(**kwargs)
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": _fig1,
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "natjam": _natjam,
+    "eviction": _eviction,
+    "hfsp": _hfsp,
+    "swappiness": _swappiness,
+    "gc": _gc,
+    "adaptive": _adaptive,
+}
+
+#: aliases accepted by the CLI
+ALIASES = {
+    "1": "fig1",
+    "2": "fig2",
+    "2a": "fig2",
+    "2b": "fig2",
+    "3": "fig3",
+    "3a": "fig3",
+    "3b": "fig3",
+    "4": "fig4",
+    "e5": "natjam",
+    "e6": "eviction",
+    "e7": "hfsp",
+}
+
+
+def get_experiment(name: str) -> Callable:
+    """Resolve an experiment id or alias to its runner."""
+    key = ALIASES.get(name.lower(), name.lower())
+    if key not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; known: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[key]
+
+
+def list_experiments() -> List[str]:
+    """Registered experiment ids."""
+    return sorted(EXPERIMENTS)

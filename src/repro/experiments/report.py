@@ -1,0 +1,61 @@
+"""Experiment report container.
+
+Every experiment returns an :class:`ExperimentReport`: the series
+behind the figure, rendered tables/plots, free-text notes, and the
+paper's expected shape so EXPERIMENTS.md can juxtapose them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.report import ascii_plot, series_table, series_to_csv
+from repro.metrics.series import Series
+
+
+@dataclass
+class ExperimentReport:
+    """The output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    paper_expectation: str = ""
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def add_series(self, series: Series) -> None:
+        """Attach one figure's curves."""
+        self.series.append(series)
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-text observation."""
+        self.notes.append(note)
+
+    def render(self, plots: bool = True) -> str:
+        """Human-readable report: tables, optional ASCII plots, notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.paper_expectation:
+            parts.append(f"paper expectation: {self.paper_expectation}")
+        for series in self.series:
+            parts.append("")
+            parts.append(f"-- {series.name} ({series.y_label} vs {series.x_label}) --")
+            parts.append(series_table(series))
+            if plots:
+                parts.append(ascii_plot(series))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def to_csv(self) -> Dict[str, str]:
+        """CSV text per series, keyed by series name."""
+        return {series.name: series_to_csv(series) for series in self.series}
+
+    def find_series(self, name: str) -> Optional[Series]:
+        """Look up a series by name."""
+        for series in self.series:
+            if series.name == name:
+                return series
+        return None

@@ -1,0 +1,51 @@
+"""A Hadoop 1 engine model: JobTracker, TaskTrackers, heartbeats.
+
+This package models the Hadoop pieces the paper modifies and measures:
+
+* the **JobTracker** ("a centralized machine responsible for keeping
+  track of system state and scheduling") with the paper's new task
+  states ``MUST_SUSPEND``/``SUSPENDED``/``MUST_RESUME``;
+* **TaskTrackers** ("machines responsible for running Map/Reduce
+  tasks") that spawn child JVMs as real (simulated) OS processes and
+  relay POSIX signals to them;
+* the **heartbeat protocol**: periodic status reports, out-of-band
+  heartbeats when a task finishes, and piggybacked directives
+  (launch/kill/suspend/resume);
+* **jobs, tasks and attempts** with Hadoop 1 lifecycle details that
+  matter to the measured metrics: job setup/cleanup tasks, killed-task
+  cleanup attempts, slot accounting.
+"""
+
+from repro.hadoop.attempt import TaskAttempt
+from repro.hadoop.cluster import HadoopCluster
+from repro.hadoop.config import HadoopConfig
+from repro.hadoop.heartbeat import (
+    HeartbeatResponse,
+    KillTaskAction,
+    LaunchTaskAction,
+    ResumeTaskAction,
+    SuspendTaskAction,
+)
+from repro.hadoop.job import JobInProgress, JobState
+from repro.hadoop.jobtracker import JobTracker
+from repro.hadoop.states import AttemptState, TipState
+from repro.hadoop.task import TaskInProgress
+from repro.hadoop.tasktracker import TaskTracker
+
+__all__ = [
+    "HadoopCluster",
+    "HadoopConfig",
+    "JobTracker",
+    "TaskTracker",
+    "JobInProgress",
+    "JobState",
+    "TaskInProgress",
+    "TaskAttempt",
+    "TipState",
+    "AttemptState",
+    "HeartbeatResponse",
+    "LaunchTaskAction",
+    "KillTaskAction",
+    "SuspendTaskAction",
+    "ResumeTaskAction",
+]

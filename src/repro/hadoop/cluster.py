@@ -1,0 +1,283 @@
+"""Cluster facade: wires the simulator, OS kernels, HDFS and Hadoop.
+
+:class:`HadoopCluster` is the main entry point of the library's
+simulation side::
+
+    from repro import HadoopCluster, two_job_microbenchmark
+
+    cluster = HadoopCluster(num_nodes=1, seed=7)
+    tl, th = two_job_microbenchmark()
+    cluster.create_input("/data/tl", 512 * MB)
+    job_l = cluster.submit_job(tl)
+    cluster.run()
+    print(job_l.sojourn_time)
+
+The experiment harness builds on the helpers here: exact progress
+watching, attempt lookup by job name, and memory introspection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError, UnknownJobError
+from repro.hadoop.attempt import AttemptRole, TaskAttempt
+from repro.hadoop.config import HadoopConfig
+from repro.hadoop.job import JobInProgress
+from repro.hadoop.jobtracker import JobTracker
+from repro.hadoop.jvm import GcPolicy
+from repro.hadoop.states import AttemptState
+from repro.hadoop.tasktracker import TaskTracker
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.topology import RackTopology
+from repro.osmodel.config import NodeConfig
+from repro.osmodel.kernel import NodeKernel
+from repro.sim.engine import Simulation
+from repro.workloads.jobspec import JobSpec
+
+
+class HadoopCluster:
+    """A simulated Hadoop 1 cluster."""
+
+    def __init__(
+        self,
+        num_nodes: int = 1,
+        node_config: Optional[NodeConfig] = None,
+        hadoop_config: Optional[HadoopConfig] = None,
+        scheduler=None,
+        seed: int = 0,
+        trace: bool = True,
+        gc_policy: GcPolicy = GcPolicy.HOARD,
+        replication: int = 1,
+        racks: int = 1,
+    ):
+        if num_nodes < 1:
+            raise ConfigurationError("a cluster needs at least one node")
+        if racks < 1:
+            raise ConfigurationError("a cluster needs at least one rack")
+        self.sim = Simulation(seed=seed, trace=trace)
+        self.hadoop_config = hadoop_config or HadoopConfig()
+        base_node_config = node_config or NodeConfig()
+        if scheduler is None:
+            from repro.schedulers.fifo import FifoScheduler
+
+            scheduler = FifoScheduler()
+        self.scheduler = scheduler
+        self.jobtracker = JobTracker(self.sim, self.hadoop_config, scheduler)
+        self.topology = RackTopology()
+        self.namenode = NameNode(self.topology, replication=replication)
+        self.kernels: Dict[str, NodeKernel] = {}
+        self.trackers: Dict[str, TaskTracker] = {}
+        self._started = False
+
+        for i in range(num_nodes):
+            hostname = f"node{i:02d}"
+            rack = f"/rack{i % racks}"
+            kernel = NodeKernel(
+                self.sim, base_node_config.replace(hostname=hostname)
+            )
+            self.kernels[hostname] = kernel
+            datanode = DataNode(kernel)
+            self.namenode.register_datanode(datanode, rack=rack)
+            tracker = TaskTracker(
+                self.sim, kernel, self.hadoop_config, self.jobtracker, gc_policy
+            )
+            self.trackers[hostname] = tracker
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start all TaskTracker heartbeat loops (staggered)."""
+        if self._started:
+            return
+        self._started = True
+        for i, tracker in enumerate(self.trackers.values()):
+            tracker.start(stagger=0.05 + 0.11 * i)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Start (if needed) and run the simulation.
+
+        Without ``until`` the simulation runs until the event heap
+        drains, which happens only if heartbeat loops are stopped; in
+        practice callers pass ``until`` or use
+        :meth:`run_until_jobs_complete`.
+        """
+        self.start()
+        self.sim.run(until=until, max_events=max_events)
+
+    def run_until_jobs_complete(
+        self,
+        jobs: Optional[List[JobInProgress]] = None,
+        timeout: float = 36_000.0,
+    ) -> None:
+        """Run until every given (or every submitted) job is terminal.
+
+        Raises :class:`~repro.errors.ConfigurationError` on timeout --
+        a deadlock guard for tests.
+        """
+        self.start()
+        deadline = self.sim.now + timeout
+
+        def outstanding() -> bool:
+            watched = jobs if jobs is not None else list(self.jobtracker.jobs.values())
+            return any(not job.state.terminal for job in watched)
+
+        while outstanding():
+            if self.sim.now >= deadline:
+                raise ConfigurationError(
+                    f"jobs still running after {timeout:.0f}s of simulated time"
+                )
+            if not self.sim.step():
+                break
+        # Let in-flight bookkeeping (cleanup slots, heartbeats) settle a
+        # little so metrics queried right after completion are stable.
+
+    # -- HDFS helpers ------------------------------------------------------------
+
+    def create_input(
+        self,
+        path: str,
+        size: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        writer_host: Optional[str] = None,
+    ):
+        """Create an input file (pre-populated, like the paper's
+        randomly generated inputs)."""
+        return self.namenode.create_file(
+            path, size, block_size=block_size, writer_host=writer_host
+        )
+
+    # -- job helpers --------------------------------------------------------------
+
+    def submit_job(self, spec: JobSpec, delay: Optional[float] = None) -> JobInProgress:
+        """Submit now (or after ``delay``/the spec's submit_offset).
+
+        When deferred, returns a placeholder-free handle: the JobSpec
+        is submitted by a scheduled event and the JobInProgress can be
+        fetched later via :meth:`job_by_name`.
+        """
+        offset = spec.submit_offset if delay is None else delay
+        if offset <= 0:
+            return self.jobtracker.submit_job(spec)
+        self.sim.schedule(
+            offset,
+            self.jobtracker.submit_job,
+            spec,
+            label=f"cluster.submit:{spec.name}",
+        )
+        return None
+
+    def job_by_name(self, name: str) -> JobInProgress:
+        """Find a submitted job by its spec name."""
+        return self.jobtracker.job_by_name(name)
+
+    # -- attempt lookup ------------------------------------------------------------
+
+    def on_attempt_launched(self, callback: Callable[[TaskAttempt], None]) -> None:
+        """Register a callback on every tracker for attempt launches."""
+        for tracker in self.trackers.values():
+            tracker.launch_callbacks.append(callback)
+
+    def find_live_attempt(self, job_name: str) -> Optional[TaskAttempt]:
+        """The first non-terminal work attempt of a job, if any."""
+        try:
+            job = self.job_by_name(job_name)
+        except UnknownJobError:
+            return None
+        for tracker in self.trackers.values():
+            for attempt in tracker.attempts.values():
+                if (
+                    attempt.job_id == job.job_id
+                    and attempt.role is AttemptRole.TASK
+                    and not attempt.state.terminal
+                ):
+                    return attempt
+        return None
+
+    def attempts_of(self, job_name: str, include_aux: bool = False) -> List[TaskAttempt]:
+        """All attempts (across trackers) belonging to a job."""
+        job = self.job_by_name(job_name)
+        found = []
+        for tracker in self.trackers.values():
+            for attempt in tracker.attempts.values():
+                if attempt.job_id != job.job_id:
+                    continue
+                if not include_aux and attempt.role is not AttemptRole.TASK:
+                    continue
+                found.append(attempt)
+        return sorted(found, key=lambda a: a.attempt_id)
+
+    def suspended_attempts(self) -> List[TaskAttempt]:
+        """Every suspended attempt in the cluster."""
+        return [
+            attempt
+            for tracker in self.trackers.values()
+            for attempt in tracker.attempts.values()
+            if attempt.state is AttemptState.SUSPENDED
+        ]
+
+    # -- progress watching -------------------------------------------------------------
+
+    def when_job_progress(
+        self, job_name: str, fraction: float, callback: Callable[[], None]
+    ) -> None:
+        """Invoke ``callback`` at the exact instant the job's first work
+        attempt reaches ``fraction`` progress.
+
+        If the attempt is not launched yet, the watch is armed at
+        launch time.  This is the mechanism behind the paper's "tl
+        progress at launch of th" x-axis.
+        """
+        attempt = self.find_live_attempt(job_name)
+        if attempt is not None:
+            attempt.jvm.engine.when_progress(fraction, callback)
+            return
+        armed = {"done": False}
+
+        def on_launch(new_attempt: TaskAttempt) -> None:
+            if armed["done"] or new_attempt.role is not AttemptRole.TASK:
+                return
+            try:
+                job = self.job_by_name(job_name)
+            except UnknownJobError:
+                return
+            if new_attempt.job_id != job.job_id:
+                return
+            armed["done"] = True
+            new_attempt.jvm.engine.when_progress(fraction, callback)
+
+        self.on_attempt_launched(on_launch)
+
+    # -- memory introspection ----------------------------------------------------------
+
+    def kernel_of(self, host: str) -> NodeKernel:
+        """The node kernel of one host."""
+        if host not in self.kernels:
+            raise ConfigurationError(f"unknown host {host!r}")
+        return self.kernels[host]
+
+    def total_swapped_out_bytes(self) -> int:
+        """Lifetime page-out volume across all nodes."""
+        return sum(k.vmm.swap.total_out for k in self.kernels.values())
+
+    def trace(self, label: str, **fields) -> None:
+        """Record a cluster-level trace event."""
+        self.sim.trace_log.record(self.sim.now, label, **fields)
+
+    def check_invariants(self) -> None:
+        """Cross-layer consistency checks used by the test suite."""
+        for kernel in self.kernels.values():
+            kernel.check_invariants()
+        for tracker in self.trackers.values():
+            if tracker.free_map_slots < 0 or tracker.free_reduce_slots < 0:
+                raise ConfigurationError(
+                    f"{tracker.host}: negative free slots"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"HadoopCluster(nodes={len(self.kernels)}, "
+            f"jobs={len(self.jobtracker.jobs)})"
+        )

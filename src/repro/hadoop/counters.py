@@ -1,0 +1,62 @@
+"""Job and task counters.
+
+A very small subset of Hadoop's counter framework: hierarchical
+``group.name`` counters that attempts increment and jobs aggregate.
+The experiment harness reads them to report paged bytes, signals sent,
+and redundant (re-executed) work.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Counters:
+    """A two-level counter map with merge support."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, Dict[str, int]] = defaultdict(dict)
+
+    def increment(self, group: str, name: str, amount: int = 1) -> int:
+        """Add ``amount`` and return the new value."""
+        group_map = self._groups[group]
+        group_map[name] = group_map.get(name, 0) + amount
+        return group_map[name]
+
+    def set_value(self, group: str, name: str, value: int) -> None:
+        """Overwrite a counter."""
+        self._groups[group][name] = value
+
+    def value(self, group: str, name: str, default: int = 0) -> int:
+        """Read a counter (0 when absent)."""
+        return self._groups.get(group, {}).get(name, default)
+
+    def merge(self, other: "Counters") -> None:
+        """Add every counter of ``other`` into this map."""
+        for group, name, value in other:
+            self.increment(group, name, value)
+
+    def __iter__(self) -> Iterator[Tuple[str, str, int]]:
+        for group, names in self._groups.items():
+            for name, value in names.items():
+                yield group, name, value
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """Plain-dict snapshot (copies)."""
+        return {group: dict(names) for group, names in self._groups.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        total = sum(len(names) for names in self._groups.values())
+        return f"Counters(groups={len(self._groups)}, counters={total})"
+
+
+#: Counter names used by the engine.
+GROUP_TASK = "task"
+COUNTER_INPUT_BYTES = "input_bytes"
+COUNTER_OUTPUT_BYTES = "output_bytes"
+COUNTER_SWAPPED_BYTES = "swapped_bytes"
+COUNTER_FAULT_IN_SECONDS_MS = "fault_in_ms"
+COUNTER_WASTED_SECONDS_MS = "wasted_ms"
+COUNTER_SUSPENSIONS = "suspensions"
+COUNTER_RESUMES = "resumes"

@@ -1,0 +1,113 @@
+"""Heartbeat protocol messages.
+
+"Hadoop has a 'heartbeat' mechanism where, at fixed intervals and
+every time a task finishes, TaskTrackers inform the JobTracker about
+their state."  The JobTracker's answer piggybacks directives; the
+paper adds :class:`SuspendTaskAction` and :class:`ResumeTaskAction`
+alongside the existing launch/kill actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hadoop.states import AttemptState
+
+
+@dataclass(frozen=True)
+class AttemptStatus:
+    """One attempt's status inside a heartbeat report."""
+
+    attempt_id: str
+    tip_id: str
+    job_id: str
+    state: AttemptState
+    progress: float
+    resident_bytes: int = 0
+    swapped_bytes: int = 0
+
+
+@dataclass
+class HeartbeatReport:
+    """TaskTracker -> JobTracker."""
+
+    tracker: str
+    sequence: int
+    free_map_slots: int
+    free_reduce_slots: int
+    attempts: List[AttemptStatus] = field(default_factory=list)
+    suspended_count: int = 0
+    out_of_band: bool = False
+
+    def status_of(self, attempt_id: str) -> Optional[AttemptStatus]:
+        """Find one attempt's status in this report."""
+        for status in self.attempts:
+            if status.attempt_id == attempt_id:
+                return status
+        return None
+
+
+class TrackerAction:
+    """Base class for piggybacked directives."""
+
+    def describe(self) -> str:
+        """Short human-readable form for traces."""
+        return type(self).__name__
+
+
+@dataclass
+class LaunchTaskAction(TrackerAction):
+    """Start a new attempt of ``tip_id`` on the tracker."""
+
+    tip_id: str
+    attempt_id: str
+    is_setup: bool = False
+    is_cleanup: bool = False
+
+    def describe(self) -> str:
+        kind = "setup" if self.is_setup else "cleanup" if self.is_cleanup else "task"
+        return f"launch[{kind}] {self.attempt_id}"
+
+
+@dataclass
+class KillTaskAction(TrackerAction):
+    """SIGKILL an attempt (and run its cleanup attempt)."""
+
+    attempt_id: str
+    reason: str = ""
+
+    def describe(self) -> str:
+        return f"kill {self.attempt_id} ({self.reason})"
+
+
+@dataclass
+class SuspendTaskAction(TrackerAction):
+    """SIGTSTP an attempt -- the paper's new directive."""
+
+    attempt_id: str
+
+    def describe(self) -> str:
+        return f"suspend {self.attempt_id}"
+
+
+@dataclass
+class ResumeTaskAction(TrackerAction):
+    """SIGCONT a suspended attempt -- the paper's new directive."""
+
+    attempt_id: str
+
+    def describe(self) -> str:
+        return f"resume {self.attempt_id}"
+
+
+@dataclass
+class HeartbeatResponse:
+    """JobTracker -> TaskTracker."""
+
+    sequence: int
+    actions: List[TrackerAction] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Human-readable action list."""
+        return "; ".join(a.describe() for a in self.actions) or "<none>"

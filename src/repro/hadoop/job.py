@@ -1,0 +1,179 @@
+"""Jobs-in-progress: JobTracker-side job lifecycle.
+
+Hadoop 1 jobs pass through PREP (waiting for the job *setup task* to
+run) before their maps become schedulable, and run a job *cleanup
+task* after the last map finishes.  Both bookkeeping tasks occupy a
+slot, which is part of the per-job overhead visible in the paper's
+makespan numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.errors import UnknownTaskError
+from repro.hadoop.counters import Counters
+from repro.hadoop.task import TaskInProgress, TipRole
+from repro.workloads.jobspec import JobSpec, TaskSpec
+
+
+class JobState(enum.Enum):
+    """Job lifecycle states (Hadoop 1 vocabulary)."""
+
+    PREP = "PREP"
+    RUNNING = "RUNNING"
+    SUCCEEDED = "SUCCEEDED"
+    KILLED = "KILLED"
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job can no longer change."""
+        return self in (JobState.SUCCEEDED, JobState.KILLED)
+
+
+def _aux_spec(name: str) -> TaskSpec:
+    """Spec for a setup/cleanup attempt: a JVM that does no real work."""
+    return TaskSpec(input_bytes=0, output_bytes=0, name=name)
+
+
+class JobInProgress:
+    """One submitted job and its tasks."""
+
+    def __init__(
+        self,
+        job_id: str,
+        spec: JobSpec,
+        submit_time: float,
+        run_setup_cleanup: bool = True,
+    ):
+        self.job_id = job_id
+        self.spec = spec
+        self.submit_time = submit_time
+        self.priority = spec.priority
+        self.state = JobState.PREP
+        self.run_setup_cleanup = run_setup_cleanup
+        self.tips: List[TaskInProgress] = [
+            TaskInProgress(
+                self,
+                i,
+                task_spec,
+                TipRole.MAP if task_spec.kind.value == "map" else TipRole.REDUCE,
+            )
+            for i, task_spec in enumerate(spec.tasks)
+        ]
+        self.setup_tip: Optional[TaskInProgress] = None
+        self.cleanup_tip: Optional[TaskInProgress] = None
+        if run_setup_cleanup:
+            self.setup_tip = TaskInProgress(self, 0, _aux_spec("setup"), TipRole.JOB_SETUP)
+            self.cleanup_tip = TaskInProgress(
+                self, 0, _aux_spec("cleanup"), TipRole.JOB_CLEANUP
+            )
+        else:
+            self.state = JobState.RUNNING
+        self.launch_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        #: aggregated counters of all terminal attempts
+        self.counters = Counters()
+
+    # -- lookup --------------------------------------------------------------
+
+    def all_tips(self) -> List[TaskInProgress]:
+        """Work tips plus any setup/cleanup tips."""
+        extras = [t for t in (self.setup_tip, self.cleanup_tip) if t is not None]
+        return self.tips + extras
+
+    def tip(self, tip_id: str) -> TaskInProgress:
+        """Find a TIP by id."""
+        for candidate in self.all_tips():
+            if candidate.tip_id == tip_id:
+                return candidate
+        raise UnknownTaskError(f"{tip_id} not in job {self.job_id}")
+
+    # -- scheduling views -----------------------------------------------------
+
+    @property
+    def setup_pending(self) -> bool:
+        """True when the setup task still needs to be launched."""
+        return (
+            self.state is JobState.PREP
+            and self.setup_tip is not None
+            and self.setup_tip.schedulable
+        )
+
+    @property
+    def cleanup_pending(self) -> bool:
+        """True when all work is done and cleanup needs launching."""
+        return (
+            self.state is JobState.RUNNING
+            and self.cleanup_tip is not None
+            and self.cleanup_tip.schedulable
+            and self.work_complete
+        )
+
+    @property
+    def work_complete(self) -> bool:
+        """True when every work tip succeeded."""
+        return all(t.complete for t in self.tips)
+
+    def schedulable_tips(self) -> List[TaskInProgress]:
+        """Work tips the scheduler may launch right now."""
+        if self.state is not JobState.RUNNING:
+            return []
+        return [t for t in self.tips if t.schedulable]
+
+    def running_tips(self) -> List[TaskInProgress]:
+        """Work tips with an active (running or suspended) attempt."""
+        return [t for t in self.tips if t.state.active]
+
+    def progress(self) -> float:
+        """Mean progress over work tips."""
+        if not self.tips:
+            return 1.0
+        return sum(t.progress for t in self.tips) / len(self.tips)
+
+    # -- lifecycle events -------------------------------------------------------
+
+    def on_setup_done(self, now: float) -> None:
+        """Setup task finished: maps may launch."""
+        if self.state is JobState.PREP:
+            self.state = JobState.RUNNING
+            self.launch_time = now
+
+    def maybe_finish(self, now: float) -> bool:
+        """Complete the job if all work (and cleanup) is done.
+
+        Returns True when the job just transitioned to SUCCEEDED.
+        """
+        if self.state.terminal:
+            return False
+        if not self.work_complete:
+            return False
+        if self.cleanup_tip is not None and not self.cleanup_tip.complete:
+            return False
+        self.state = JobState.SUCCEEDED
+        self.finish_time = now
+        return True
+
+    def kill(self, now: float) -> None:
+        """Mark the whole job killed (tips are killed by the JobTracker)."""
+        if not self.state.terminal:
+            self.state = JobState.KILLED
+            self.finish_time = now
+
+    # -- metrics -------------------------------------------------------------------
+
+    @property
+    def sojourn_time(self) -> Optional[float]:
+        """Submission-to-completion time -- the paper's metric for th."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+    @property
+    def wasted_seconds(self) -> float:
+        """Work discarded by kill-style preemption across all tips."""
+        return sum(t.wasted_seconds for t in self.tips)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"JobInProgress({self.job_id}, {self.state.value}, tips={len(self.tips)})"

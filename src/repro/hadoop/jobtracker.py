@@ -1,0 +1,400 @@
+"""The JobTracker: cluster state, heartbeats, and the preemption API.
+
+"Mirroring the implementation of the kill primitive in Hadoop, we
+introduce i) new messages between the JobTracker ... and TaskTrackers
+..., and ii) new identifiers for task states in the JobTracker."
+
+The preemption API (:meth:`JobTracker.suspend_task`,
+:meth:`JobTracker.resume_task`, :meth:`JobTracker.kill_task`) "can be
+used both by users on the command line and by schedulers".  Directives
+are piggybacked on the next heartbeat from the task's TaskTracker and
+confirmed by the one after, exactly as Section III-B describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import (
+    TaskStateError,
+    UnknownJobError,
+    UnknownTaskError,
+)
+from repro.hadoop.config import HadoopConfig
+from repro.hadoop.heartbeat import (
+    AttemptStatus,
+    HeartbeatReport,
+    HeartbeatResponse,
+    KillTaskAction,
+    LaunchTaskAction,
+    ResumeTaskAction,
+    SuspendTaskAction,
+    TrackerAction,
+)
+from repro.hadoop.job import JobInProgress, JobState
+from repro.hadoop.states import AttemptState, TipState
+from repro.hadoop.task import TaskInProgress, TipRole
+from repro.sim.engine import Simulation
+from repro.workloads.jobspec import JobSpec, TaskKind, TaskSpec
+
+
+@dataclass(frozen=True)
+class AttemptDescriptor:
+    """Everything a TaskTracker needs to launch an attempt."""
+
+    attempt_id: str
+    tip_id: str
+    job_id: str
+    spec: TaskSpec
+    is_setup: bool = False
+    is_cleanup: bool = False
+
+
+class JobTracker:
+    """Central coordinator: jobs, tasks, trackers, scheduling."""
+
+    def __init__(self, sim: Simulation, config: HadoopConfig, scheduler):
+        self.sim = sim
+        self.config = config
+        self.scheduler = scheduler
+        self.jobs: Dict[str, JobInProgress] = {}
+        self.trackers: Dict[str, "object"] = {}
+        self._tips: Dict[str, TaskInProgress] = {}
+        self._descriptors: Dict[str, AttemptDescriptor] = {}
+        self._job_counter = itertools.count(1)
+        self._completion_callbacks: List[Callable[[JobInProgress], None]] = []
+        #: hooks that may rewrite a TaskSpec at attempt-creation time
+        #: (used by checkpoint-based primitives to fast-forward)
+        self.spec_transformers: List[
+            Callable[[TaskInProgress, TaskSpec], TaskSpec]
+        ] = []
+        self.heartbeats_received = 0
+        scheduler.bind(self)
+
+    # -- registration -------------------------------------------------------------
+
+    def register_tracker(self, tracker) -> None:
+        """Called by TaskTracker constructors."""
+        self.trackers[tracker.host] = tracker
+
+    def on_job_complete(self, callback: Callable[[JobInProgress], None]) -> None:
+        """Register a callback fired when any job reaches SUCCEEDED."""
+        self._completion_callbacks.append(callback)
+
+    # -- job API ---------------------------------------------------------------------
+
+    def submit_job(self, spec: JobSpec) -> JobInProgress:
+        """Accept a job; its setup task becomes schedulable immediately."""
+        job_id = f"{next(self._job_counter):04d}"
+        job = JobInProgress(
+            job_id,
+            spec,
+            submit_time=self.sim.now,
+            run_setup_cleanup=self.config.run_job_setup_cleanup,
+        )
+        self.jobs[job_id] = job
+        for tip in job.all_tips():
+            self._tips[tip.tip_id] = tip
+        self.trace("jt.submit", job=job_id, name=spec.name)
+        self.scheduler.job_added(job)
+        return job
+
+    def job(self, job_id: str) -> JobInProgress:
+        """Look up a job by id."""
+        if job_id not in self.jobs:
+            raise UnknownJobError(f"unknown job {job_id}")
+        return self.jobs[job_id]
+
+    def job_by_name(self, name: str) -> JobInProgress:
+        """Look up the most recently submitted job with a spec name."""
+        for job in reversed(list(self.jobs.values())):
+            if job.spec.name == name:
+                return job
+        raise UnknownJobError(f"no job named {name!r}")
+
+    def kill_job(self, job_id: str) -> None:
+        """Kill a job and all of its live attempts."""
+        job = self.job(job_id)
+        job.kill(self.sim.now)
+        for tip in job.all_tips():
+            if tip.state.active and tip.state is not TipState.MUST_KILL:
+                try:
+                    tip.request_kill(self.sim.now)
+                except TaskStateError:  # pragma: no cover - defensive
+                    pass
+        self.trace("jt.kill-job", job=job_id)
+
+    # -- the preemption API (Section III-B) ----------------------------------------------
+
+    def suspend_task(self, tip_id: str) -> None:
+        """Mark a running task MUST_SUSPEND; the suspend directive rides
+        the next heartbeat to the task's TaskTracker."""
+        tip = self.tip(tip_id)
+        tip.request_suspend(self.sim.now)
+        self.trace("jt.must-suspend", tip=tip_id)
+
+    def resume_task(self, tip_id: str) -> None:
+        """Mark a suspended task MUST_RESUME; the resume directive is
+        sent as soon as the owning tracker has a free slot."""
+        tip = self.tip(tip_id)
+        tip.request_resume(self.sim.now)
+        self.trace("jt.must-resume", tip=tip_id)
+
+    def kill_task(self, tip_id: str) -> None:
+        """Kill the task's active attempt; the TIP is rescheduled from
+        scratch (the pre-existing Hadoop primitive)."""
+        tip = self.tip(tip_id)
+        tip.request_kill(self.sim.now)
+        self.trace("jt.must-kill", tip=tip_id)
+
+    def tip(self, tip_id: str) -> TaskInProgress:
+        """Look up a task-in-progress by id."""
+        if tip_id not in self._tips:
+            raise UnknownTaskError(f"unknown task {tip_id}")
+        return self._tips[tip_id]
+
+    def attempt_descriptor(self, attempt_id: str) -> AttemptDescriptor:
+        """Descriptor for a previously assigned attempt."""
+        if attempt_id not in self._descriptors:
+            raise UnknownTaskError(f"unknown attempt {attempt_id}")
+        return self._descriptors[attempt_id]
+
+    def record_attempt_counters(self, job_id: str, counters) -> None:
+        """Merge a terminal attempt's counters into its job."""
+        job = self.jobs.get(job_id)
+        if job is not None:
+            job.counters.merge(counters)
+
+    # -- tracker failure ----------------------------------------------------------
+
+    def tracker_lost(self, host: str) -> None:
+        """A TaskTracker stopped heartbeating: requeue everything it ran.
+
+        Suspended process images die with the node ("a suspended
+        process can only be resumed on the same machine"), so their
+        tasks restart from scratch -- the same fallback as a non-local
+        resume.
+        """
+        tracker = self.trackers.pop(host, None)
+        if tracker is None:
+            raise UnknownJobError(f"no tracker registered on {host!r}")
+        tracker.shutdown()
+        for tip in self._tips_on_tracker(host):
+            if tip.state.terminal:
+                continue
+            progress_lost = tip.progress
+            tip.mark_lost_tracker()
+            tip.wasted_seconds += (
+                progress_lost * tip.spec.input_bytes / tip.spec.parse_rate
+            )
+        self.trace("jt.tracker-lost", tracker=host)
+
+    # -- heartbeat handling -----------------------------------------------------------------
+
+    def heartbeat(self, report: HeartbeatReport) -> HeartbeatResponse:
+        """Process a TaskTracker report and reply with directives."""
+        self.heartbeats_received += 1
+        self._process_report(report)
+        actions: List[TrackerAction] = []
+        free_map = report.free_map_slots
+        free_reduce = report.free_reduce_slots
+
+        # 1. Pending preemption directives for this tracker.  Resumes
+        #    go first so a freed slot returns to the suspended task
+        #    before the scheduler can hand it to a new attempt.
+        free_map, free_reduce = self._preemption_actions(
+            report, actions, free_map, free_reduce
+        )
+
+        # 2. Job setup/cleanup launches (Hadoop runs them outside the
+        #    pluggable scheduler).
+        free_map = self._aux_launches(report, actions, free_map)
+
+        # 3. Pluggable scheduler fills the remaining slots.  Guard
+        #    against scheduler bugs: drop duplicates and tips that are
+        #    no longer schedulable.
+        seen = set()
+        for tip in self.scheduler.assign_tasks(report.tracker, free_map, free_reduce):
+            if tip.tip_id in seen or not tip.schedulable:
+                continue
+            seen.add(tip.tip_id)
+            if tip.spec.kind is TaskKind.REDUCE:
+                if free_reduce <= 0:
+                    continue
+                free_reduce -= 1
+            else:
+                if free_map <= 0:
+                    continue
+                free_map -= 1
+            actions.append(self._make_launch(tip, report.tracker))
+
+        response = HeartbeatResponse(sequence=report.sequence, actions=actions)
+        if actions:
+            self.trace(
+                "jt.response", tracker=report.tracker, actions=response.describe()
+            )
+        return response
+
+    # -- report processing --------------------------------------------------------------------
+
+    def _process_report(self, report: HeartbeatReport) -> None:
+        for status in report.attempts:
+            tip = self._tips.get(status.tip_id)
+            if tip is None or status.attempt_id != tip.active_attempt_id:
+                # Stale report for a superseded attempt.
+                continue
+            if status.state is AttemptState.SUCCEEDED:
+                self._on_attempt_succeeded(tip, status)
+            elif status.state in (AttemptState.KILLED, AttemptState.FAILED):
+                self._on_attempt_killed(tip, status)
+            elif status.state is AttemptState.SUSPENDED:
+                if tip.state is TipState.MUST_SUSPEND:
+                    tip.confirm_suspended()
+                    self.trace("jt.suspended", tip=tip.tip_id)
+                tip.progress = status.progress
+            elif status.state in (AttemptState.RUNNING, AttemptState.SUSPENDING):
+                if tip.state is TipState.MUST_RESUME:
+                    tip.confirm_resumed()
+                    self.trace("jt.resumed", tip=tip.tip_id)
+                tip.progress = status.progress
+
+    def _on_attempt_succeeded(self, tip: TaskInProgress, status: AttemptStatus) -> None:
+        job = tip.job
+        # "or whether it completed in the meanwhile": MUST_SUSPEND and
+        # MUST_KILL races resolve in favour of completion.
+        tip.mark_succeeded(self.sim.now)
+        self.trace("jt.tip-done", tip=tip.tip_id)
+        if tip.role is TipRole.JOB_SETUP:
+            job.on_setup_done(self.sim.now)
+        self._maybe_complete_job(job)
+        self.scheduler.job_updated(job)
+
+    def _on_attempt_killed(self, tip: TaskInProgress, status: AttemptStatus) -> None:
+        job = tip.job
+        reschedule = job.state is JobState.RUNNING or job.state is JobState.PREP
+        tip.mark_killed_attempt(progress_lost=status.progress, reschedule=reschedule)
+        self.trace(
+            "jt.tip-killed",
+            tip=tip.tip_id,
+            lost=round(status.progress, 3),
+            reschedule=reschedule,
+        )
+        self.scheduler.job_updated(job)
+
+    def _maybe_complete_job(self, job: JobInProgress) -> None:
+        if job.cleanup_tip is None:
+            # No cleanup phase: the job finishes with its last tip.
+            if job.maybe_finish(self.sim.now):
+                self._announce_completion(job)
+        else:
+            if job.maybe_finish(self.sim.now):
+                self._announce_completion(job)
+
+    def _announce_completion(self, job: JobInProgress) -> None:
+        self.trace("jt.job-done", job=job.job_id, name=job.spec.name)
+        self.scheduler.job_completed(job)
+        for callback in self._completion_callbacks:
+            callback(job)
+
+    # -- directive generation ---------------------------------------------------------------------
+
+    def _preemption_actions(
+        self,
+        report: HeartbeatReport,
+        actions: List[TrackerAction],
+        free_map: int,
+        free_reduce: int,
+    ):
+        now = self.sim.now
+        for tip in self._tips_on_tracker(report.tracker):
+            if tip.active_attempt_id is None:
+                continue
+            if tip.state is TipState.MUST_RESUME:
+                kind_free = free_reduce if tip.kind is TaskKind.REDUCE else free_map
+                if kind_free <= 0:
+                    continue  # retry when a slot opens
+                if not self._should_send(tip, now):
+                    continue
+                actions.append(ResumeTaskAction(attempt_id=tip.active_attempt_id))
+                if tip.kind is TaskKind.REDUCE:
+                    free_reduce -= 1
+                else:
+                    free_map -= 1
+                tip.directive_sent_at = now
+            elif tip.state is TipState.MUST_SUSPEND:
+                if self._should_send(tip, now):
+                    actions.append(SuspendTaskAction(attempt_id=tip.active_attempt_id))
+                    tip.directive_sent_at = now
+            elif tip.state is TipState.MUST_KILL:
+                if self._should_send(tip, now):
+                    actions.append(
+                        KillTaskAction(
+                            attempt_id=tip.active_attempt_id, reason="preempted"
+                        )
+                    )
+                    tip.directive_sent_at = now
+        return free_map, free_reduce
+
+    def _should_send(self, tip: TaskInProgress, now: float) -> bool:
+        """First send happens immediately; unanswered directives are
+        re-sent after the resend timeout (lost-heartbeat defence)."""
+        if tip.directive_sent_at is None:
+            return True
+        return now - tip.directive_sent_at >= self.config.suspend_resend_timeout
+
+    def _tips_on_tracker(self, tracker: str) -> List[TaskInProgress]:
+        return [t for t in self._tips.values() if t.tracker == tracker]
+
+    def _aux_launches(
+        self, report: HeartbeatReport, actions: List[TrackerAction], free_map: int
+    ) -> int:
+        """Launch job setup/cleanup tasks (highest priority)."""
+        for job in self.jobs.values():
+            if free_map <= 0:
+                break
+            if job.setup_pending:
+                actions.append(self._make_launch(job.setup_tip, report.tracker))
+                free_map -= 1
+            elif job.cleanup_pending:
+                actions.append(self._make_launch(job.cleanup_tip, report.tracker))
+                free_map -= 1
+        return free_map
+
+    def _make_launch(self, tip: TaskInProgress, tracker: str) -> LaunchTaskAction:
+        attempt_id = tip.new_attempt_id(tracker)
+        spec = tip.spec
+        for transform in self.spec_transformers:
+            spec = transform(tip, spec)
+        descriptor = AttemptDescriptor(
+            attempt_id=attempt_id,
+            tip_id=tip.tip_id,
+            job_id=tip.job.job_id,
+            spec=spec,
+            is_setup=tip.role is TipRole.JOB_SETUP,
+            is_cleanup=tip.role is TipRole.JOB_CLEANUP,
+        )
+        self._descriptors[attempt_id] = descriptor
+        tip.mark_launched(self.sim.now)
+        return LaunchTaskAction(
+            tip_id=tip.tip_id,
+            attempt_id=attempt_id,
+            is_setup=descriptor.is_setup,
+            is_cleanup=descriptor.is_cleanup,
+        )
+
+    # -- introspection -------------------------------------------------------------------------------
+
+    def running_jobs(self) -> List[JobInProgress]:
+        """Jobs not yet terminal, submission order."""
+        return [j for j in self.jobs.values() if not j.state.terminal]
+
+    def trace(self, label: str, **fields) -> None:
+        """Record a JobTracker trace event."""
+        self.sim.trace_log.record(self.sim.now, label, **fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"JobTracker(jobs={len(self.jobs)}, trackers={len(self.trackers)})"
+        )

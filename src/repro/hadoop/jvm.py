@@ -1,0 +1,188 @@
+"""Child JVMs: the OS processes that execute task attempts.
+
+"In Hadoop, Map and Reduce tasks are regular Unix processes running
+in child JVMs spawned by the TaskTracker" -- so a :class:`ChildJVM`
+wraps one :class:`~repro.osmodel.process.OSProcess` plus the
+:class:`~repro.osmodel.work.WorkPlan` derived from the task spec.
+
+The JVM installs a ``SIGTSTP`` handler (the reason the paper uses
+SIGTSTP rather than SIGSTOP: handlers "manage external state, e.g.,
+when closing and reopening network connections"), so suspension pays
+the configured handler latency.
+
+Garbage-collector behaviour from the paper's Section V-B is modelled
+by :class:`GcPolicy`: a collector that releases memory back to the OS
+(G1-style) shrinks the suspended footprint after the map phase, while
+a hoarding collector (ParallelOld-style) keeps the heap until exit.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.hadoop.config import HadoopConfig
+from repro.osmodel.kernel import NodeKernel
+from repro.osmodel.process import OSProcess
+from repro.osmodel.signals import Signal
+from repro.osmodel.work import (
+    CpuWorkItem,
+    DiskReadItem,
+    DiskWriteItem,
+    MemAllocItem,
+    MemTouchItem,
+    SleepItem,
+    WorkEngine,
+    WorkItem,
+    WorkPlan,
+)
+from repro.errors import ConfigurationError
+from repro.workloads.jobspec import TaskKind, TaskSpec
+
+
+class GcPolicy(enum.Enum):
+    """Whether the collector returns freed heap to the OS (Section V-B)."""
+
+    HOARD = "hoard"  # ParallelOld-style: heap stays until process exit
+    RELEASE = "release"  # G1-style: System.gc() after large-object disposal
+
+
+class ChildJVM:
+    """One task attempt's process and work plan."""
+
+    def __init__(
+        self,
+        kernel: NodeKernel,
+        config: HadoopConfig,
+        spec: TaskSpec,
+        name: str,
+        gc_policy: GcPolicy = GcPolicy.HOARD,
+        extra_work_seconds: float = 0.0,
+    ):
+        if spec.footprint_bytes + config.jvm_base_memory > config.child_heap_limit:
+            raise ConfigurationError(
+                f"task footprint exceeds child heap limit "
+                f"({spec.footprint_bytes + config.jvm_base_memory} > "
+                f"{config.child_heap_limit}); the paper notes the 2 GB worst "
+                f"case requires an ad hoc configuration change"
+            )
+        self.kernel = kernel
+        self.config = config
+        self.spec = spec
+        self.name = name
+        self.gc_policy = gc_policy
+        self.extra_work_seconds = extra_work_seconds
+        self.process: OSProcess = kernel.spawn(name)
+        # SIGTSTP handler: tidy external state before stopping.  The
+        # latency is charged by the process model; the handler body is
+        # a no-op here because streams are implicitly paused.
+        self.process.dispositions.install(Signal.SIGTSTP, lambda proc: None)
+        self.engine = WorkEngine(self.process, WorkPlan(self._build_items()))
+
+    # -- plan construction ---------------------------------------------------
+
+    def _build_items(self) -> List[WorkItem]:
+        spec = self.spec
+        cfg = self.config
+        jitter = self.kernel.sim.rng.stream("task-jitter")
+        startup = jitter.jitter(cfg.jvm_startup_time, cfg.task_time_jitter)
+        self._parse_rate = jitter.jitter(spec.parse_rate, cfg.task_time_jitter)
+        heap = cfg.jvm_base_memory + spec.footprint_bytes
+        if spec.stateful and self.gc_policy is GcPolicy.HOARD:
+            # A non-releasing collector keeps garbage on top of the
+            # live state, inflating the (suspendable) footprint.
+            heap += int(spec.footprint_bytes * cfg.jvm_heap_slack)
+        items: List[WorkItem] = [
+            SleepItem(startup, label="jvm-start"),
+            MemAllocItem(heap, label="setup"),
+        ]
+        if spec.resume_read_bytes > 0:
+            # Natjam-style fast-forward: read the checkpoint back before
+            # processing the remaining input (deserialization cost).
+            items.append(
+                DiskReadItem(spec.resume_read_bytes, label="checkpoint-restore")
+            )
+        if spec.kind is TaskKind.MAP:
+            items.append(
+                CpuWorkItem.for_bytes(
+                    spec.input_bytes,
+                    self._parse_rate,
+                    label="map",
+                    weight=1.0,
+                    reads_input=True,
+                )
+            )
+        else:
+            items.extend(self._reduce_phases())
+        if self.extra_work_seconds > 0:
+            # Job setup/cleanup attempts: fixed framework bookkeeping
+            # (creating/removing the output directory and temp areas).
+            items.append(SleepItem(self.extra_work_seconds, label="aux-work"))
+        if spec.stateful:
+            items.append(MemTouchItem(label="finalize"))
+        else:
+            items.append(SleepItem(cfg.task_finalize_time, label="finalize"))
+        if self.gc_policy is GcPolicy.RELEASE and spec.stateful:
+            # Dispose of the large state, then hint the collector; the
+            # footprint returns to the OS before the commit phase, so a
+            # task suspended while committing is cheap to hold.
+            items.append(self._gc_release_item())
+        if spec.output_bytes > 0:
+            items.append(DiskWriteItem(spec.output_bytes, label="commit"))
+        return items
+
+    def _reduce_phases(self) -> List[WorkItem]:
+        """Hadoop reduce progress: shuffle, sort, reduce thirds."""
+        spec = self.spec
+        shuffle_bytes = spec.shuffle_bytes or spec.input_bytes
+        return [
+            DiskReadItem(shuffle_bytes, label="shuffle", weight=1.0 / 3),
+            CpuWorkItem(
+                shuffle_bytes / self.config.sort_rate,
+                label="sort",
+                weight=1.0 / 3,
+            ),
+            CpuWorkItem.for_bytes(
+                spec.input_bytes,
+                self._parse_rate,
+                label="reduce",
+                weight=1.0 - 2.0 / 3,
+                reads_input=False,
+            ),
+        ]
+
+    def _gc_release_item(self) -> WorkItem:
+        """A short GC pause that returns the stateful footprint to the OS.
+
+        Only meaningful for the RELEASE policy: the ablation bench
+        compares suspended footprints (and hence paging overheads)
+        under the two collectors.
+        """
+        release_bytes = self.spec.footprint_bytes
+
+        class _GcItem(SleepItem):
+            def begin(inner, engine: WorkEngine) -> None:  # noqa: N805
+                engine.kernel.release_memory(engine.process, release_bytes)
+                inner.duration = 0.2  # System.gc() pause
+                inner.remaining = inner.duration
+                SleepItem.begin(inner, engine)
+
+        return _GcItem(0.2, label="gc-release")
+
+    # -- convenience -----------------------------------------------------------
+
+    @property
+    def pid(self) -> int:
+        """The underlying process id."""
+        return self.process.pid
+
+    def start(self) -> None:
+        """Begin executing the plan."""
+        self.engine.start()
+
+    def progress(self) -> float:
+        """Weighted task progress in [0, 1]."""
+        return self.engine.progress()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ChildJVM(name={self.name!r}, pid={self.pid})"

@@ -1,0 +1,136 @@
+"""Hadoop Streaming: tasks with external state (Section V-B).
+
+"Hadoop jobs can interact with the external world ... 'Hadoop
+Streaming', whereby arbitrary executables can be used as mappers or
+reducers, interacting with the Hadoop framework through Unix pipes.
+In these cases, there are interactions that happen outside the control
+of Hadoop; in the most common case, external software would correctly
+pause waiting for the next input from a suspended task; however, when
+the interaction happens with a complex program, the fact that they
+correctly handle suspended programs should be tested."
+
+:class:`StreamingCoprocess` models that external executable: a second
+OS process joined to a task attempt through a pipe.  While the task is
+suspended the coprocess blocks on the pipe; a *well-behaved* peer
+waits indefinitely, while a *timeout-sensitive* peer (think: a
+licensed service with an idle watchdog, or a remote connection with a
+keep-alive) aborts if the task stays suspended longer than its idle
+timeout — killing the task attempt with it, exactly the failure mode
+the paper warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.osmodel.process import ExitReason, OSProcess
+from repro.osmodel.signals import Signal
+from repro.units import MB
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hadoop.attempt import TaskAttempt
+
+
+@dataclass
+class StreamingConfig:
+    """Behaviour of the external executable."""
+
+    #: resident footprint of the external program
+    memory_bytes: int = 64 * MB
+    #: None = waits forever on the pipe (the paper's "most common
+    #: case"); a number = aborts after that many seconds of idleness
+    idle_timeout: Optional[float] = None
+    #: whether the coprocess is stopped along with the task (process
+    #: groups get the SIGTSTP too when the TaskTracker signals the
+    #: group rather than the single pid)
+    stops_with_task: bool = False
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes < 0:
+            raise ConfigurationError("memory_bytes may not be negative")
+        if self.idle_timeout is not None and self.idle_timeout <= 0:
+            raise ConfigurationError("idle_timeout must be positive")
+
+
+class StreamingCoprocess:
+    """The external half of a streaming task."""
+
+    def __init__(self, attempt: "TaskAttempt", config: Optional[StreamingConfig] = None):
+        if attempt.jvm is None:
+            raise ConfigurationError(
+                "attach the coprocess after the attempt is launched"
+            )
+        self.attempt = attempt
+        self.config = config or StreamingConfig()
+        kernel = attempt.kernel
+        self.process: OSProcess = kernel.spawn(f"{attempt.attempt_id}.pipe")
+        kernel.charge_allocation(
+            self.process, self.config.memory_bytes, dirty=True
+        )
+        self.aborted = False
+        self._watchdog = None
+        task_proc = attempt.jvm.process
+        task_proc.on_stop(self._on_task_stop)
+        task_proc.on_resume(self._on_task_resume)
+        task_proc.on_exit(self._on_task_exit)
+
+    # -- task lifecycle hooks ------------------------------------------------
+
+    def _on_task_stop(self, proc: OSProcess) -> None:
+        kernel = self.attempt.kernel
+        if self.config.stops_with_task and self.process.alive:
+            kernel.signal(self.process.pid, Signal.SIGSTOP)
+        if self.config.idle_timeout is not None and self.process.alive:
+            self._watchdog = kernel.sim.schedule(
+                self.config.idle_timeout,
+                self._idle_timeout_fired,
+                label=f"streaming.watchdog:{self.attempt.attempt_id}",
+            )
+
+    def _on_task_resume(self, proc: OSProcess) -> None:
+        kernel = self.attempt.kernel
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            self._watchdog = None
+        if self.config.stops_with_task and self.process.stopped:
+            kernel.signal(self.process.pid, Signal.SIGCONT)
+
+    def _on_task_exit(self, proc: OSProcess, reason: ExitReason) -> None:
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            self._watchdog = None
+        if self.process.alive:
+            self.attempt.kernel.signal(self.process.pid, Signal.SIGKILL)
+
+    def _idle_timeout_fired(self) -> None:
+        """The external program gave up waiting: the pipe breaks and
+        the task dies with it (a failed attempt, not a clean kill)."""
+        self._watchdog = None
+        if not self.process.alive:
+            return
+        self.aborted = True
+        kernel = self.attempt.kernel
+        kernel.trace(
+            "streaming.broken-pipe",
+            attempt=self.attempt.attempt_id,
+            idle=self.config.idle_timeout,
+        )
+        kernel.signal(self.process.pid, Signal.SIGKILL)
+        task_proc = self.attempt.process
+        if task_proc is not None and task_proc.alive:
+            # SIGKILL on a stopped process: the broken pipe surfaces as
+            # task death the moment Hadoop checks on it.
+            kernel.signal(task_proc.pid, Signal.SIGKILL)
+
+    @property
+    def alive(self) -> bool:
+        """True while the external program still runs."""
+        return self.process.alive
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"StreamingCoprocess({self.attempt.attempt_id}, "
+            f"alive={self.alive}, aborted={self.aborted})"
+        )

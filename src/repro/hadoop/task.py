@@ -1,0 +1,182 @@
+"""Tasks-in-progress: the JobTracker's view of one logical task.
+
+A TIP owns the attempt history and the paper's extended state machine
+(``MUST_SUSPEND``/``SUSPENDED``/``MUST_RESUME`` alongside the stock
+states).  Transitions are validated against
+:data:`repro.hadoop.states.TIP_TRANSITIONS`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.errors import TaskStateError
+from repro.hadoop.states import TipState, check_tip_transition
+from repro.workloads.jobspec import TaskKind, TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hadoop.job import JobInProgress
+
+
+class TipRole(enum.Enum):
+    """Real work or per-job framework bookkeeping."""
+
+    MAP = "m"
+    REDUCE = "r"
+    JOB_SETUP = "js"
+    JOB_CLEANUP = "jc"
+
+
+class TaskInProgress:
+    """One logical task of a job."""
+
+    def __init__(
+        self,
+        job: "JobInProgress",
+        index: int,
+        spec: TaskSpec,
+        role: TipRole = TipRole.MAP,
+    ):
+        self.job = job
+        self.index = index
+        self.spec = spec
+        self.role = role
+        self.tip_id = f"task_{job.job_id}_{role.value}_{index:06d}"
+        self.state = TipState.UNASSIGNED
+        self.tracker: Optional[str] = None
+        self.active_attempt_id: Optional[str] = None
+        self.attempt_ids: List[str] = []
+        self.next_attempt_number = 0
+        self.progress = 0.0
+        self.finished_at: Optional[float] = None
+        self.first_launched_at: Optional[float] = None
+        #: seconds of work discarded by kill-style preemption
+        self.wasted_seconds = 0.0
+        #: when the user/scheduler issued the outstanding directive
+        self.directive_issued_at: Optional[float] = None
+        #: when the JobTracker last piggybacked it on a heartbeat
+        self.directive_sent_at: Optional[float] = None
+
+    # -- state machine ----------------------------------------------------------
+
+    def set_state(self, new: TipState) -> None:
+        """Transition with validation."""
+        check_tip_transition(self.state, new)
+        self.state = new
+
+    @property
+    def schedulable(self) -> bool:
+        """True when the JobTracker may start a (new) attempt."""
+        return self.state is TipState.UNASSIGNED
+
+    @property
+    def is_aux(self) -> bool:
+        """True for job setup/cleanup bookkeeping tasks."""
+        return self.role in (TipRole.JOB_SETUP, TipRole.JOB_CLEANUP)
+
+    @property
+    def complete(self) -> bool:
+        """True once the task succeeded."""
+        return self.state is TipState.SUCCEEDED
+
+    # -- attempt management --------------------------------------------------------
+
+    def new_attempt_id(self, tracker: str) -> str:
+        """Allocate the next attempt id and bind the TIP to a tracker."""
+        attempt_id = f"attempt_{self.tip_id}_{self.next_attempt_number}"
+        self.next_attempt_number += 1
+        self.attempt_ids.append(attempt_id)
+        self.active_attempt_id = attempt_id
+        self.tracker = tracker
+        return attempt_id
+
+    def mark_launched(self, now: float) -> None:
+        """Record the (first) attempt launch; TIP becomes RUNNING."""
+        if self.first_launched_at is None:
+            self.first_launched_at = now
+        self.set_state(TipState.RUNNING)
+
+    def mark_succeeded(self, now: float) -> None:
+        """Attempt reported success."""
+        self.set_state(TipState.SUCCEEDED)
+        self.progress = 1.0
+        self.finished_at = now
+        self.active_attempt_id = None
+
+    def mark_killed_attempt(self, progress_lost: float, reschedule: bool) -> None:
+        """Attempt was killed; optionally requeue the TIP.
+
+        ``progress_lost`` (fraction of the task) is converted to
+        wasted work for the redundant-work accounting the paper's
+        makespan metric surfaces.
+        """
+        self.wasted_seconds += progress_lost * self.spec.input_bytes / self.spec.parse_rate
+        self.active_attempt_id = None
+        self.tracker = None
+        self.progress = 0.0
+        if self.state is not TipState.KILLED:
+            self.set_state(TipState.KILLED)
+        if reschedule:
+            self.set_state(TipState.UNASSIGNED)
+
+    def mark_lost_tracker(self) -> None:
+        """The tracker died; requeue (suspended image is lost too)."""
+        if self.state.terminal:
+            return
+        self.active_attempt_id = None
+        self.tracker = None
+        self.progress = 0.0
+        self.set_state(TipState.UNASSIGNED)
+
+    # -- preemption-side transitions -----------------------------------------------
+
+    def request_suspend(self, now: float) -> None:
+        """User/scheduler asked to suspend; legal only while RUNNING."""
+        if self.state is not TipState.RUNNING:
+            raise TaskStateError(
+                f"cannot suspend {self.tip_id} in state {self.state.value}"
+            )
+        self.set_state(TipState.MUST_SUSPEND)
+        self.directive_issued_at = now
+        self.directive_sent_at = None
+
+    def confirm_suspended(self) -> None:
+        """Heartbeat confirmed the stop landed."""
+        self.set_state(TipState.SUSPENDED)
+        self.directive_issued_at = None
+        self.directive_sent_at = None
+
+    def request_resume(self, now: float) -> None:
+        """User/scheduler asked to resume; legal only while SUSPENDED."""
+        if self.state is not TipState.SUSPENDED:
+            raise TaskStateError(
+                f"cannot resume {self.tip_id} in state {self.state.value}"
+            )
+        self.set_state(TipState.MUST_RESUME)
+        self.directive_issued_at = now
+        self.directive_sent_at = None
+
+    def confirm_resumed(self) -> None:
+        """Heartbeat confirmed the process is running again."""
+        self.set_state(TipState.RUNNING)
+        self.directive_issued_at = None
+        self.directive_sent_at = None
+
+    def request_kill(self, now: float) -> None:
+        """User/scheduler asked to kill the active attempt."""
+        if self.state.terminal or self.state is TipState.UNASSIGNED:
+            raise TaskStateError(
+                f"cannot kill {self.tip_id} in state {self.state.value}"
+            )
+        self.set_state(TipState.MUST_KILL)
+        self.directive_issued_at = now
+        self.directive_sent_at = None
+
+    @property
+    def kind(self) -> TaskKind:
+        """Map or reduce."""
+        return self.spec.kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"TaskInProgress({self.tip_id}, {self.state.value})"

@@ -1,0 +1,329 @@
+"""TaskTrackers: per-node task execution daemons.
+
+A TaskTracker owns its node's map/reduce slots, spawns child JVMs for
+launch directives, relays the preemption signals, and reports status
+through heartbeats -- periodic ones every
+``HadoopConfig.heartbeat_interval`` seconds plus out-of-band ones
+whenever a task finishes, is suspended, or is resumed (Hadoop's
+``mapreduce.tasktracker.outofband.heartbeat`` behaviour, which the
+paper's latency numbers rely on).
+
+Slot rules implement the core of the suspend primitive: a suspended
+attempt keeps its process but *releases its slot*; resuming requires
+a free slot again.  Killed attempts hold their slot for the duration
+of the kill-cleanup attempt ("kill runs a cleanup task to remove
+temporary outputs of the killed task").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from repro.errors import SlotExhaustedError, UnknownTaskError
+from repro.hadoop.attempt import AttemptRole, TaskAttempt
+from repro.hadoop.config import HadoopConfig
+from repro.hadoop.heartbeat import (
+    AttemptStatus,
+    HeartbeatReport,
+    HeartbeatResponse,
+    KillTaskAction,
+    LaunchTaskAction,
+    ResumeTaskAction,
+    SuspendTaskAction,
+    TrackerAction,
+)
+from repro.hadoop.jvm import GcPolicy
+from repro.hadoop.states import AttemptState
+from repro.osmodel.kernel import NodeKernel
+from repro.sim.engine import Simulation
+from repro.workloads.jobspec import TaskKind, TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hadoop.jobtracker import JobTracker
+
+
+class TaskTracker:
+    """One node's task execution daemon."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        kernel: NodeKernel,
+        config: HadoopConfig,
+        jobtracker: "JobTracker",
+        gc_policy: GcPolicy = GcPolicy.HOARD,
+    ):
+        self.sim = sim
+        self.kernel = kernel
+        self.config = config
+        self.jobtracker = jobtracker
+        self.gc_policy = gc_policy
+        self.host = kernel.config.hostname
+        self.map_slots = config.map_slots
+        self.reduce_slots = config.reduce_slots
+        self.attempts: Dict[str, TaskAttempt] = {}
+        #: attempt ids (or cleanup tokens) holding a map slot
+        self._map_slot_holders: Set[str] = set()
+        self._reduce_slot_holders: Set[str] = set()
+        #: terminal attempts not yet reported to the JobTracker
+        self._unreported: List[str] = []
+        self._sequence = 0
+        self._heartbeat_event = None
+        self._oob_pending = False
+        self.started = False
+        self.heartbeats_sent = 0
+        #: callbacks fired with each TaskAttempt right after launch
+        self.launch_callbacks: List = []
+        jobtracker.register_tracker(self)
+
+    # -- slot accounting ----------------------------------------------------------
+
+    @property
+    def free_map_slots(self) -> int:
+        """Map slots not currently held."""
+        return self.map_slots - len(self._map_slot_holders)
+
+    @property
+    def free_reduce_slots(self) -> int:
+        """Reduce slots not currently held."""
+        return self.reduce_slots - len(self._reduce_slot_holders)
+
+    def _holders_for(self, kind: TaskKind) -> Set[str]:
+        if kind is TaskKind.REDUCE:
+            return self._reduce_slot_holders
+        return self._map_slot_holders
+
+    def _occupy_slot(self, attempt: TaskAttempt) -> None:
+        holders = self._holders_for(attempt.spec.kind)
+        limit = self.reduce_slots if attempt.spec.kind is TaskKind.REDUCE else self.map_slots
+        if len(holders) >= limit:
+            raise SlotExhaustedError(
+                f"{self.host}: no free {attempt.spec.kind.value} slot for "
+                f"{attempt.attempt_id}"
+            )
+        holders.add(attempt.attempt_id)
+
+    def _release_slot(self, attempt: TaskAttempt) -> None:
+        self._holders_for(attempt.spec.kind).discard(attempt.attempt_id)
+
+    def suspended_attempts(self) -> List[TaskAttempt]:
+        """Attempts currently suspended on this tracker."""
+        return [
+            a for a in self.attempts.values() if a.state is AttemptState.SUSPENDED
+        ]
+
+    # -- heartbeat loop ----------------------------------------------------------------
+
+    def start(self, stagger: float = 0.0) -> None:
+        """Begin the periodic heartbeat loop."""
+        if self.started:
+            return
+        self.started = True
+        self._heartbeat_event = self.sim.schedule(
+            stagger, self._heartbeat, label=f"tt.heartbeat:{self.host}"
+        )
+
+    def request_oob_heartbeat(self) -> None:
+        """Schedule an out-of-band heartbeat (coalesced)."""
+        if not self.started or self._oob_pending:
+            return
+        self._oob_pending = True
+        if self._heartbeat_event is not None:
+            self._heartbeat_event.cancel()
+        self._heartbeat_event = self.sim.schedule(
+            self.config.oob_heartbeat_latency,
+            self._heartbeat,
+            True,
+            label=f"tt.oob-heartbeat:{self.host}",
+        )
+
+    def _heartbeat(self, out_of_band: bool = False) -> None:
+        self._oob_pending = False
+        report = self.build_report(out_of_band)
+        self.heartbeats_sent += 1
+        response = self.jobtracker.heartbeat(report)
+        # Directives take one RPC hop to act on.
+        self.sim.schedule(
+            self.config.rpc_latency,
+            self._execute_actions,
+            response.actions,
+            label=f"tt.actions:{self.host}",
+        )
+        self._heartbeat_event = self.sim.schedule(
+            self.config.heartbeat_interval,
+            self._heartbeat,
+            label=f"tt.heartbeat:{self.host}",
+        )
+
+    def build_report(self, out_of_band: bool = False) -> HeartbeatReport:
+        """Snapshot status for the JobTracker."""
+        self._sequence += 1
+        statuses = []
+        reported_terminal = []
+        for attempt in self.attempts.values():
+            if attempt.state.terminal and attempt.attempt_id not in self._unreported:
+                continue
+            statuses.append(
+                AttemptStatus(
+                    attempt_id=attempt.attempt_id,
+                    tip_id=attempt.tip_id,
+                    job_id=attempt.job_id,
+                    state=attempt.state,
+                    progress=attempt.progress(),
+                    resident_bytes=attempt.resident_bytes(),
+                    swapped_bytes=attempt.current_swapped_bytes(),
+                )
+            )
+            if attempt.state.terminal:
+                reported_terminal.append(attempt.attempt_id)
+        for attempt_id in reported_terminal:
+            self._unreported.remove(attempt_id)
+        return HeartbeatReport(
+            tracker=self.host,
+            sequence=self._sequence,
+            free_map_slots=self.free_map_slots,
+            free_reduce_slots=self.free_reduce_slots,
+            attempts=statuses,
+            suspended_count=len(self.suspended_attempts()),
+            out_of_band=out_of_band,
+        )
+
+    # -- directive execution ----------------------------------------------------------------
+
+    def _execute_actions(self, actions: List[TrackerAction]) -> None:
+        for action in actions:
+            if isinstance(action, LaunchTaskAction):
+                self._launch(action)
+            elif isinstance(action, SuspendTaskAction):
+                self._suspend(action.attempt_id)
+            elif isinstance(action, ResumeTaskAction):
+                self._resume(action.attempt_id)
+            elif isinstance(action, KillTaskAction):
+                self._kill(action.attempt_id, action.reason)
+            else:  # pragma: no cover - defensive
+                raise UnknownTaskError(f"unknown action {action!r}")
+
+    def _launch(self, action: LaunchTaskAction) -> None:
+        descriptor = self.jobtracker.attempt_descriptor(action.attempt_id)
+        role = AttemptRole.TASK
+        if action.is_setup:
+            role = AttemptRole.JOB_SETUP
+        elif action.is_cleanup:
+            role = AttemptRole.JOB_CLEANUP
+        attempt = TaskAttempt(
+            tracker=self,
+            attempt_id=action.attempt_id,
+            tip_id=action.tip_id,
+            job_id=descriptor.job_id,
+            spec=descriptor.spec,
+            role=role,
+            gc_policy=self.gc_policy,
+        )
+        self.attempts[attempt.attempt_id] = attempt
+        self._occupy_slot(attempt)
+        attempt.launch()
+        for callback in list(self.launch_callbacks):
+            callback(attempt)
+
+    def _suspend(self, attempt_id: str) -> None:
+        attempt = self.attempts.get(attempt_id)
+        if attempt is None or attempt.state.terminal:
+            return  # completed in the meanwhile; heartbeat already told JT
+        attempt.suspend()
+
+    def _resume(self, attempt_id: str) -> None:
+        attempt = self.attempts.get(attempt_id)
+        if attempt is None or attempt.state is not AttemptState.SUSPENDED:
+            return
+        # Resume needs a slot back before the process may run.
+        self._occupy_slot(attempt)
+        attempt.resume()
+
+    def _kill(self, attempt_id: str, reason: str) -> None:
+        attempt = self.attempts.get(attempt_id)
+        if attempt is None or attempt.state.terminal:
+            return
+        attempt.kill(reason)
+
+    # -- attempt callbacks --------------------------------------------------------------------
+
+    def attempt_suspended(self, attempt: TaskAttempt) -> None:
+        """Stop landed: free the slot, tell the JobTracker soon."""
+        self._release_slot(attempt)
+        self.trace("attempt.suspended", attempt=attempt.attempt_id)
+        self.request_oob_heartbeat()
+
+    def attempt_resumed(self, attempt: TaskAttempt) -> None:
+        """SIGCONT landed (slot was re-occupied before signalling)."""
+        self.trace("attempt.resumed", attempt=attempt.attempt_id)
+        self.request_oob_heartbeat()
+
+    def attempt_finished(self, attempt: TaskAttempt) -> None:
+        """Attempt reached a terminal state."""
+        self._unreported.append(attempt.attempt_id)
+        self.jobtracker.record_attempt_counters(attempt.job_id, attempt.counters)
+        holders = self._holders_for(attempt.spec.kind)
+        if attempt.state is AttemptState.KILLED and attempt.attempt_id in holders:
+            # Hold the slot for the kill-cleanup attempt, then free it.
+            self.trace("attempt.cleanup-start", attempt=attempt.attempt_id)
+            self.sim.schedule(
+                self.config.task_cleanup_duration,
+                self._finish_cleanup,
+                attempt,
+                label=f"tt.cleanup:{attempt.attempt_id}",
+            )
+        else:
+            self._release_slot(attempt)
+        self.trace(
+            "attempt.finished",
+            attempt=attempt.attempt_id,
+            state=attempt.state.value,
+        )
+        self.request_oob_heartbeat()
+
+    def _finish_cleanup(self, attempt: TaskAttempt) -> None:
+        self._release_slot(attempt)
+        self.trace("attempt.cleanup-done", attempt=attempt.attempt_id)
+        self.request_oob_heartbeat()
+
+    # -- failure ----------------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """The node dies: stop heartbeating, lose every process.
+
+        Called by :meth:`repro.hadoop.jobtracker.JobTracker.tracker_lost`;
+        nothing is reported back (the JobTracker requeues from its own
+        bookkeeping, as real Hadoop does on tracker expiry).
+        """
+        self.started = False
+        if self._heartbeat_event is not None:
+            self._heartbeat_event.cancel()
+            self._heartbeat_event = None
+        for attempt in list(self.attempts.values()):
+            if attempt.state.terminal or attempt.process is None:
+                continue
+            # The process dies with the node; silence the normal
+            # reporting path first.
+            attempt.process.exit_callbacks.clear()
+            attempt.kill("tracker lost")
+        self._map_slot_holders.clear()
+        self._reduce_slot_holders.clear()
+        self.trace("tt.shutdown")
+
+    # -- misc -------------------------------------------------------------------------------
+
+    def attempt(self, attempt_id: str) -> TaskAttempt:
+        """Look up an attempt by id."""
+        if attempt_id not in self.attempts:
+            raise UnknownTaskError(f"{self.host} has no attempt {attempt_id}")
+        return self.attempts[attempt_id]
+
+    def trace(self, label: str, **fields) -> None:
+        """Record a trace event tagged with this tracker's host."""
+        self.sim.trace_log.record(self.sim.now, label, host=self.host, **fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"TaskTracker(host={self.host!r}, "
+            f"free_slots={self.free_map_slots}/{self.map_slots})"
+        )

@@ -1,0 +1,31 @@
+"""A compact HDFS model.
+
+The paper's jobs read single-block files from HDFS ("tl processes a
+single-block file stored on HDFS, with size 512 MB").  This package
+models exactly what the scheduler and the tasks need from HDFS:
+
+* a :class:`~repro.hdfs.namenode.NameNode` mapping paths to block
+  lists and blocks to datanode locations;
+* :class:`~repro.hdfs.datanode.DataNode` objects bound to simulated
+  nodes, so block reads go through the local kernel's disk and page
+  cache;
+* rack-aware replica placement (default replication 3) and the
+  locality queries (node-local / rack-local / remote) that Hadoop's
+  delay scheduling and the paper's *resume locality* discussion rely
+  on.
+"""
+
+from repro.hdfs.block import Block, BlockLocation
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import FileEntry, NameNode
+from repro.hdfs.topology import Locality, RackTopology
+
+__all__ = [
+    "Block",
+    "BlockLocation",
+    "DataNode",
+    "FileEntry",
+    "NameNode",
+    "Locality",
+    "RackTopology",
+]

@@ -1,0 +1,60 @@
+"""DataNodes: block storage bound to a simulated node's kernel.
+
+A DataNode holds block replicas and serves reads through the owning
+node's disk and page cache, so the timing of HDFS I/O and the memory
+effects of caching block data both flow through the OS model (which is
+what makes the paper's swappiness discussion meaningful).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set
+
+from repro.errors import BlockNotFoundError
+from repro.hdfs.block import Block
+from repro.osmodel.kernel import NodeKernel
+
+
+class DataNode:
+    """Block storage on one simulated machine."""
+
+    def __init__(self, kernel: NodeKernel):
+        self.kernel = kernel
+        self.host = kernel.config.hostname
+        self._blocks: Dict[int, Block] = {}
+        self.bytes_served = 0
+
+    @property
+    def stored_blocks(self) -> Set[int]:
+        """Ids of the replicas stored here."""
+        return set(self._blocks)
+
+    def store(self, block: Block) -> None:
+        """Accept a replica of ``block``."""
+        self._blocks[block.block_id] = block
+
+    def has_block(self, block_id: int) -> bool:
+        """True when a replica of ``block_id`` is stored here."""
+        return block_id in self._blocks
+
+    def used_bytes(self) -> int:
+        """Total bytes of replicas stored here."""
+        return sum(b.size for b in self._blocks.values())
+
+    def read_block(
+        self, block_id: int, on_done: Callable[[], None], label: str = ""
+    ) -> None:
+        """Stream a full block off the local disk; ``on_done`` fires at
+        completion.  Raises if the replica is not here."""
+        block = self._blocks.get(block_id)
+        if block is None:
+            raise BlockNotFoundError(
+                f"datanode {self.host} does not store block {block_id}"
+            )
+        self.bytes_served += block.size
+        self.kernel.read_file(
+            block.size, on_done, label=label or f"hdfs.read:blk_{block_id}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"DataNode(host={self.host!r}, blocks={len(self._blocks)})"

@@ -1,0 +1,194 @@
+"""The NameNode: the HDFS namespace and block map.
+
+Implements the subset of namenode behaviour the experiments exercise:
+file creation with replicated block placement, block-location lookup
+for the JobTracker's locality-aware scheduling, and simple usage
+reports.
+
+Placement follows the classic HDFS policy: first replica on the
+writer's node (when known), second on a different rack, third on the
+second replica's rack; further replicas round-robin.  With the paper's
+single-rack testbeds this degrades gracefully to "spread over distinct
+hosts".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    BlockNotFoundError,
+    FileAlreadyExistsError,
+    FileNotFoundInHDFSError,
+    ReplicationError,
+)
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE, Block, BlockLocation
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.topology import RackTopology
+
+
+@dataclass
+class FileEntry:
+    """One file in the namespace."""
+
+    path: str
+    size: int
+    blocks: List[Block] = field(default_factory=list)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks in the file."""
+        return len(self.blocks)
+
+
+class NameNode:
+    """Namespace, block map, and replica placement."""
+
+    def __init__(self, topology: Optional[RackTopology] = None, replication: int = 3):
+        if replication < 1:
+            raise ReplicationError("replication factor must be at least 1")
+        # NOTE: explicit None check -- an empty RackTopology is falsy
+        # (len() == 0) but must still be shared with the caller.
+        self.topology = topology if topology is not None else RackTopology()
+        self.replication = replication
+        self._files: Dict[str, FileEntry] = {}
+        self._locations: Dict[int, BlockLocation] = {}
+        self._datanodes: Dict[str, DataNode] = {}
+        self._next_block_id = 1
+
+    # -- cluster membership --------------------------------------------------
+
+    def register_datanode(self, datanode: DataNode, rack: Optional[str] = None) -> None:
+        """Add a datanode to the cluster."""
+        self._datanodes[datanode.host] = datanode
+        self.topology.add_host(datanode.host, rack)
+
+    def datanode(self, host: str) -> DataNode:
+        """Look up a registered datanode."""
+        if host not in self._datanodes:
+            raise FileNotFoundInHDFSError(f"no datanode on host {host!r}")
+        return self._datanodes[host]
+
+    @property
+    def datanodes(self) -> List[DataNode]:
+        """All registered datanodes."""
+        return list(self._datanodes.values())
+
+    # -- namespace --------------------------------------------------------------
+
+    def create_file(
+        self,
+        path: str,
+        size: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        writer_host: Optional[str] = None,
+        overwrite: bool = False,
+    ) -> FileEntry:
+        """Create ``path`` of ``size`` bytes, placing replicated blocks.
+
+        The file springs into existence fully written -- the
+        experiments pre-populate inputs, as the paper's setup does with
+        randomly generated files.
+        """
+        if path in self._files and not overwrite:
+            raise FileAlreadyExistsError(f"{path!r} already exists")
+        if size < 0:
+            raise FileNotFoundInHDFSError("file size may not be negative")
+        if block_size <= 0:
+            raise ReplicationError("block size must be positive")
+        if not self._datanodes:
+            raise ReplicationError("cannot place blocks: no datanodes registered")
+        if path in self._files:
+            self.delete_file(path)
+
+        entry = FileEntry(path=path, size=size)
+        remaining = size
+        index = 0
+        while remaining > 0 or (size == 0 and index == 0):
+            blk_size = min(block_size, remaining) if size > 0 else 0
+            block = Block(self._next_block_id, path, index, blk_size)
+            self._next_block_id += 1
+            hosts = self._place_replicas(writer_host)
+            location = BlockLocation(block=block, hosts=hosts)
+            for host in hosts:
+                self._datanodes[host].store(block)
+            self._locations[block.block_id] = location
+            entry.blocks.append(block)
+            remaining -= blk_size
+            index += 1
+            if size == 0:
+                break
+        self._files[path] = entry
+        return entry
+
+    def delete_file(self, path: str) -> None:
+        """Remove ``path`` and forget its block locations."""
+        entry = self._files.pop(path, None)
+        if entry is None:
+            raise FileNotFoundInHDFSError(f"{path!r} does not exist")
+        for block in entry.blocks:
+            self._locations.pop(block.block_id, None)
+
+    def file(self, path: str) -> FileEntry:
+        """Look up a file entry."""
+        entry = self._files.get(path)
+        if entry is None:
+            raise FileNotFoundInHDFSError(f"{path!r} does not exist")
+        return entry
+
+    def exists(self, path: str) -> bool:
+        """True when ``path`` names a file."""
+        return path in self._files
+
+    def list_files(self) -> List[str]:
+        """All paths in the namespace."""
+        return sorted(self._files)
+
+    # -- block map ---------------------------------------------------------------
+
+    def locate_block(self, block_id: int) -> BlockLocation:
+        """Replica locations of one block."""
+        location = self._locations.get(block_id)
+        if location is None:
+            raise BlockNotFoundError(f"unknown block {block_id}")
+        return location
+
+    def block_locations(self, path: str) -> List[BlockLocation]:
+        """Replica locations for every block of ``path``."""
+        return [self.locate_block(b.block_id) for b in self.file(path).blocks]
+
+    # -- placement -----------------------------------------------------------------
+
+    def _place_replicas(self, writer_host: Optional[str]) -> List[str]:
+        """Pick replica hosts: writer first, then new racks, then
+        least-loaded hosts."""
+        count = min(self.replication, len(self._datanodes))
+        chosen: List[str] = []
+        if writer_host in self._datanodes:
+            chosen.append(writer_host)
+        while len(chosen) < count:
+            used_racks = {self.topology.rack_of(c) for c in chosen}
+            candidates = [h for h in self._datanodes if h not in chosen]
+            # Prefer hosts on racks without a replica yet; break ties by
+            # least stored bytes so placement stays balanced.
+            candidates.sort(
+                key=lambda h: (
+                    self.topology.rack_of(h) in used_racks,
+                    self._datanodes[h].used_bytes(),
+                )
+            )
+            chosen.append(candidates[0])
+        if not chosen:
+            raise ReplicationError("no datanode available for placement")
+        return chosen
+
+    def usage_report(self) -> Dict[str, int]:
+        """Bytes stored per datanode host."""
+        return {host: dn.used_bytes() for host, dn in self._datanodes.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"NameNode(files={len(self._files)}, blocks={len(self._locations)}, "
+            f"datanodes={len(self._datanodes)})"
+        )

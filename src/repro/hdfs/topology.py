@@ -1,0 +1,67 @@
+"""Rack topology and locality levels.
+
+Hadoop distinguishes node-local, rack-local and off-rack (remote)
+access when scheduling mappers; the paper reuses the same vocabulary
+for its *resume locality* problem (a suspended task can only resume on
+the machine that holds its process image).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+
+class Locality(enum.IntEnum):
+    """Locality of a task relative to its data (or suspended image).
+
+    Ordered so that lower is better; comparisons like
+    ``locality <= Locality.RACK_LOCAL`` read naturally.
+    """
+
+    NODE_LOCAL = 0
+    RACK_LOCAL = 1
+    REMOTE = 2
+
+
+class RackTopology:
+    """Host-to-rack mapping with locality queries."""
+
+    DEFAULT_RACK = "/default-rack"
+
+    def __init__(self) -> None:
+        self._rack_of: Dict[str, str] = {}
+
+    def add_host(self, host: str, rack: Optional[str] = None) -> None:
+        """Register ``host`` on ``rack`` (defaults to a single rack)."""
+        self._rack_of[host] = rack or self.DEFAULT_RACK
+
+    def rack_of(self, host: str) -> str:
+        """The rack of ``host`` (unknown hosts get the default rack)."""
+        return self._rack_of.get(host, self.DEFAULT_RACK)
+
+    def hosts(self) -> List[str]:
+        """All registered hosts in insertion order."""
+        return list(self._rack_of)
+
+    def hosts_on_rack(self, rack: str) -> List[str]:
+        """All hosts on one rack."""
+        return [h for h, r in self._rack_of.items() if r == rack]
+
+    def locality(self, host: str, replica_hosts: List[str]) -> Locality:
+        """Classify ``host`` against a replica set."""
+        if host in replica_hosts:
+            return Locality.NODE_LOCAL
+        rack = self.rack_of(host)
+        if any(self.rack_of(h) == rack for h in replica_hosts):
+            return Locality.RACK_LOCAL
+        return Locality.REMOTE
+
+    def __len__(self) -> int:
+        return len(self._rack_of)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        racks: Dict[str, int] = {}
+        for rack in self._rack_of.values():
+            racks[rack] = racks.get(rack, 0) + 1
+        return f"RackTopology({racks})"

@@ -1,0 +1,31 @@
+"""Metrics, statistics and reporting.
+
+The paper's two performance metrics (Section IV-B):
+
+* **sojourn time of th** -- "the time that elapses between the moment
+  th is submitted and when it completes";
+* **makespan** -- "the time that passes between the moment in which
+  the first task tl is submitted and when both tasks are complete".
+
+This package computes them, aggregates repeated runs
+(:mod:`repro.metrics.stats`), renders ASCII tables and plots
+(:mod:`repro.metrics.report`), and extracts Figure 1 style execution
+timelines from simulation traces (:mod:`repro.metrics.timeline`).
+"""
+
+from repro.metrics.report import ascii_plot, ascii_table, series_to_csv
+from repro.metrics.series import Series
+from repro.metrics.stats import RunStats, summarize
+from repro.metrics.timeline import TimelineSegment, extract_timeline, render_gantt
+
+__all__ = [
+    "Series",
+    "RunStats",
+    "summarize",
+    "ascii_table",
+    "ascii_plot",
+    "series_to_csv",
+    "TimelineSegment",
+    "extract_timeline",
+    "render_gantt",
+]

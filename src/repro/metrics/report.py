@@ -1,0 +1,113 @@
+"""ASCII tables, ASCII plots and CSV output.
+
+The benchmark harness prints each figure as both a table (the exact
+numbers) and a rough terminal plot (the shape), and writes CSV files
+next to the benchmark output so the curves can be re-plotted
+elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.metrics.series import Series
+
+#: glyphs assigned to curves in ASCII plots, in label order
+_PLOT_GLYPHS = "ox+*#@%&"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render a padded, pipe-separated table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append(" | ".join(c.rjust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def series_table(series: Series, float_format: str = "{:.1f}") -> str:
+    """Table view of a :class:`~repro.metrics.series.Series`."""
+    headers = [series.x_label] + series.labels()
+    return ascii_table(headers, series.rows(), float_format=float_format)
+
+
+def series_to_csv(series: Series) -> str:
+    """CSV text of a series (header + one row per x)."""
+    lines = [",".join([series.x_label] + series.labels())]
+    for row in series.rows():
+        lines.append(",".join(f"{v:.6g}" for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def ascii_plot(
+    series: Series,
+    width: int = 68,
+    height: int = 18,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """A rough terminal scatter plot of every curve in a series.
+
+    Good enough to eyeball the figure shapes (who is above whom, where
+    curves cross); exact values live in the table/CSV.
+    """
+    if not series.x_values or not series.curves:
+        return "(empty series)"
+    all_y = [y for ys in series.curves.values() for y in ys]
+    lo = min(all_y) if y_min is None else y_min
+    hi = max(all_y) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+    x_lo, x_hi = min(series.x_values), max(series.x_values)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for curve_index, (label, ys) in enumerate(series.curves.items()):
+        glyph = _PLOT_GLYPHS[curve_index % len(_PLOT_GLYPHS)]
+        for x, y in zip(series.x_values, ys):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((hi - y) / (hi - lo) * (height - 1))
+            row = min(height - 1, max(0, row))
+            grid[row][col] = glyph
+
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{hi:8.1f} |"
+        elif i == height - 1:
+            label = f"{lo:8.1f} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(
+        "          "
+        + f"{x_lo:<10.3g}"
+        + f"{series.x_label:^{max(0, width - 20)}}"
+        + f"{x_hi:>10.3g}"
+    )
+    legend = "  ".join(
+        f"{_PLOT_GLYPHS[i % len(_PLOT_GLYPHS)]}={label}"
+        for i, label in enumerate(series.curves)
+    )
+    lines.append("          legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Labelled (x, y) series -- the data behind each figure.
+
+A :class:`Series` holds one curve per label over a shared x-axis,
+mirroring how the paper's figures plot wait/kill/susp against "tl
+progress at launch of th (%)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Series:
+    """One figure's worth of curves."""
+
+    name: str
+    x_label: str
+    y_label: str
+    x_values: List[float] = field(default_factory=list)
+    curves: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add_curve(self, label: str, y_values: Sequence[float]) -> None:
+        """Attach a curve; its length must match the x-axis."""
+        ys = list(y_values)
+        if self.x_values and len(ys) != len(self.x_values):
+            raise ConfigurationError(
+                f"curve {label!r} has {len(ys)} points, x-axis has "
+                f"{len(self.x_values)}"
+            )
+        self.curves[label] = ys
+
+    def point(self, label: str, x: float) -> float:
+        """The y value of ``label`` at the x-axis point ``x``."""
+        if label not in self.curves:
+            raise ConfigurationError(f"no curve {label!r} in {self.name}")
+        try:
+            index = self.x_values.index(x)
+        except ValueError:
+            raise ConfigurationError(f"x={x} not on the axis of {self.name}")
+        return self.curves[label][index]
+
+    def labels(self) -> List[str]:
+        """Curve labels in insertion order."""
+        return list(self.curves)
+
+    def rows(self) -> List[List[float]]:
+        """Row-major table: one row per x value, columns follow labels."""
+        table = []
+        for i, x in enumerate(self.x_values):
+            table.append([x] + [self.curves[label][i] for label in self.curves])
+        return table
+
+    def crossover(self, label_a: str, label_b: str) -> Optional[float]:
+        """First x where curve a crosses above curve b (None if never).
+
+        Used by tests to check crossover positions, one of the
+        shape-level claims the reproduction must preserve.
+        """
+        ya, yb = self.curves[label_a], self.curves[label_b]
+        previous = None
+        for x, a, b in zip(self.x_values, ya, yb):
+            sign = a - b
+            if previous is not None and previous < 0 <= sign:
+                return x
+            previous = sign
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Series({self.name!r}, curves={list(self.curves)})"

@@ -1,0 +1,115 @@
+"""Execution timelines (Figure 1).
+
+Figure 1 of the paper sketches the task execution schedules of the
+three primitives.  :func:`extract_timeline` rebuilds those schedules
+from a simulation's trace log (attempt launches, suspensions, resumes
+and completions), and :func:`render_gantt` draws them as ASCII Gantt
+charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.trace import TraceLog
+
+
+@dataclass
+class TimelineSegment:
+    """One colored bar of a Gantt row."""
+
+    task: str
+    kind: str  # "run" | "suspended"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Segment length in seconds."""
+        return self.end - self.start
+
+
+def extract_timeline(trace: TraceLog, name_of=None) -> List[TimelineSegment]:
+    """Rebuild per-attempt run/suspended segments from a trace log.
+
+    ``name_of`` optionally maps an attempt id to a display name; by
+    default the attempt id itself is used.
+    """
+    name_of = name_of or (lambda attempt_id: attempt_id)
+    open_run: Dict[str, float] = {}
+    open_stop: Dict[str, float] = {}
+    segments: List[TimelineSegment] = []
+
+    def task_key(fields: dict) -> Optional[str]:
+        return fields.get("attempt") or fields.get("name")
+
+    for record in trace:
+        key = task_key(record.fields)
+        if key is None:
+            continue
+        if record.label == "attempt.launch":
+            open_run[key] = record.time
+        elif record.label == "os.stopped":
+            if key in open_run:
+                segments.append(
+                    TimelineSegment(name_of(key), "run", open_run.pop(key), record.time)
+                )
+            open_stop[key] = record.time
+        elif record.label == "os.resumed":
+            if key in open_stop:
+                segments.append(
+                    TimelineSegment(
+                        name_of(key), "suspended", open_stop.pop(key), record.time
+                    )
+                )
+            open_run[key] = record.time
+        elif record.label == "attempt.finished":
+            if key in open_run:
+                segments.append(
+                    TimelineSegment(name_of(key), "run", open_run.pop(key), record.time)
+                )
+            elif key in open_stop:
+                segments.append(
+                    TimelineSegment(
+                        name_of(key), "suspended", open_stop.pop(key), record.time
+                    )
+                )
+    return segments
+
+
+def render_gantt(
+    segments: List[TimelineSegment],
+    width: int = 72,
+    t_end: Optional[float] = None,
+) -> str:
+    """ASCII Gantt chart: '=' while running, '.' while suspended.
+
+    Rows are grouped by task name in first-appearance order -- the
+    same visual as the paper's Figure 1.
+    """
+    if not segments:
+        return "(empty timeline)"
+    t_stop = t_end if t_end is not None else max(s.end for s in segments)
+    t_stop = max(t_stop, 1e-9)
+    order: List[str] = []
+    for segment in segments:
+        if segment.task not in order:
+            order.append(segment.task)
+    name_width = max(len(name) for name in order)
+    lines = []
+    for name in order:
+        row = [" "] * width
+        for segment in segments:
+            if segment.task != name:
+                continue
+            c0 = int(segment.start / t_stop * (width - 1))
+            c1 = max(c0, int(segment.end / t_stop * (width - 1)))
+            glyph = "=" if segment.kind == "run" else "."
+            for col in range(c0, c1 + 1):
+                row[col] = glyph
+        lines.append(f"{name:>{name_width}} |{''.join(row)}|")
+    scale = f"{'':>{name_width}}  0{'':>{width - 10}}{t_stop:8.1f}s"
+    lines.append(scale)
+    lines.append(f"{'':>{name_width}}  legend: '=' running, '.' suspended")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Simulated operating system for one cluster node.
+
+This package models the pieces of a Unix kernel that the paper's
+preemption primitive leans on:
+
+* **processes** with POSIX signal semantics — ``SIGTSTP`` stops a
+  process (running its handler first), ``SIGCONT`` resumes it,
+  ``SIGKILL`` destroys it (:mod:`repro.osmodel.process`,
+  :mod:`repro.osmodel.signals`);
+* **memory management** — per-process resident/dirty/swapped page
+  accounting, a file-system page cache that is evicted first
+  (swappiness = 0, the Hadoop best practice the paper follows), a swap
+  device, and an approximate-LRU reclaimer that prefers clean pages
+  and suspended processes and over-evicts under pressure, reproducing
+  the super-linear swap growth of Figure 4
+  (:mod:`repro.osmodel.memory`, :mod:`repro.osmodel.pagecache`,
+  :mod:`repro.osmodel.swap`, :mod:`repro.osmodel.vmm`);
+* **CPU and disk** as processor-shared rate resources
+  (:mod:`repro.osmodel.resources`, :mod:`repro.osmodel.cpu`,
+  :mod:`repro.osmodel.disk`);
+* a **work engine** that executes a process's plan of work items
+  (sleep, CPU work, memory allocation, memory touch, disk I/O),
+  supports exact mid-item suspension/resumption, and reports progress
+  (:mod:`repro.osmodel.work`);
+* a **node kernel facade** tying the above together
+  (:mod:`repro.osmodel.kernel`).
+"""
+
+from repro.osmodel.config import NodeConfig
+from repro.osmodel.kernel import NodeKernel
+from repro.osmodel.process import OSProcess, ProcessState
+from repro.osmodel.signals import Signal
+from repro.osmodel.work import (
+    CpuWorkItem,
+    DiskWriteItem,
+    MemAllocItem,
+    MemTouchItem,
+    SleepItem,
+    WorkEngine,
+    WorkItem,
+    WorkPlan,
+)
+
+__all__ = [
+    "NodeConfig",
+    "NodeKernel",
+    "OSProcess",
+    "ProcessState",
+    "Signal",
+    "WorkEngine",
+    "WorkPlan",
+    "WorkItem",
+    "SleepItem",
+    "CpuWorkItem",
+    "MemAllocItem",
+    "MemTouchItem",
+    "DiskWriteItem",
+]

@@ -1,0 +1,166 @@
+"""Configuration of one simulated node's hardware and kernel policy.
+
+The defaults mirror the paper's testbed: 4 GB of physical RAM, a
+single spinning disk, swap on the same disk, and the Linux
+``swappiness`` parameter set to 0 (evict file-system cache before
+process memory), which the paper calls out as the Hadoop best
+practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import GB, MB
+
+
+@dataclass
+class NodeConfig:
+    """Hardware sizes, bandwidths and kernel policy knobs for a node.
+
+    Attributes
+    ----------
+    ram_bytes:
+        Physical memory size.  The paper's nodes have 4 GB.
+    os_reserved_bytes:
+        Memory permanently claimed by the OS and the Hadoop daemons
+        (TaskTracker/DataNode JVMs).  The paper notes "the rest of the
+        memory is needed by the Hadoop framework and by the operating
+        system services".
+    swap_bytes:
+        Size of the swap area.  Must be large enough for every
+        suspended task (Section III-A's constraint); experiments use a
+        generous default.
+    cores:
+        CPU cores.  Tasks are CPU-bound parsers, processor-shared when
+        more runnable processes than cores exist.
+    disk_read_bw / disk_write_bw:
+        Sequential disk bandwidth in bytes/second.
+    disk_seek_time:
+        Seek+rotational penalty charged once per I/O burst; page-out
+        clustering amortises it (Section III-A).
+    swap_cluster_bytes:
+        Batch size for clustered page-out writes.
+    mem_touch_bw:
+        Rate at which a process can dirty pages (memset-style) -- the
+        setup phase of memory-hungry tasks writes random values to all
+        allocated memory.
+    mem_read_bw:
+        Rate at which a process re-reads its resident memory
+        (finalisation phase).
+    swappiness:
+        0..100 as in Linux.  0 (default, per Hadoop best practice)
+        evicts the whole page cache before any process page; higher
+        values let the reclaimer take process pages while cache
+        remains.
+    page_cache_min_bytes:
+        Floor below which the page cache is not shrunk (the kernel
+        always keeps a little cache for metadata).
+    lru_overshoot:
+        Strength of the approximate-LRU over-eviction: reclaiming
+        ``T`` bytes from a victim set of resident size ``R`` actually
+        evicts ``T * (1 + lru_overshoot * T / R)``.  This reproduces
+        the paper's observation that "swapped data grows more than
+        linearly because of an approximate implementation of the page
+        replacement algorithm in Linux".
+    working_set_protect_bytes:
+        Amount of a *running* process's most-recently-used memory that
+        the reclaimer will not touch; pressure beyond that spills onto
+        the running process's cold pages (so a memory-hungry ``th``
+        can self-swap, as observed in Figure 4 where ``tl`` loses
+        fewer bytes than naive accounting predicts).
+    lru_scan_leak:
+        How much of a reclaim "leaks" onto the cold pages of *running*
+        processes even while suspended processes still hold resident
+        memory.  The kernel's clock-style scan is approximate: it
+        visits victim pools roughly proportionally to their sizes.
+        The share taken from running processes is
+        ``lru_scan_leak * running_cold / (running_cold + stopped_resident)``,
+        so small reclaims against a large suspended task hit it almost
+        exclusively (the behaviour the paper relies on), while a
+        multi-GB allocation burst increasingly self-swaps (why Figure
+        4's paged-bytes tops out below ``tl``'s full footprint).
+    direct_reclaim_fraction:
+        Share of the page-out I/O that stalls the allocating process
+        (direct reclaim); the rest is written back asynchronously by
+        kswapd, overlapped with the allocator's compute.
+    fault_in_sync_fraction:
+        Share of swap-in I/O that stalls the resumed process; the rest
+        overlaps with its compute thanks to swap readahead.
+    alloc_chunk_bytes:
+        Granularity at which a large allocation claims frames;
+        reclaim decisions interleave with the allocator's own resident
+        growth, which is what lets the LRU leak engage.
+    sigtstp_handler_latency:
+        Time a task's SIGTSTP handler takes to tidy external state
+        before the process actually stops.
+    """
+
+    ram_bytes: int = 4 * GB
+    os_reserved_bytes: int = 1 * GB
+    swap_bytes: int = 8 * GB
+    cores: int = 2
+    disk_read_bw: float = 110 * MB
+    disk_write_bw: float = 90 * MB
+    disk_seek_time: float = 0.008
+    swap_cluster_bytes: int = 1 * MB
+    mem_touch_bw: float = 1200 * MB
+    mem_read_bw: float = 2400 * MB
+    swappiness: int = 0
+    page_cache_min_bytes: int = 64 * MB
+    lru_overshoot: float = 0.35
+    lru_scan_leak: float = 0.45
+    working_set_protect_bytes: int = 512 * MB
+    direct_reclaim_fraction: float = 0.45
+    fault_in_sync_fraction: float = 0.55
+    alloc_chunk_bytes: int = 128 * MB
+    sigtstp_handler_latency: float = 0.15
+    hostname: str = "node"
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ConfigurationError` on nonsense."""
+        if self.ram_bytes <= 0:
+            raise ConfigurationError("ram_bytes must be positive")
+        if not 0 <= self.os_reserved_bytes < self.ram_bytes:
+            raise ConfigurationError(
+                "os_reserved_bytes must be within [0, ram_bytes)"
+            )
+        if self.swap_bytes < 0:
+            raise ConfigurationError("swap_bytes may not be negative")
+        if self.cores < 1:
+            raise ConfigurationError("a node needs at least one core")
+        for name in ("disk_read_bw", "disk_write_bw", "mem_touch_bw", "mem_read_bw"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if not 0 <= self.swappiness <= 100:
+            raise ConfigurationError("swappiness must be in [0, 100]")
+        if self.lru_overshoot < 0:
+            raise ConfigurationError("lru_overshoot may not be negative")
+        if self.lru_scan_leak < 0:
+            raise ConfigurationError("lru_scan_leak may not be negative")
+        if not 0 <= self.direct_reclaim_fraction <= 1:
+            raise ConfigurationError("direct_reclaim_fraction must be in [0, 1]")
+        if not 0 <= self.fault_in_sync_fraction <= 1:
+            raise ConfigurationError("fault_in_sync_fraction must be in [0, 1]")
+        if self.alloc_chunk_bytes <= 0:
+            raise ConfigurationError("alloc_chunk_bytes must be positive")
+        if self.disk_seek_time < 0:
+            raise ConfigurationError("disk_seek_time may not be negative")
+        if self.sigtstp_handler_latency < 0:
+            raise ConfigurationError("sigtstp_handler_latency may not be negative")
+
+    @property
+    def usable_ram_bytes(self) -> int:
+        """RAM available to user processes and the page cache."""
+        return self.ram_bytes - self.os_reserved_bytes
+
+    def replace(self, **overrides) -> "NodeConfig":
+        """Return a copy with the given fields replaced."""
+        import dataclasses
+
+        return dataclasses.replace(self, **overrides)

@@ -1,0 +1,157 @@
+"""Per-process memory accounting.
+
+Tracking millions of 4 KB pages individually would make the simulator
+unusably slow, so a process's address space is accounted as four
+byte-granular pools, always multiples of the page size:
+
+* ``resident_clean`` -- mapped pages identical to their backing store
+  (program text, buffers read from disk and not modified).  Reclaiming
+  them is free: the kernel just drops them.
+* ``resident_dirty`` -- anonymous/modified pages.  Reclaiming them
+  requires writing to swap.
+* ``swapped`` -- pages currently in the swap area.  Touching them
+  again costs a page-in.
+* (implicitly) ``virtual = resident_clean + resident_dirty + swapped``.
+
+The invariant ``virtual == resident + swapped`` is maintained by
+construction and checked by :meth:`MemoryImage.check_invariants`,
+which the property-based tests drive hard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OSModelError
+from repro.units import format_size, page_align
+
+
+@dataclass
+class PageoutPlan:
+    """How a reclaim request against one image will be satisfied."""
+
+    drop_clean: int
+    swap_dirty: int
+
+    @property
+    def total(self) -> int:
+        """Bytes freed from RAM by this plan."""
+        return self.drop_clean + self.swap_dirty
+
+
+class MemoryImage:
+    """The memory footprint of one simulated process."""
+
+    __slots__ = ("resident_clean", "resident_dirty", "swapped", "last_touched")
+
+    def __init__(self) -> None:
+        self.resident_clean = 0
+        self.resident_dirty = 0
+        self.swapped = 0
+        #: Virtual time of the most recent allocation/touch; the
+        #: reclaimer uses it as its (coarse) LRU clock.
+        self.last_touched = 0.0
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def resident(self) -> int:
+        """Resident set size in bytes (RSS)."""
+        return self.resident_clean + self.resident_dirty
+
+    @property
+    def virtual(self) -> int:
+        """Total allocated address space in bytes."""
+        return self.resident + self.swapped
+
+    # -- mutation ------------------------------------------------------------
+
+    def allocate(self, nbytes: int, dirty: bool, now: float) -> int:
+        """Map ``nbytes`` new bytes (page aligned); returns bytes added."""
+        if nbytes < 0:
+            raise OSModelError("cannot allocate a negative size")
+        aligned = page_align(nbytes)
+        if dirty:
+            self.resident_dirty += aligned
+        else:
+            self.resident_clean += aligned
+        self.last_touched = now
+        return aligned
+
+    def free(self, nbytes: int, now: float) -> int:
+        """Unmap up to ``nbytes``, preferring swapped then clean pages
+        (cheapest to discard); returns bytes actually freed."""
+        aligned = page_align(nbytes)
+        remaining = aligned
+        take = min(self.swapped, remaining)
+        self.swapped -= take
+        remaining -= take
+        take = min(self.resident_clean, remaining)
+        self.resident_clean -= take
+        remaining -= take
+        take = min(self.resident_dirty, remaining)
+        self.resident_dirty -= take
+        remaining -= take
+        self.last_touched = now
+        return aligned - remaining
+
+    def dirty_all(self, now: float) -> None:
+        """Mark every resident page dirty (memset over the whole image)."""
+        self.resident_dirty += self.resident_clean
+        self.resident_clean = 0
+        self.last_touched = now
+
+    def plan_pageout(self, target: int) -> PageoutPlan:
+        """Plan the eviction of up to ``target`` resident bytes.
+
+        Clean pages are dropped first (free), dirty pages are swapped,
+        mirroring the kernel's preference ("clean pages ... get
+        prioritized when performing eviction").
+        """
+        if target <= 0:
+            return PageoutPlan(0, 0)
+        target = min(page_align(target), self.resident)
+        drop_clean = min(self.resident_clean, target)
+        swap_dirty = min(self.resident_dirty, target - drop_clean)
+        return PageoutPlan(drop_clean=drop_clean, swap_dirty=swap_dirty)
+
+    def apply_pageout(self, plan: PageoutPlan) -> None:
+        """Execute a plan produced by :meth:`plan_pageout`."""
+        if plan.drop_clean > self.resident_clean or plan.swap_dirty > self.resident_dirty:
+            raise OSModelError("page-out plan exceeds resident pages")
+        self.resident_clean -= plan.drop_clean
+        self.resident_dirty -= plan.swap_dirty
+        self.swapped += plan.swap_dirty
+
+    def page_in(self, nbytes: int, now: float) -> int:
+        """Fault up to ``nbytes`` back from swap; returns bytes paged in.
+
+        Pages read back from swap are clean until rewritten.
+        """
+        take = min(page_align(nbytes), self.swapped)
+        self.swapped -= take
+        self.resident_clean += take
+        self.last_touched = now
+        return take
+
+    def touch(self, now: float) -> None:
+        """Record a memory access for LRU purposes."""
+        self.last_touched = now
+
+    # -- verification ---------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`~repro.errors.OSModelError` if accounting broke."""
+        for name in ("resident_clean", "resident_dirty", "swapped"):
+            value = getattr(self, name)
+            if value < 0:
+                raise OSModelError(f"memory accounting went negative: {name}={value}")
+        if self.virtual != self.resident + self.swapped:  # pragma: no cover
+            raise OSModelError("virtual != resident + swapped")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"MemoryImage(rss={format_size(self.resident)}, "
+            f"dirty={format_size(self.resident_dirty)}, "
+            f"swapped={format_size(self.swapped)})"
+        )

@@ -1,0 +1,72 @@
+"""File-system page cache.
+
+Hadoop workloads stream large files, so the cache mostly holds
+recently-read HDFS block data.  With ``swappiness = 0`` (the
+configuration the paper uses) the reclaimer shrinks this cache all the
+way to its floor before touching any process page; with a higher
+swappiness the two victim classes are mixed proportionally
+(see :mod:`repro.osmodel.vmm`).
+
+Cache pages are clean by definition here (write-back of dirty file
+pages is modelled as part of the writing task's stream I/O), so
+shrinking the cache is free.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OSModelError
+from repro.units import format_size, page_align
+
+
+class PageCache:
+    """Byte-accounted, page-aligned file-system cache."""
+
+    def __init__(self, min_bytes: int = 0):
+        if min_bytes < 0:
+            raise OSModelError("page cache floor may not be negative")
+        self.min_bytes = page_align(min_bytes)
+        self.size = 0
+        self.total_inserted = 0
+        self.total_evicted = 0
+
+    def insert(self, nbytes: int, room: int) -> int:
+        """Cache up to ``nbytes`` of freshly-read file data.
+
+        ``room`` is the free RAM the kernel is willing to dedicate; the
+        cache never forces reclaim of process pages to grow (reads
+        simply bypass the cache when memory is tight).  Returns bytes
+        actually cached.
+        """
+        if nbytes < 0:
+            raise OSModelError("cannot insert a negative size")
+        take = min(page_align(nbytes), max(0, room))
+        self.size += take
+        self.total_inserted += take
+        return take
+
+    def shrink(self, target: int) -> int:
+        """Evict up to ``target`` bytes, respecting the floor.
+
+        Returns bytes actually freed.  Eviction of clean cache pages
+        costs no I/O.
+        """
+        if target <= 0:
+            return 0
+        evictable = max(0, self.size - self.min_bytes)
+        take = min(page_align(target), evictable)
+        self.size -= take
+        self.total_evicted += take
+        return take
+
+    @property
+    def evictable(self) -> int:
+        """Bytes the reclaimer could free from the cache right now."""
+        return max(0, self.size - self.min_bytes)
+
+    def check_invariants(self) -> None:
+        """Raise if accounting broke."""
+        if self.size < 0:
+            raise OSModelError(f"page cache size negative: {self.size}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"PageCache(size={format_size(self.size)})"

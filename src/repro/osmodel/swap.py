@@ -1,0 +1,96 @@
+"""Swap area accounting.
+
+The swap device tracks how many bytes each process has paged out.  The
+paper's Section III-A notes the operational constraint this module
+enforces: the aggregate memory of running + suspended tasks must fit
+in RAM + swap, otherwise the OOM killer would fire -- surfaced here as
+:class:`~repro.errors.SwapExhaustedError` so schedulers can cap the
+number of suspended tasks per node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import SwapExhaustedError
+from repro.units import format_size
+
+
+class SwapArea:
+    """Byte-accounted swap device with per-process attribution."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise SwapExhaustedError("swap capacity may not be negative")
+        self.capacity = capacity
+        self.used = 0
+        #: bytes currently swapped, per pid
+        self.per_process: Dict[int, int] = {}
+        #: lifetime bytes written to swap, per pid (Figure 4's metric)
+        self.total_out_per_process: Dict[int, int] = {}
+        self.total_out = 0
+        self.total_in = 0
+
+    @property
+    def free(self) -> int:
+        """Unused swap bytes."""
+        return self.capacity - self.used
+
+    def page_out(self, pid: int, nbytes: int) -> None:
+        """Record ``nbytes`` moving from RAM to swap for ``pid``."""
+        if nbytes <= 0:
+            return
+        if nbytes > self.free:
+            raise SwapExhaustedError(
+                f"swap exhausted: need {format_size(nbytes)}, "
+                f"free {format_size(self.free)}"
+            )
+        self.used += nbytes
+        self.per_process[pid] = self.per_process.get(pid, 0) + nbytes
+        self.total_out_per_process[pid] = (
+            self.total_out_per_process.get(pid, 0) + nbytes
+        )
+        self.total_out += nbytes
+
+    def page_in(self, pid: int, nbytes: int) -> None:
+        """Record ``nbytes`` moving back from swap to RAM for ``pid``."""
+        if nbytes <= 0:
+            return
+        held = self.per_process.get(pid, 0)
+        if nbytes > held:
+            raise SwapExhaustedError(
+                f"pid {pid} paging in {format_size(nbytes)} "
+                f"but only {format_size(held)} swapped"
+            )
+        self.used -= nbytes
+        remaining = held - nbytes
+        if remaining:
+            self.per_process[pid] = remaining
+        else:
+            del self.per_process[pid]
+        self.total_in += nbytes
+
+    def release(self, pid: int) -> int:
+        """Free all swap held by ``pid`` (process exit); returns bytes."""
+        held = self.per_process.pop(pid, 0)
+        self.used -= held
+        return held
+
+    def swapped_bytes(self, pid: int) -> int:
+        """Bytes currently in swap for ``pid``."""
+        return self.per_process.get(pid, 0)
+
+    def lifetime_swapped_bytes(self, pid: int) -> int:
+        """Lifetime bytes ever paged out for ``pid`` -- the quantity
+        Figure 4 plots ("paged bytes")."""
+        return self.total_out_per_process.get(pid, 0)
+
+    def check_invariants(self) -> None:
+        """Raise if accounting broke."""
+        if self.used < 0 or self.used > self.capacity:
+            raise SwapExhaustedError(f"swap accounting broken: used={self.used}")
+        if sum(self.per_process.values()) != self.used:
+            raise SwapExhaustedError("per-process swap does not sum to used")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SwapArea(used={format_size(self.used)}/{format_size(self.capacity)})"

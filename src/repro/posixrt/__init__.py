@@ -1,0 +1,32 @@
+"""Real-process prototype of the preemption primitive.
+
+Everything else in this library simulates; this package actually does
+it.  A :class:`~repro.posixrt.controller.WorkerHandle` spawns a real
+worker process (:mod:`repro.posixrt.worker`) that parses synthetic
+input and optionally allocates memory, and drives it with genuine
+POSIX signals:
+
+* ``SIGTSTP`` to suspend (the worker's handler tidies up and re-raises
+  the default stop, exactly the pattern the paper requires so external
+  state can be managed);
+* ``SIGCONT`` to resume;
+* ``SIGKILL`` to kill.
+
+Process state and memory are observed through ``/proc``
+(:mod:`repro.posixrt.procfs`), and
+:class:`~repro.posixrt.runner.MiniExperiment` replays the paper's
+two-job microbenchmark on real processes at laptop scale.
+"""
+
+from repro.posixrt.controller import WorkerHandle, WorkerSpec
+from repro.posixrt.procfs import ProcStatus, read_proc_status
+from repro.posixrt.runner import MiniExperiment, PrimitiveOutcome
+
+__all__ = [
+    "WorkerHandle",
+    "WorkerSpec",
+    "ProcStatus",
+    "read_proc_status",
+    "MiniExperiment",
+    "PrimitiveOutcome",
+]

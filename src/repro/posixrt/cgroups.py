@@ -1,0 +1,65 @@
+"""Best-effort cgroup memory limiting.
+
+The paper's testbed enforces task memory through Hadoop configuration;
+modern deployments use cgroups.  This module provides a small helper
+that puts a worker pid into a memory-limited cgroup when the cgroup
+filesystem is writable, and degrades to a no-op (with a reason) when
+it is not -- which is the norm inside unprivileged containers, where
+the unit tests simply assert the graceful fallback.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+_CGROUP_V2_ROOT = "/sys/fs/cgroup"
+_CGROUP_V1_MEMORY = "/sys/fs/cgroup/memory"
+
+
+@dataclass
+class CgroupResult:
+    """Outcome of a cgroup operation."""
+
+    applied: bool
+    path: Optional[str] = None
+    reason: str = ""
+
+
+def detect_version() -> Optional[int]:
+    """2 for unified hierarchy, 1 for legacy memory controller, None."""
+    if os.path.isfile(os.path.join(_CGROUP_V2_ROOT, "cgroup.controllers")):
+        return 2
+    if os.path.isdir(_CGROUP_V1_MEMORY):
+        return 1
+    return None
+
+
+def limit_memory(pid: int, limit_bytes: int, group_name: str = "repro") -> CgroupResult:
+    """Place ``pid`` in a cgroup capped at ``limit_bytes``.
+
+    Returns ``applied=False`` with a reason instead of raising when the
+    cgroup fs is missing or read-only.
+    """
+    version = detect_version()
+    if version is None:
+        return CgroupResult(applied=False, reason="no cgroup filesystem")
+    if version == 2:
+        base = _CGROUP_V2_ROOT
+        limit_file = "memory.max"
+    else:
+        base = _CGROUP_V1_MEMORY
+        limit_file = "memory.limit_in_bytes"
+    group_path = os.path.join(base, group_name)
+    try:
+        os.makedirs(group_path, exist_ok=True)
+        with open(os.path.join(group_path, limit_file), "w") as handle:
+            handle.write(str(limit_bytes))
+        with open(os.path.join(group_path, "cgroup.procs"), "w") as handle:
+            handle.write(str(pid))
+    except OSError as exc:
+        return CgroupResult(
+            applied=False, path=group_path, reason=f"cgroup fs not writable: {exc}"
+        )
+    return CgroupResult(applied=True, path=group_path)

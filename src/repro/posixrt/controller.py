@@ -1,0 +1,224 @@
+"""The controller: spawn and signal real worker processes.
+
+This is the TaskTracker's job in miniature: fork a worker, watch its
+progress through the status file, and deliver SIGTSTP / SIGCONT /
+SIGKILL on request.  Used by the mini experiment runner, the posix
+integration tests, and the ``repro real-demo`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import WorkerProtocolError, WorkerSpawnError
+from repro.posixrt.procfs import ProcStatus, read_proc_status
+from repro.units import MB
+
+
+@dataclass
+class WorkerSpec:
+    """Parameters of one real worker task."""
+
+    input_bytes: int = 16 * MB
+    chunk_bytes: int = 1 * MB
+    memory_bytes: int = 0
+    rate_bytes_per_sec: float = 8 * MB
+    name: str = "worker"
+
+    def to_json(self, status_path: str) -> str:
+        """The --spec payload for the worker process."""
+        return json.dumps(
+            {
+                "input_bytes": self.input_bytes,
+                "chunk_bytes": self.chunk_bytes,
+                "memory_bytes": self.memory_bytes,
+                "rate_bytes_per_sec": self.rate_bytes_per_sec,
+                "status_path": status_path,
+            }
+        )
+
+
+@dataclass
+class StatusRecord:
+    """One parsed status line."""
+
+    kind: str
+    value: str
+
+
+class WorkerHandle:
+    """A live (or finished) worker process."""
+
+    def __init__(self, spec: WorkerSpec, workdir: Optional[str] = None):
+        self.spec = spec
+        self._own_dir = workdir is None
+        self.workdir = workdir or tempfile.mkdtemp(prefix="repro-worker-")
+        self.status_path = os.path.join(self.workdir, f"{spec.name}.status")
+        open(self.status_path, "w").close()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.suspended_spans: List[tuple] = []
+        self._suspend_started: Optional[float] = None
+        try:
+            self.proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.posixrt.worker",
+                    "--spec",
+                    spec.to_json(self.status_path),
+                ],
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.PIPE,
+                start_new_session=True,  # isolate from our terminal's job control
+            )
+        except OSError as exc:  # pragma: no cover - spawn failure
+            raise WorkerSpawnError(f"could not spawn worker: {exc}")
+        self.started_at = time.monotonic()
+
+    # -- observation ----------------------------------------------------------
+
+    @property
+    def pid(self) -> int:
+        """Worker process id."""
+        return self.proc.pid
+
+    def read_status(self) -> List[StatusRecord]:
+        """All status records emitted so far."""
+        records = []
+        try:
+            with open(self.status_path, "r", encoding="ascii", errors="replace") as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    parts = line.split(" ", 1)
+                    records.append(
+                        StatusRecord(parts[0], parts[1] if len(parts) > 1 else "")
+                    )
+        except FileNotFoundError:  # pragma: no cover - race at teardown
+            pass
+        return records
+
+    def progress(self) -> float:
+        """Latest reported progress fraction."""
+        latest = 0.0
+        for record in self.read_status():
+            if record.kind == "PROGRESS":
+                try:
+                    latest = float(record.value)
+                except ValueError:
+                    raise WorkerProtocolError(
+                        f"malformed PROGRESS record: {record.value!r}"
+                    )
+            elif record.kind == "DONE":
+                latest = 1.0
+        return latest
+
+    def done(self) -> bool:
+        """True when the worker finished its plan."""
+        return any(r.kind == "DONE" for r in self.read_status())
+
+    def exited(self) -> bool:
+        """True when the process is gone (any reason)."""
+        return self.proc.poll() is not None
+
+    def proc_status(self) -> Optional[ProcStatus]:
+        """The /proc view of the worker."""
+        return read_proc_status(self.pid)
+
+    def is_stopped(self) -> bool:
+        """True when /proc reports job-control stop (T)."""
+        status = self.proc_status()
+        return bool(status and status.stopped)
+
+    # -- signals (the preemption primitive, for real) -----------------------------
+
+    def suspend(self) -> None:
+        """Deliver SIGTSTP."""
+        os.kill(self.pid, signal.SIGTSTP)
+        self._suspend_started = time.monotonic()
+
+    def resume(self) -> None:
+        """Deliver SIGCONT."""
+        os.kill(self.pid, signal.SIGCONT)
+        if self._suspend_started is not None:
+            self.suspended_spans.append(
+                (self._suspend_started, time.monotonic())
+            )
+            self._suspend_started = None
+
+    def kill(self) -> None:
+        """Deliver SIGKILL."""
+        try:
+            os.kill(self.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+
+    # -- waiting -------------------------------------------------------------------
+
+    def wait_progress(self, fraction: float, timeout: float = 60.0) -> bool:
+        """Poll until progress >= fraction (True) or timeout (False)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.progress() >= fraction:
+                return True
+            if self.exited() and not self.done():
+                return False
+            time.sleep(0.02)
+        return False
+
+    def wait_stopped(self, timeout: float = 10.0) -> bool:
+        """Poll until /proc shows the stop landed."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.is_stopped():
+                return True
+            time.sleep(0.01)
+        return False
+
+    def wait_done(self, timeout: float = 120.0) -> bool:
+        """Poll until the worker reports DONE and exits."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.exited():
+                if self.done():
+                    if self.finished_at is None:
+                        self.finished_at = time.monotonic()
+                    return True
+                return False
+            time.sleep(0.02)
+        return False
+
+    # -- cleanup ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Kill (if needed) and reap the worker; remove temp files."""
+        if not self.exited():
+            self.kill()
+        try:
+            self.proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+            pass
+        if self.proc.stderr is not None:
+            self.proc.stderr.close()
+        if self._own_dir:
+            try:
+                os.unlink(self.status_path)
+                os.rmdir(self.workdir)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WorkerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

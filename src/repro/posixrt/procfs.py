@@ -1,0 +1,77 @@
+"""Reading process state and memory from ``/proc``.
+
+The controller uses this to confirm that SIGTSTP really stopped the
+worker (state ``T``) and to observe resident/swapped sizes -- the
+real-world counterparts of the simulator's
+:class:`~repro.osmodel.memory.MemoryImage` accounting.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.units import KB
+
+
+@dataclass(frozen=True)
+class ProcStatus:
+    """A snapshot of ``/proc/<pid>/status``."""
+
+    pid: int
+    state: str  # R, S, D, T, t, Z, X ...
+    vm_rss_bytes: int
+    vm_swap_bytes: int
+
+    @property
+    def stopped(self) -> bool:
+        """True when the process is stopped by job control (T)."""
+        return self.state.startswith("T")
+
+    @property
+    def alive(self) -> bool:
+        """True unless the process is a zombie or gone."""
+        return not self.state.startswith(("Z", "X"))
+
+
+def read_proc_status(pid: int) -> Optional[ProcStatus]:
+    """Parse ``/proc/<pid>/status``; None when the process is gone."""
+    path = f"/proc/{pid}/status"
+    try:
+        with open(path, "r", encoding="ascii", errors="replace") as handle:
+            text = handle.read()
+    except (FileNotFoundError, ProcessLookupError, PermissionError):
+        return None
+    state = "?"
+    rss = 0
+    swap = 0
+    for line in text.splitlines():
+        if line.startswith("State:"):
+            state = line.split(":", 1)[1].strip().split()[0]
+        elif line.startswith("VmRSS:"):
+            rss = _parse_kb(line)
+        elif line.startswith("VmSwap:"):
+            swap = _parse_kb(line)
+    return ProcStatus(pid=pid, state=state, vm_rss_bytes=rss, vm_swap_bytes=swap)
+
+
+def _parse_kb(line: str) -> int:
+    parts = line.split(":", 1)[1].strip().split()
+    if not parts:
+        return 0
+    try:
+        return int(parts[0]) * KB
+    except ValueError:
+        return 0
+
+
+def process_exists(pid: int) -> bool:
+    """True when the pid names a live process we may signal."""
+    try:
+        os.kill(pid, 0)
+        return True
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - container quirk
+        return True

@@ -1,0 +1,125 @@
+"""The two-job microbenchmark on real processes.
+
+:class:`MiniExperiment` replays Section IV-A at laptop scale: a
+low-priority worker ``tl`` runs; when it reaches r% progress a
+high-priority worker ``th`` arrives and the chosen primitive decides
+what happens to ``tl``.  Wall-clock sojourn and makespan come out the
+other end -- the same metrics as the simulation, produced by genuine
+SIGTSTP/SIGCONT/SIGKILL on live processes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.errors import ConfigurationError, PosixRuntimeError
+from repro.posixrt.controller import WorkerHandle, WorkerSpec
+from repro.units import MB
+
+
+@dataclass
+class PrimitiveOutcome:
+    """Wall-clock metrics of one primitive's run."""
+
+    primitive: str
+    sojourn_th: float
+    makespan: float
+    tl_was_stopped: bool = False
+    tl_restarted: bool = False
+
+
+class MiniExperiment:
+    """Real-process comparison of wait / kill / suspend."""
+
+    def __init__(
+        self,
+        input_mb: int = 16,
+        rate_mb_per_sec: float = 16.0,
+        progress_at_launch: float = 0.5,
+        memory_mb: int = 0,
+        timeout: float = 300.0,
+    ):
+        if not 0.0 < progress_at_launch < 1.0:
+            raise ConfigurationError("progress_at_launch must be in (0, 1)")
+        if input_mb <= 0 or rate_mb_per_sec <= 0:
+            raise ConfigurationError("input and rate must be positive")
+        self.input_bytes = input_mb * MB
+        self.rate = rate_mb_per_sec * MB
+        self.progress_at_launch = progress_at_launch
+        self.memory_bytes = memory_mb * MB
+        self.timeout = timeout
+
+    def _spec(self, name: str) -> WorkerSpec:
+        return WorkerSpec(
+            input_bytes=self.input_bytes,
+            chunk_bytes=max(64 * 1024, self.input_bytes // 64),
+            memory_bytes=self.memory_bytes,
+            rate_bytes_per_sec=self.rate,
+            name=name,
+        )
+
+    # -- one run --------------------------------------------------------------
+
+    def run_primitive(self, primitive: str) -> PrimitiveOutcome:
+        """Run the microbenchmark once with one primitive."""
+        if primitive not in ("wait", "kill", "suspend"):
+            raise ConfigurationError(f"unknown primitive {primitive!r}")
+        t_start = time.monotonic()
+        tl = WorkerHandle(self._spec("tl"))
+        outcome_stopped = False
+        restarted = False
+        try:
+            if not tl.wait_progress(self.progress_at_launch, timeout=self.timeout):
+                raise PosixRuntimeError(
+                    f"tl never reached {self.progress_at_launch:.0%}"
+                )
+            t_submit_th = time.monotonic()
+
+            if primitive == "suspend":
+                tl.suspend()
+                outcome_stopped = tl.wait_stopped(timeout=10.0)
+            elif primitive == "kill":
+                tl.kill()
+            elif primitive == "wait":
+                if not tl.wait_done(timeout=self.timeout):
+                    raise PosixRuntimeError("tl did not finish under wait")
+
+            th = WorkerHandle(self._spec("th"))
+            try:
+                if not th.wait_done(timeout=self.timeout):
+                    raise PosixRuntimeError("th did not finish")
+                t_th_done = time.monotonic()
+            finally:
+                th.close()
+
+            if primitive == "suspend":
+                tl.resume()
+                if not tl.wait_done(timeout=self.timeout):
+                    raise PosixRuntimeError("tl did not finish after resume")
+            elif primitive == "kill":
+                tl.close()
+                tl = WorkerHandle(self._spec("tl"))  # restart from scratch
+                restarted = True
+                if not tl.wait_done(timeout=self.timeout):
+                    raise PosixRuntimeError("tl restart did not finish")
+            elif primitive == "wait":
+                pass  # tl already finished
+
+            t_end = time.monotonic()
+            return PrimitiveOutcome(
+                primitive=primitive,
+                sojourn_th=t_th_done - t_submit_th,
+                makespan=t_end - t_start,
+                tl_was_stopped=outcome_stopped,
+                tl_restarted=restarted,
+            )
+        finally:
+            tl.close()
+
+    def compare(
+        self, primitives: Iterable[str] = ("wait", "kill", "suspend")
+    ) -> Dict[str, PrimitiveOutcome]:
+        """Run every primitive once, in order."""
+        return {name: self.run_primitive(name) for name in primitives}

@@ -1,0 +1,137 @@
+"""The worker process: a real synthetic mapper.
+
+Runs as ``python -m repro.posixrt.worker`` with a JSON spec on the
+command line.  It emulates the paper's synthetic tasks:
+
+* allocate ``memory_bytes`` and dirty every page (write random-ish
+  values), like the stateful worst-case tasks;
+* "parse" ``input_bytes`` of synthetic input in chunks, paced to
+  ``rate_bytes_per_sec``, appending progress records to a status file;
+* read the allocated memory back before exiting (finalisation).
+
+Signal behaviour is the heart of the prototype: the ``SIGTSTP``
+handler performs cleanup (flushes the status file -- standing in for
+"closing and reopening network connections"), then restores the
+default disposition and re-delivers SIGTSTP to actually stop; on
+``SIGCONT`` the handler is reinstalled.  This is the canonical
+job-control dance the paper's TaskTracker modification performs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import time
+import zlib
+
+
+class WorkerMain:
+    """State and main loop of one worker process."""
+
+    def __init__(self, spec: dict):
+        self.input_bytes = int(spec["input_bytes"])
+        self.chunk_bytes = int(spec.get("chunk_bytes", 1 << 20))
+        self.memory_bytes = int(spec.get("memory_bytes", 0))
+        self.rate = float(spec.get("rate_bytes_per_sec", 8 << 20))
+        self.status_path = spec["status_path"]
+        self._memory = None
+        self._status = open(self.status_path, "a", buffering=1)
+
+    # -- status protocol ---------------------------------------------------
+
+    def emit(self, kind: str, value: str = "") -> None:
+        """Append one status record: '<kind> <value>' per line."""
+        self._status.write(f"{kind} {value}\n".rstrip() + "\n")
+        self._status.flush()
+
+    # -- signal handling -------------------------------------------------------
+
+    def install_sigtstp(self) -> None:
+        """(Re)install the cleanup-then-stop handler."""
+        signal.signal(signal.SIGTSTP, self._on_sigtstp)
+
+    def _on_sigtstp(self, signum, frame) -> None:
+        # Tidy external state, then actually stop.
+        self.emit("SUSPENDING", f"{time.monotonic():.6f}")
+        self._status.flush()
+        signal.signal(signal.SIGTSTP, signal.SIG_DFL)
+        signal.signal(signal.SIGCONT, self._on_sigcont)
+        os.kill(os.getpid(), signal.SIGTSTP)
+
+    def _on_sigcont(self, signum, frame) -> None:
+        self.emit("RESUMED", f"{time.monotonic():.6f}")
+        self.install_sigtstp()
+
+    # -- work phases ------------------------------------------------------------
+
+    def allocate_memory(self) -> None:
+        """Dirty every page of the configured footprint."""
+        if self.memory_bytes <= 0:
+            return
+        self.emit("ALLOCATING", str(self.memory_bytes))
+        self._memory = bytearray(self.memory_bytes)
+        page = 4096
+        # Writing one word per page marks the page dirty without
+        # burning excessive CPU.
+        pattern = os.getpid() & 0xFF
+        for offset in range(0, self.memory_bytes, page):
+            self._memory[offset] = pattern
+        self.emit("ALLOCATED", str(self.memory_bytes))
+
+    def readback_memory(self) -> int:
+        """Touch every page again (finalisation); returns a checksum."""
+        if not self._memory:
+            return 0
+        total = 0
+        for offset in range(0, len(self._memory), 4096):
+            total = (total + self._memory[offset]) & 0xFFFFFFFF
+        self.emit("READBACK", str(total))
+        return total
+
+    def parse_input(self) -> None:
+        """Chunked CPU work paced to the configured rate."""
+        processed = 0
+        buffer = os.urandom(min(self.chunk_bytes, 1 << 16))
+        self.emit("START", f"{time.monotonic():.6f}")
+        while processed < self.input_bytes:
+            chunk = min(self.chunk_bytes, self.input_bytes - processed)
+            deadline = time.monotonic() + chunk / self.rate
+            checksum = 0
+            # Do real CPU work proportional to the chunk size.
+            passes = max(1, chunk // len(buffer))
+            for _ in range(passes):
+                checksum = zlib.crc32(buffer, checksum)
+            # Pace to the target rate (a fast CRC finishes early).
+            remaining = deadline - time.monotonic()
+            if remaining > 0:
+                time.sleep(remaining)
+            processed += chunk
+            self.emit("PROGRESS", f"{processed / self.input_bytes:.6f}")
+        self.emit("PARSED", str(processed))
+
+    def run(self) -> int:
+        """Full task: allocate, parse, read back, done."""
+        self.install_sigtstp()
+        self.emit("PID", str(os.getpid()))
+        self.allocate_memory()
+        self.parse_input()
+        self.readback_memory()
+        self.emit("DONE", f"{time.monotonic():.6f}")
+        return 0
+
+
+def main(argv=None) -> int:
+    """Entry point: ``python -m repro.posixrt.worker --spec '<json>'``."""
+    parser = argparse.ArgumentParser(prog="repro-worker")
+    parser.add_argument("--spec", required=True, help="JSON task spec")
+    args = parser.parse_args(argv)
+    spec = json.loads(args.spec)
+    worker = WorkerMain(spec)
+    return worker.run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Task preemption primitives -- the paper's contribution.
+
+Three baseline strategies plus the paper's new one, behind a common
+:class:`~repro.preemption.base.PreemptionPrimitive` interface:
+
+* :class:`~repro.preemption.wait.WaitPrimitive` -- do nothing; the
+  high-priority work waits for the victim to finish (large latency, no
+  redundant work);
+* :class:`~repro.preemption.kill.KillPrimitive` -- SIGKILL the victim
+  and reschedule it from scratch (small latency, wasted work);
+* :class:`~repro.preemption.suspend.SuspendResumePrimitive` -- the
+  paper's OS-assisted suspend/resume built on SIGTSTP/SIGCONT and OS
+  paging (small latency *and* no redundant work);
+* :class:`~repro.preemption.natjam.NatjamPrimitive` -- an
+  application-level checkpoint/restore comparator in the style of
+  Natjam (Cho et al., SoCC'13), which always pays
+  serialize/deserialize costs.
+
+Plus the scheduler-side machinery the paper's Section V discusses:
+eviction policies (:mod:`repro.preemption.eviction`), a cost advisor
+(:mod:`repro.preemption.costs`), and resume-locality handling with
+delay scheduling (:mod:`repro.preemption.locality`).
+"""
+
+from repro.preemption.base import (
+    PreemptionPrimitive,
+    PrimitiveName,
+    make_primitive,
+)
+from repro.preemption.costs import PreemptionAdvisor, PrimitiveChoice
+from repro.preemption.eviction import (
+    ClosestToCompletionPolicy,
+    EvictionCandidate,
+    EvictionPolicy,
+    FurthestFromCompletionPolicy,
+    LargestMemoryPolicy,
+    RandomPolicy,
+    SmallestMemoryPolicy,
+)
+from repro.preemption.kill import KillPrimitive
+from repro.preemption.locality import ResumeLocalityManager
+from repro.preemption.migration import MigrationPrimitive
+from repro.preemption.natjam import NatjamPrimitive
+from repro.preemption.suspend import SuspendResumePrimitive
+from repro.preemption.wait import WaitPrimitive
+
+__all__ = [
+    "PreemptionPrimitive",
+    "PrimitiveName",
+    "make_primitive",
+    "WaitPrimitive",
+    "KillPrimitive",
+    "SuspendResumePrimitive",
+    "NatjamPrimitive",
+    "MigrationPrimitive",
+    "EvictionPolicy",
+    "EvictionCandidate",
+    "ClosestToCompletionPolicy",
+    "FurthestFromCompletionPolicy",
+    "SmallestMemoryPolicy",
+    "LargestMemoryPolicy",
+    "RandomPolicy",
+    "PreemptionAdvisor",
+    "PrimitiveChoice",
+    "ResumeLocalityManager",
+]

@@ -1,0 +1,107 @@
+"""The preemption-primitive interface.
+
+A primitive answers two calls:
+
+* :meth:`PreemptionPrimitive.preempt` -- take the slot away from a
+  running task (or decide not to, for ``wait``);
+* :meth:`PreemptionPrimitive.restore` -- give the task its resources
+  back once the high-priority work is done (resume, reschedule, or
+  no-op depending on the strategy).
+
+Primitives are deliberately *mechanism only*: choosing which task to
+evict is an eviction policy (:mod:`repro.preemption.eviction`), and
+choosing when is the scheduler's business -- exactly the separation
+the paper draws between Sections III and V.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError, NotPreemptibleError
+from repro.hadoop.states import TipState
+from repro.hadoop.task import TaskInProgress
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hadoop.cluster import HadoopCluster
+
+
+class PrimitiveName(enum.Enum):
+    """Registry keys for the four primitives."""
+
+    WAIT = "wait"
+    KILL = "kill"
+    SUSPEND = "suspend"
+    NATJAM = "natjam"
+
+
+class PreemptionPrimitive(abc.ABC):
+    """Base class: a preemption mechanism bound to a cluster."""
+
+    name: PrimitiveName
+
+    def __init__(self, cluster: "HadoopCluster"):
+        self.cluster = cluster
+        self.jobtracker = cluster.jobtracker
+        self.preempt_count = 0
+        self.restore_count = 0
+
+    # -- mechanism ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def preempt(self, tip: TaskInProgress) -> None:
+        """Take the slot from ``tip``'s running attempt."""
+
+    @abc.abstractmethod
+    def restore(self, tip: TaskInProgress) -> None:
+        """Give ``tip`` its resources back (semantics vary by strategy)."""
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _require_running(self, tip: TaskInProgress) -> None:
+        if tip.state is not TipState.RUNNING:
+            raise NotPreemptibleError(
+                f"{tip.tip_id} is {tip.state.value}, not RUNNING"
+            )
+
+    def attempt_of(self, tip: TaskInProgress):
+        """The live attempt object behind a TIP (or None)."""
+        if tip.tracker is None or tip.active_attempt_id is None:
+            return None
+        tracker = self.cluster.trackers.get(tip.tracker)
+        if tracker is None:
+            return None
+        return tracker.attempts.get(tip.active_attempt_id)
+
+    def trace(self, label: str, **fields) -> None:
+        """Record a primitive-level trace event."""
+        self.cluster.trace(f"preempt.{label}", primitive=self.name.value, **fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}()"
+
+
+def make_primitive(
+    name, cluster: "HadoopCluster", **kwargs
+) -> PreemptionPrimitive:
+    """Factory: build a primitive by name ('wait', 'kill', 'suspend',
+    'natjam' or a :class:`PrimitiveName`)."""
+    from repro.preemption.kill import KillPrimitive
+    from repro.preemption.natjam import NatjamPrimitive
+    from repro.preemption.suspend import SuspendResumePrimitive
+    from repro.preemption.wait import WaitPrimitive
+
+    if isinstance(name, str):
+        try:
+            name = PrimitiveName(name)
+        except ValueError:
+            raise ConfigurationError(f"unknown primitive {name!r}")
+    registry = {
+        PrimitiveName.WAIT: WaitPrimitive,
+        PrimitiveName.KILL: KillPrimitive,
+        PrimitiveName.SUSPEND: SuspendResumePrimitive,
+        PrimitiveName.NATJAM: NatjamPrimitive,
+    }
+    return registry[name](cluster, **kwargs)

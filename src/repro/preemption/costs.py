@@ -1,0 +1,129 @@
+"""Cost-based primitive selection (Section V-A).
+
+"Our primitive generally performs close to optimally in most cases;
+however, for freshly started tasks, it may be preferable to use the
+kill primitive, and for tasks that are very close to completion it
+may be better to simply wait for them to finish."
+
+:class:`PreemptionAdvisor` encodes that guidance: given a victim's
+progress and memory footprint it recommends wait, kill, or suspend,
+with an estimated cost breakdown that schedulers can log or override.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+
+class PrimitiveChoice(enum.Enum):
+    """The advisor's recommendation."""
+
+    WAIT = "wait"
+    KILL = "kill"
+    SUSPEND = "suspend"
+
+
+@dataclass
+class CostEstimate:
+    """Estimated seconds of damage for each strategy.
+
+    ``latency`` is the delay inflicted on the high-priority task;
+    ``redundant`` is work re-executed; ``paging`` is suspend's
+    page-out/page-in cost estimate.
+    """
+
+    wait_latency: float
+    kill_redundant: float
+    suspend_paging: float
+
+    def best(self, latency_weight: float = 1.0) -> PrimitiveChoice:
+        """Pick the strategy with the smallest weighted damage."""
+        scores = {
+            PrimitiveChoice.WAIT: self.wait_latency * latency_weight,
+            PrimitiveChoice.KILL: self.kill_redundant,
+            PrimitiveChoice.SUSPEND: self.suspend_paging,
+        }
+        return min(scores, key=lambda k: (scores[k], k.value))
+
+
+class PreemptionAdvisor:
+    """Recommends a primitive per victim.
+
+    Parameters
+    ----------
+    fresh_threshold:
+        Progress below which a task counts as freshly started (kill
+        wastes almost nothing).
+    nearly_done_threshold:
+        Progress above which waiting is cheap.
+    swap_bandwidth:
+        Effective swap device bandwidth used for the paging estimate.
+    """
+
+    def __init__(
+        self,
+        fresh_threshold: float = 0.05,
+        nearly_done_threshold: float = 0.95,
+        swap_bandwidth: float = 90 * MB,
+    ):
+        if not 0 <= fresh_threshold < nearly_done_threshold <= 1:
+            raise ConfigurationError(
+                "thresholds must satisfy 0 <= fresh < nearly_done <= 1"
+            )
+        if swap_bandwidth <= 0:
+            raise ConfigurationError("swap_bandwidth must be positive")
+        self.fresh_threshold = fresh_threshold
+        self.nearly_done_threshold = nearly_done_threshold
+        self.swap_bandwidth = swap_bandwidth
+
+    def estimate(
+        self,
+        progress: float,
+        task_duration: float,
+        resident_bytes: int,
+        memory_pressure: float,
+    ) -> CostEstimate:
+        """Cost breakdown for one victim.
+
+        ``memory_pressure`` in [0, 1] scales the expected fraction of
+        the victim's memory that would actually hit swap.
+        """
+        progress = min(1.0, max(0.0, progress))
+        remaining = (1.0 - progress) * task_duration
+        redone = progress * task_duration
+        spill_fraction = min(1.0, max(0.0, memory_pressure))
+        paging = 2.0 * (resident_bytes * spill_fraction) / self.swap_bandwidth
+        return CostEstimate(
+            wait_latency=remaining,
+            kill_redundant=redone,
+            suspend_paging=paging,
+        )
+
+    def recommend(
+        self,
+        progress: float,
+        task_duration: float,
+        resident_bytes: int = 0,
+        memory_pressure: float = 0.0,
+    ) -> PrimitiveChoice:
+        """Threshold rules first (the paper's guidance), cost model for
+        the middle ground."""
+        if progress < self.fresh_threshold:
+            return PrimitiveChoice.KILL
+        if progress > self.nearly_done_threshold:
+            return PrimitiveChoice.WAIT
+        estimate = self.estimate(
+            progress, task_duration, resident_bytes, memory_pressure
+        )
+        # In the middle of a task, suspension wins unless paging costs
+        # would exceed both alternatives.
+        if (
+            estimate.suspend_paging <= estimate.wait_latency
+            and estimate.suspend_paging <= estimate.kill_redundant
+        ):
+            return PrimitiveChoice.SUSPEND
+        return estimate.best()

@@ -1,0 +1,152 @@
+"""Task eviction policies (Section V-A).
+
+"An important topic that falls under the responsibility of the
+schedulers is to decide which task(s) to evict once a high-priority
+job needs time to execute."  The paper discusses two concrete
+policies and our experiments add baselines:
+
+* **closest-to-completion** (Cho et al.): suspend tasks nearest their
+  end "to have all tasks of a job as close to each other as
+  possible";
+* **smallest-memory-footprint** (the paper's suggestion): "another
+  possible strategy may aim to suspend tasks with smaller memory
+  footprints, which reduces overheads according to our experimental
+  results";
+* furthest-from-completion, largest-memory and random as controls.
+
+A policy ranks :class:`EvictionCandidate` views of running tasks; the
+caller (a scheduler or the experiment harness) preempts the top ``k``
+with its chosen primitive.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.hadoop.states import TipState
+from repro.hadoop.task import TaskInProgress
+from repro.sim.rng import RngStream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hadoop.cluster import HadoopCluster
+
+
+@dataclass
+class EvictionCandidate:
+    """A running task as seen by an eviction policy."""
+
+    tip: TaskInProgress
+    progress: float
+    resident_bytes: int
+    tracker: str
+
+    @property
+    def tip_id(self) -> str:
+        """Convenience accessor."""
+        return self.tip.tip_id
+
+
+def collect_candidates(
+    cluster: "HadoopCluster", protect_jobs: Optional[set] = None
+) -> List[EvictionCandidate]:
+    """All preemptible (RUNNING) work tasks in the cluster, excluding
+    jobs in ``protect_jobs`` (by spec name)."""
+    protect = protect_jobs or set()
+    candidates = []
+    for tracker in cluster.trackers.values():
+        for attempt in tracker.attempts.values():
+            if attempt.state.value not in ("RUNNING", "STARTING"):
+                continue
+            if attempt.role.value != "task":
+                continue
+            job = cluster.jobtracker.jobs.get(attempt.job_id)
+            if job is None or job.spec.name in protect:
+                continue
+            tip = cluster.jobtracker.tip(attempt.tip_id)
+            if tip.state is not TipState.RUNNING:
+                continue
+            candidates.append(
+                EvictionCandidate(
+                    tip=tip,
+                    progress=attempt.progress(),
+                    resident_bytes=attempt.resident_bytes(),
+                    tracker=tracker.host,
+                )
+            )
+    return candidates
+
+
+class EvictionPolicy(abc.ABC):
+    """Ranks candidates; lower rank is evicted first."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def rank(self, candidates: List[EvictionCandidate]) -> List[EvictionCandidate]:
+        """Return candidates ordered by eviction preference."""
+
+    def choose(
+        self, candidates: List[EvictionCandidate], count: int
+    ) -> List[EvictionCandidate]:
+        """The ``count`` candidates to evict."""
+        if count <= 0:
+            return []
+        return self.rank(list(candidates))[:count]
+
+
+class ClosestToCompletionPolicy(EvictionPolicy):
+    """Suspend the most-complete tasks (Natjam's SRT-style policy):
+    their remaining work is shortest, so resuming them soon keeps job
+    completion times tight."""
+
+    name = "closest-to-completion"
+
+    def rank(self, candidates: List[EvictionCandidate]) -> List[EvictionCandidate]:
+        return sorted(candidates, key=lambda c: (-c.progress, c.tip_id))
+
+
+class FurthestFromCompletionPolicy(EvictionPolicy):
+    """Evict the least-complete tasks: if the primitive is kill, this
+    wastes the least work."""
+
+    name = "furthest-from-completion"
+
+    def rank(self, candidates: List[EvictionCandidate]) -> List[EvictionCandidate]:
+        return sorted(candidates, key=lambda c: (c.progress, c.tip_id))
+
+
+class SmallestMemoryPolicy(EvictionPolicy):
+    """Evict tasks with the smallest resident footprint -- the paper's
+    suggestion for suspend/resume, since paging overhead scales with
+    the memory that may hit swap (Figure 4)."""
+
+    name = "smallest-memory"
+
+    def rank(self, candidates: List[EvictionCandidate]) -> List[EvictionCandidate]:
+        return sorted(candidates, key=lambda c: (c.resident_bytes, c.tip_id))
+
+
+class LargestMemoryPolicy(EvictionPolicy):
+    """Control policy: evict the biggest tasks first (worst case for
+    suspend/resume paging)."""
+
+    name = "largest-memory"
+
+    def rank(self, candidates: List[EvictionCandidate]) -> List[EvictionCandidate]:
+        return sorted(candidates, key=lambda c: (-c.resident_bytes, c.tip_id))
+
+
+class RandomPolicy(EvictionPolicy):
+    """Control policy: uniform-random victims."""
+
+    name = "random"
+
+    def __init__(self, rng: RngStream):
+        self.rng = rng
+
+    def rank(self, candidates: List[EvictionCandidate]) -> List[EvictionCandidate]:
+        shuffled = sorted(candidates, key=lambda c: c.tip_id)
+        self.rng.shuffle(shuffled)
+        return shuffled

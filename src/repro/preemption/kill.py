@@ -1,0 +1,37 @@
+"""The ``kill`` primitive: Hadoop's stock eviction mechanism.
+
+"Another approach is to kill tasks ... the second one wastes work
+done by killed tasks."  The victim's attempt receives SIGKILL, a
+cleanup attempt removes its partial outputs (holding the slot
+briefly), and the task is rescheduled from scratch once the
+high-priority work is done -- all of which the makespan metric pays
+for (Figure 2b's rising curve).
+"""
+
+from __future__ import annotations
+
+from repro.hadoop.states import TipState
+from repro.hadoop.task import TaskInProgress
+from repro.preemption.base import PreemptionPrimitive, PrimitiveName
+
+
+class KillPrimitive(PreemptionPrimitive):
+    """SIGKILL now, reschedule later."""
+
+    name = PrimitiveName.KILL
+
+    def preempt(self, tip: TaskInProgress) -> None:
+        """Kill the running attempt; progress is lost."""
+        self._require_running(tip)
+        self.preempt_count += 1
+        self.trace("kill", tip=tip.tip_id, progress=round(tip.progress, 3))
+        self.jobtracker.kill_task(tip.tip_id)
+
+    def restore(self, tip: TaskInProgress) -> None:
+        """Nothing to do: the killed TIP re-enters the UNASSIGNED pool
+        and the scheduler relaunches it when priorities allow."""
+        self.restore_count += 1
+        if tip.state is TipState.KILLED:
+            # Job was not killed; TIP should already be requeued by the
+            # JobTracker's report processing.  Defensive requeue:
+            tip.set_state(TipState.UNASSIGNED)

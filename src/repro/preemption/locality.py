@@ -1,0 +1,125 @@
+"""Resume locality and delay scheduling (Section V-A).
+
+"In our implementation, a suspended process can only be resumed on
+the same machine it was suspended on.  If the same task gets scheduled
+on a different machine, it has to be restarted from scratch ... We
+call this issue resume locality ... Hadoop schedulers generally handle
+data locality by using the simple technique of delay scheduling:
+waiting a fixed amount of time before scheduling non-local copies.
+The same technique can be used for our resume locality issue."
+
+:class:`ResumeLocalityManager` implements exactly that: when a
+suspended task's tracker stays busy past the delay threshold, the
+manager converts the suspension into a *delayed kill* (restart from
+scratch elsewhere), which is the fallback the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import ResumeLocalityError, TaskStateError
+from repro.hadoop.states import TipState
+from repro.hadoop.task import TaskInProgress
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hadoop.cluster import HadoopCluster
+
+
+@dataclass
+class PendingResume:
+    """Book-keeping for one resume request being delayed."""
+
+    tip: TaskInProgress
+    requested_at: float
+    deadline: float
+    resolved: bool = False
+
+
+class ResumeLocalityManager:
+    """Delay-scheduling for resumes, with restart-from-scratch fallback."""
+
+    def __init__(self, cluster: "HadoopCluster", delay_threshold: float = 15.0):
+        if delay_threshold < 0:
+            raise ResumeLocalityError("delay threshold may not be negative")
+        self.cluster = cluster
+        self.delay_threshold = delay_threshold
+        self.pending: Dict[str, PendingResume] = {}
+        self.local_resumes = 0
+        self.non_local_restarts = 0
+
+    # -- API ----------------------------------------------------------------
+
+    def request_resume(self, tip: TaskInProgress) -> None:
+        """Ask for a resume; resolves locally if possible, otherwise
+        arms the delay timer."""
+        if tip.state is not TipState.SUSPENDED:
+            raise TaskStateError(
+                f"{tip.tip_id} is {tip.state.value}; only SUSPENDED tasks resume"
+            )
+        now = self.cluster.sim.now
+        entry = PendingResume(
+            tip=tip, requested_at=now, deadline=now + self.delay_threshold
+        )
+        self.pending[tip.tip_id] = entry
+        if self._tracker_has_slot(tip):
+            self._resolve_local(entry)
+            return
+        # The JobTracker holds MUST_RESUME directives until a slot
+        # frees; we mark the intent now and watch the deadline.
+        self.cluster.jobtracker.resume_task(tip.tip_id)
+        self.cluster.sim.schedule(
+            self.delay_threshold,
+            self._deadline_check,
+            entry,
+            label=f"locality.deadline:{tip.tip_id}",
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _tracker_has_slot(self, tip: TaskInProgress) -> bool:
+        tracker = self.cluster.trackers.get(tip.tracker or "")
+        if tracker is None:
+            return False
+        if tip.kind.value == "reduce":
+            return tracker.free_reduce_slots > 0
+        return tracker.free_map_slots > 0
+
+    def _resolve_local(self, entry: PendingResume) -> None:
+        entry.resolved = True
+        self.local_resumes += 1
+        self.pending.pop(entry.tip.tip_id, None)
+        self.cluster.jobtracker.resume_task(entry.tip.tip_id)
+        self.cluster.trace("locality.local-resume", tip=entry.tip.tip_id)
+
+    def _deadline_check(self, entry: PendingResume) -> None:
+        tip = entry.tip
+        if entry.resolved or tip.state in (TipState.RUNNING, TipState.SUCCEEDED):
+            # Resume landed (or the task finished) before the deadline.
+            entry.resolved = True
+            self.pending.pop(tip.tip_id, None)
+            self.local_resumes += 1
+            return
+        if tip.state not in (TipState.SUSPENDED, TipState.MUST_RESUME):
+            self.pending.pop(tip.tip_id, None)
+            return
+        # Delay exhausted: restart from scratch on any machine -- "in
+        # that case, the suspend is effectively analogous to a delayed
+        # kill".
+        entry.resolved = True
+        self.pending.pop(tip.tip_id, None)
+        self.non_local_restarts += 1
+        self.cluster.trace("locality.non-local-restart", tip=tip.tip_id)
+        try:
+            self.cluster.jobtracker.kill_task(tip.tip_id)
+        except TaskStateError:  # pragma: no cover - race with completion
+            pass
+
+    def stats(self) -> Dict[str, int]:
+        """Counts of local resumes vs non-local restarts."""
+        return {
+            "local_resumes": self.local_resumes,
+            "non_local_restarts": self.non_local_restarts,
+            "pending": len(self.pending),
+        }

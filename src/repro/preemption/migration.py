@@ -1,0 +1,162 @@
+"""CRIU-style non-local resume (the paper's future-work sketch).
+
+"As a future improvement, the authors suggest moving the checkpoints
+used to mark task state and reduce inputs over the network; a similar
+approach could be taken also in our case, using process migration
+facilities such as CRIU.  However, extreme care should be taken ...
+since the cost of moving non-local inputs can be very large."
+
+:class:`MigrationPrimitive` implements that sketch on the simulator:
+
+1. suspend the task with the normal OS-assisted primitive;
+2. once the stop is confirmed, dump the process image (resident +
+   swapped bytes) and ship it to the target node at the configured
+   network bandwidth;
+3. kill the source attempt and reschedule the task with a spec
+   transformed to (a) skip the work already done and (b) read the
+   staged image back before continuing -- the CRIU restore.
+
+The cost model makes the paper's warning quantitative: migrating a
+memory-hungry task pays image-over-network once and image-from-disk
+once, which the tests compare against a plain local resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ResumeLocalityError, TaskStateError
+from repro.hadoop.states import TipState
+from repro.hadoop.task import TaskInProgress
+from repro.preemption.base import PreemptionPrimitive, PrimitiveName
+from repro.preemption.suspend import SuspendResumePrimitive
+from repro.units import MB
+from repro.workloads.jobspec import TaskSpec
+
+
+@dataclass
+class MigrationRecord:
+    """One in-flight or completed migration."""
+
+    tip_id: str
+    image_bytes: int
+    progress: float
+    started_at: float
+    transfer_seconds: float
+    completed: bool = False
+
+
+class MigrationPrimitive(PreemptionPrimitive):
+    """Suspend, dump, ship, restore-elsewhere."""
+
+    name = PrimitiveName.SUSPEND  # same wire-level mechanism as suspend
+
+    def __init__(
+        self,
+        cluster,
+        network_bandwidth: float = 110 * MB,
+        dump_overhead: float = 1.0,
+    ):
+        super().__init__(cluster)
+        if network_bandwidth <= 0:
+            raise ResumeLocalityError("network bandwidth must be positive")
+        self.network_bandwidth = network_bandwidth
+        self.dump_overhead = dump_overhead
+        self._suspend = SuspendResumePrimitive(cluster)
+        self.migrations: Dict[str, MigrationRecord] = {}
+        cluster.jobtracker.spec_transformers.append(self._transform_spec)
+
+    # -- the PreemptionPrimitive surface ----------------------------------------
+
+    def preempt(self, tip: TaskInProgress) -> None:
+        """Plain OS-assisted suspension (migration happens on demand)."""
+        self._suspend.preempt(tip)
+        self.preempt_count += 1
+
+    def restore(self, tip: TaskInProgress) -> None:
+        """Plain local resume when no migration was requested."""
+        self._suspend.restore(tip)
+        self.restore_count += 1
+
+    # -- migration ------------------------------------------------------------------
+
+    def migrate(self, tip: TaskInProgress) -> MigrationRecord:
+        """Move a SUSPENDED task's image off its node and requeue it.
+
+        The task becomes schedulable anywhere once the transfer
+        completes; its next attempt fast-forwards through a restore
+        phase instead of recomputing.
+        """
+        if tip.state is not TipState.SUSPENDED:
+            raise TaskStateError(
+                f"{tip.tip_id} is {tip.state.value}; only SUSPENDED tasks migrate"
+            )
+        attempt = self.attempt_of(tip)
+        if attempt is None or attempt.process is None:
+            raise TaskStateError(f"{tip.tip_id} has no live suspended attempt")
+        image = attempt.process.image
+        image_bytes = image.resident + image.swapped
+        transfer = self.dump_overhead + image_bytes / self.network_bandwidth
+        record = MigrationRecord(
+            tip_id=tip.tip_id,
+            image_bytes=image_bytes,
+            progress=attempt.progress(),
+            started_at=self.cluster.sim.now,
+            transfer_seconds=transfer,
+        )
+        self.migrations[tip.tip_id] = record
+        self.trace(
+            "migrate-start",
+            tip=tip.tip_id,
+            image=image_bytes,
+            transfer=round(transfer, 2),
+        )
+        self.cluster.sim.schedule(
+            transfer, self._finish_transfer, tip, record,
+            label=f"migrate.ship:{tip.tip_id}",
+        )
+        return record
+
+    def _finish_transfer(self, tip: TaskInProgress, record: MigrationRecord) -> None:
+        record.completed = True
+        if tip.state is not TipState.SUSPENDED:
+            # Task was resumed/killed while the image was in flight.
+            self.migrations.pop(tip.tip_id, None)
+            return
+        self.trace("migrate-shipped", tip=tip.tip_id)
+        try:
+            # Kill the (stopped) source attempt; the TIP requeues and
+            # any tracker may take it.
+            self.cluster.jobtracker.kill_task(tip.tip_id)
+        except TaskStateError:  # pragma: no cover - race with completion
+            self.migrations.pop(tip.tip_id, None)
+
+    # -- restore-side spec rewriting ---------------------------------------------------
+
+    def _transform_spec(self, tip: TaskInProgress, spec: TaskSpec) -> TaskSpec:
+        record = self.migrations.get(tip.tip_id)
+        if record is None or not record.completed:
+            return spec
+        import dataclasses
+
+        self.migrations.pop(tip.tip_id, None)
+        remaining = max(0, int(spec.input_bytes * (1.0 - record.progress)))
+        self.trace(
+            "migrate-restore",
+            tip=tip.tip_id,
+            from_progress=round(record.progress, 3),
+        )
+        return dataclasses.replace(
+            spec,
+            input_bytes=remaining,
+            # CRIU restore: the staged image is read back locally.
+            resume_read_bytes=record.image_bytes,
+        )
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate migration accounting."""
+        return {
+            "in_flight": sum(1 for r in self.migrations.values() if not r.completed),
+            "preempts": self.preempt_count,
+        }

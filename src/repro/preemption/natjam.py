@@ -1,0 +1,156 @@
+"""Application-level checkpoint/restore, in the style of Natjam.
+
+Natjam (Cho et al., SoCC'13) preempts "at the application layer, and
+saves counters about task progress, which allow to resume tasks by
+fast-forwarding to their previous states".  The paper contrasts it
+with the OS-assisted approach on two points, both modelled here:
+
+* Natjam **always pays serialization**: suspension writes the task's
+  progress counters and buffered state to stable storage, resumption
+  reads them back and fast-forwards -- "the overhead for
+  serialization, writing to disk, and deserialization of a state that
+  could be large";
+* Natjam is **not transparent for stateful tasks**: arbitrary JVM
+  state is lost, so tasks that keep state in the task JVM need manual
+  hooks that serialize the whole footprint (modelled by
+  ``supports_stateful``; without hooks a stateful victim is simply
+  killed and loses its progress).
+
+The mechanism rides the existing kill machinery: the victim keeps its
+slot while the checkpoint is written, is then SIGKILLed, and its
+rescheduled attempt starts from a spec rewritten (via the JobTracker's
+spec-transformer hook) to read the checkpoint back and process only
+the remaining input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import TaskStateError
+from repro.hadoop.task import TaskInProgress
+from repro.preemption.base import PreemptionPrimitive, PrimitiveName
+from repro.units import MB
+from repro.workloads.jobspec import TaskSpec
+
+
+@dataclass
+class Checkpoint:
+    """Saved progress of one preempted task."""
+
+    absolute_progress: float
+    state_bytes: int
+    saved_at: float
+
+
+class NatjamPrimitive(PreemptionPrimitive):
+    """Checkpoint to disk, kill, fast-forward on reschedule."""
+
+    name = PrimitiveName.NATJAM
+
+    def __init__(
+        self,
+        cluster,
+        fixed_state_bytes: int = 256 * MB,
+        checkpoint_overhead: float = 1.0,
+        supports_stateful: bool = True,
+    ):
+        super().__init__(cluster)
+        #: execution-engine state (sort buffers, spill metadata) that
+        #: must be serialized even for "stateless" mappers
+        self.fixed_state_bytes = fixed_state_bytes
+        #: fixed coordination cost per checkpoint (Natjam's suspend
+        #: message round-trips and HDFS namenode operations)
+        self.checkpoint_overhead = checkpoint_overhead
+        self.supports_stateful = supports_stateful
+        self.checkpoints: Dict[str, Checkpoint] = {}
+        self.serialize_seconds = 0.0
+        self.deserialize_bytes = 0
+        cluster.jobtracker.spec_transformers.append(self._transform_spec)
+
+    # -- preempt ------------------------------------------------------------
+
+    def preempt(self, tip: TaskInProgress) -> None:
+        """Write a checkpoint, then kill the attempt."""
+        self._require_running(tip)
+        self.preempt_count += 1
+        attempt = self.attempt_of(tip)
+        if attempt is None:
+            raise TaskStateError(f"{tip.tip_id} has no live attempt")
+
+        if tip.spec.stateful and not self.supports_stateful:
+            # No serialization hooks: the checkpoint cannot capture the
+            # JVM state, so this degenerates to a plain kill.
+            self.trace("natjam-degenerate-kill", tip=tip.tip_id)
+            self.jobtracker.kill_task(tip.tip_id)
+            return
+
+        progress = attempt.progress()
+        state_bytes = self.fixed_state_bytes
+        if tip.spec.stateful:
+            state_bytes += tip.spec.footprint_bytes
+        kernel = attempt.kernel
+        cost = kernel.disk.write_burst_cost(state_bytes)
+        kernel.disk.account_burst(cost, write=True)
+        serialize_time = cost.total_time + self.checkpoint_overhead
+        self.serialize_seconds += serialize_time
+
+        previous = self.checkpoints.get(tip.tip_id)
+        base = previous.absolute_progress if previous else 0.0
+        absolute = base + (1.0 - base) * progress
+        self.checkpoints[tip.tip_id] = Checkpoint(
+            absolute_progress=absolute,
+            state_bytes=state_bytes,
+            saved_at=self.cluster.sim.now,
+        )
+        self.trace(
+            "natjam-checkpoint",
+            tip=tip.tip_id,
+            progress=round(absolute, 3),
+            state=state_bytes,
+            serialize=round(serialize_time, 2),
+        )
+        # The victim keeps its slot while the checkpoint drains, then
+        # dies; the JobTracker reschedules it like any killed task.
+        self.cluster.sim.schedule(
+            serialize_time,
+            self._kill_after_checkpoint,
+            tip,
+            label=f"natjam.kill:{tip.tip_id}",
+        )
+
+    def _kill_after_checkpoint(self, tip: TaskInProgress) -> None:
+        try:
+            self.jobtracker.kill_task(tip.tip_id)
+        except TaskStateError:
+            # Completed in the meanwhile; drop the checkpoint.
+            self.checkpoints.pop(tip.tip_id, None)
+
+    # -- restore -----------------------------------------------------------------
+
+    def restore(self, tip: TaskInProgress) -> None:
+        """Nothing explicit: the TIP is already requeued and priorities
+        let it back in; the spec transformer applies the fast-forward."""
+        self.restore_count += 1
+
+    # -- spec rewriting ------------------------------------------------------------
+
+    def _transform_spec(self, tip: TaskInProgress, spec: TaskSpec) -> TaskSpec:
+        checkpoint = self.checkpoints.get(tip.tip_id)
+        if checkpoint is None:
+            return spec
+        import dataclasses
+
+        remaining = max(0, int(spec.input_bytes * (1.0 - checkpoint.absolute_progress)))
+        self.deserialize_bytes += checkpoint.state_bytes
+        self.trace(
+            "natjam-restore",
+            tip=tip.tip_id,
+            from_progress=round(checkpoint.absolute_progress, 3),
+        )
+        return dataclasses.replace(
+            spec,
+            input_bytes=remaining,
+            resume_read_bytes=checkpoint.state_bytes,
+        )

@@ -1,0 +1,86 @@
+"""The OS-assisted suspend/resume primitive -- the paper's contribution.
+
+Suspension delivers ``SIGTSTP`` through the heartbeat machinery; the
+task's state is "implicitly saved by the operating system, and kept in
+memory.  If not enough physical memory is available for running tasks
+at any moment, the OS paging mechanism saves the memory allocated to
+the suspended tasks in the swap area."
+
+Resumption delivers ``SIGCONT`` once the owning TaskTracker has a free
+slot; pages lost to swap fault back in as the task continues.  The
+primitive enforces the Section III-A safety constraint (suspended
+memory must fit in swap) before suspending.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotPreemptibleError
+from repro.hadoop.states import TipState
+from repro.hadoop.task import TaskInProgress
+from repro.preemption.base import PreemptionPrimitive, PrimitiveName
+
+
+class SuspendResumePrimitive(PreemptionPrimitive):
+    """SIGTSTP to preempt, SIGCONT to restore."""
+
+    name = PrimitiveName.SUSPEND
+
+    def __init__(self, cluster, enforce_swap_capacity: bool = True):
+        super().__init__(cluster)
+        self.enforce_swap_capacity = enforce_swap_capacity
+
+    def preempt(self, tip: TaskInProgress) -> None:
+        """Mark the task MUST_SUSPEND; the TaskTracker stops it at the
+        next heartbeat exchange."""
+        self._require_running(tip)
+        if self.enforce_swap_capacity:
+            self._check_swap_capacity(tip)
+        self.preempt_count += 1
+        self.trace("suspend", tip=tip.tip_id, progress=round(tip.progress, 3))
+        self.jobtracker.suspend_task(tip.tip_id)
+
+    def restore(self, tip: TaskInProgress) -> None:
+        """Mark the task MUST_RESUME; SIGCONT rides the next heartbeat
+        that finds a free slot on the owning tracker."""
+        self.restore_count += 1
+        if tip.state is TipState.MUST_SUSPEND:
+            # Restore requested before the stop even landed: the resume
+            # directive will chase the suspend confirmation.
+            self.cluster.sim.call_soon(self.restore, tip, label="preempt.re-restore")
+            return
+        if tip.state is not TipState.SUSPENDED:
+            return  # completed in the meanwhile, or never suspended
+        self.trace("resume", tip=tip.tip_id)
+        self.jobtracker.resume_task(tip.tip_id)
+
+    # -- safety -------------------------------------------------------------
+
+    def _check_swap_capacity(self, tip: TaskInProgress) -> None:
+        """Section III-A: aggregate suspended memory must fit in swap,
+        and the per-tracker suspended count is capped by config."""
+        tracker = self.cluster.trackers.get(tip.tracker or "")
+        if tracker is None:
+            raise NotPreemptibleError(f"{tip.tip_id} has no live tracker")
+        if (
+            len(tracker.suspended_attempts())
+            >= tracker.config.max_suspended_per_tracker
+        ):
+            raise NotPreemptibleError(
+                f"{tracker.host} already holds "
+                f"{len(tracker.suspended_attempts())} suspended tasks "
+                f"(max_suspended_per_tracker)"
+            )
+        attempt = self.attempt_of(tip)
+        if attempt is None:
+            raise NotPreemptibleError(f"{tip.tip_id} has no live attempt")
+        vmm = tracker.kernel.vmm
+        suspended_bytes = sum(
+            a.resident_bytes() + a.current_swapped_bytes()
+            for a in tracker.suspended_attempts()
+        )
+        need = attempt.resident_bytes() + suspended_bytes
+        if need > vmm.swap.capacity:
+            raise NotPreemptibleError(
+                f"suspending {tip.tip_id} could need {need} bytes of swap "
+                f"but only {vmm.swap.capacity} are configured"
+            )

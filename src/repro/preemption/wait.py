@@ -1,0 +1,27 @@
+"""The ``wait`` strategy: preempt by not preempting.
+
+"One technique is to wait for tasks that should be preempted to
+complete" -- the high-priority work simply queues behind the victim.
+No work is wasted, but the high-priority task's sojourn time absorbs
+the victim's whole remaining runtime (Figure 2a's upper curve).
+"""
+
+from __future__ import annotations
+
+from repro.hadoop.task import TaskInProgress
+from repro.preemption.base import PreemptionPrimitive, PrimitiveName
+
+
+class WaitPrimitive(PreemptionPrimitive):
+    """No-op preemption: rely on priority ordering at the next free slot."""
+
+    name = PrimitiveName.WAIT
+
+    def preempt(self, tip: TaskInProgress) -> None:
+        """Deliberately do nothing; priorities settle it at slot release."""
+        self.preempt_count += 1
+        self.trace("wait", tip=tip.tip_id)
+
+    def restore(self, tip: TaskInProgress) -> None:
+        """Nothing to undo."""
+        self.restore_count += 1

@@ -1,0 +1,44 @@
+"""Job/task schedulers.
+
+The paper factors preemption *primitives* (this library's
+:mod:`repro.preemption`) out of eviction *policies* (the scheduler's
+job).  This package provides:
+
+* :class:`~repro.schedulers.dummy.DummyScheduler` -- the paper's
+  trigger-driven scheduler, "a new scheduling component for Hadoop ...
+  which dictates task eviction according to static configuration
+  files";
+* :class:`~repro.schedulers.fifo.FifoScheduler` -- Hadoop's default
+  priority-then-FIFO queue (JobQueueTaskScheduler);
+* :class:`~repro.schedulers.fair.FairScheduler` -- a simplified FAIR
+  scheduler with preemption hooks;
+* :class:`~repro.schedulers.capacity.CapacityScheduler` -- fixed-share
+  queues;
+* :class:`~repro.schedulers.hfsp.HfspScheduler` -- the authors' HFSP
+  size-based scheduler (the conclusion reports preliminary results of
+  the suspend primitive inside HFSP);
+* :class:`~repro.schedulers.deadline.DeadlineScheduler` -- EDF with
+  preemption when a deadline is at risk.
+"""
+
+from repro.schedulers.base import TaskScheduler
+from repro.schedulers.capacity import CapacityScheduler
+from repro.schedulers.deadline import DeadlineScheduler
+from repro.schedulers.dummy import DummyScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.hfsp import HfspScheduler
+from repro.schedulers.triggers import ProgressTrigger, TriggerAction, TriggerEngine
+
+__all__ = [
+    "TaskScheduler",
+    "FifoScheduler",
+    "DummyScheduler",
+    "FairScheduler",
+    "CapacityScheduler",
+    "HfspScheduler",
+    "DeadlineScheduler",
+    "ProgressTrigger",
+    "TriggerAction",
+    "TriggerEngine",
+]

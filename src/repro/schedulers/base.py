@@ -1,0 +1,99 @@
+"""Scheduler plug-in interface.
+
+Mirrors Hadoop 1's ``TaskScheduler``: the JobTracker calls
+:meth:`TaskScheduler.assign_tasks` while answering each heartbeat, and
+notifies the scheduler of job lifecycle events.  Schedulers that
+preempt (FAIR, HFSP, deadline) do so through the JobTracker's
+preemption API with a configurable
+:class:`~repro.preemption.base.PreemptionPrimitive`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, List
+
+from repro.hadoop.job import JobInProgress
+from repro.hadoop.task import TaskInProgress
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hadoop.jobtracker import JobTracker
+
+
+class TaskScheduler(abc.ABC):
+    """Base class for pluggable job/task schedulers."""
+
+    def __init__(self) -> None:
+        self.jobtracker: "JobTracker" = None  # bound by the JobTracker
+
+    def bind(self, jobtracker: "JobTracker") -> None:
+        """Attach to a JobTracker (called once at construction time)."""
+        self.jobtracker = jobtracker
+
+    # -- lifecycle notifications (default: no-op) ----------------------------
+
+    def job_added(self, job: JobInProgress) -> None:
+        """A job was submitted."""
+
+    def job_updated(self, job: JobInProgress) -> None:
+        """A task of the job changed state."""
+
+    def job_completed(self, job: JobInProgress) -> None:
+        """The job reached a terminal state."""
+
+    # -- the scheduling decision ----------------------------------------------
+
+    @abc.abstractmethod
+    def assign_tasks(
+        self, tracker: str, free_map_slots: int, free_reduce_slots: int
+    ) -> List[TaskInProgress]:
+        """Pick tasks to launch on ``tracker``.
+
+        Returns at most ``free_map_slots`` map tips plus
+        ``free_reduce_slots`` reduce tips.  The JobTracker enforces the
+        limits, so returning too many is safe but wasteful.
+        """
+
+    # -- helpers shared by implementations ----------------------------------------
+
+    def _candidate_jobs(self) -> List[JobInProgress]:
+        """Running jobs in submission order."""
+        return [
+            job
+            for job in self.jobtracker.jobs.values()
+            if not job.state.terminal
+        ]
+
+    @staticmethod
+    def job_pending_demand(job: JobInProgress) -> int:
+        """Tasks the job wants to run but cannot yet.
+
+        Jobs still in PREP count their whole task list: the setup task
+        is queued behind the busy slots, so the demand is real even
+        though no work tip is schedulable yet.  Preemption logic must
+        use this (not ``schedulable_tips``) or PREP jobs starve
+        silently.
+        """
+        from repro.hadoop.job import JobState
+
+        if job.state is JobState.PREP:
+            return len(job.tips)
+        return len(job.schedulable_tips())
+
+    @staticmethod
+    def _take_schedulable(
+        job: JobInProgress, want_map: int, want_reduce: int
+    ) -> List[TaskInProgress]:
+        """Up to the requested number of schedulable tips of each kind."""
+        chosen: List[TaskInProgress] = []
+        for tip in job.schedulable_tips():
+            if tip.kind.value == "map":
+                if want_map <= 0:
+                    continue
+                want_map -= 1
+            else:
+                if want_reduce <= 0:
+                    continue
+                want_reduce -= 1
+            chosen.append(tip)
+        return chosen

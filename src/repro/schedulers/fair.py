@@ -1,0 +1,235 @@
+"""A simplified FAIR scheduler with preemption hooks.
+
+"Job schedulers, like the Hadoop FAIR and Capacity schedulers, can use
+preemption to warrant fairness: if a job starves due to long-running
+tasks of another job, these latter may be preempted."
+
+Jobs are grouped into pools by their submitting user; each pool with
+demand receives an equal share of the cluster's map slots.  A pool
+that stays below its share for longer than ``preemption_timeout``
+while it has pending tasks triggers preemption of tasks from
+over-share pools, using a pluggable
+:class:`~repro.preemption.base.PreemptionPrimitive` and
+:class:`~repro.preemption.eviction.EvictionPolicy` -- so the paper's
+suspend/resume primitive slots straight into fair-share enforcement.
+
+Simplifications versus Hadoop's FairScheduler: no per-pool weights or
+minimum shares, no hierarchical pools, and suspended victims are
+restored on the periodic check rather than via a dedicated event per
+slot release.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.errors import NotPreemptibleError
+from repro.hadoop.job import JobInProgress
+from repro.hadoop.states import TipState
+from repro.hadoop.task import TaskInProgress
+from repro.schedulers.base import TaskScheduler
+
+
+class FairScheduler(TaskScheduler):
+    """Equal-share pools with preemption."""
+
+    def __init__(
+        self,
+        primitive_factory=None,
+        eviction_policy=None,
+        preemption_timeout: float = 20.0,
+        check_interval: float = 5.0,
+    ):
+        super().__init__()
+        #: callable(cluster) -> PreemptionPrimitive; bound lazily so the
+        #: scheduler can be constructed before the cluster exists
+        self.primitive_factory = primitive_factory
+        self.eviction_policy = eviction_policy
+        self.preemption_timeout = preemption_timeout
+        self.check_interval = check_interval
+        self.primitive = None
+        self.cluster = None
+        #: pool -> earliest time it has been continuously starved
+        self._starved_since: Dict[str, Optional[float]] = {}
+        self._suspended_by_us: List[TaskInProgress] = []
+        self.preemptions = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach_cluster(self, cluster) -> None:
+        """Late-bind the cluster (called by experiment harnesses) to
+        enable preemption; without it the scheduler still shares
+        fairly but never preempts."""
+        self.cluster = cluster
+        if self.primitive_factory is not None:
+            self.primitive = self.primitive_factory(cluster)
+        if self.eviction_policy is None:
+            from repro.preemption.eviction import ClosestToCompletionPolicy
+
+            self.eviction_policy = ClosestToCompletionPolicy()
+        self._schedule_check()
+
+    def _schedule_check(self) -> None:
+        self.jobtracker.sim.schedule(
+            self.check_interval, self._periodic_check, label="fair.check"
+        )
+
+    # -- pools ------------------------------------------------------------------
+
+    def _pools(self) -> Dict[str, List[JobInProgress]]:
+        pools: Dict[str, List[JobInProgress]] = defaultdict(list)
+        for job in self._candidate_jobs():
+            pools[job.spec.user].append(job)
+        return pools
+
+    def _total_map_slots(self) -> int:
+        return sum(t.map_slots for t in self.jobtracker.trackers.values())
+
+    def _running_count(self, jobs: List[JobInProgress]) -> int:
+        return sum(
+            1
+            for job in jobs
+            for tip in job.tips
+            if tip.state in (TipState.RUNNING, TipState.MUST_SUSPEND)
+        )
+
+    def _pending_count(self, jobs: List[JobInProgress]) -> int:
+        return sum(self.job_pending_demand(job) for job in jobs)
+
+    def fair_share(self) -> int:
+        """Slots per pool-with-demand (at least 1)."""
+        pools = [
+            pool
+            for pool, jobs in self._pools().items()
+            if self._pending_count(jobs) + self._running_count(jobs) > 0
+        ]
+        if not pools:
+            return self._total_map_slots()
+        return max(1, self._total_map_slots() // len(pools))
+
+    # -- assignment ----------------------------------------------------------------
+
+    def assign_tasks(
+        self, tracker: str, free_map_slots: int, free_reduce_slots: int
+    ) -> List[TaskInProgress]:
+        """Round-robin over pools ordered by deficit (running/share)."""
+        assigned: List[TaskInProgress] = []
+        share = self.fair_share()
+        pools = self._pools()
+        # Most-starved pool first.
+        ordered = sorted(
+            pools.items(),
+            key=lambda kv: (self._running_count(kv[1]) / max(1, share), kv[0]),
+        )
+        taken = set()
+        progress_made = True
+        while (free_map_slots > 0 or free_reduce_slots > 0) and progress_made:
+            progress_made = False
+            for _pool, jobs in ordered:
+                jobs_sorted = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+                for job in jobs_sorted:
+                    tip = next(
+                        (
+                            t
+                            for t in job.schedulable_tips()
+                            if t.tip_id not in taken
+                            and (
+                                free_map_slots > 0
+                                if t.kind.value == "map"
+                                else free_reduce_slots > 0
+                            )
+                        ),
+                        None,
+                    )
+                    if tip is None:
+                        continue
+                    taken.add(tip.tip_id)
+                    if tip.kind.value == "map":
+                        free_map_slots -= 1
+                    else:
+                        free_reduce_slots -= 1
+                    assigned.append(tip)
+                    progress_made = True
+                    break
+                if free_map_slots <= 0 and free_reduce_slots <= 0:
+                    break
+        return assigned
+
+    # -- preemption loop ----------------------------------------------------------------
+
+    def _periodic_check(self) -> None:
+        self._schedule_check()
+        if self.primitive is None:
+            return
+        self._maybe_restore()
+        share = self.fair_share()
+        now = self.jobtracker.sim.now
+        pools = self._pools()
+        for pool, jobs in pools.items():
+            running = self._running_count(jobs)
+            pending = self._pending_count(jobs)
+            if pending == 0 or running >= share:
+                self._starved_since[pool] = None
+                continue
+            since = self._starved_since.get(pool)
+            if since is None:
+                self._starved_since[pool] = now
+                continue
+            if now - since < self.preemption_timeout:
+                continue
+            deficit = min(share - running, pending)
+            self._preempt_for(pool, deficit, share, pools)
+            self._starved_since[pool] = now  # rate-limit
+
+    def _preempt_for(
+        self,
+        starved_pool: str,
+        deficit: int,
+        share: int,
+        pools: Dict[str, List[JobInProgress]],
+    ) -> None:
+        from repro.preemption.eviction import collect_candidates
+
+        protected = {
+            job.spec.name for job in pools.get(starved_pool, [])
+        }
+        # Only pools above their share may lose tasks.
+        over_share_jobs = set()
+        for pool, jobs in pools.items():
+            if pool == starved_pool:
+                continue
+            if self._running_count(jobs) > share:
+                over_share_jobs.update(job.spec.name for job in jobs)
+        candidates = [
+            c
+            for c in collect_candidates(self.cluster, protect_jobs=protected)
+            if self.cluster.jobtracker.jobs[c.tip.job.job_id].spec.name
+            in over_share_jobs
+        ]
+        for victim in self.eviction_policy.choose(candidates, deficit):
+            try:
+                self.primitive.preempt(victim.tip)
+                self.preemptions += 1
+                if victim.tip.state is TipState.MUST_SUSPEND:
+                    self._suspended_by_us.append(victim.tip)
+            except NotPreemptibleError:
+                continue
+
+    def _maybe_restore(self) -> None:
+        """Resume tasks we suspended once their pool is under-subscribed
+        and their tracker has room."""
+        share = self.fair_share()
+        still_waiting: List[TaskInProgress] = []
+        for tip in self._suspended_by_us:
+            if tip.state is not TipState.SUSPENDED:
+                continue
+            pool_jobs = self._pools().get(tip.job.spec.user, [])
+            if self._running_count(pool_jobs) >= share:
+                still_waiting.append(tip)
+                continue
+            tracker = self.jobtracker.trackers.get(tip.tracker or "")
+            if tracker is None:
+                continue
+            self.primitive.restore(tip)
+        self._suspended_by_us = still_waiting

@@ -1,0 +1,43 @@
+"""Priority-then-FIFO scheduling (Hadoop's JobQueueTaskScheduler).
+
+Jobs are ordered by descending priority, then by submission time.
+This is the assignment policy underlying the paper's experiments: the
+high-priority job ``th`` outranks ``tl`` for any freed slot, while the
+*preemption* decision itself (suspend vs kill vs wait) is taken by the
+dummy scheduler's triggers or by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hadoop.job import JobInProgress
+from repro.hadoop.task import TaskInProgress
+from repro.schedulers.base import TaskScheduler
+
+
+class FifoScheduler(TaskScheduler):
+    """Hadoop 1's default queue: priority desc, submit time asc."""
+
+    def ordered_jobs(self) -> List[JobInProgress]:
+        """Candidate jobs in scheduling order."""
+        return sorted(
+            self._candidate_jobs(),
+            key=lambda job: (-job.priority, job.submit_time, job.job_id),
+        )
+
+    def assign_tasks(
+        self, tracker: str, free_map_slots: int, free_reduce_slots: int
+    ) -> List[TaskInProgress]:
+        assigned: List[TaskInProgress] = []
+        for job in self.ordered_jobs():
+            if free_map_slots <= 0 and free_reduce_slots <= 0:
+                break
+            chosen = self._take_schedulable(job, free_map_slots, free_reduce_slots)
+            for tip in chosen:
+                if tip.kind.value == "map":
+                    free_map_slots -= 1
+                else:
+                    free_reduce_slots -= 1
+            assigned.extend(chosen)
+        return assigned

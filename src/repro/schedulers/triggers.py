@@ -1,0 +1,173 @@
+"""Trigger rules for the dummy scheduler.
+
+The paper's dummy scheduler is configured with "a series of simple
+triggers, which jobs/tasks are run in the cluster and which are
+preempted".  A :class:`ProgressTrigger` fires when a watched job's
+task reaches a progress threshold; its actions submit jobs and/or
+preempt tasks with a chosen primitive.  A
+:class:`~repro.schedulers.triggers.TriggerEngine` arms the triggers
+against live attempts with *exact* progress crossings (via the work
+engine's milestone support), mirroring how the paper parametrises the
+arrival of ``th`` on "tl progress at launch of th (%)".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hadoop.cluster import HadoopCluster
+    from repro.workloads.jobspec import JobSpec
+
+
+class TriggerAction(enum.Enum):
+    """What to do when a trigger fires."""
+
+    SUBMIT_JOB = "submit_job"
+    SUSPEND_TASKS = "suspend_tasks"
+    KILL_TASKS = "kill_tasks"
+    RESUME_TASKS = "resume_tasks"
+    CALL = "call"
+
+
+@dataclass
+class TriggerRule:
+    """One action taken when the trigger fires."""
+
+    action: TriggerAction
+    target_job: Optional[str] = None
+    job_spec: Optional["JobSpec"] = None
+    callback: Optional[Callable[[], None]] = None
+
+    def validate(self) -> None:
+        """Raise on inconsistent rules."""
+        if self.action is TriggerAction.SUBMIT_JOB and self.job_spec is None:
+            raise ConfigurationError("SUBMIT_JOB rule needs a job_spec")
+        if (
+            self.action
+            in (
+                TriggerAction.SUSPEND_TASKS,
+                TriggerAction.KILL_TASKS,
+                TriggerAction.RESUME_TASKS,
+            )
+            and self.target_job is None
+        ):
+            raise ConfigurationError(f"{self.action.value} rule needs a target_job")
+        if self.action is TriggerAction.CALL and self.callback is None:
+            raise ConfigurationError("CALL rule needs a callback")
+
+
+@dataclass
+class ProgressTrigger:
+    """Fire ``rules`` when ``watch_job``'s first task crosses
+    ``at_progress`` (a fraction in [0, 1])."""
+
+    watch_job: str
+    at_progress: float
+    rules: List[TriggerRule] = field(default_factory=list)
+    fired: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at_progress <= 1.0:
+            raise ConfigurationError("at_progress must be within [0, 1]")
+        for rule in self.rules:
+            rule.validate()
+
+
+class CompletionTrigger:
+    """Fire ``rules`` when ``watch_job`` completes."""
+
+    def __init__(self, watch_job: str, rules: List[TriggerRule]):
+        self.watch_job = watch_job
+        self.rules = list(rules)
+        self.fired = False
+        for rule in self.rules:
+            rule.validate()
+
+
+class TriggerEngine:
+    """Arms triggers against a cluster and executes their rules."""
+
+    def __init__(self, cluster: "HadoopCluster"):
+        self.cluster = cluster
+        self.progress_triggers: List[ProgressTrigger] = []
+        self.completion_triggers: List[CompletionTrigger] = []
+        self._armed: Dict[int, bool] = {}
+        cluster.on_attempt_launched(self._attempt_launched)
+        cluster.jobtracker.on_job_complete(self._job_completed)
+
+    # -- configuration ---------------------------------------------------------
+
+    def add_progress_trigger(self, trigger: ProgressTrigger) -> None:
+        """Register a progress trigger (before or after job submission)."""
+        self.progress_triggers.append(trigger)
+        # Arm immediately if the watched job already has a live attempt.
+        attempt = self.cluster.find_live_attempt(trigger.watch_job)
+        if attempt is not None:
+            self._arm(trigger, attempt)
+
+    def add_completion_trigger(self, trigger: CompletionTrigger) -> None:
+        """Register a completion trigger."""
+        self.completion_triggers.append(trigger)
+
+    # -- wiring -------------------------------------------------------------------
+
+    def _attempt_launched(self, attempt) -> None:
+        for trigger in self.progress_triggers:
+            if trigger.fired or id(trigger) in self._armed:
+                continue
+            job = self.cluster.jobtracker.jobs.get(attempt.job_id)
+            if job is not None and job.spec.name == trigger.watch_job:
+                if attempt.role.value != "task":
+                    continue  # ignore setup/cleanup attempts
+                self._arm(trigger, attempt)
+
+    def _arm(self, trigger: ProgressTrigger, attempt) -> None:
+        self._armed[id(trigger)] = True
+        attempt.jvm.engine.when_progress(
+            trigger.at_progress, lambda: self._fire_progress(trigger)
+        )
+
+    def _fire_progress(self, trigger: ProgressTrigger) -> None:
+        if trigger.fired:
+            return
+        trigger.fired = True
+        self.cluster.trace(
+            "trigger.fired", watch=trigger.watch_job, at=trigger.at_progress
+        )
+        for rule in trigger.rules:
+            self._execute(rule)
+
+    def _job_completed(self, job) -> None:
+        for trigger in self.completion_triggers:
+            if trigger.fired or job.spec.name != trigger.watch_job:
+                continue
+            trigger.fired = True
+            self.cluster.trace("trigger.completed", watch=trigger.watch_job)
+            for rule in trigger.rules:
+                self._execute(rule)
+
+    # -- rule execution ---------------------------------------------------------------
+
+    def _execute(self, rule: TriggerRule) -> None:
+        jt = self.cluster.jobtracker
+        if rule.action is TriggerAction.SUBMIT_JOB:
+            jt.submit_job(rule.job_spec)
+        elif rule.action is TriggerAction.SUSPEND_TASKS:
+            for tip in jt.job_by_name(rule.target_job).running_tips():
+                if tip.state.value == "RUNNING":
+                    jt.suspend_task(tip.tip_id)
+        elif rule.action is TriggerAction.KILL_TASKS:
+            for tip in jt.job_by_name(rule.target_job).running_tips():
+                if not tip.state.terminal:
+                    jt.kill_task(tip.tip_id)
+        elif rule.action is TriggerAction.RESUME_TASKS:
+            for tip in jt.job_by_name(rule.target_job).running_tips():
+                if tip.state.value == "SUSPENDED":
+                    jt.resume_task(tip.tip_id)
+        elif rule.action is TriggerAction.CALL:
+            rule.callback()

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a :class:`~repro.sim.engine.Simulation`
+owns a virtual clock and a priority queue of scheduled callbacks.
+Everything else in the simulator (the OS model, HDFS, the Hadoop
+engine) is built out of entities that schedule callbacks on this loop.
+
+Determinism guarantees:
+
+* events fire in non-decreasing time order;
+* events scheduled for the same instant fire in FIFO order of
+  scheduling;
+* all randomness flows through named, seeded
+  :class:`~repro.sim.rng.RngStream` objects so that two runs with the
+  same seed are bit-identical.
+"""
+
+from repro.sim.engine import Simulation
+from repro.sim.events import EventHandle
+from repro.sim.rng import RngRegistry, RngStream
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Simulation",
+    "EventHandle",
+    "RngRegistry",
+    "RngStream",
+    "TraceLog",
+    "TraceRecord",
+]

@@ -1,0 +1,186 @@
+"""The discrete-event engine.
+
+:class:`Simulation` owns the virtual clock and the event heap.  A
+simulation run is a sequence of callback invocations at non-decreasing
+virtual times; callbacks schedule further events.  The engine never
+advances the clock past the next pending event, so model code can rely
+on ``sim.now`` being exact at every callback.
+
+Typical use::
+
+    sim = Simulation(seed=42)
+    sim.schedule(1.5, lambda: print("fires at t=1.5"))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SchedulingInPastError, SimulationError
+from repro.sim.events import EventHandle
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+
+
+class Simulation:
+    """A deterministic discrete-event simulation loop.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the :class:`~repro.sim.rng.RngRegistry`.  Two
+        simulations constructed with the same seed and driven by the
+        same model code produce identical event sequences.
+    trace:
+        When true, every fired event is appended to :attr:`trace_log`.
+        Useful in tests and when rendering Figure 1 style schedules.
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False):
+        self.now: float = 0.0
+        self.rng = RngRegistry(seed)
+        self.trace_log = TraceLog(enabled=trace)
+        self._heap: List[EventHandle] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_fired = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; zero-delay events run after all
+        events already scheduled for the current instant (FIFO order).
+        Returns an :class:`EventHandle` that may be cancelled.
+        """
+        if delay < 0:
+            raise SchedulingInPastError(
+                f"cannot schedule {delay:.6f}s in the past (now={self.now:.6f})"
+            )
+        return self.schedule_at(self.now + delay, callback, *args, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise SchedulingInPastError(
+                f"cannot schedule at t={time:.6f} (now={self.now:.6f})"
+            )
+        handle = EventHandle(time, self._seq, callback, args, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def call_soon(
+        self, callback: Callable[..., Any], *args: Any, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` at the current instant (after pending
+        same-time events)."""
+        return self.schedule(0.0, callback, *args, label=label)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the heap is
+        empty (simulation finished).  Cancelled events are discarded
+        silently.
+        """
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if handle.time < self.now:  # pragma: no cover - defensive
+                raise SimulationError(
+                    f"event heap corrupted: event at t={handle.time} "
+                    f"popped at now={self.now}"
+                )
+            self.now = handle.time
+            handle._mark_fired()
+            self._events_fired += 1
+            self.trace_log.record(self.now, handle.label)
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the event heap drains, ``until`` is reached, or
+        ``max_events`` events have fired.
+
+        ``until`` is an absolute virtual time; when given, the clock is
+        advanced to exactly ``until`` even if no event fires there, so
+        repeated ``run(until=...)`` calls behave like a paced replay.
+        """
+        if self._running:
+            raise SimulationError("Simulation.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._heap and not self._stopped:
+                if until is not None and self._peek_time() > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                if self.step():
+                    fired += 1
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _peek_time(self) -> float:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return float("inf")
+        return self._heap[0].time
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled (non-cancelled) events still in the heap."""
+        return sum(1 for handle in self._heap if not handle.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events fired since construction."""
+        return self._events_fired
+
+    @property
+    def idle(self) -> bool:
+        """True when no events remain."""
+        return self.pending_events == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Simulation(now={self.now:.3f}, pending={self.pending_events}, "
+            f"fired={self._events_fired})"
+        )

@@ -1,0 +1,95 @@
+"""Scheduled-event bookkeeping for the simulation kernel.
+
+An :class:`EventHandle` is returned by
+:meth:`repro.sim.engine.Simulation.schedule` and lets the caller cancel
+the event or ask whether it already fired.  Handles sort by
+``(time, seq)`` so the engine's heap pops events in deterministic
+order: time first, then FIFO among events scheduled for the same
+instant.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Tuple
+
+
+class EventState(enum.Enum):
+    """Lifecycle of a scheduled event."""
+
+    PENDING = "pending"
+    FIRED = "fired"
+    CANCELLED = "cancelled"
+
+
+class EventHandle:
+    """A cancellable reference to one scheduled callback.
+
+    Instances are created by the engine; user code only cancels them or
+    inspects their state.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "label", "state")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        label: str = "",
+    ):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.label = label or getattr(callback, "__name__", "event")
+        self.state = EventState.PENDING
+
+    # Heap ordering ------------------------------------------------------
+
+    def sort_key(self) -> Tuple[float, int]:
+        """Key used by the engine's heap: time, then scheduling order."""
+        return (self.time, self.seq)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    # State queries ------------------------------------------------------
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not yet fired/cancelled."""
+        return self.state is EventState.PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` succeeded."""
+        return self.state is EventState.CANCELLED
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback ran."""
+        return self.state is EventState.FIRED
+
+    def cancel(self) -> bool:
+        """Cancel the event if it has not fired yet.
+
+        Returns ``True`` if the event was pending and is now cancelled,
+        ``False`` if it had already fired or was already cancelled.
+        Cancellation is lazy: the handle stays in the engine's heap and
+        is discarded when popped.
+        """
+        if self.state is EventState.PENDING:
+            self.state = EventState.CANCELLED
+            return True
+        return False
+
+    def _mark_fired(self) -> None:
+        self.state = EventState.FIRED
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"EventHandle(t={self.time:.6f}, seq={self.seq}, "
+            f"label={self.label!r}, state={self.state.value})"
+        )

@@ -1,0 +1,99 @@
+"""Simulation trace log.
+
+A :class:`TraceLog` collects ``(time, label, fields)`` records.  The
+engine records every fired event; model components append richer
+records (task launched, signal delivered, pages swapped, ...).  The
+experiment harness renders the Figure 1 style execution schedules from
+these records, and tests assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped trace entry."""
+
+    time: float
+    label: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, label_prefix: str, **field_filters: Any) -> bool:
+        """True when the label starts with ``label_prefix`` and every
+        given field equals the filter value."""
+        if not self.label.startswith(label_prefix):
+            return False
+        for key, expected in field_filters.items():
+            if self.fields.get(key) != expected:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.time:10.3f}] {self.label}" + (f" {extra}" if extra else "")
+
+
+class TraceLog:
+    """Append-only list of :class:`TraceRecord` with query helpers.
+
+    The log can be disabled (the default for large runs) in which case
+    :meth:`record` is a no-op; subscribers still fire, so live metric
+    collectors work even with the log off.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
+        self.enabled = enabled
+        self.capacity = capacity
+        self._records: List[TraceRecord] = []
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    def record(self, time: float, label: str, **fields: Any) -> None:
+        """Append a record (if enabled) and notify subscribers (always)."""
+        rec = TraceRecord(time, label, fields)
+        if self.enabled:
+            self._records.append(rec)
+            if self.capacity is not None and len(self._records) > self.capacity:
+                del self._records[: len(self._records) - self.capacity]
+        for subscriber in self._subscribers:
+            subscriber(rec)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked for every record, even when the
+        stored log is disabled."""
+        self._subscribers.append(callback)
+
+    # Queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def find(self, label_prefix: str, **field_filters: Any) -> List[TraceRecord]:
+        """All records matching the prefix and field filters, in order."""
+        return [
+            rec for rec in self._records if rec.matches(label_prefix, **field_filters)
+        ]
+
+    def first(self, label_prefix: str, **field_filters: Any) -> Optional[TraceRecord]:
+        """First matching record or None."""
+        for rec in self._records:
+            if rec.matches(label_prefix, **field_filters):
+                return rec
+        return None
+
+    def last(self, label_prefix: str, **field_filters: Any) -> Optional[TraceRecord]:
+        """Last matching record or None."""
+        for rec in reversed(self._records):
+            if rec.matches(label_prefix, **field_filters):
+                return rec
+        return None
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable dump of the last ``limit`` records."""
+        records = self._records if limit is None else self._records[-limit:]
+        return "\n".join(str(rec) for rec in records)

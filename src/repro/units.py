@@ -1,0 +1,137 @@
+"""Units helpers: data sizes, rates, and time formatting.
+
+The simulator accounts memory and I/O in plain integers (bytes) and
+floats (seconds).  This module centralises the constants and the
+parsing/formatting helpers so experiment code can say ``MB * 512`` or
+``parse_size("2.5 GB")`` instead of sprinkling magic numbers.
+
+All sizes are binary units (1 KB = 1024 bytes), matching how Hadoop
+configuration and ``/proc`` report memory.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigurationError
+
+#: One kibibyte in bytes.
+KB = 1024
+#: One mebibyte in bytes.
+MB = 1024 * KB
+#: One gibibyte in bytes.
+GB = 1024 * MB
+#: One tebibyte in bytes.
+TB = 1024 * GB
+
+#: Page size used by the OS model (bytes).  Linux x86-64 default.
+PAGE_SIZE = 4 * KB
+
+_SIZE_RE = re.compile(
+    r"""^\s*
+        (?P<value>\d+(?:\.\d+)?)
+        \s*
+        (?P<unit>[KMGT]?i?B?|[kmgt]?i?b?)?
+        \s*$""",
+    re.VERBOSE,
+)
+
+_UNIT_FACTORS = {
+    "": 1,
+    "b": 1,
+    "k": KB,
+    "kb": KB,
+    "kib": KB,
+    "m": MB,
+    "mb": MB,
+    "mib": MB,
+    "g": GB,
+    "gb": GB,
+    "gib": GB,
+    "t": TB,
+    "tb": TB,
+    "tib": TB,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable data size into bytes.
+
+    Accepts plain numbers (taken as bytes) and suffixed strings such as
+    ``"512 MB"``, ``"2.5GB"``, ``"4GiB"``, or ``"128k"``.
+
+    >>> parse_size("512 MB") == 512 * MB
+    True
+    >>> parse_size(4096)
+    4096
+
+    Raises :class:`~repro.errors.ConfigurationError` for unparseable
+    input or negative values.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ConfigurationError(f"size may not be negative: {text!r}")
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ConfigurationError(f"unparseable data size: {text!r}")
+    value = float(match.group("value"))
+    unit = (match.group("unit") or "").lower()
+    factor = _UNIT_FACTORS.get(unit)
+    if factor is None:
+        raise ConfigurationError(f"unknown size unit in {text!r}")
+    return int(value * factor)
+
+
+def format_size(num_bytes: int | float, precision: int = 1) -> str:
+    """Format a byte count as a short human-readable string.
+
+    >>> format_size(512 * MB)
+    '512.0 MB'
+    >>> format_size(1536)
+    '1.5 KB'
+    """
+    value = float(num_bytes)
+    sign = "-" if value < 0 else ""
+    value = abs(value)
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if value >= factor:
+            return f"{sign}{value / factor:.{precision}f} {unit}"
+    return f"{sign}{value:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration in seconds as ``1h02m03.4s`` style text.
+
+    >>> format_duration(3723.4)
+    '1h02m03.4s'
+    >>> format_duration(42.0)
+    '42.0s'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    hours, rem = divmod(seconds, 3600.0)
+    minutes, secs = divmod(rem, 60.0)
+    if hours >= 1:
+        return f"{int(hours)}h{int(minutes):02d}m{secs:04.1f}s"
+    if minutes >= 1:
+        return f"{int(minutes)}m{secs:04.1f}s"
+    return f"{secs:.1f}s"
+
+
+def pages_for(num_bytes: int, page_size: int = PAGE_SIZE) -> int:
+    """Number of whole pages needed to hold ``num_bytes`` bytes.
+
+    >>> pages_for(1)
+    1
+    >>> pages_for(8192)
+    2
+    """
+    if num_bytes <= 0:
+        return 0
+    return -(-num_bytes // page_size)
+
+
+def page_align(num_bytes: int, page_size: int = PAGE_SIZE) -> int:
+    """Round ``num_bytes`` up to a whole number of pages (in bytes)."""
+    return pages_for(num_bytes, page_size) * page_size

@@ -1,0 +1,35 @@
+"""Workload specifications and generators.
+
+The paper evaluates with synthetic map-only jobs ("synthetic mappers,
+which read and parse the randomly generated input"), noting the setup
+is analogous to SWIM-generated workloads.  This package provides:
+
+* :mod:`repro.workloads.jobspec` -- declarative job/task specs the
+  Hadoop engine turns into work plans;
+* :mod:`repro.workloads.synthetic` -- the paper's two-job
+  microbenchmark (light-weight and memory-hungry variants);
+* :mod:`repro.workloads.swim` -- a SWIM-like trace generator for the
+  multi-job scheduler studies.
+"""
+
+from repro.workloads.jobspec import JobSpec, MemoryProfile, TaskKind, TaskSpec
+from repro.workloads.swim import SwimGenerator, SwimJobClass
+from repro.workloads.synthetic import (
+    heavy_task,
+    light_task,
+    make_job,
+    two_job_microbenchmark,
+)
+
+__all__ = [
+    "JobSpec",
+    "TaskSpec",
+    "TaskKind",
+    "MemoryProfile",
+    "SwimGenerator",
+    "SwimJobClass",
+    "light_task",
+    "heavy_task",
+    "make_job",
+    "two_job_microbenchmark",
+]

@@ -1,0 +1,115 @@
+"""SWIM-like synthetic workload generation.
+
+The paper references the SWIM workload generator (Chen et al.,
+MASCOTS 2011) as the model for its synthetic jobs.  SWIM derives job
+mixes from production traces: many small jobs, a long tail of large
+ones, Poisson-ish arrivals.  This module generates such mixes for the
+scheduler-level experiments (eviction-policy study, HFSP study); the
+two-job microbenchmark in :mod:`repro.workloads.synthetic` covers the
+paper's own figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RngStream
+from repro.units import GB, MB
+from repro.workloads.jobspec import JobSpec, MemoryProfile, TaskKind, TaskSpec
+
+
+@dataclass
+class SwimJobClass:
+    """One bin of the job-size histogram.
+
+    ``weight`` is the class's share of generated jobs; task counts and
+    sizes are drawn uniformly from the given ranges, mirroring how
+    SWIM bins Facebook trace jobs.
+    """
+
+    name: str
+    weight: float
+    num_tasks: range = field(default_factory=lambda: range(1, 3))
+    input_bytes: tuple = (64 * MB, 512 * MB)
+    footprint_bytes: tuple = (0, 0)
+    parse_rate: tuple = (6 * MB, 9 * MB)
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError("class weight must be positive")
+
+
+#: A small default mix: mostly tiny jobs, some medium, few large --
+#: the canonical heavy-tailed MapReduce mix SWIM reports.
+DEFAULT_CLASSES: List[SwimJobClass] = [
+    SwimJobClass("small", weight=0.6, num_tasks=range(1, 3),
+                 input_bytes=(64 * MB, 256 * MB)),
+    SwimJobClass("medium", weight=0.3, num_tasks=range(2, 6),
+                 input_bytes=(256 * MB, 512 * MB)),
+    SwimJobClass("large", weight=0.1, num_tasks=range(4, 10),
+                 input_bytes=(512 * MB, 1024 * MB),
+                 footprint_bytes=(0, int(1.5 * GB))),
+]
+
+
+class SwimGenerator:
+    """Draws jobs from a class mix with exponential inter-arrivals."""
+
+    def __init__(
+        self,
+        rng: RngStream,
+        classes: Optional[Sequence[SwimJobClass]] = None,
+        mean_interarrival: float = 30.0,
+    ):
+        self.rng = rng
+        self.classes = (
+            list(DEFAULT_CLASSES) if classes is None else list(classes)
+        )
+        if not self.classes:
+            raise ConfigurationError("need at least one job class")
+        self.mean_interarrival = mean_interarrival
+        self._total_weight = sum(c.weight for c in self.classes)
+
+    def _pick_class(self) -> SwimJobClass:
+        point = self.rng.uniform(0.0, self._total_weight)
+        acc = 0.0
+        for cls in self.classes:
+            acc += cls.weight
+            if point <= acc:
+                return cls
+        return self.classes[-1]
+
+    def generate_job(self, index: int) -> JobSpec:
+        """Draw one job (submit_offset left at 0; see
+        :meth:`generate_workload` for arrivals)."""
+        cls = self._pick_class()
+        num_tasks = self.rng.randint(cls.num_tasks.start, cls.num_tasks.stop - 1)
+        tasks = []
+        for t in range(num_tasks):
+            footprint = self.rng.randint(*cls.footprint_bytes) if cls.footprint_bytes[1] else 0
+            tasks.append(
+                TaskSpec(
+                    kind=TaskKind.MAP,
+                    input_bytes=self.rng.randint(*cls.input_bytes),
+                    parse_rate=self.rng.uniform(*cls.parse_rate),
+                    footprint_bytes=footprint,
+                    profile=MemoryProfile.STATEFUL if footprint else MemoryProfile.STATELESS,
+                    name=f"swim-{index}-{cls.name}-{t}",
+                )
+            )
+        return JobSpec(name=f"swim-{index}-{cls.name}", tasks=tasks)
+
+    def generate_workload(self, num_jobs: int) -> List[JobSpec]:
+        """Draw ``num_jobs`` jobs with exponential inter-arrival times."""
+        if num_jobs < 0:
+            raise ConfigurationError("num_jobs may not be negative")
+        jobs = []
+        clock = 0.0
+        for i in range(num_jobs):
+            job = self.generate_job(i)
+            job.submit_offset = clock
+            jobs.append(job)
+            clock += self.rng.exponential(self.mean_interarrival)
+        return jobs

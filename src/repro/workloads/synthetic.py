@@ -1,0 +1,97 @@
+"""The paper's synthetic two-job microbenchmark.
+
+Section IV-A: "our dummy scheduler runs two single-task, map-only
+jobs, called th and tl (h and l stand for high and low priority
+respectively).  tl processes a single-block file stored on HDFS, with
+size 512 MB; th processes a single HDFS input block of size 512 MB.
+Both jobs run synthetic mappers, which read and parse the randomly
+generated input."
+
+``light_task`` models the baseline experiments (stateless mappers
+whose memory is just the execution engine); ``heavy_task`` models the
+worst-case experiments (2 GB of dirtied state, "writing random values
+to all memory at task startup, and reading them back when finalizing
+the tasks").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.units import GB, MB
+from repro.workloads.jobspec import JobSpec, MemoryProfile, TaskKind, TaskSpec
+
+#: Input block size used throughout the paper's evaluation.
+PAPER_INPUT_BYTES = 512 * MB
+
+#: Parse rate calibrated so a task lasts ~73 s, landing the baseline
+#: wait curve on Figure 2a's endpoints (see repro.experiments.params).
+DEFAULT_PARSE_RATE = 7 * MB
+
+#: Worst-case footprint from Section IV-C ("2 GB in our case").
+WORST_CASE_FOOTPRINT = 2 * GB
+
+
+def light_task(
+    input_bytes: int = PAPER_INPUT_BYTES,
+    parse_rate: float = DEFAULT_PARSE_RATE,
+    name: str = "",
+    input_path: Optional[str] = None,
+) -> TaskSpec:
+    """A stateless synthetic mapper (the paper's baseline tasks)."""
+    return TaskSpec(
+        kind=TaskKind.MAP,
+        input_bytes=input_bytes,
+        parse_rate=parse_rate,
+        footprint_bytes=0,
+        profile=MemoryProfile.STATELESS,
+        name=name,
+        input_path=input_path,
+    )
+
+
+def heavy_task(
+    footprint_bytes: int = WORST_CASE_FOOTPRINT,
+    input_bytes: int = PAPER_INPUT_BYTES,
+    parse_rate: float = DEFAULT_PARSE_RATE,
+    name: str = "",
+    input_path: Optional[str] = None,
+) -> TaskSpec:
+    """A stateful synthetic mapper (the paper's worst-case tasks)."""
+    return TaskSpec(
+        kind=TaskKind.MAP,
+        input_bytes=input_bytes,
+        parse_rate=parse_rate,
+        footprint_bytes=footprint_bytes,
+        profile=MemoryProfile.STATEFUL,
+        name=name,
+        input_path=input_path,
+    )
+
+
+def make_job(name: str, task: TaskSpec, priority: int = 0) -> JobSpec:
+    """Wrap a single task spec as a single-task, map-only job."""
+    return JobSpec(name=name, tasks=[task], priority=priority)
+
+
+def two_job_microbenchmark(
+    heavy: bool = False,
+    tl_footprint: int = WORST_CASE_FOOTPRINT,
+    th_footprint: int = WORST_CASE_FOOTPRINT,
+    input_bytes: int = PAPER_INPUT_BYTES,
+    parse_rate: float = DEFAULT_PARSE_RATE,
+) -> Tuple[JobSpec, JobSpec]:
+    """Build (tl, th): the low- and high-priority single-task jobs.
+
+    With ``heavy=False`` both jobs are light-weight (Figure 2); with
+    ``heavy=True`` both allocate the given footprints (Figures 3-4).
+    """
+    if heavy:
+        tl_spec = heavy_task(tl_footprint, input_bytes, parse_rate, name="tl")
+        th_spec = heavy_task(th_footprint, input_bytes, parse_rate, name="th")
+    else:
+        tl_spec = light_task(input_bytes, parse_rate, name="tl")
+        th_spec = light_task(input_bytes, parse_rate, name="th")
+    tl = JobSpec(name="tl", tasks=[tl_spec], priority=0)
+    th = JobSpec(name="th", tasks=[th_spec], priority=10)
+    return tl, th

@@ -1,0 +1,72 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hadoop.cluster import HadoopCluster
+from repro.hadoop.config import HadoopConfig
+from repro.osmodel.config import NodeConfig
+from repro.osmodel.kernel import NodeKernel
+from repro.sim.engine import Simulation
+from repro.units import GB, MB
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    """A fresh deterministic simulation with tracing on."""
+    return Simulation(seed=7, trace=True)
+
+
+@pytest.fixture
+def kernel(sim: Simulation) -> NodeKernel:
+    """A default 4 GB node kernel."""
+    return NodeKernel(sim, NodeConfig(hostname="testnode"))
+
+
+def small_node_config(**overrides) -> NodeConfig:
+    """A 1 GB node for memory-pressure tests (small numbers, fast)."""
+    defaults = dict(
+        ram_bytes=1 * GB,
+        os_reserved_bytes=128 * MB,
+        swap_bytes=2 * GB,
+        cores=2,
+        page_cache_min_bytes=16 * MB,
+        working_set_protect_bytes=64 * MB,
+        alloc_chunk_bytes=32 * MB,
+        hostname="smallnode",
+    )
+    defaults.update(overrides)
+    return NodeConfig(**defaults)
+
+
+def fast_hadoop_config(**overrides) -> HadoopConfig:
+    """Hadoop config with short latencies for focused unit tests."""
+    defaults = dict(
+        heartbeat_interval=1.0,
+        oob_heartbeat_latency=0.05,
+        rpc_latency=0.01,
+        jvm_startup_time=0.2,
+        jvm_base_memory=32 * MB,
+        task_finalize_time=0.05,
+        task_cleanup_duration=0.5,
+        job_setup_duration=0.2,
+        job_cleanup_duration=0.2,
+        task_time_jitter=0.0,
+    )
+    defaults.update(overrides)
+    return HadoopConfig(**defaults)
+
+
+def quick_cluster(
+    num_nodes: int = 1, scheduler=None, seed: int = 1, **hadoop_overrides
+) -> HadoopCluster:
+    """A small, fast cluster for integration tests."""
+    return HadoopCluster(
+        num_nodes=num_nodes,
+        node_config=small_node_config(),
+        hadoop_config=fast_hadoop_config(**hadoop_overrides),
+        scheduler=scheduler,
+        seed=seed,
+        trace=True,
+    )

@@ -1,0 +1,67 @@
+"""Command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig2", "fig3", "fig4", "natjam"):
+            assert name in out
+
+
+class TestSchedule:
+    def test_schedule_suspend(self, capsys):
+        assert main(["schedule", "--primitive", "suspend", "--progress", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "sojourn" in out
+        assert "=" in out  # the Gantt bars
+
+    def test_schedule_kill(self, capsys):
+        assert main(["schedule", "--primitive", "kill"]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+
+class TestReproduce:
+    def test_requires_figures(self, capsys):
+        assert main(["reproduce"]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_quick_fig1(self, capsys):
+        assert main(["reproduce", "--figure", "fig1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "task execution schedules" in out
+
+    @pytest.mark.slow
+    def test_quick_fig2_with_csv(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        code = main(
+            [
+                "reproduce",
+                "--figure",
+                "fig2",
+                "--quick",
+                "--no-plots",
+                "--out",
+                out_dir,
+            ]
+        )
+        assert code == 0
+        files = os.listdir(out_dir)
+        assert any(name.endswith(".csv") for name in files)
+        out = capsys.readouterr().out
+        assert "baseline-sojourn" in out
+
+    @pytest.mark.slow
+    def test_runs_override(self, capsys):
+        code = main(
+            ["reproduce", "--figure", "natjam", "--quick", "--runs", "1",
+             "--no-plots"]
+        )
+        assert code == 0
+        assert "natjam" in capsys.readouterr().out

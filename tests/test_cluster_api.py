@@ -1,0 +1,152 @@
+"""Cluster facade helpers and a preemption-storm property test."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hadoop.cluster import HadoopCluster
+from repro.hadoop.states import TipState
+from repro.units import MB
+from repro.workloads.jobspec import JobSpec, TaskSpec
+from tests.conftest import fast_hadoop_config, quick_cluster, small_node_config
+
+
+def job_spec(name="job", input_mb=70):
+    return JobSpec(
+        name=name,
+        tasks=[TaskSpec(input_bytes=input_mb * MB, parse_rate=7 * MB,
+                        output_bytes=0)],
+    )
+
+
+class TestClusterConstruction:
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(ConfigurationError):
+            HadoopCluster(num_nodes=0)
+
+    def test_needs_at_least_one_rack(self):
+        with pytest.raises(ConfigurationError):
+            HadoopCluster(num_nodes=1, racks=0)
+
+    def test_hostnames_and_racks(self):
+        cluster = HadoopCluster(
+            num_nodes=4,
+            racks=2,
+            node_config=small_node_config(),
+            hadoop_config=fast_hadoop_config(),
+        )
+        assert sorted(cluster.kernels) == ["node00", "node01", "node02", "node03"]
+        racks = {cluster.topology.rack_of(h) for h in cluster.kernels}
+        assert racks == {"/rack0", "/rack1"}
+
+    def test_kernel_of_unknown_host(self):
+        cluster = quick_cluster()
+        with pytest.raises(ConfigurationError):
+            cluster.kernel_of("nope")
+
+    def test_start_idempotent(self):
+        cluster = quick_cluster()
+        cluster.start()
+        hb = cluster.sim.pending_events
+        cluster.start()
+        assert cluster.sim.pending_events == hb
+
+
+class TestLookupHelpers:
+    def test_find_live_attempt_none_before_launch(self):
+        cluster = quick_cluster()
+        cluster.submit_job(job_spec())
+        assert cluster.find_live_attempt("job") is None
+        assert cluster.find_live_attempt("ghost") is None
+
+    def test_find_live_attempt_after_launch(self):
+        cluster = quick_cluster()
+        cluster.submit_job(job_spec())
+        cluster.start()
+        cluster.sim.run(until=6.0)
+        attempt = cluster.find_live_attempt("job")
+        assert attempt is not None
+        assert attempt.role.value == "task"
+
+    def test_attempts_of_excludes_aux_by_default(self):
+        cluster = quick_cluster()
+        cluster.submit_job(job_spec(input_mb=7))
+        cluster.run_until_jobs_complete()
+        work_only = cluster.attempts_of("job")
+        with_aux = cluster.attempts_of("job", include_aux=True)
+        assert len(work_only) == 1
+        assert len(with_aux) == 3  # setup + work + cleanup
+
+    def test_when_job_progress_before_submission(self):
+        cluster = quick_cluster()
+        hits = []
+        cluster.when_job_progress("late", 0.5, lambda: hits.append(cluster.sim.now))
+        cluster.start()
+        cluster.sim.run(until=2.0)
+        cluster.jobtracker.submit_job(job_spec("late", input_mb=14))
+        cluster.run_until_jobs_complete()
+        assert len(hits) == 1
+
+    def test_run_until_jobs_complete_timeout(self):
+        cluster = quick_cluster(scheduler=None)
+        # A job that can never run: freeze it via an allowlist scheduler.
+        from repro.schedulers.dummy import DummyScheduler
+
+        cluster2 = quick_cluster(scheduler=DummyScheduler(allowlist=set()))
+        cluster2.submit_job(job_spec())
+        with pytest.raises(ConfigurationError):
+            cluster2.run_until_jobs_complete(timeout=30.0)
+
+
+class TestPreemptionStorm:
+    """Random suspend/resume/kill storms must never wedge the cluster."""
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.lists(
+            st.sampled_from(["suspend", "resume", "kill", "noop"]),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=0, max_value=2 ** 16),
+    )
+    def test_storm_always_completes(self, actions, seed):
+        cluster = quick_cluster(seed=seed)
+        job = cluster.submit_job(job_spec(input_mb=35))
+        tip = job.tips[0]
+
+        def act(index: int) -> None:
+            if index >= len(actions):
+                return
+            action = actions[index]
+            try:
+                if action == "suspend" and tip.state is TipState.RUNNING:
+                    cluster.jobtracker.suspend_task(tip.tip_id)
+                elif action == "resume" and tip.state is TipState.SUSPENDED:
+                    cluster.jobtracker.resume_task(tip.tip_id)
+                elif action == "kill" and tip.state in (
+                    TipState.RUNNING,
+                    TipState.SUSPENDED,
+                ):
+                    cluster.jobtracker.kill_task(tip.tip_id)
+            finally:
+                cluster.sim.schedule(2.0, act, index + 1)
+
+        cluster.sim.schedule(4.0, act, 0)
+
+        # Un-wedge rule: anything left suspended at the end is resumed.
+        def janitor():
+            if tip.state is TipState.SUSPENDED:
+                cluster.jobtracker.resume_task(tip.tip_id)
+            if not tip.state.terminal:
+                cluster.sim.schedule(5.0, janitor)
+
+        cluster.sim.schedule(4.0 + 2.0 * len(actions) + 1.0, janitor)
+        cluster.run_until_jobs_complete(timeout=3600.0)
+        assert tip.state is TipState.SUCCEEDED
+        cluster.check_invariants()

@@ -1,0 +1,172 @@
+"""Cross-layer integration: the two-job microbenchmark end to end."""
+
+import pytest
+
+from repro.hadoop.cluster import HadoopCluster
+from repro.preemption.base import make_primitive
+from repro.schedulers.dummy import DummyScheduler
+from repro.units import GB, MB
+from repro.workloads.jobspec import JobSpec, TaskSpec
+from repro.workloads.synthetic import two_job_microbenchmark
+from tests.conftest import fast_hadoop_config, small_node_config
+
+pytestmark = pytest.mark.integration
+
+
+def run_two_job(
+    primitive: str,
+    r: float = 0.5,
+    seed: int = 1,
+    heavy: bool = False,
+    jitter: float = 0.0,
+):
+    """Small/fast version of the paper's microbenchmark."""
+    cluster = HadoopCluster(
+        num_nodes=1,
+        node_config=small_node_config(),
+        hadoop_config=fast_hadoop_config(task_time_jitter=jitter),
+        scheduler=DummyScheduler(),
+        seed=seed,
+        trace=True,
+    )
+    footprint = 450 * MB if heavy else 0
+    tl, th = two_job_microbenchmark(
+        heavy=heavy,
+        tl_footprint=footprint,
+        th_footprint=footprint,
+        input_bytes=70 * MB,
+        parse_rate=7 * MB,
+    )
+    if primitive == "natjam":
+        # Scale the checkpoint to the 70 MB tasks of this fast setup.
+        prim = make_primitive(
+            primitive, cluster, fixed_state_bytes=32 * MB, checkpoint_overhead=0.3
+        )
+    else:
+        prim = make_primitive(primitive, cluster)
+    job_tl = cluster.submit_job(tl)
+
+    def trigger():
+        cluster.jobtracker.submit_job(th)
+        tip = job_tl.tips[0]
+        if tip.state.value == "RUNNING":
+            prim.preempt(tip)
+
+    cluster.when_job_progress("tl", r, trigger)
+    cluster.jobtracker.on_job_complete(
+        lambda job: prim.restore(job_tl.tips[0]) if job.spec.name == "th" else None
+    )
+    cluster.run_until_jobs_complete(timeout=7200)
+    job_th = cluster.job_by_name("th")
+    makespan = (
+        max(job_tl.finish_time, job_th.finish_time) - job_tl.submit_time
+    )
+    return cluster, job_tl, job_th, makespan
+
+
+class TestPrimitiveOrdering:
+    """The paper's headline inequalities must hold."""
+
+    def test_sojourn_ordering(self):
+        sojourns = {
+            p: run_two_job(p)[2].sojourn_time for p in ("wait", "kill", "suspend")
+        }
+        assert sojourns["suspend"] < sojourns["kill"] < sojourns["wait"]
+
+    def test_makespan_ordering(self):
+        makespans = {p: run_two_job(p)[3] for p in ("wait", "kill", "suspend")}
+        assert makespans["kill"] > makespans["suspend"]
+        # suspend within a few seconds of wait (latency of the
+        # suspend/resume round trips, no redundant work)
+        assert makespans["suspend"] - makespans["wait"] < 5.0
+
+    def test_wait_sojourn_decreases_with_progress(self):
+        early = run_two_job("wait", r=0.2)[2].sojourn_time
+        late = run_two_job("wait", r=0.8)[2].sojourn_time
+        assert late < early
+
+    def test_kill_makespan_increases_with_progress(self):
+        early = run_two_job("kill", r=0.2)[3]
+        late = run_two_job("kill", r=0.8)[3]
+        assert late > early
+
+    def test_suspend_preserves_all_work(self):
+        _, job_tl, _, _ = run_two_job("suspend")
+        assert job_tl.wasted_seconds == 0.0
+
+    def test_kill_wastes_work(self):
+        _, job_tl, _, _ = run_two_job("kill")
+        assert job_tl.wasted_seconds > 0
+
+
+class TestHeavyTasks:
+    def test_suspension_causes_swap(self):
+        cluster, job_tl, job_th, _ = run_two_job("suspend", heavy=True)
+        attempt = cluster.attempts_of("tl")[0]
+        assert attempt.lifetime_swapped_bytes() > 0
+
+    def test_light_tasks_never_swap(self):
+        cluster, _, _, _ = run_two_job("suspend", heavy=False)
+        assert cluster.total_swapped_out_bytes() == 0
+
+    def test_heavy_suspend_slower_than_light(self):
+        light = run_two_job("suspend", heavy=False)[3]
+        heavy = run_two_job("suspend", heavy=True)[3]
+        assert heavy > light
+
+
+class TestDeterminism:
+    def test_same_seed_identical_metrics(self):
+        a = run_two_job("suspend", seed=42)
+        b = run_two_job("suspend", seed=42)
+        assert a[2].sojourn_time == b[2].sojourn_time
+        assert a[3] == b[3]
+
+    def test_different_seed_differs_slightly(self):
+        a = run_two_job("suspend", seed=1, jitter=0.03)[2].sojourn_time
+        b = run_two_job("suspend", seed=2, jitter=0.03)[2].sojourn_time
+        assert a != b
+        assert abs(a - b) / a < 0.2  # jitter, not chaos
+
+    def test_invariants_after_full_run(self):
+        cluster, _, _, _ = run_two_job("suspend", heavy=True)
+        cluster.check_invariants()
+
+
+class TestNatjamIntegration:
+    def test_natjam_completes_with_fast_forward(self):
+        cluster, job_tl, job_th, makespan = run_two_job("natjam")
+        tip = job_tl.tips[0]
+        # The tip was killed and rescheduled, but work was not redone:
+        # the second attempt processed only the remaining input.
+        assert tip.next_attempt_number == 2
+        wait_makespan = run_two_job("wait")[3]
+        kill_makespan = run_two_job("kill")[3]
+        assert makespan < kill_makespan
+        assert makespan > wait_makespan  # serialization is never free
+
+    def test_natjam_pays_more_than_suspend(self):
+        natjam = run_two_job("natjam")[3]
+        suspend = run_two_job("suspend")[3]
+        assert natjam > suspend
+
+
+class TestMultiNode:
+    def test_two_nodes_run_tasks_in_parallel(self):
+        cluster = HadoopCluster(
+            num_nodes=2,
+            node_config=small_node_config(),
+            hadoop_config=fast_hadoop_config(),
+            seed=3,
+        )
+        spec = JobSpec(
+            name="wide",
+            tasks=[
+                TaskSpec(input_bytes=35 * MB, parse_rate=7 * MB, output_bytes=0)
+                for _ in range(2)
+            ],
+        )
+        job = cluster.submit_job(spec)
+        cluster.run_until_jobs_complete()
+        trackers = {t.tracker for t in job.tips}
+        assert trackers == {"node00", "node01"}

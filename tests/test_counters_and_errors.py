@@ -1,0 +1,154 @@
+"""Counters, the error hierarchy, and disk burst accounting."""
+
+import pytest
+
+from repro import errors
+from repro.hadoop.counters import Counters
+from repro.osmodel.config import NodeConfig
+from repro.osmodel.disk import DiskDevice
+from repro.sim.engine import Simulation
+from repro.units import MB
+from repro.workloads.jobspec import JobSpec, TaskSpec
+from tests.conftest import quick_cluster
+
+
+class TestCounters:
+    def test_increment_and_value(self):
+        counters = Counters()
+        assert counters.increment("task", "spills") == 1
+        assert counters.increment("task", "spills", 4) == 5
+        assert counters.value("task", "spills") == 5
+        assert counters.value("task", "missing", default=-1) == -1
+
+    def test_set_value(self):
+        counters = Counters()
+        counters.set_value("task", "x", 42)
+        assert counters.value("task", "x") == 42
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.increment("task", "x", 1)
+        b.increment("task", "x", 2)
+        b.increment("job", "y", 3)
+        a.merge(b)
+        assert a.value("task", "x") == 3
+        assert a.value("job", "y") == 3
+
+    def test_iteration_and_dict(self):
+        counters = Counters()
+        counters.increment("g1", "a", 1)
+        counters.increment("g2", "b", 2)
+        triples = set(counters)
+        assert ("g1", "a", 1) in triples
+        assert counters.as_dict() == {"g1": {"a": 1}, "g2": {"b": 2}}
+
+    def test_job_aggregates_attempt_counters(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(
+            JobSpec(
+                name="j",
+                tasks=[TaskSpec(input_bytes=14 * MB, parse_rate=7 * MB,
+                                output_bytes=0)],
+            )
+        )
+        cluster.run_until_jobs_complete()
+        assert job.counters.value("task", "input_bytes") == 14 * MB
+        assert job.counters.value("task", "swapped_bytes") == 0
+
+    def test_suspension_counters_flow_to_job(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(
+            JobSpec(
+                name="j",
+                tasks=[TaskSpec(input_bytes=70 * MB, parse_rate=7 * MB,
+                                output_bytes=0)],
+            )
+        )
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "j", 0.3, lambda: cluster.jobtracker.suspend_task(tip.tip_id)
+        )
+
+        def resume_later():
+            if tip.state.value == "SUSPENDED":
+                cluster.jobtracker.resume_task(tip.tip_id)
+            else:
+                cluster.sim.schedule(1.0, resume_later)
+
+        cluster.sim.schedule(10.0, resume_later)
+        cluster.run_until_jobs_complete()
+        assert job.counters.value("task", "suspensions") == 1
+        assert job.counters.value("task", "resumes") == 1
+        assert job.counters.value("task", "stopped_ms") > 0
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        leaves = [
+            errors.SchedulingInPastError,
+            errors.OutOfMemoryError,
+            errors.SwapExhaustedError,
+            errors.BlockNotFoundError,
+            errors.TaskStateError,
+            errors.NotPreemptibleError,
+            errors.CheckpointError,
+            errors.WorkerSpawnError,
+            errors.ConfigurationError,
+        ]
+        for leaf in leaves:
+            assert issubclass(leaf, errors.ReproError)
+
+    def test_family_relationships(self):
+        assert issubclass(errors.SwapExhaustedError, errors.OutOfMemoryError)
+        assert issubclass(errors.OutOfMemoryError, errors.OSModelError)
+        assert issubclass(errors.TaskStateError, errors.HadoopError)
+        assert issubclass(errors.ResumeLocalityError, errors.PreemptionError)
+        assert issubclass(errors.BlockNotFoundError, errors.HDFSError)
+
+    def test_oom_carries_victim(self):
+        exc = errors.OutOfMemoryError("boom", victim_pid=42)
+        assert exc.victim_pid == 42
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.HeartbeatProtocolError("x")
+
+
+class TestDiskBursts:
+    def make_disk(self):
+        sim = Simulation()
+        config = NodeConfig(
+            disk_write_bw=100 * MB,
+            disk_read_bw=200 * MB,
+            disk_seek_time=0.01,
+            swap_cluster_bytes=1 * MB,
+            hostname="d",
+        )
+        return DiskDevice(sim, config)
+
+    def test_write_burst_cost(self):
+        disk = self.make_disk()
+        cost = disk.write_burst_cost(10 * MB)
+        assert cost.seeks == 10
+        assert cost.seek_time == pytest.approx(0.1)
+        assert cost.transfer_time == pytest.approx(0.1)
+        assert cost.total_time == pytest.approx(0.2)
+
+    def test_read_burst_faster_than_write(self):
+        disk = self.make_disk()
+        write = disk.write_burst_cost(10 * MB)
+        read = disk.read_burst_cost(10 * MB)
+        assert read.transfer_time < write.transfer_time
+
+    def test_zero_burst_free(self):
+        disk = self.make_disk()
+        cost = disk.write_burst_cost(0)
+        assert cost.total_time == 0.0
+        assert cost.seeks == 0
+
+    def test_account_burst_updates_counters(self):
+        disk = self.make_disk()
+        cost = disk.write_burst_cost(5 * MB)
+        disk.account_burst(cost, write=True)
+        assert disk.bytes_written == 5 * MB
+        assert disk.burst_seconds == pytest.approx(cost.total_time)

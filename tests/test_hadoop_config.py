@@ -1,0 +1,50 @@
+"""HadoopConfig validation matrix and replace()."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hadoop.config import HadoopConfig
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("heartbeat_interval", 0.0),
+            ("heartbeat_interval", -1.0),
+            ("map_slots", 0),
+            ("reduce_slots", -1),
+            ("oob_heartbeat_latency", -0.1),
+            ("rpc_latency", -0.1),
+            ("jvm_startup_time", -1.0),
+            ("task_finalize_time", -1.0),
+            ("task_cleanup_duration", -1.0),
+            ("job_setup_duration", -1.0),
+            ("job_cleanup_duration", -1.0),
+            ("jvm_base_memory", -1),
+            ("child_heap_limit", 0),
+            ("max_suspended_per_tracker", -1),
+            ("sort_rate", 0.0),
+            ("task_time_jitter", 1.0),
+            ("task_time_jitter", -0.1),
+            ("jvm_heap_slack", -0.5),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ConfigurationError):
+            HadoopConfig(**{field: value})
+
+    def test_defaults_valid(self):
+        config = HadoopConfig()
+        config.validate()  # no raise
+
+    def test_replace_revalidates(self):
+        config = HadoopConfig()
+        with pytest.raises(ConfigurationError):
+            config.replace(map_slots=0)
+
+    def test_replace_copies(self):
+        config = HadoopConfig()
+        other = config.replace(map_slots=4)
+        assert other.map_slots == 4
+        assert config.map_slots == 1

@@ -1,0 +1,97 @@
+"""The paper's task state machine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TaskStateError
+from repro.hadoop.states import (
+    TIP_TRANSITIONS,
+    AttemptState,
+    TipState,
+    check_tip_transition,
+)
+
+
+class TestTipStates:
+    def test_paper_suspend_path(self):
+        # RUNNING -> MUST_SUSPEND -> SUSPENDED -> MUST_RESUME -> RUNNING
+        path = [
+            TipState.UNASSIGNED,
+            TipState.RUNNING,
+            TipState.MUST_SUSPEND,
+            TipState.SUSPENDED,
+            TipState.MUST_RESUME,
+            TipState.RUNNING,
+        ]
+        for old, new in zip(path, path[1:]):
+            check_tip_transition(old, new)  # must not raise
+
+    def test_completed_in_the_meanwhile(self):
+        # "whether it completed in the meanwhile"
+        check_tip_transition(TipState.MUST_SUSPEND, TipState.SUCCEEDED)
+
+    def test_self_transition_allowed(self):
+        check_tip_transition(TipState.RUNNING, TipState.RUNNING)
+
+    def test_illegal_edges_raise(self):
+        with pytest.raises(TaskStateError):
+            check_tip_transition(TipState.UNASSIGNED, TipState.SUSPENDED)
+        with pytest.raises(TaskStateError):
+            check_tip_transition(TipState.SUCCEEDED, TipState.RUNNING)
+        with pytest.raises(TaskStateError):
+            check_tip_transition(TipState.SUSPENDED, TipState.RUNNING)
+
+    def test_terminal_classification(self):
+        assert TipState.SUCCEEDED.terminal
+        assert TipState.KILLED.terminal
+        assert TipState.FAILED.terminal
+        assert not TipState.SUSPENDED.terminal
+
+    def test_active_classification(self):
+        for state in (
+            TipState.RUNNING,
+            TipState.MUST_SUSPEND,
+            TipState.SUSPENDED,
+            TipState.MUST_RESUME,
+            TipState.MUST_KILL,
+        ):
+            assert state.active
+        assert not TipState.UNASSIGNED.active
+        assert not TipState.SUCCEEDED.active
+
+    def test_succeeded_is_a_sink(self):
+        assert TIP_TRANSITIONS[TipState.SUCCEEDED] == frozenset()
+
+    def test_killed_can_be_rescheduled(self):
+        check_tip_transition(TipState.KILLED, TipState.UNASSIGNED)
+
+    @settings(max_examples=100)
+    @given(st.lists(st.sampled_from(list(TipState)), min_size=1, max_size=12))
+    def test_random_walks_respect_transition_table(self, targets):
+        state = TipState.UNASSIGNED
+        for target in targets:
+            try:
+                check_tip_transition(state, target)
+            except TaskStateError:
+                assert target is not state
+                assert target not in TIP_TRANSITIONS[state]
+                continue
+            assert target is state or target in TIP_TRANSITIONS[state]
+            state = target
+
+
+class TestAttemptStates:
+    def test_slot_holding(self):
+        assert AttemptState.RUNNING.holds_slot
+        assert AttemptState.STARTING.holds_slot
+        assert AttemptState.SUSPENDING.holds_slot
+        # The crux of the primitive: suspended attempts release the slot.
+        assert not AttemptState.SUSPENDED.holds_slot
+        assert not AttemptState.SUCCEEDED.holds_slot
+
+    def test_terminality(self):
+        assert AttemptState.SUCCEEDED.terminal
+        assert AttemptState.KILLED.terminal
+        assert AttemptState.FAILED.terminal
+        assert not AttemptState.SUSPENDED.terminal

@@ -1,0 +1,162 @@
+"""HDFS model: namespace, placement, locality, reads."""
+
+import pytest
+
+from repro.errors import (
+    BlockNotFoundError,
+    FileAlreadyExistsError,
+    FileNotFoundInHDFSError,
+    ReplicationError,
+)
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.topology import Locality, RackTopology
+from repro.osmodel.config import NodeConfig
+from repro.osmodel.kernel import NodeKernel
+from repro.sim.engine import Simulation
+from repro.units import MB
+
+
+def make_cluster(num_nodes=3, racks=1, replication=2):
+    sim = Simulation(seed=4)
+    topo = RackTopology()
+    nn = NameNode(topo, replication=replication)
+    kernels = []
+    for i in range(num_nodes):
+        kernel = NodeKernel(sim, NodeConfig(hostname=f"dn{i}"))
+        kernels.append(kernel)
+        nn.register_datanode(DataNode(kernel), rack=f"/rack{i % racks}")
+    return sim, nn, kernels
+
+
+class TestNamespace:
+    def test_create_single_block_file(self):
+        _, nn, _ = make_cluster()
+        entry = nn.create_file("/data/input", 512 * MB)
+        assert entry.num_blocks == 1
+        assert entry.blocks[0].size == 512 * MB
+
+    def test_multi_block_split(self):
+        _, nn, _ = make_cluster()
+        entry = nn.create_file("/big", int(2.5 * DEFAULT_BLOCK_SIZE))
+        assert entry.num_blocks == 3
+        assert entry.blocks[-1].size == DEFAULT_BLOCK_SIZE // 2
+        assert sum(b.size for b in entry.blocks) == int(2.5 * DEFAULT_BLOCK_SIZE)
+
+    def test_empty_file_single_empty_block(self):
+        _, nn, _ = make_cluster()
+        entry = nn.create_file("/empty", 0)
+        assert entry.num_blocks == 1
+        assert entry.blocks[0].size == 0
+
+    def test_duplicate_path_rejected(self):
+        _, nn, _ = make_cluster()
+        nn.create_file("/x", MB)
+        with pytest.raises(FileAlreadyExistsError):
+            nn.create_file("/x", MB)
+
+    def test_overwrite(self):
+        _, nn, _ = make_cluster()
+        nn.create_file("/x", MB)
+        entry = nn.create_file("/x", 2 * MB, overwrite=True)
+        assert entry.size == 2 * MB
+
+    def test_delete(self):
+        _, nn, _ = make_cluster()
+        entry = nn.create_file("/x", MB)
+        nn.delete_file("/x")
+        assert not nn.exists("/x")
+        with pytest.raises(BlockNotFoundError):
+            nn.locate_block(entry.blocks[0].block_id)
+
+    def test_delete_missing_raises(self):
+        _, nn, _ = make_cluster()
+        with pytest.raises(FileNotFoundInHDFSError):
+            nn.delete_file("/nope")
+
+    def test_list_files_sorted(self):
+        _, nn, _ = make_cluster()
+        nn.create_file("/b", MB)
+        nn.create_file("/a", MB)
+        assert nn.list_files() == ["/a", "/b"]
+
+    def test_no_datanodes_rejected(self):
+        nn = NameNode(RackTopology())
+        with pytest.raises(ReplicationError):
+            nn.create_file("/x", MB)
+
+
+class TestPlacement:
+    def test_replication_factor_honoured(self):
+        _, nn, _ = make_cluster(num_nodes=3, replication=2)
+        nn.create_file("/x", MB)
+        location = nn.block_locations("/x")[0]
+        assert len(location.hosts) == 2
+        assert len(set(location.hosts)) == 2
+
+    def test_replication_capped_at_cluster_size(self):
+        _, nn, _ = make_cluster(num_nodes=2, replication=3)
+        nn.create_file("/x", MB)
+        assert len(nn.block_locations("/x")[0].hosts) == 2
+
+    def test_writer_host_gets_first_replica(self):
+        _, nn, _ = make_cluster(num_nodes=3)
+        nn.create_file("/x", MB, writer_host="dn1")
+        assert nn.block_locations("/x")[0].hosts[0] == "dn1"
+
+    def test_rack_spread(self):
+        _, nn, _ = make_cluster(num_nodes=4, racks=2, replication=2)
+        nn.create_file("/x", MB)
+        hosts = nn.block_locations("/x")[0].hosts
+        racks = {nn.topology.rack_of(h) for h in hosts}
+        assert len(racks) == 2
+
+    def test_balanced_placement(self):
+        _, nn, _ = make_cluster(num_nodes=3, replication=1)
+        for i in range(9):
+            nn.create_file(f"/f{i}", 64 * MB)
+        usage = nn.usage_report()
+        assert max(usage.values()) == min(usage.values())
+
+
+class TestLocality:
+    def test_levels(self):
+        topo = RackTopology()
+        topo.add_host("a", "/r1")
+        topo.add_host("b", "/r1")
+        topo.add_host("c", "/r2")
+        assert topo.locality("a", ["a"]) is Locality.NODE_LOCAL
+        assert topo.locality("b", ["a"]) is Locality.RACK_LOCAL
+        assert topo.locality("c", ["a"]) is Locality.REMOTE
+
+    def test_ordering(self):
+        assert Locality.NODE_LOCAL < Locality.RACK_LOCAL < Locality.REMOTE
+
+
+class TestDataNodeReads:
+    def test_read_block_through_kernel_disk(self):
+        sim, nn, kernels = make_cluster(num_nodes=1, replication=1)
+        nn.create_file("/x", 130 * MB)
+        block = nn.file("/x").blocks[0]
+        dn = nn.datanode("dn0")
+        done = []
+        dn.read_block(block.block_id, lambda: done.append(sim.now))
+        sim.run()
+        expected = 130 * MB / kernels[0].config.disk_read_bw
+        assert done == [pytest.approx(expected)]
+        assert kernels[0].vmm.page_cache.size > 0
+
+    def test_read_missing_block_raises(self):
+        _, nn, _ = make_cluster(num_nodes=2, replication=1)
+        nn.create_file("/x", MB)
+        block = nn.file("/x").blocks[0]
+        holder = nn.block_locations("/x")[0].hosts[0]
+        other = next(h for h in ("dn0", "dn1") if h != holder)
+        with pytest.raises(BlockNotFoundError):
+            nn.datanode(other).read_block(block.block_id, lambda: None)
+
+    def test_unknown_datanode_raises(self):
+        _, nn, _ = make_cluster()
+        with pytest.raises(FileNotFoundInHDFSError):
+            nn.datanode("nope")

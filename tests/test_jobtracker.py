@@ -1,0 +1,211 @@
+"""JobTracker protocol: the paper's Section III-B heartbeat dance."""
+
+import pytest
+
+from repro.errors import TaskStateError, UnknownJobError, UnknownTaskError
+from repro.hadoop.job import JobState
+from repro.hadoop.states import TipState
+from repro.units import MB
+from repro.workloads.jobspec import JobSpec, TaskSpec
+from tests.conftest import quick_cluster
+
+
+def job_spec(name="job", tasks=1, input_mb=70, priority=0):
+    return JobSpec(
+        name=name,
+        priority=priority,
+        tasks=[
+            TaskSpec(input_bytes=input_mb * MB, parse_rate=7 * MB, output_bytes=0,
+                     name=f"{name}-{i}")
+            for i in range(tasks)
+        ],
+    )
+
+
+class TestJobLifecycle:
+    def test_setup_gate_before_maps(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(job_spec())
+        assert job.state is JobState.PREP
+        cluster.start()
+        cluster.sim.run(until=2.0)
+        assert job.state is JobState.RUNNING  # setup task completed
+        assert job.launch_time is not None
+
+    def test_cleanup_gate_before_success(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(job_spec(input_mb=7))
+        cluster.run_until_jobs_complete()
+        assert job.state is JobState.SUCCEEDED
+        assert job.cleanup_tip.complete
+        # Cleanup ran after the last work tip.
+        assert job.cleanup_tip.finished_at >= job.tips[0].finished_at
+
+    def test_no_setup_cleanup_mode(self):
+        cluster = quick_cluster(run_job_setup_cleanup=False)
+        job = cluster.submit_job(job_spec(input_mb=7))
+        assert job.state is JobState.RUNNING
+        cluster.run_until_jobs_complete()
+        assert job.state is JobState.SUCCEEDED
+        assert job.setup_tip is None
+
+    def test_completion_callback(self):
+        cluster = quick_cluster()
+        seen = []
+        cluster.jobtracker.on_job_complete(lambda j: seen.append(j.spec.name))
+        cluster.submit_job(job_spec(input_mb=7))
+        cluster.run_until_jobs_complete()
+        assert seen == ["job"]
+
+    def test_sojourn_time(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(job_spec(input_mb=7))
+        cluster.run_until_jobs_complete()
+        assert job.sojourn_time == pytest.approx(
+            job.finish_time - job.submit_time
+        )
+
+    def test_kill_job(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(job_spec())
+        cluster.start()
+        cluster.sim.run(until=4.0)
+        cluster.jobtracker.kill_job(job.job_id)
+        cluster.sim.run(until=10.0)
+        assert job.state is JobState.KILLED
+        # Killed jobs do not reschedule their tips.
+        assert all(t.state is not TipState.RUNNING for t in job.tips)
+
+    def test_unknown_lookups_raise(self):
+        cluster = quick_cluster()
+        with pytest.raises(UnknownJobError):
+            cluster.jobtracker.job("zzz")
+        with pytest.raises(UnknownJobError):
+            cluster.jobtracker.job_by_name("zzz")
+        with pytest.raises(UnknownTaskError):
+            cluster.jobtracker.tip("zzz")
+        with pytest.raises(UnknownTaskError):
+            cluster.jobtracker.attempt_descriptor("zzz")
+
+
+class TestSuspendProtocol:
+    def test_must_suspend_then_suspended(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(job_spec())
+        cluster.start()
+        tip = job.tips[0]
+        states = []
+
+        def suspend():
+            cluster.jobtracker.suspend_task(tip.tip_id)
+            states.append(tip.state)
+
+        cluster.when_job_progress("job", 0.3, suspend)
+        cluster.sim.run(until=10.0)
+        assert states == [TipState.MUST_SUSPEND]
+        assert tip.state is TipState.SUSPENDED  # confirmed via heartbeat
+
+    def test_suspend_non_running_rejected(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(job_spec())
+        with pytest.raises(TaskStateError):
+            cluster.jobtracker.suspend_task(job.tips[0].tip_id)
+
+    def test_completed_in_the_meanwhile(self):
+        # Suspend lands so close to completion that the task finishes
+        # first; the JobTracker must record SUCCEEDED, not SUSPENDED.
+        cluster = quick_cluster(heartbeat_interval=3.0)
+        job = cluster.submit_job(job_spec(input_mb=14))
+        cluster.start()
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "job", 0.995, lambda: cluster.jobtracker.suspend_task(tip.tip_id)
+        )
+        cluster.run_until_jobs_complete()
+        assert tip.state is TipState.SUCCEEDED
+        assert job.state is JobState.SUCCEEDED
+
+    def test_resume_round_trip(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(job_spec())
+        cluster.start()
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "job", 0.3, lambda: cluster.jobtracker.suspend_task(tip.tip_id)
+        )
+        cluster.sim.run(until=10.0)
+        assert tip.state is TipState.SUSPENDED
+        cluster.jobtracker.resume_task(tip.tip_id)
+        assert tip.state is TipState.MUST_RESUME
+        cluster.run_until_jobs_complete()
+        assert tip.state is TipState.SUCCEEDED
+
+    def test_resume_waits_for_free_slot(self):
+        # A competing task occupies the only slot; the resume directive
+        # must not fire until the slot frees.
+        cluster = quick_cluster(map_slots=1)
+        low = cluster.submit_job(job_spec(name="low", input_mb=35))
+        cluster.start()
+        tip = low.tips[0]
+        high_spec = job_spec(name="high", input_mb=14, priority=5)
+
+        def preempt():
+            cluster.jobtracker.submit_job(high_spec)
+            cluster.jobtracker.suspend_task(tip.tip_id)
+
+        cluster.when_job_progress("low", 0.4, preempt)
+        cluster.sim.run(until=9.0)
+        assert tip.state is TipState.SUSPENDED
+        cluster.jobtracker.resume_task(tip.tip_id)
+        high = cluster.job_by_name("high")
+        cluster.run_until_jobs_complete()
+        # Resume confirmed only after 'high' released the slot.
+        resumed = cluster.sim.trace_log.first("jt.resumed")
+        assert resumed is not None
+        launch_high = cluster.sim.trace_log.first(
+            "attempt.launch", attempt=f"attempt_{high.tips[0].tip_id}_0"
+        )
+        assert resumed.time > launch_high.time
+        assert low.state is JobState.SUCCEEDED
+
+
+class TestKillProtocol:
+    def test_kill_reschedules_from_scratch(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(job_spec())
+        cluster.start()
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "job", 0.5, lambda: cluster.jobtracker.kill_task(tip.tip_id)
+        )
+        cluster.run_until_jobs_complete()
+        assert tip.state is TipState.SUCCEEDED
+        assert tip.next_attempt_number == 2  # original + restart
+        assert tip.wasted_seconds > 0
+
+    def test_wasted_seconds_proportional_to_progress(self):
+        results = {}
+        for r in (0.25, 0.75):
+            cluster = quick_cluster()
+            job = cluster.submit_job(job_spec())
+            cluster.start()
+            tip = job.tips[0]
+            cluster.when_job_progress(
+                "job", r, lambda t=tip: cluster.jobtracker.kill_task(t.tip_id)
+            )
+            cluster.run_until_jobs_complete()
+            results[r] = tip.wasted_seconds
+        assert results[0.75] > results[0.25] > 0
+
+    def test_directive_resend_after_timeout(self):
+        cluster = quick_cluster(suspend_resend_timeout=2.0)
+        job = cluster.submit_job(job_spec())
+        cluster.start()
+        cluster.sim.run(until=4.0)
+        tip = job.tips[0]
+        # Simulate a lost directive by marking it sent long ago.
+        cluster.jobtracker.suspend_task(tip.tip_id)
+        tip.directive_sent_at = 0.0
+        report = cluster.trackers["node00"].build_report()
+        response = cluster.jobtracker.heartbeat(report)
+        assert any("suspend" in a.describe() for a in response.actions)

@@ -1,0 +1,151 @@
+"""Child JVM plan construction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hadoop.config import HadoopConfig
+from repro.hadoop.jvm import ChildJVM, GcPolicy
+from repro.osmodel.config import NodeConfig
+from repro.osmodel.kernel import NodeKernel
+from repro.sim.engine import Simulation
+from repro.units import GB, MB
+from repro.workloads.jobspec import MemoryProfile, TaskKind, TaskSpec
+
+
+def make_kernel():
+    return NodeKernel(
+        Simulation(seed=9),
+        NodeConfig(ram_bytes=4 * GB, os_reserved_bytes=0, hostname="jvmtest"),
+    )
+
+
+def config(**overrides):
+    defaults = dict(task_time_jitter=0.0, jvm_base_memory=64 * MB)
+    defaults.update(overrides)
+    return HadoopConfig(**defaults)
+
+
+def labels(jvm):
+    return [item.label for item in jvm.engine.plan]
+
+
+class TestMapPlans:
+    def test_light_map_plan(self):
+        jvm = ChildJVM(make_kernel(), config(), TaskSpec(), "t")
+        assert labels(jvm) == ["jvm-start", "setup", "map", "finalize", "commit"]
+
+    def test_stateful_map_plan_uses_memtouch(self):
+        spec = TaskSpec(footprint_bytes=1 * GB, profile=MemoryProfile.STATEFUL)
+        jvm = ChildJVM(make_kernel(), config(), spec, "t")
+        assert labels(jvm) == ["jvm-start", "setup", "map", "finalize", "commit"]
+        finalize = jvm.engine.plan.items[3]
+        from repro.osmodel.work import MemTouchItem
+
+        assert isinstance(finalize, MemTouchItem)
+
+    def test_no_output_skips_commit(self):
+        jvm = ChildJVM(make_kernel(), config(), TaskSpec(output_bytes=0), "t")
+        assert labels(jvm)[-1] == "finalize"
+
+    def test_checkpoint_restore_item(self):
+        spec = TaskSpec(resume_read_bytes=100 * MB)
+        jvm = ChildJVM(make_kernel(), config(), spec, "t")
+        assert "checkpoint-restore" in labels(jvm)
+
+    def test_gc_release_plan(self):
+        spec = TaskSpec(footprint_bytes=1 * GB, profile=MemoryProfile.STATEFUL)
+        jvm = ChildJVM(make_kernel(), config(), spec, "t", gc_policy=GcPolicy.RELEASE)
+        assert "gc-release" in labels(jvm)
+
+    def test_gc_release_returns_memory(self):
+        kernel = make_kernel()
+        spec = TaskSpec(
+            footprint_bytes=512 * MB,
+            profile=MemoryProfile.STATEFUL,
+            output_bytes=0,
+            input_bytes=MB,
+        )
+        jvm = ChildJVM(kernel, config(), spec, "t", gc_policy=GcPolicy.RELEASE)
+        seen = []
+        # Sample resident just before exit via the commit-less last item.
+        jvm.process.on_exit(lambda p, r: seen.append(p.image.virtual))
+        jvm.start()
+        kernel.sim.run()
+        # gc-release freed the footprint before exit: only the JVM base
+        # memory remained mapped at death.
+        assert seen and seen[0] <= 64 * MB
+
+    def test_heap_limit_enforced(self):
+        spec = TaskSpec(footprint_bytes=4 * GB, profile=MemoryProfile.STATEFUL)
+        with pytest.raises(ConfigurationError):
+            ChildJVM(make_kernel(), config(child_heap_limit=2 * GB), spec, "t")
+
+    def test_aux_extra_work(self):
+        jvm = ChildJVM(
+            make_kernel(),
+            config(),
+            TaskSpec(input_bytes=0, output_bytes=0),
+            "t",
+            extra_work_seconds=1.5,
+        )
+        assert "aux-work" in labels(jvm)
+
+
+class TestReducePlans:
+    def test_reduce_phases(self):
+        spec = TaskSpec(kind=TaskKind.REDUCE, shuffle_bytes=100 * MB)
+        jvm = ChildJVM(make_kernel(), config(), spec, "t")
+        assert labels(jvm) == [
+            "jvm-start",
+            "setup",
+            "shuffle",
+            "sort",
+            "reduce",
+            "finalize",
+            "commit",
+        ]
+
+    def test_reduce_progress_thirds(self):
+        spec = TaskSpec(kind=TaskKind.REDUCE, shuffle_bytes=100 * MB)
+        jvm = ChildJVM(make_kernel(), config(), spec, "t")
+        weights = {i.label: i.weight for i in jvm.engine.plan}
+        assert weights["shuffle"] == pytest.approx(1 / 3)
+        assert weights["sort"] == pytest.approx(1 / 3)
+        assert weights["reduce"] == pytest.approx(1 / 3)
+
+
+class TestExecution:
+    def test_full_map_run_duration(self):
+        kernel = make_kernel()
+        cfg = config(jvm_startup_time=1.0, task_finalize_time=0.2)
+        spec = TaskSpec(input_bytes=70 * MB, parse_rate=7 * MB, output_bytes=0)
+        jvm = ChildJVM(kernel, cfg, spec, "t")
+        done = []
+        jvm.process.on_exit(lambda p, r: done.append(kernel.sim.now))
+        jvm.start()
+        kernel.sim.run()
+        alloc_time = 64 * MB / kernel.config.mem_touch_bw
+        assert done[0] == pytest.approx(1.0 + alloc_time + 10.0 + 0.2, rel=1e-3)
+
+    def test_progress_tracks_map_fraction(self):
+        kernel = make_kernel()
+        spec = TaskSpec(input_bytes=70 * MB, parse_rate=7 * MB)
+        jvm = ChildJVM(kernel, config(jvm_startup_time=0.0), spec, "t")
+        jvm.start()
+        kernel.sim.run(until=5.05)  # ~half the map (alloc ~0.05s)
+        assert 0.45 <= jvm.progress() <= 0.55
+
+    def test_jitter_changes_runtimes_across_seeds(self):
+        durations = []
+        for seed in (1, 2):
+            kernel = NodeKernel(
+                Simulation(seed=seed), NodeConfig(hostname="j", os_reserved_bytes=0)
+            )
+            spec = TaskSpec(input_bytes=70 * MB, parse_rate=7 * MB, output_bytes=0)
+            jvm = ChildJVM(kernel, config(task_time_jitter=0.05), spec, "t")
+            done = []
+            jvm.process.on_exit(lambda p, r: done.append(kernel.sim.now))
+            jvm.start()
+            kernel.sim.run()
+            durations.append(done[0])
+        assert durations[0] != durations[1]

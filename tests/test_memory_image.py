@@ -1,0 +1,160 @@
+"""Per-process memory accounting invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OSModelError
+from repro.osmodel.memory import MemoryImage
+from repro.units import MB, PAGE_SIZE, page_align
+
+
+class TestBasicAccounting:
+    def test_allocate_dirty(self):
+        image = MemoryImage()
+        added = image.allocate(10 * MB, dirty=True, now=1.0)
+        assert added == 10 * MB
+        assert image.resident_dirty == 10 * MB
+        assert image.resident_clean == 0
+        assert image.virtual == 10 * MB
+
+    def test_allocate_clean(self):
+        image = MemoryImage()
+        image.allocate(4 * MB, dirty=False, now=0.0)
+        assert image.resident_clean == 4 * MB
+
+    def test_allocate_page_aligns(self):
+        image = MemoryImage()
+        added = image.allocate(PAGE_SIZE + 1, dirty=True, now=0.0)
+        assert added == 2 * PAGE_SIZE
+
+    def test_allocate_negative_raises(self):
+        with pytest.raises(OSModelError):
+            MemoryImage().allocate(-1, dirty=True, now=0.0)
+
+    def test_free_prefers_swapped_then_clean(self):
+        image = MemoryImage()
+        image.allocate(10 * MB, dirty=True, now=0.0)
+        image.allocate(4 * MB, dirty=False, now=0.0)
+        plan = image.plan_pageout(6 * MB)
+        image.apply_pageout(plan)  # 4 clean dropped + 2 dirty swapped
+        freed = image.free(3 * MB, now=1.0)
+        assert freed == 3 * MB
+        assert image.swapped == 0  # 2 MB swap freed first
+        assert image.resident_clean == 0  # then clean
+
+    def test_dirty_all(self):
+        image = MemoryImage()
+        image.allocate(4 * MB, dirty=False, now=0.0)
+        image.dirty_all(now=1.0)
+        assert image.resident_clean == 0
+        assert image.resident_dirty == 4 * MB
+
+
+class TestPageout:
+    def test_plan_prefers_clean(self):
+        image = MemoryImage()
+        image.allocate(6 * MB, dirty=True, now=0.0)
+        image.allocate(4 * MB, dirty=False, now=0.0)
+        plan = image.plan_pageout(5 * MB)
+        assert plan.drop_clean == 4 * MB
+        assert plan.swap_dirty == 1 * MB
+        assert plan.total == 5 * MB
+
+    def test_plan_capped_at_resident(self):
+        image = MemoryImage()
+        image.allocate(2 * MB, dirty=True, now=0.0)
+        plan = image.plan_pageout(100 * MB)
+        assert plan.total == 2 * MB
+
+    def test_plan_zero_or_negative(self):
+        image = MemoryImage()
+        image.allocate(2 * MB, dirty=True, now=0.0)
+        assert image.plan_pageout(0).total == 0
+        assert image.plan_pageout(-5).total == 0
+
+    def test_apply_moves_dirty_to_swap(self):
+        image = MemoryImage()
+        image.allocate(8 * MB, dirty=True, now=0.0)
+        plan = image.plan_pageout(3 * MB)
+        image.apply_pageout(plan)
+        assert image.swapped == 3 * MB
+        assert image.resident_dirty == 5 * MB
+        assert image.virtual == 8 * MB  # virtual size unchanged
+
+    def test_apply_invalid_plan_raises(self):
+        image = MemoryImage()
+        image.allocate(1 * MB, dirty=True, now=0.0)
+        from repro.osmodel.memory import PageoutPlan
+
+        with pytest.raises(OSModelError):
+            image.apply_pageout(PageoutPlan(drop_clean=0, swap_dirty=2 * MB))
+
+
+class TestPagein:
+    def test_page_in_becomes_clean(self):
+        image = MemoryImage()
+        image.allocate(8 * MB, dirty=True, now=0.0)
+        image.apply_pageout(image.plan_pageout(8 * MB))
+        paged = image.page_in(8 * MB, now=2.0)
+        assert paged == 8 * MB
+        assert image.swapped == 0
+        assert image.resident_clean == 8 * MB  # swap-backed pages are clean
+
+    def test_page_in_capped_at_swapped(self):
+        image = MemoryImage()
+        image.allocate(4 * MB, dirty=True, now=0.0)
+        image.apply_pageout(image.plan_pageout(2 * MB))
+        assert image.page_in(100 * MB, now=1.0) == 2 * MB
+
+
+@st.composite
+def memory_ops(draw):
+    """A random sequence of (op, size) memory operations."""
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["alloc_d", "alloc_c", "free", "pageout", "pagein"]),
+                st.integers(min_value=0, max_value=64 * MB),
+            ),
+            max_size=40,
+        )
+    )
+    return ops
+
+
+class TestPropertyInvariants:
+    @settings(max_examples=60)
+    @given(memory_ops())
+    def test_invariants_hold_under_any_sequence(self, ops):
+        image = MemoryImage()
+        for i, (op, size) in enumerate(ops):
+            if op == "alloc_d":
+                image.allocate(size, dirty=True, now=float(i))
+            elif op == "alloc_c":
+                image.allocate(size, dirty=False, now=float(i))
+            elif op == "free":
+                freed = image.free(size, now=float(i))
+                assert freed <= page_align(size)
+            elif op == "pageout":
+                plan = image.plan_pageout(size)
+                image.apply_pageout(plan)
+            elif op == "pagein":
+                image.page_in(size, now=float(i))
+            image.check_invariants()
+            assert image.resident >= 0
+            assert image.swapped >= 0
+            assert image.virtual == image.resident + image.swapped
+
+    @settings(max_examples=60)
+    @given(st.integers(min_value=0, max_value=128 * MB),
+           st.integers(min_value=0, max_value=128 * MB))
+    def test_pageout_pagein_round_trip(self, alloc, out):
+        image = MemoryImage()
+        image.allocate(alloc, dirty=True, now=0.0)
+        virtual_before = image.virtual
+        plan = image.plan_pageout(out)
+        image.apply_pageout(plan)
+        image.page_in(image.swapped, now=1.0)
+        assert image.virtual == virtual_before
+        assert image.swapped == 0

@@ -1,0 +1,166 @@
+"""Metrics: stats, series, reports, timelines."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.metrics.report import ascii_plot, ascii_table, series_table, series_to_csv
+from repro.metrics.series import Series
+from repro.metrics.stats import percentile, relative_change, summarize
+from repro.metrics.timeline import TimelineSegment, extract_timeline, render_gantt
+from repro.sim.trace import TraceLog
+
+
+class TestStats:
+    def test_summarize_basics(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.count == 3
+        assert stats.stdev == pytest.approx(1.0)
+
+    def test_single_sample(self):
+        stats = summarize([5.0])
+        assert stats.stdev == 0.0
+        assert stats.ci95_halfwidth() == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_max_relative_deviation(self):
+        stats = summarize([95.0, 100.0, 105.0])
+        assert stats.max_relative_deviation == pytest.approx(0.05)
+
+    def test_relative_change(self):
+        assert relative_change(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_change(0.0, 0.0) == 0.0
+        assert math.isinf(relative_change(5.0, 0.0))
+
+    def test_percentile(self):
+        data = [1, 2, 3, 4, 5]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 50) == 3
+        assert percentile(data, 100) == 5
+        assert percentile(data, 25) == 2.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+        with pytest.raises(ConfigurationError):
+            percentile([1], 150)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_summarize_bounds(self, values):
+        stats = summarize(values)
+        eps = 1e-6 * max(1.0, abs(stats.mean))
+        assert stats.minimum - eps <= stats.mean <= stats.maximum + eps
+
+
+class TestSeries:
+    def make(self):
+        series = Series("s", "x", "y", x_values=[1.0, 2.0, 3.0])
+        series.add_curve("a", [10.0, 20.0, 30.0])
+        series.add_curve("b", [30.0, 20.0, 10.0])
+        return series
+
+    def test_point_lookup(self):
+        series = self.make()
+        assert series.point("a", 2.0) == 20.0
+        with pytest.raises(ConfigurationError):
+            series.point("a", 9.0)
+        with pytest.raises(ConfigurationError):
+            series.point("zzz", 1.0)
+
+    def test_length_mismatch_rejected(self):
+        series = Series("s", "x", "y", x_values=[1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            series.add_curve("bad", [1.0])
+
+    def test_rows(self):
+        rows = self.make().rows()
+        assert rows[0] == [1.0, 10.0, 30.0]
+        assert len(rows) == 3
+
+    def test_crossover(self):
+        series = self.make()
+        # a crosses above b between x=2 (tie) and x=3.
+        assert series.crossover("a", "b") in (2.0, 3.0)
+        assert series.crossover("b", "a") is None
+
+
+class TestReportRendering:
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["name", "value"], [["a", 1.234], ["bb", 10.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "1.2" in table and "10.0" in table
+
+    def test_ascii_table_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ascii_table(["a"], [["x", "y"]])
+
+    def test_series_table_headers(self):
+        series = Series("s", "progress", "seconds", x_values=[1.0])
+        series.add_curve("wait", [10.0])
+        text = series_table(series)
+        assert "progress" in text and "wait" in text
+
+    def test_csv_round_shape(self):
+        series = Series("s", "x", "y", x_values=[1.0, 2.0])
+        series.add_curve("a", [3.0, 4.0])
+        csv = series_to_csv(series)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "x,a"
+        assert lines[1] == "1,3"
+
+    def test_ascii_plot_contains_glyphs_and_legend(self):
+        series = Series("s", "x", "y", x_values=[0.0, 1.0, 2.0])
+        series.add_curve("up", [0.0, 5.0, 10.0])
+        series.add_curve("down", [10.0, 5.0, 0.0])
+        plot = ascii_plot(series, width=40, height=10)
+        assert "o" in plot and "x" in plot
+        assert "legend" in plot
+
+    def test_ascii_plot_empty(self):
+        assert "empty" in ascii_plot(Series("s", "x", "y"))
+
+
+class TestTimeline:
+    def make_trace(self):
+        log = TraceLog()
+        log.record(0.0, "attempt.launch", attempt="tl")
+        log.record(5.0, "os.stopped", name="tl")
+        log.record(5.0, "attempt.launch", attempt="th")
+        log.record(15.0, "attempt.finished", attempt="th")
+        log.record(15.5, "os.resumed", name="tl")
+        log.record(20.0, "attempt.finished", attempt="tl")
+        return log
+
+    def test_extract_segments(self):
+        segments = extract_timeline(self.make_trace())
+        by_task = {}
+        for seg in segments:
+            by_task.setdefault(seg.task, []).append(seg)
+        kinds_tl = [s.kind for s in by_task["tl"]]
+        assert kinds_tl == ["run", "suspended", "run"]
+        assert by_task["tl"][1].duration == pytest.approx(10.5)
+        assert [s.kind for s in by_task["th"]] == ["run"]
+
+    def test_render_gantt(self):
+        segments = extract_timeline(self.make_trace())
+        chart = render_gantt(segments, width=40)
+        assert "tl" in chart and "th" in chart
+        assert "=" in chart and "." in chart
+        assert "legend" in chart
+
+    def test_render_empty(self):
+        assert "empty" in render_gantt([])
+
+    def test_segment_duration(self):
+        seg = TimelineSegment("t", "run", 1.0, 3.5)
+        assert seg.duration == 2.5

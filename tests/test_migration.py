@@ -1,0 +1,171 @@
+"""CRIU-style migration (the paper's future-work extension)."""
+
+import pytest
+
+from repro.errors import ResumeLocalityError, TaskStateError
+from repro.hadoop.cluster import HadoopCluster
+from repro.hadoop.states import TipState
+from repro.preemption.migration import MigrationPrimitive
+from repro.schedulers.dummy import DummyScheduler
+from repro.units import MB
+from repro.workloads.jobspec import JobSpec, MemoryProfile, TaskSpec
+from tests.conftest import fast_hadoop_config, small_node_config
+
+
+def two_node_cluster(seed=1):
+    return HadoopCluster(
+        num_nodes=2,
+        node_config=small_node_config(),
+        hadoop_config=fast_hadoop_config(),
+        scheduler=DummyScheduler(),
+        seed=seed,
+        trace=True,
+    )
+
+
+def stateful_job(name="mover", input_mb=70, footprint_mb=128):
+    return JobSpec(
+        name=name,
+        tasks=[
+            TaskSpec(
+                input_bytes=input_mb * MB,
+                parse_rate=7 * MB,
+                footprint_bytes=footprint_mb * MB,
+                profile=MemoryProfile.STATEFUL,
+                output_bytes=0,
+            )
+        ],
+    )
+
+
+class TestMigrationMechanics:
+    def test_requires_suspended_state(self):
+        cluster = two_node_cluster()
+        primitive = MigrationPrimitive(cluster)
+        job = cluster.submit_job(stateful_job())
+        with pytest.raises(TaskStateError):
+            primitive.migrate(job.tips[0])
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ResumeLocalityError):
+            MigrationPrimitive(two_node_cluster(), network_bandwidth=0)
+
+    def test_full_migration_round_trip(self):
+        cluster = two_node_cluster()
+        primitive = MigrationPrimitive(cluster, network_bandwidth=100 * MB)
+        job = cluster.submit_job(stateful_job())
+        tip = job.tips[0]
+        records = {}
+
+        def suspend():
+            primitive.preempt(tip)
+
+        cluster.when_job_progress("mover", 0.5, suspend)
+        cluster.start()
+        cluster.sim.run(until=12.0)
+        assert tip.state is TipState.SUSPENDED
+        source_host = tip.tracker
+        records["migration"] = primitive.migrate(tip)
+        cluster.run_until_jobs_complete(timeout=7200)
+
+        record = records["migration"]
+        assert record.completed
+        assert record.image_bytes > 128 * MB  # footprint + jvm base
+        assert tip.state is TipState.SUCCEEDED
+        assert tip.next_attempt_number == 2
+        # The restore read the shipped image before continuing.
+        restore = cluster.sim.trace_log.first("preempt.migrate-restore")
+        assert restore is not None
+
+    def test_migration_preserves_progress(self):
+        # Work done before the migration is not redone: the makespan
+        # beats a plain kill-restart of the same scenario.
+        def run(migrate: bool):
+            cluster = two_node_cluster(seed=4)
+            primitive = MigrationPrimitive(cluster, network_bandwidth=200 * MB)
+            job = cluster.submit_job(stateful_job())
+            tip = job.tips[0]
+
+            def act():
+                if migrate:
+                    primitive.preempt(tip)
+                else:
+                    cluster.jobtracker.kill_task(tip.tip_id)
+
+            cluster.when_job_progress("mover", 0.6, act)
+            if migrate:
+                def after_suspend():
+                    if tip.state is TipState.SUSPENDED:
+                        primitive.migrate(tip)
+                    else:  # stop not confirmed yet; retry shortly
+                        cluster.sim.schedule(0.5, after_suspend)
+
+                cluster.sim.schedule(10.0, after_suspend)
+            cluster.run_until_jobs_complete(timeout=7200)
+            return job.finish_time - job.submit_time
+
+        migrated = run(migrate=True)
+        killed = run(migrate=False)
+        assert migrated < killed
+
+    def test_resume_during_transfer_cancels_migration(self):
+        cluster = two_node_cluster()
+        primitive = MigrationPrimitive(cluster, network_bandwidth=10 * MB)
+        job = cluster.submit_job(stateful_job())
+        tip = job.tips[0]
+        cluster.when_job_progress("mover", 0.5, lambda: primitive.preempt(tip))
+        cluster.start()
+        cluster.sim.run(until=12.0)
+        assert tip.state is TipState.SUSPENDED
+        primitive.migrate(tip)
+        # Resume locally before the (slow) transfer finishes.
+        primitive.restore(tip)
+        cluster.run_until_jobs_complete(timeout=7200)
+        assert tip.state is TipState.SUCCEEDED
+        # No fast-forwarded second attempt: the local resume won.
+        assert tip.next_attempt_number == 1
+        # Let the in-flight transfer event resolve; it must then notice
+        # the task is no longer suspended and drop the record.
+        cluster.sim.run(until=cluster.sim.now + 60.0)
+        assert not primitive.migrations
+
+
+class TestTrackerLoss:
+    def test_lost_tracker_requeues_tasks(self):
+        cluster = two_node_cluster()
+        job = cluster.submit_job(stateful_job(input_mb=140))
+        cluster.start()
+        cluster.sim.run(until=8.0)
+        tip = job.tips[0]
+        host = tip.tracker
+        assert host is not None
+        cluster.jobtracker.tracker_lost(host)
+        assert tip.state is TipState.UNASSIGNED
+        assert tip.wasted_seconds > 0  # work died with the node
+        cluster.run_until_jobs_complete(timeout=7200)
+        assert tip.state is TipState.SUCCEEDED
+        assert tip.tracker != host  # restarted on the surviving node
+
+    def test_lost_tracker_with_suspended_task(self):
+        # "a suspended process can only be resumed on the same machine
+        # it was suspended on" -- if the machine dies, so does the image.
+        cluster = two_node_cluster()
+        job = cluster.submit_job(stateful_job(input_mb=140))
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "mover", 0.3, lambda: cluster.jobtracker.suspend_task(tip.tip_id)
+        )
+        cluster.start()
+        cluster.sim.run(until=12.0)
+        assert tip.state is TipState.SUSPENDED
+        cluster.jobtracker.tracker_lost(tip.tracker)
+        cluster.run_until_jobs_complete(timeout=7200)
+        assert tip.state is TipState.SUCCEEDED
+        assert tip.next_attempt_number == 2
+
+    def test_unknown_tracker_raises(self):
+        cluster = two_node_cluster()
+        from repro.errors import UnknownJobError
+
+        with pytest.raises(UnknownJobError):
+            cluster.jobtracker.tracker_lost("nope")

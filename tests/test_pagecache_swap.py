@@ -1,0 +1,114 @@
+"""Page cache and swap area accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SwapExhaustedError
+from repro.osmodel.pagecache import PageCache
+from repro.osmodel.swap import SwapArea
+from repro.units import MB
+
+
+class TestPageCache:
+    def test_insert_limited_by_room(self):
+        cache = PageCache()
+        cached = cache.insert(10 * MB, room=4 * MB)
+        assert cached == 4 * MB
+        assert cache.size == 4 * MB
+
+    def test_insert_no_room(self):
+        cache = PageCache()
+        assert cache.insert(10 * MB, room=0) == 0
+
+    def test_shrink_respects_floor(self):
+        cache = PageCache(min_bytes=2 * MB)
+        cache.insert(10 * MB, room=10 * MB)
+        freed = cache.shrink(100 * MB)
+        assert freed == 8 * MB
+        assert cache.size == 2 * MB
+        assert cache.evictable == 0
+
+    def test_shrink_partial(self):
+        cache = PageCache()
+        cache.insert(10 * MB, room=10 * MB)
+        assert cache.shrink(3 * MB) == 3 * MB
+        assert cache.size == 7 * MB
+
+    def test_counters(self):
+        cache = PageCache()
+        cache.insert(5 * MB, room=5 * MB)
+        cache.shrink(2 * MB)
+        assert cache.total_inserted == 5 * MB
+        assert cache.total_evicted == 2 * MB
+
+    @settings(max_examples=50)
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=0, max_value=32 * MB)),
+                    max_size=30))
+    def test_never_negative_never_below_floor_after_shrink(self, ops):
+        cache = PageCache(min_bytes=1 * MB)
+        for grow, size in ops:
+            if grow:
+                cache.insert(size, room=size)
+            else:
+                cache.shrink(size)
+            cache.check_invariants()
+            assert cache.size >= 0
+
+
+class TestSwapArea:
+    def test_page_out_and_in(self):
+        swap = SwapArea(capacity=100 * MB)
+        swap.page_out(1, 10 * MB)
+        swap.page_out(2, 5 * MB)
+        assert swap.used == 15 * MB
+        assert swap.swapped_bytes(1) == 10 * MB
+        swap.page_in(1, 4 * MB)
+        assert swap.swapped_bytes(1) == 6 * MB
+        assert swap.used == 11 * MB
+
+    def test_lifetime_accounting(self):
+        swap = SwapArea(capacity=100 * MB)
+        swap.page_out(1, 10 * MB)
+        swap.page_in(1, 10 * MB)
+        swap.page_out(1, 3 * MB)
+        assert swap.lifetime_swapped_bytes(1) == 13 * MB
+        assert swap.swapped_bytes(1) == 3 * MB
+
+    def test_exhaustion_raises(self):
+        swap = SwapArea(capacity=8 * MB)
+        with pytest.raises(SwapExhaustedError):
+            swap.page_out(1, 9 * MB)
+
+    def test_page_in_more_than_held_raises(self):
+        swap = SwapArea(capacity=100 * MB)
+        swap.page_out(1, 2 * MB)
+        with pytest.raises(SwapExhaustedError):
+            swap.page_in(1, 3 * MB)
+
+    def test_release_frees_everything(self):
+        swap = SwapArea(capacity=100 * MB)
+        swap.page_out(1, 10 * MB)
+        swap.page_out(2, 20 * MB)
+        freed = swap.release(1)
+        assert freed == 10 * MB
+        assert swap.used == 20 * MB
+        assert swap.swapped_bytes(1) == 0
+
+    def test_zero_ops_noop(self):
+        swap = SwapArea(capacity=10 * MB)
+        swap.page_out(1, 0)
+        swap.page_in(1, 0)
+        assert swap.used == 0
+
+    @settings(max_examples=50)
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=3),
+                              st.integers(min_value=0, max_value=8 * MB)),
+                    max_size=30))
+    def test_per_process_sums_to_used(self, outs):
+        swap = SwapArea(capacity=1024 * MB)
+        for pid, size in outs:
+            swap.page_out(pid, size)
+            swap.check_invariants()
+        assert sum(swap.per_process.values()) == swap.used

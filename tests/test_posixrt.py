@@ -1,0 +1,176 @@
+"""Real-process prototype: genuine POSIX signals on live workers.
+
+These tests spawn actual subprocesses.  They are quick (inputs of a
+few MB) but inherently wall-clock dependent, so assertions are
+generous; they verify *mechanism* (the stop really lands, state 'T'
+appears in /proc, work resumes where it left off), not timing
+precision.
+"""
+
+import os
+import sys
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.posixrt.cgroups import CgroupResult, detect_version, limit_memory
+from repro.posixrt.controller import WorkerHandle, WorkerSpec
+from repro.posixrt.procfs import process_exists, read_proc_status
+from repro.posixrt.runner import MiniExperiment
+from repro.units import MB
+
+pytestmark = [pytest.mark.posix, pytest.mark.integration]
+
+needs_linux = pytest.mark.skipif(
+    not sys.platform.startswith("linux"), reason="requires Linux /proc and signals"
+)
+
+
+def quick_spec(name="w", input_mb=4, rate=16.0, memory_mb=0):
+    return WorkerSpec(
+        input_bytes=input_mb * MB,
+        chunk_bytes=256 * 1024,
+        memory_bytes=memory_mb * MB,
+        rate_bytes_per_sec=rate * MB,
+        name=name,
+    )
+
+
+@needs_linux
+class TestWorkerLifecycle:
+    def test_worker_runs_to_completion(self):
+        with WorkerHandle(quick_spec()) as worker:
+            assert worker.wait_done(timeout=30)
+            assert worker.progress() == 1.0
+            records = {r.kind for r in worker.read_status()}
+            assert {"PID", "START", "PROGRESS", "PARSED", "DONE"} <= records
+
+    def test_progress_is_monotonic(self):
+        with WorkerHandle(quick_spec()) as worker:
+            seen = []
+            while not worker.exited():
+                seen.append(worker.progress())
+                time.sleep(0.05)
+            seen.append(worker.progress())
+            assert seen == sorted(seen)
+
+    def test_kill_terminates(self):
+        with WorkerHandle(quick_spec(input_mb=64, rate=4.0)) as worker:
+            assert worker.wait_progress(0.05, timeout=30)
+            worker.kill()
+            worker.proc.wait(timeout=10)
+            assert worker.exited()
+            assert not worker.done()
+
+    def test_memory_allocation_visible_in_proc(self):
+        with WorkerHandle(quick_spec(input_mb=16, rate=8.0, memory_mb=64)) as worker:
+            assert worker.wait_progress(0.1, timeout=30)
+            status = worker.proc_status()
+            assert status is not None
+            assert status.vm_rss_bytes > 64 * MB * 0.8
+            worker.kill()
+
+
+@needs_linux
+class TestSuspendResume:
+    def test_sigtstp_stops_process(self):
+        with WorkerHandle(quick_spec(input_mb=64, rate=4.0)) as worker:
+            assert worker.wait_progress(0.05, timeout=30)
+            worker.suspend()
+            assert worker.wait_stopped(timeout=10)
+            status = worker.proc_status()
+            assert status.stopped
+            kinds = [r.kind for r in worker.read_status()]
+            assert "SUSPENDING" in kinds  # the handler ran first
+            worker.kill()
+
+    def test_progress_frozen_while_stopped(self):
+        with WorkerHandle(quick_spec(input_mb=64, rate=8.0)) as worker:
+            assert worker.wait_progress(0.05, timeout=30)
+            worker.suspend()
+            assert worker.wait_stopped(timeout=10)
+            p1 = worker.progress()
+            time.sleep(0.4)
+            p2 = worker.progress()
+            assert p2 == p1
+            worker.kill()
+
+    def test_resume_continues_to_completion(self):
+        with WorkerHandle(quick_spec(input_mb=4, rate=8.0)) as worker:
+            assert worker.wait_progress(0.3, timeout=30)
+            worker.suspend()
+            assert worker.wait_stopped(timeout=10)
+            progress_at_stop = worker.progress()
+            worker.resume()
+            assert worker.wait_done(timeout=60)
+            kinds = [r.kind for r in worker.read_status()]
+            assert "RESUMED" in kinds
+            assert worker.progress() == 1.0
+            assert progress_at_stop >= 0.25  # work before the stop was kept
+
+    def test_suspended_spans_recorded(self):
+        with WorkerHandle(quick_spec(input_mb=4, rate=8.0)) as worker:
+            assert worker.wait_progress(0.2, timeout=30)
+            worker.suspend()
+            worker.wait_stopped(timeout=10)
+            time.sleep(0.2)
+            worker.resume()
+            worker.wait_done(timeout=60)
+            assert len(worker.suspended_spans) == 1
+            start, end = worker.suspended_spans[0]
+            assert end - start >= 0.2
+
+
+@needs_linux
+class TestProcfs:
+    def test_read_own_status(self):
+        status = read_proc_status(os.getpid())
+        assert status is not None
+        assert status.alive
+        assert status.vm_rss_bytes > 0
+
+    def test_missing_pid(self):
+        assert read_proc_status(2 ** 22 + 12345) is None
+
+    def test_process_exists(self):
+        assert process_exists(os.getpid())
+        assert not process_exists(2 ** 22 + 12345)
+
+
+@needs_linux
+class TestMiniExperiment:
+    def test_compare_orders_primitives(self):
+        experiment = MiniExperiment(
+            input_mb=3, rate_mb_per_sec=12.0, progress_at_launch=0.5
+        )
+        rows = experiment.compare(("wait", "kill", "suspend"))
+        wait, kill, susp = rows["wait"], rows["kill"], rows["suspend"]
+        assert rows["suspend"].tl_was_stopped
+        assert rows["kill"].tl_restarted
+        # The paper's qualitative claims, with generous margins for
+        # wall-clock noise:
+        assert susp.sojourn_th < wait.sojourn_th
+        assert kill.makespan > susp.makespan
+        assert susp.makespan < wait.makespan * 1.4
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MiniExperiment(progress_at_launch=1.5)
+        with pytest.raises(ConfigurationError):
+            MiniExperiment(input_mb=0)
+        with pytest.raises(ConfigurationError):
+            MiniExperiment().run_primitive("teleport")
+
+
+class TestCgroups:
+    def test_detect_version_returns_known_value(self):
+        assert detect_version() in (None, 1, 2)
+
+    def test_limit_memory_graceful(self):
+        # In unprivileged containers this must not raise; either it
+        # applies or reports why not.
+        result = limit_memory(os.getpid(), 512 * MB, group_name="repro-test")
+        assert isinstance(result, CgroupResult)
+        if not result.applied:
+            assert result.reason

@@ -1,0 +1,79 @@
+"""posixrt pieces that need no live processes."""
+
+import json
+
+import pytest
+
+from repro.posixrt.controller import StatusRecord, WorkerSpec
+from repro.posixrt.worker import WorkerMain
+from repro.units import MB
+
+
+class TestWorkerSpec:
+    def test_json_round_trip(self):
+        spec = WorkerSpec(
+            input_bytes=8 * MB,
+            chunk_bytes=1 * MB,
+            memory_bytes=2 * MB,
+            rate_bytes_per_sec=4 * MB,
+            name="w",
+        )
+        payload = json.loads(spec.to_json("/tmp/status"))
+        assert payload["input_bytes"] == 8 * MB
+        assert payload["status_path"] == "/tmp/status"
+        assert payload["rate_bytes_per_sec"] == 4 * MB
+
+    def test_defaults(self):
+        spec = WorkerSpec()
+        assert spec.input_bytes == 16 * MB
+        assert spec.memory_bytes == 0
+
+
+class TestWorkerMainInProcess:
+    """Drive the worker's logic in-process (tiny sizes)."""
+
+    def make(self, tmp_path, **overrides):
+        spec = {
+            "input_bytes": 256 * 1024,
+            "chunk_bytes": 64 * 1024,
+            "memory_bytes": overrides.pop("memory_bytes", 1 * MB),
+            "rate_bytes_per_sec": 64 * MB,
+            "status_path": str(tmp_path / "status"),
+        }
+        spec.update(overrides)
+        return WorkerMain(spec)
+
+    def test_full_run_emits_protocol(self, tmp_path):
+        worker = self.make(tmp_path)
+        assert worker.run() == 0
+        lines = (tmp_path / "status").read_text().splitlines()
+        kinds = [line.split(" ", 1)[0] for line in lines]
+        assert kinds[0] == "PID"
+        assert "ALLOCATED" in kinds
+        assert "PARSED" in kinds
+        assert "READBACK" in kinds
+        assert kinds[-1] == "DONE"
+
+    def test_progress_reaches_one(self, tmp_path):
+        worker = self.make(tmp_path, memory_bytes=0)
+        worker.run()
+        progress = [
+            float(line.split(" ", 1)[1])
+            for line in (tmp_path / "status").read_text().splitlines()
+            if line.startswith("PROGRESS")
+        ]
+        assert progress == sorted(progress)
+        assert progress[-1] == pytest.approx(1.0)
+
+    def test_memory_is_dirtied_and_read_back(self, tmp_path):
+        worker = self.make(tmp_path, memory_bytes=1 * MB)
+        worker.allocate_memory()
+        checksum = worker.readback_memory()
+        assert checksum > 0  # every page carries the written byte
+
+
+class TestStatusRecord:
+    def test_fields(self):
+        record = StatusRecord("PROGRESS", "0.5")
+        assert record.kind == "PROGRESS"
+        assert record.value == "0.5"

@@ -1,0 +1,238 @@
+"""Preemption primitives, eviction policies, advisor, locality."""
+
+import pytest
+
+from repro.errors import NotPreemptibleError
+from repro.hadoop.states import TipState
+from repro.preemption.base import PrimitiveName, make_primitive
+from repro.preemption.costs import PreemptionAdvisor, PrimitiveChoice
+from repro.preemption.eviction import (
+    ClosestToCompletionPolicy,
+    EvictionCandidate,
+    FurthestFromCompletionPolicy,
+    LargestMemoryPolicy,
+    RandomPolicy,
+    SmallestMemoryPolicy,
+    collect_candidates,
+)
+from repro.preemption.locality import ResumeLocalityManager
+from repro.sim.rng import RngRegistry
+from repro.units import MB
+from repro.workloads.jobspec import JobSpec, TaskSpec
+from tests.conftest import quick_cluster
+
+
+def job_spec(name="job", input_mb=70, priority=0):
+    return JobSpec(
+        name=name,
+        priority=priority,
+        tasks=[
+            TaskSpec(
+                input_bytes=input_mb * MB, parse_rate=7 * MB, output_bytes=0
+            )
+        ],
+    )
+
+
+class TestFactory:
+    def test_make_by_string(self):
+        cluster = quick_cluster()
+        for name in ("wait", "kill", "suspend", "natjam"):
+            primitive = make_primitive(name, cluster)
+            assert primitive.name is PrimitiveName(name)
+
+    def test_make_by_enum(self):
+        cluster = quick_cluster()
+        primitive = make_primitive(PrimitiveName.SUSPEND, cluster)
+        assert primitive.name is PrimitiveName.SUSPEND
+
+    def test_unknown_name_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            make_primitive("teleport", quick_cluster())
+
+
+class TestSuspendGuards:
+    def test_suspend_requires_running(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(job_spec())
+        primitive = make_primitive("suspend", cluster)
+        with pytest.raises(NotPreemptibleError):
+            primitive.preempt(job.tips[0])
+
+    def test_max_suspended_per_tracker(self):
+        cluster = quick_cluster(map_slots=2, max_suspended_per_tracker=1)
+        job_a = cluster.submit_job(job_spec("a"))
+        job_b = cluster.submit_job(job_spec("b"))
+        cluster.start()
+        cluster.sim.run(until=6.0)
+        primitive = make_primitive("suspend", cluster)
+        primitive.preempt(job_a.tips[0])
+        cluster.sim.run(until=9.0)
+        assert job_a.tips[0].state is TipState.SUSPENDED
+        with pytest.raises(NotPreemptibleError):
+            primitive.preempt(job_b.tips[0])
+
+    def test_swap_capacity_guard(self):
+        cluster = quick_cluster()
+        # Shrink the swap so one resident task cannot fit.
+        kernel = cluster.kernel_of("node00")
+        kernel.vmm.swap.capacity = 1 * MB
+        job = cluster.submit_job(job_spec())
+        cluster.start()
+        cluster.sim.run(until=6.0)
+        primitive = make_primitive("suspend", cluster)
+        with pytest.raises(NotPreemptibleError):
+            primitive.preempt(job.tips[0])
+
+    def test_guard_can_be_disabled(self):
+        cluster = quick_cluster()
+        kernel = cluster.kernel_of("node00")
+        kernel.vmm.swap.capacity = 1 * MB
+        job = cluster.submit_job(job_spec())
+        cluster.start()
+        cluster.sim.run(until=6.0)
+        primitive = make_primitive("suspend", cluster, enforce_swap_capacity=False)
+        primitive.preempt(job.tips[0])  # no raise
+        assert job.tips[0].state is TipState.MUST_SUSPEND
+
+
+class TestEvictionPolicies:
+    def make_candidates(self):
+        cluster = quick_cluster()
+
+        class FakeTip:
+            def __init__(self, tip_id):
+                self.tip_id = tip_id
+
+        return [
+            EvictionCandidate(FakeTip("t1"), progress=0.9, resident_bytes=100, tracker="n"),
+            EvictionCandidate(FakeTip("t2"), progress=0.1, resident_bytes=900, tracker="n"),
+            EvictionCandidate(FakeTip("t3"), progress=0.5, resident_bytes=500, tracker="n"),
+        ]
+
+    def test_closest_to_completion(self):
+        ranked = ClosestToCompletionPolicy().rank(self.make_candidates())
+        assert [c.tip_id for c in ranked] == ["t1", "t3", "t2"]
+
+    def test_furthest_from_completion(self):
+        ranked = FurthestFromCompletionPolicy().rank(self.make_candidates())
+        assert [c.tip_id for c in ranked] == ["t2", "t3", "t1"]
+
+    def test_smallest_memory(self):
+        ranked = SmallestMemoryPolicy().rank(self.make_candidates())
+        assert [c.tip_id for c in ranked] == ["t1", "t3", "t2"]
+
+    def test_largest_memory(self):
+        ranked = LargestMemoryPolicy().rank(self.make_candidates())
+        assert [c.tip_id for c in ranked] == ["t2", "t3", "t1"]
+
+    def test_random_is_deterministic_per_seed(self):
+        rng_a = RngRegistry(9).stream("evict")
+        rng_b = RngRegistry(9).stream("evict")
+        a = RandomPolicy(rng_a).rank(self.make_candidates())
+        b = RandomPolicy(rng_b).rank(self.make_candidates())
+        assert [c.tip_id for c in a] == [c.tip_id for c in b]
+
+    def test_choose_respects_count(self):
+        policy = SmallestMemoryPolicy()
+        assert len(policy.choose(self.make_candidates(), 2)) == 2
+        assert policy.choose(self.make_candidates(), 0) == []
+
+    def test_collect_candidates_from_cluster(self):
+        cluster = quick_cluster(map_slots=2)
+        cluster.submit_job(job_spec("a"))
+        cluster.submit_job(job_spec("b", priority=1))
+        cluster.start()
+        cluster.sim.run(until=6.0)
+        candidates = collect_candidates(cluster)
+        assert len(candidates) == 2
+        protected = collect_candidates(cluster, protect_jobs={"a"})
+        assert len(protected) == 1
+
+
+class TestAdvisor:
+    def test_fresh_tasks_killed(self):
+        advisor = PreemptionAdvisor()
+        assert advisor.recommend(0.01, 100.0) is PrimitiveChoice.KILL
+
+    def test_nearly_done_tasks_waited(self):
+        advisor = PreemptionAdvisor()
+        assert advisor.recommend(0.99, 100.0) is PrimitiveChoice.WAIT
+
+    def test_middle_suspends_when_memory_cheap(self):
+        advisor = PreemptionAdvisor()
+        choice = advisor.recommend(0.5, 100.0, resident_bytes=0, memory_pressure=0.0)
+        assert choice is PrimitiveChoice.SUSPEND
+
+    def test_huge_footprint_under_pressure_avoids_suspend(self):
+        advisor = PreemptionAdvisor(swap_bandwidth=10 * MB)
+        choice = advisor.recommend(
+            0.5, 10.0, resident_bytes=4_000 * MB, memory_pressure=1.0
+        )
+        assert choice is not PrimitiveChoice.SUSPEND
+
+    def test_estimate_fields(self):
+        advisor = PreemptionAdvisor()
+        est = advisor.estimate(0.25, 100.0, 90 * MB, memory_pressure=1.0)
+        assert est.wait_latency == pytest.approx(75.0)
+        assert est.kill_redundant == pytest.approx(25.0)
+        assert est.suspend_paging == pytest.approx(2.0)
+
+    def test_bad_thresholds_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PreemptionAdvisor(fresh_threshold=0.9, nearly_done_threshold=0.5)
+
+
+class TestResumeLocality:
+    def test_local_resume_when_slot_free(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(job_spec())
+        cluster.start()
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "job", 0.3, lambda: cluster.jobtracker.suspend_task(tip.tip_id)
+        )
+        cluster.sim.run(until=9.0)
+        manager = ResumeLocalityManager(cluster, delay_threshold=5.0)
+        manager.request_resume(tip)
+        cluster.run_until_jobs_complete()
+        assert manager.local_resumes == 1
+        assert manager.non_local_restarts == 0
+        assert tip.state is TipState.SUCCEEDED
+
+    def test_non_local_restart_after_deadline(self):
+        # Keep the only slot busy past the delay threshold with a long
+        # high-priority job: the suspended task must restart from scratch.
+        cluster = quick_cluster(map_slots=1)
+        low = cluster.submit_job(job_spec("low", input_mb=35))
+        cluster.start()
+        tip = low.tips[0]
+
+        def preempt():
+            cluster.jobtracker.submit_job(job_spec("high", input_mb=140, priority=5))
+            cluster.jobtracker.suspend_task(tip.tip_id)
+
+        cluster.when_job_progress("low", 0.4, preempt)
+        cluster.sim.run(until=9.0)
+        assert tip.state is TipState.SUSPENDED
+        manager = ResumeLocalityManager(cluster, delay_threshold=3.0)
+        manager.request_resume(tip)
+        cluster.run_until_jobs_complete(timeout=7200)
+        assert manager.non_local_restarts == 1
+        assert tip.state is TipState.SUCCEEDED
+        assert tip.next_attempt_number == 2  # restarted from scratch
+        assert tip.wasted_seconds > 0  # "effectively a delayed kill"
+
+    def test_stats(self):
+        cluster = quick_cluster()
+        manager = ResumeLocalityManager(cluster)
+        stats = manager.stats()
+        assert stats == {
+            "local_resumes": 0,
+            "non_local_restarts": 0,
+            "pending": 0,
+        }

@@ -1,0 +1,195 @@
+"""Process model and POSIX signal semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidSignalError, NoSuchProcessError, ProcessStateError
+from repro.osmodel.config import NodeConfig
+from repro.osmodel.kernel import NodeKernel
+from repro.osmodel.process import ExitReason, ProcessState
+from repro.osmodel.signals import Signal
+from repro.sim.engine import Simulation
+from repro.units import GB, MB
+
+
+def make_kernel(handler_latency: float = 0.1) -> NodeKernel:
+    return NodeKernel(
+        Simulation(seed=3),
+        NodeConfig(hostname="sigtest", sigtstp_handler_latency=handler_latency),
+    )
+
+
+class TestSignalEnum:
+    def test_catchability(self):
+        assert Signal.SIGTSTP.catchable
+        assert Signal.SIGTERM.catchable
+        assert Signal.SIGCONT.catchable
+        assert not Signal.SIGKILL.catchable
+        assert not Signal.SIGSTOP.catchable
+
+    def test_dispositions(self):
+        assert Signal.SIGTSTP.stops and Signal.SIGSTOP.stops
+        assert Signal.SIGKILL.terminates and Signal.SIGTERM.terminates
+        assert not Signal.SIGCONT.stops and not Signal.SIGCONT.terminates
+
+    def test_cannot_install_handler_for_sigkill(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        with pytest.raises(InvalidSignalError):
+            proc.dispositions.install(Signal.SIGKILL, lambda p: None)
+        with pytest.raises(InvalidSignalError):
+            proc.dispositions.install(Signal.SIGSTOP, lambda p: None)
+
+
+class TestStopAndContinue:
+    def test_sigstop_immediate(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        kernel.signal(proc.pid, Signal.SIGSTOP)
+        assert proc.state is ProcessState.STOPPED
+
+    def test_sigtstp_default_is_immediate(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        kernel.signal(proc.pid, Signal.SIGTSTP)
+        assert proc.state is ProcessState.STOPPED
+
+    def test_sigtstp_with_handler_pays_latency(self):
+        kernel = make_kernel(handler_latency=0.25)
+        proc = kernel.spawn("p")
+        proc.dispositions.install(Signal.SIGTSTP, lambda p: None)
+        kernel.signal(proc.pid, Signal.SIGTSTP)
+        assert proc.state is ProcessState.RUNNING  # handler still draining
+        kernel.sim.run()
+        assert proc.state is ProcessState.STOPPED
+        assert proc.stopped_at == pytest.approx(0.25)
+
+    def test_sigcont_resumes_and_tracks_stopped_time(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        kernel.signal(proc.pid, Signal.SIGSTOP)
+        kernel.sim.schedule(5.0, kernel.signal, proc.pid, Signal.SIGCONT)
+        kernel.sim.run()
+        assert proc.state is ProcessState.RUNNING
+        assert proc.stopped_seconds == pytest.approx(5.0)
+
+    def test_sigcont_races_tstp_handler(self):
+        # SIGCONT during the handler window cancels the pending stop.
+        kernel = make_kernel(handler_latency=0.5)
+        proc = kernel.spawn("p")
+        proc.dispositions.install(Signal.SIGTSTP, lambda p: None)
+        kernel.signal(proc.pid, Signal.SIGTSTP)
+        kernel.sim.schedule(0.1, kernel.signal, proc.pid, Signal.SIGCONT)
+        kernel.sim.run()
+        assert proc.state is ProcessState.RUNNING
+        assert proc.stopped_seconds == 0.0
+
+    def test_double_stop_is_idempotent(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        kernel.signal(proc.pid, Signal.SIGSTOP)
+        kernel.signal(proc.pid, Signal.SIGSTOP)
+        assert proc.state is ProcessState.STOPPED
+
+    def test_cont_while_running_is_noop(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        kernel.signal(proc.pid, Signal.SIGCONT)
+        assert proc.state is ProcessState.RUNNING
+
+    def test_stop_callbacks_fire(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        events = []
+        proc.on_stop(lambda p: events.append("stop"))
+        proc.on_resume(lambda p: events.append("resume"))
+        kernel.signal(proc.pid, Signal.SIGSTOP)
+        kernel.signal(proc.pid, Signal.SIGCONT)
+        assert events == ["stop", "resume"]
+
+
+class TestTermination:
+    def test_sigkill_immediate_death(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        exits = []
+        proc.on_exit(lambda p, reason: exits.append(reason))
+        kernel.signal(proc.pid, Signal.SIGKILL)
+        assert proc.state is ProcessState.DEAD
+        assert exits == [ExitReason.KILLED]
+
+    def test_sigterm_default_terminates(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        kernel.signal(proc.pid, Signal.SIGTERM)
+        assert proc.exit_reason is ExitReason.TERMINATED
+
+    def test_sigterm_handler_overrides(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        caught = []
+        proc.dispositions.install(Signal.SIGTERM, lambda p: caught.append(p.pid))
+        kernel.signal(proc.pid, Signal.SIGTERM)
+        assert proc.alive
+        assert caught == [proc.pid]
+
+    def test_kill_stopped_process(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        kernel.signal(proc.pid, Signal.SIGSTOP)
+        kernel.signal(proc.pid, Signal.SIGKILL)
+        assert proc.state is ProcessState.DEAD
+
+    def test_signalling_dead_process_raises(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        kernel.signal(proc.pid, Signal.SIGKILL)
+        with pytest.raises(NoSuchProcessError):
+            kernel.signal(proc.pid, Signal.SIGCONT)
+
+    def test_death_frees_memory(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        kernel.charge_allocation(proc, 256 * MB)
+        free_before = kernel.vmm.free_ram()
+        kernel.signal(proc.pid, Signal.SIGKILL)
+        assert kernel.vmm.free_ram() == free_before + 256 * MB
+
+    def test_exit_callbacks_fire_once(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        exits = []
+        proc.on_exit(lambda p, r: exits.append(r))
+        kernel.signal(proc.pid, Signal.SIGKILL)
+        proc._die(ExitReason.KILLED)  # second death attempt is a no-op
+        assert len(exits) == 1
+
+
+class TestRandomSignalSequences:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(
+                [Signal.SIGTSTP, Signal.SIGCONT, Signal.SIGSTOP, Signal.SIGKILL]
+            ),
+            max_size=20,
+        )
+    )
+    def test_state_machine_never_corrupts(self, signals):
+        kernel = make_kernel(handler_latency=0.0)
+        proc = kernel.spawn("p")
+        for sig in signals:
+            if not proc.alive:
+                with pytest.raises(ProcessStateError):
+                    proc.deliver(sig)
+                break
+            kernel.signal(proc.pid, sig)
+            assert proc.state in (
+                ProcessState.RUNNING,
+                ProcessState.STOPPED,
+                ProcessState.DEAD,
+            )
+        kernel.sim.run()
+        # Whatever happened, accounting is consistent.
+        kernel.check_invariants()

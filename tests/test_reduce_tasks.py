@@ -1,0 +1,131 @@
+"""Reduce tasks: the primitive "behaves in the same way for both Map
+and Reduce tasks" (Section IV-A)."""
+
+import pytest
+
+from repro.hadoop.states import TipState
+from repro.units import MB
+from repro.workloads.jobspec import JobSpec, TaskKind, TaskSpec
+from tests.conftest import quick_cluster
+
+
+def mr_job(name="mr", reduce_input_mb=70):
+    """One map plus one reduce task."""
+    return JobSpec(
+        name=name,
+        tasks=[
+            TaskSpec(input_bytes=70 * MB, parse_rate=7 * MB, output_bytes=16 * MB,
+                     name="m0"),
+            TaskSpec(
+                kind=TaskKind.REDUCE,
+                input_bytes=reduce_input_mb * MB,
+                parse_rate=7 * MB,
+                shuffle_bytes=16 * MB,
+                output_bytes=8 * MB,
+                name="r0",
+            ),
+        ],
+    )
+
+
+def reduce_only_job(name="red", input_mb=70):
+    return JobSpec(
+        name=name,
+        tasks=[
+            TaskSpec(
+                kind=TaskKind.REDUCE,
+                input_bytes=input_mb * MB,
+                parse_rate=7 * MB,
+                shuffle_bytes=16 * MB,
+                output_bytes=0,
+                name="r0",
+            )
+        ],
+    )
+
+
+class TestReduceExecution:
+    def test_map_and_reduce_complete(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(mr_job())
+        cluster.run_until_jobs_complete()
+        assert job.state.value == "SUCCEEDED"
+        assert all(t.complete for t in job.tips)
+
+    def test_reduce_uses_reduce_slot(self):
+        cluster = quick_cluster(map_slots=1, reduce_slots=1)
+        cluster.submit_job(mr_job())
+        cluster.start()
+        cluster.sim.run(until=6.0)
+        tracker = cluster.trackers["node00"]
+        # Both can run concurrently: distinct slot pools.
+        assert tracker.free_map_slots == 0
+        assert tracker.free_reduce_slots == 0
+
+    def test_reduce_progress_in_thirds(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(reduce_only_job())
+        cluster.start()
+        cluster.sim.run(until=4.0)
+        reduce_tip = job.tips[0]
+        attempt = cluster.attempts_of("red")[0]
+        # Shuffle done quickly (16 MB stream): progress near 1/3 while
+        # the sort/reduce body still runs.
+        assert 0.3 <= attempt.progress() <= 0.9
+
+
+class TestReducePreemption:
+    def test_suspend_resume_reduce(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(reduce_only_job())
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "red", 0.5, lambda: cluster.jobtracker.suspend_task(tip.tip_id)
+        )
+
+        def resume_later():
+            if tip.state is TipState.SUSPENDED:
+                cluster.jobtracker.resume_task(tip.tip_id)
+            else:
+                cluster.sim.schedule(1.0, resume_later)
+
+        cluster.sim.schedule(20.0, resume_later)
+        cluster.run_until_jobs_complete(timeout=7200)
+        assert tip.state is TipState.SUCCEEDED
+        attempt = cluster.attempts_of("red")[0]
+        assert attempt.suspend_count == 1
+        assert attempt.resume_count == 1
+        assert tip.next_attempt_number == 1  # never restarted
+
+    def test_kill_reduce_reschedules(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(reduce_only_job())
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "red", 0.5, lambda: cluster.jobtracker.kill_task(tip.tip_id)
+        )
+        cluster.run_until_jobs_complete(timeout=7200)
+        assert tip.state is TipState.SUCCEEDED
+        assert tip.next_attempt_number == 2
+        assert tip.wasted_seconds > 0
+
+    def test_suspend_during_shuffle(self):
+        # Suspension lands while the reduce is still shuffling; the
+        # stream claim pauses and resumes exactly.
+        cluster = quick_cluster()
+        job = cluster.submit_job(reduce_only_job(input_mb=140))
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "red", 0.1, lambda: cluster.jobtracker.suspend_task(tip.tip_id)
+        )
+
+        def resume_later():
+            if tip.state is TipState.SUSPENDED:
+                cluster.jobtracker.resume_task(tip.tip_id)
+            else:
+                cluster.sim.schedule(1.0, resume_later)
+
+        cluster.sim.schedule(12.0, resume_later)
+        cluster.run_until_jobs_complete(timeout=7200)
+        assert tip.state is TipState.SUCCEEDED
+        assert tip.wasted_seconds == 0.0

@@ -1,0 +1,177 @@
+"""Processor-shared resources: rates, pause/resume, milestones."""
+
+import pytest
+
+from repro.sim.engine import Simulation
+from repro.osmodel.resources import CpuResource, DiskResource, RateResource
+
+
+class TestSingleClaim:
+    def test_completion_time(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=10.0)
+        done = []
+        res.submit(50.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(5.0)]
+
+    def test_zero_units_completes_immediately(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=10.0)
+        done = []
+        res.submit(0.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.0)]
+
+
+class TestSharing:
+    def test_two_claims_half_rate(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=10.0)
+        done = {}
+        res.submit(50.0, lambda: done.setdefault("a", sim.now))
+        res.submit(50.0, lambda: done.setdefault("b", sim.now))
+        sim.run()
+        # Both share 10 units/s -> each runs at 5 -> done at t=10.
+        assert done["a"] == pytest.approx(10.0)
+        assert done["b"] == pytest.approx(10.0)
+
+    def test_late_arrival_slows_first(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=10.0)
+        done = {}
+        res.submit(50.0, lambda: done.setdefault("a", sim.now))
+        sim.schedule(
+            2.0, lambda: res.submit(30.0, lambda: done.setdefault("b", sim.now))
+        )
+        sim.run()
+        # a: 20 units in first 2s, then 5/s -> 2 + 30/5 = 8s total.
+        assert done["a"] == pytest.approx(8.0)
+        # b: 30 units at 5/s while sharing (6s), then alone (but done at same time
+        # as a finishes: after a, rate doubles). b has 30 - 6*... compute:
+        # from t=2..8 both at 5/s -> b has 30-30=0 at t=8.
+        assert done["b"] == pytest.approx(8.0)
+
+    def test_pause_preserves_remaining(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=10.0)
+        done = []
+        claim = res.submit(100.0, lambda: done.append(sim.now))
+        sim.schedule(3.0, lambda: res.pause(claim))
+        sim.schedule(10.0, lambda: res.activate(claim))
+        sim.run()
+        # 30 units by t=3; paused 7s; remaining 70 at 10/s -> t=17.
+        assert done == [pytest.approx(17.0)]
+
+    def test_cancel_never_completes(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=10.0)
+        done = []
+        claim = res.submit(100.0, lambda: done.append(sim.now))
+        sim.schedule(1.0, lambda: res.cancel(claim))
+        sim.run()
+        assert done == []
+        assert claim.done
+
+    def test_fraction_done_settles_live(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=10.0)
+        claim = res.submit(100.0, lambda: None)
+        checks = []
+        sim.schedule(5.0, lambda: checks.append(claim.fraction_done()))
+        sim.run(until=5.0)
+        sim.run(max_events=1)
+        assert checks and checks[0] == pytest.approx(0.5)
+
+
+class TestMilestones:
+    def test_milestone_exact_time(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=10.0)
+        hits = []
+        claim = res.submit(100.0, lambda: None)
+        claim.add_milestone(50.0, lambda: hits.append(sim.now))  # halfway
+        sim.run()
+        assert hits == [pytest.approx(5.0)]
+
+    def test_milestone_already_crossed_fires_soon(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=10.0)
+        hits = []
+        claim = res.submit(100.0, lambda: None)
+
+        def late_register():
+            claim.add_milestone(95.0, lambda: hits.append(sim.now))
+
+        sim.schedule(2.0, late_register)  # remaining=80 < 95 at t=2
+        sim.run()
+        assert hits and hits[0] == pytest.approx(2.0)
+
+    def test_milestone_survives_pause_resume(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=10.0)
+        hits = []
+        claim = res.submit(100.0, lambda: None)
+        claim.add_milestone(40.0, lambda: hits.append(sim.now))  # at t=6 if unpaused
+        sim.schedule(2.0, lambda: res.pause(claim))
+        sim.schedule(5.0, lambda: res.activate(claim))
+        sim.run()
+        # paused 3s, so crossing shifts from 6.0 to 9.0
+        assert hits == [pytest.approx(9.0)]
+
+    def test_milestone_with_rate_change(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=10.0)
+        hits = []
+        claim = res.submit(100.0, lambda: None)
+        claim.add_milestone(50.0, lambda: hits.append(sim.now))
+        # A competing claim halves the rate from t=1.
+        sim.schedule(1.0, lambda: res.submit(1000.0, lambda: None))
+        sim.run(until=30.0)
+        # 10 units by t=1, then 5/s: remaining to milestone = 40 -> t=9.
+        assert hits == [pytest.approx(9.0)]
+
+    def test_unfired_milestone_fires_at_completion(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=10.0)
+        hits = []
+        claim = res.submit(10.0, lambda: None)
+        claim.add_milestone(0.0, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [pytest.approx(1.0)]
+
+
+class TestCpuResource:
+    def test_up_to_cores_full_speed(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, cores=2)
+        done = {}
+        cpu.submit(10.0, lambda: done.setdefault("a", sim.now))
+        cpu.submit(10.0, lambda: done.setdefault("b", sim.now))
+        sim.run()
+        assert done["a"] == pytest.approx(10.0)
+        assert done["b"] == pytest.approx(10.0)
+
+    def test_oversubscribed_shares(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, cores=2)
+        done = {}
+        for name in ("a", "b", "c", "d"):
+            cpu.submit(10.0, lambda n=name: done.setdefault(n, sim.now))
+        sim.run()
+        # 4 claims on 2 cores -> each at 0.5 core -> 20s.
+        assert all(t == pytest.approx(20.0) for t in done.values())
+
+
+class TestDiskResource:
+    def test_bandwidth_sharing(self):
+        sim = Simulation()
+        disk = DiskResource(sim, bandwidth=100.0)
+        done = {}
+        disk.submit(100.0, lambda: done.setdefault("a", sim.now))
+        disk.submit(300.0, lambda: done.setdefault("b", sim.now))
+        sim.run()
+        # a: shares 50/s until done at t=2; b: 200 left at t=2, then
+        # alone at 100/s -> done at t=4.
+        assert done["a"] == pytest.approx(2.0)
+        assert done["b"] == pytest.approx(4.0)

@@ -1,0 +1,175 @@
+"""The discrete-event kernel: ordering, cancellation, determinism."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingInPastError, SimulationError
+from repro.sim.engine import Simulation
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulation()
+        fired = []
+        for name in "abcde":
+            sim.schedule(1.0, fired.append, name)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_zero_delay_runs_after_pending_same_instant(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(0.0, fired.append, "first")
+        sim.call_soon(fired.append, "second")
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(5.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SchedulingInPastError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulation()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingInPastError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_chain(self):
+        sim = Simulation()
+        fired = []
+
+        def level_one():
+            fired.append(("one", sim.now))
+            sim.schedule(1.0, level_two)
+
+        def level_two():
+            fired.append(("two", sim.now))
+
+        sim.schedule(1.0, level_one)
+        sim.run()
+        assert fired == [("one", 1.0), ("two", 2.0)]
+
+
+class TestCancellation:
+    def test_cancel_prevents_firing(self):
+        sim = Simulation()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        assert handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_after_fire_returns_false(self):
+        sim = Simulation()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert handle.fired
+        assert not handle.cancel()
+
+    def test_double_cancel(self):
+        sim = Simulation()
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.cancel()
+        assert not handle.cancel()
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulation()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending_events == 1
+        assert keep.pending
+
+
+class TestRunControl:
+    def test_run_until(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_max_events(self):
+        sim = Simulation()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_stop_from_callback(self):
+        sim = Simulation()
+        fired = []
+
+        def stopper():
+            fired.append("stop")
+            sim.stop()
+
+        sim.schedule(1.0, stopper)
+        sim.schedule(2.0, fired.append, "never-before-resume")
+        sim.run()
+        assert fired == ["stop"]
+
+    def test_run_not_reentrant(self):
+        sim = Simulation()
+
+        def reenter():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+
+    def test_step_returns_false_when_idle(self):
+        sim = Simulation()
+        assert not sim.step()
+        assert sim.idle
+
+    def test_events_fired_counter(self):
+        sim = Simulation()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_fired == 4
+
+
+class TestDeterminism:
+    def test_engine_trace_records_labels(self):
+        sim = Simulation(trace=True)
+        sim.schedule(1.0, lambda: None, label="hello")
+        sim.run()
+        assert sim.trace_log.first("hello") is not None
+
+    @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=50))
+    def test_arbitrary_delays_fire_sorted(self, delays):
+        sim = Simulation()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,63 @@
+"""Trace log: recording, querying, subscriptions."""
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+class TestTraceLog:
+    def test_record_and_find(self):
+        log = TraceLog()
+        log.record(1.0, "task.start", task="a")
+        log.record(2.0, "task.start", task="b")
+        log.record(3.0, "task.done", task="a")
+        assert len(log) == 3
+        assert len(log.find("task.start")) == 2
+        assert log.first("task.start", task="b").time == 2.0
+        assert log.last("task.start").fields["task"] == "b"
+
+    def test_find_with_field_filter(self):
+        log = TraceLog()
+        log.record(1.0, "os.signal", sig="SIGTSTP", pid=1)
+        log.record(2.0, "os.signal", sig="SIGCONT", pid=1)
+        assert len(log.find("os.signal", sig="SIGTSTP")) == 1
+        assert log.first("os.signal", sig="SIGKILL") is None
+
+    def test_disabled_log_stores_nothing(self):
+        log = TraceLog(enabled=False)
+        log.record(1.0, "x")
+        assert len(log) == 0
+
+    def test_subscribers_fire_even_when_disabled(self):
+        log = TraceLog(enabled=False)
+        seen = []
+        log.subscribe(seen.append)
+        log.record(1.0, "x", value=3)
+        assert len(seen) == 1
+        assert seen[0].fields["value"] == 3
+
+    def test_capacity_keeps_latest(self):
+        log = TraceLog(capacity=3)
+        for i in range(6):
+            log.record(float(i), f"e{i}")
+        assert len(log) == 3
+        assert [r.label for r in log] == ["e3", "e4", "e5"]
+
+    def test_render_limit(self):
+        log = TraceLog()
+        for i in range(5):
+            log.record(float(i), f"e{i}")
+        out = log.render(limit=2)
+        assert "e3" in out and "e4" in out and "e1" not in out
+
+
+class TestTraceRecord:
+    def test_matches_prefix_and_fields(self):
+        rec = TraceRecord(1.0, "attempt.launch", {"attempt": "a1"})
+        assert rec.matches("attempt.")
+        assert rec.matches("attempt.launch", attempt="a1")
+        assert not rec.matches("attempt.launch", attempt="a2")
+        assert not rec.matches("os.")
+
+    def test_str_contains_fields(self):
+        rec = TraceRecord(1.5, "x", {"k": "v"})
+        assert "k=v" in str(rec)
+        assert "x" in str(rec)

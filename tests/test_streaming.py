@@ -1,0 +1,148 @@
+"""Hadoop Streaming / external-state behaviour under suspension."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hadoop.states import AttemptState, TipState
+from repro.hadoop.streaming import StreamingConfig, StreamingCoprocess
+from repro.units import MB
+from repro.workloads.jobspec import JobSpec, TaskSpec
+from tests.conftest import quick_cluster
+
+
+def streaming_job(name="stream", input_mb=70):
+    return JobSpec(
+        name=name,
+        tasks=[TaskSpec(input_bytes=input_mb * MB, parse_rate=7 * MB, output_bytes=0)],
+    )
+
+
+def launch_with_coprocess(cluster, job_name, config=None):
+    """Attach a coprocess as soon as the work attempt launches."""
+    holder = {}
+
+    def on_launch(attempt):
+        if attempt.role.value == "task" and "co" not in holder:
+            holder["attempt"] = attempt
+            holder["co"] = StreamingCoprocess(attempt, config)
+
+    cluster.on_attempt_launched(on_launch)
+    return holder
+
+
+class TestStreamingConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(memory_bytes=-1)
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(idle_timeout=0)
+
+    def test_attach_before_launch_rejected(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(streaming_job())
+
+        from repro.hadoop.attempt import AttemptRole, TaskAttempt
+
+        attempt = TaskAttempt(
+            cluster.trackers["node00"], "a", job.tips[0].tip_id, job.job_id,
+            job.tips[0].spec,
+        )
+        with pytest.raises(ConfigurationError):
+            StreamingCoprocess(attempt)
+
+
+class TestWellBehavedPeer:
+    def test_peer_survives_suspension(self):
+        # "external software would correctly pause waiting for the next
+        # input from a suspended task"
+        cluster = quick_cluster()
+        job = cluster.submit_job(streaming_job())
+        holder = launch_with_coprocess(cluster, "stream")
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "stream", 0.3, lambda: cluster.jobtracker.suspend_task(tip.tip_id)
+        )
+        cluster.start()
+        cluster.sim.run(until=12.0)
+        assert tip.state is TipState.SUSPENDED
+        assert holder["co"].alive
+        assert not holder["co"].aborted
+        cluster.jobtracker.resume_task(tip.tip_id)
+        cluster.run_until_jobs_complete()
+        assert tip.state is TipState.SUCCEEDED
+        # The coprocess is torn down with the task's normal exit.
+        assert not holder["co"].alive
+
+    def test_peer_memory_accounted(self):
+        cluster = quick_cluster()
+        cluster.submit_job(streaming_job())
+        holder = launch_with_coprocess(
+            cluster, "stream", StreamingConfig(memory_bytes=48 * MB)
+        )
+        cluster.start()
+        cluster.sim.run(until=6.0)
+        assert holder["co"].process.image.resident == 48 * MB
+
+    def test_group_stop_stops_peer_too(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(streaming_job())
+        holder = launch_with_coprocess(
+            cluster, "stream", StreamingConfig(stops_with_task=True)
+        )
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "stream", 0.3, lambda: cluster.jobtracker.suspend_task(tip.tip_id)
+        )
+        cluster.start()
+        cluster.sim.run(until=12.0)
+        assert holder["co"].process.stopped
+        cluster.jobtracker.resume_task(tip.tip_id)
+        cluster.run_until_jobs_complete()
+        assert tip.state is TipState.SUCCEEDED
+
+
+class TestTimeoutSensitivePeer:
+    def test_idle_timeout_breaks_the_task(self):
+        # "when the interaction happens with a complex program, the
+        # fact that they correctly handle suspended programs should be
+        # tested" -- here is the failure when they do not.
+        cluster = quick_cluster()
+        job = cluster.submit_job(streaming_job())
+        holder = launch_with_coprocess(
+            cluster, "stream", StreamingConfig(idle_timeout=2.0)
+        )
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "stream", 0.3, lambda: cluster.jobtracker.suspend_task(tip.tip_id)
+        )
+        cluster.start()
+        cluster.sim.run(until=20.0)
+        assert holder["co"].aborted
+        assert not holder["co"].alive
+        broken = cluster.sim.trace_log.first("streaming.broken-pipe")
+        assert broken is not None
+        # The task died with the pipe and was rescheduled from scratch.
+        cluster.run_until_jobs_complete(timeout=7200)
+        assert tip.state is TipState.SUCCEEDED
+        assert tip.next_attempt_number >= 2
+        assert tip.wasted_seconds > 0
+
+    def test_fast_resume_beats_the_watchdog(self):
+        cluster = quick_cluster()
+        job = cluster.submit_job(streaming_job())
+        holder = launch_with_coprocess(
+            cluster, "stream", StreamingConfig(idle_timeout=30.0)
+        )
+        tip = job.tips[0]
+
+        def suspend_then_resume():
+            cluster.jobtracker.suspend_task(tip.tip_id)
+            cluster.sim.schedule(
+                5.0, lambda: cluster.jobtracker.resume_task(tip.tip_id)
+            )
+
+        cluster.when_job_progress("stream", 0.3, suspend_then_resume)
+        cluster.run_until_jobs_complete()
+        assert not holder["co"].aborted
+        assert tip.state is TipState.SUCCEEDED
+        assert tip.next_attempt_number == 1  # never restarted

@@ -1,0 +1,172 @@
+"""The dummy scheduler's trigger engine."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hadoop.states import TipState
+from repro.schedulers.dummy import DummyScheduler
+from repro.schedulers.triggers import (
+    CompletionTrigger,
+    ProgressTrigger,
+    TriggerAction,
+    TriggerEngine,
+    TriggerRule,
+)
+from repro.units import MB
+from repro.workloads.jobspec import JobSpec, TaskSpec
+from tests.conftest import quick_cluster
+
+
+def job_spec(name, input_mb=70, priority=0):
+    return JobSpec(
+        name=name,
+        priority=priority,
+        tasks=[TaskSpec(input_bytes=input_mb * MB, parse_rate=7 * MB,
+                        output_bytes=0)],
+    )
+
+
+class TestRuleValidation:
+    def test_submit_needs_spec(self):
+        with pytest.raises(ConfigurationError):
+            ProgressTrigger("a", 0.5, [TriggerRule(TriggerAction.SUBMIT_JOB)])
+
+    def test_suspend_needs_target(self):
+        with pytest.raises(ConfigurationError):
+            ProgressTrigger("a", 0.5, [TriggerRule(TriggerAction.SUSPEND_TASKS)])
+
+    def test_call_needs_callback(self):
+        with pytest.raises(ConfigurationError):
+            ProgressTrigger("a", 0.5, [TriggerRule(TriggerAction.CALL)])
+
+    def test_progress_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ProgressTrigger("a", 1.5, [])
+
+
+class TestProgressTriggers:
+    def test_fires_at_exact_progress(self):
+        cluster = quick_cluster(scheduler=DummyScheduler())
+        engine = TriggerEngine(cluster)
+        fired_at = []
+        engine.add_progress_trigger(
+            ProgressTrigger(
+                "watched",
+                0.5,
+                [TriggerRule(TriggerAction.CALL,
+                             callback=lambda: fired_at.append(cluster.sim.now))],
+            )
+        )
+        job = cluster.submit_job(job_spec("watched"))
+        cluster.run_until_jobs_complete()
+        assert len(fired_at) == 1
+        # 70 MB at 7 MB/s: 50% of the map is 5 s in; plus jvm/setup
+        # preamble the crossing lands shortly after launch + 5 s.
+        launch = job.tips[0].first_launched_at
+        assert fired_at[0] == pytest.approx(launch + 5.0, abs=1.5)
+
+    def test_fires_once(self):
+        cluster = quick_cluster(scheduler=DummyScheduler())
+        engine = TriggerEngine(cluster)
+        count = []
+        engine.add_progress_trigger(
+            ProgressTrigger(
+                "watched", 0.2,
+                [TriggerRule(TriggerAction.CALL, callback=lambda: count.append(1))],
+            )
+        )
+        cluster.submit_job(job_spec("watched"))
+        cluster.run_until_jobs_complete()
+        assert len(count) == 1
+
+    def test_submit_and_suspend_rules(self):
+        cluster = quick_cluster(scheduler=DummyScheduler())
+        engine = TriggerEngine(cluster)
+        high = job_spec("high", input_mb=14, priority=5)
+        engine.add_progress_trigger(
+            ProgressTrigger(
+                "low",
+                0.4,
+                [
+                    TriggerRule(TriggerAction.SUBMIT_JOB, job_spec=high),
+                    TriggerRule(TriggerAction.SUSPEND_TASKS, target_job="low"),
+                ],
+            )
+        )
+        low = cluster.submit_job(job_spec("low"))
+        cluster.start()
+        cluster.sim.run(until=15.0)
+        assert low.tips[0].state is TipState.SUSPENDED
+        assert cluster.job_by_name("high") is not None
+
+    def test_completion_trigger_resumes(self):
+        cluster = quick_cluster(scheduler=DummyScheduler())
+        engine = TriggerEngine(cluster)
+        high = job_spec("high", input_mb=14, priority=5)
+        engine.add_progress_trigger(
+            ProgressTrigger(
+                "low", 0.4,
+                [
+                    TriggerRule(TriggerAction.SUBMIT_JOB, job_spec=high),
+                    TriggerRule(TriggerAction.SUSPEND_TASKS, target_job="low"),
+                ],
+            )
+        )
+        engine.add_completion_trigger(
+            CompletionTrigger(
+                "high", [TriggerRule(TriggerAction.RESUME_TASKS, target_job="low")]
+            )
+        )
+        low = cluster.submit_job(job_spec("low"))
+        cluster.run_until_jobs_complete(timeout=7200)
+        assert low.tips[0].state is TipState.SUCCEEDED
+        attempts = cluster.attempts_of("low")
+        assert sum(a.resume_count for a in attempts) == 1
+
+    def test_kill_rule(self):
+        cluster = quick_cluster(scheduler=DummyScheduler())
+        engine = TriggerEngine(cluster)
+        engine.add_progress_trigger(
+            ProgressTrigger(
+                "low", 0.4, [TriggerRule(TriggerAction.KILL_TASKS, target_job="low")]
+            )
+        )
+        low = cluster.submit_job(job_spec("low"))
+        cluster.run_until_jobs_complete(timeout=7200)
+        assert low.tips[0].state is TipState.SUCCEEDED
+        assert low.tips[0].next_attempt_number == 2  # killed then rerun
+
+    def test_trigger_added_after_attempt_running(self):
+        cluster = quick_cluster(scheduler=DummyScheduler())
+        engine = TriggerEngine(cluster)
+        low = cluster.submit_job(job_spec("low"))
+        cluster.start()
+        cluster.sim.run(until=5.0)  # attempt already running
+        fired = []
+        engine.add_progress_trigger(
+            ProgressTrigger(
+                "low", 0.8,
+                [TriggerRule(TriggerAction.CALL, callback=lambda: fired.append(1))],
+            )
+        )
+        cluster.run_until_jobs_complete()
+        assert fired == [1]
+
+    def test_trigger_ignores_setup_attempts(self):
+        # The watcher must arm on the work attempt, not the setup task.
+        cluster = quick_cluster(scheduler=DummyScheduler())
+        engine = TriggerEngine(cluster)
+        seen_progress = []
+
+        def record():
+            job = cluster.job_by_name("watched")
+            seen_progress.append(job.tips[0].progress)
+
+        engine.add_progress_trigger(
+            ProgressTrigger(
+                "watched", 0.5, [TriggerRule(TriggerAction.CALL, callback=record)]
+            )
+        )
+        cluster.submit_job(job_spec("watched"))
+        cluster.run_until_jobs_complete()
+        assert len(seen_progress) == 1

@@ -1,0 +1,110 @@
+"""Units helpers: parsing, formatting, page arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    PAGE_SIZE,
+    TB,
+    format_duration,
+    format_size,
+    page_align,
+    pages_for,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("4096") == 4096
+
+    def test_integer_passthrough(self):
+        assert parse_size(12345) == 12345
+
+    def test_float_truncates(self):
+        assert parse_size(12.9) == 12
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("512 MB", 512 * MB),
+            ("512MB", 512 * MB),
+            ("2.5GB", int(2.5 * GB)),
+            ("4GiB", 4 * GB),
+            ("128k", 128 * KB),
+            ("1 tb", TB),
+            ("0", 0),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "abc", "12 XB", "--3MB"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_size(bad)
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(ConfigurationError):
+            parse_size(-1)
+
+
+class TestFormatSize:
+    def test_mb(self):
+        assert format_size(512 * MB) == "512.0 MB"
+
+    def test_kb(self):
+        assert format_size(1536) == "1.5 KB"
+
+    def test_bytes(self):
+        assert format_size(17) == "17 B"
+
+    def test_negative(self):
+        assert format_size(-2 * MB) == "-2.0 MB"
+
+    @given(st.integers(min_value=0, max_value=10 * TB))
+    def test_round_trip_order_of_magnitude(self, n):
+        # Parsing the formatted value lands within 10% (1 decimal place).
+        text = format_size(n, precision=3)
+        back = parse_size(text)
+        assert abs(back - n) <= max(64, n * 0.01)
+
+
+class TestFormatDuration:
+    def test_hours(self):
+        assert format_duration(3723.4) == "1h02m03.4s"
+
+    def test_minutes(self):
+        assert format_duration(75.25) == "1m15.2s"
+
+    def test_seconds(self):
+        assert format_duration(42.0) == "42.0s"
+
+    def test_negative(self):
+        assert format_duration(-5.0) == "-5.0s"
+
+
+class TestPages:
+    def test_pages_for_zero(self):
+        assert pages_for(0) == 0
+
+    def test_pages_for_one_byte(self):
+        assert pages_for(1) == 1
+
+    def test_pages_for_exact(self):
+        assert pages_for(2 * PAGE_SIZE) == 2
+
+    def test_page_align_rounds_up(self):
+        assert page_align(PAGE_SIZE + 1) == 2 * PAGE_SIZE
+
+    @given(st.integers(min_value=0, max_value=10 * GB))
+    def test_alignment_invariants(self, n):
+        aligned = page_align(n)
+        assert aligned >= n
+        assert aligned % PAGE_SIZE == 0
+        assert aligned - n < PAGE_SIZE

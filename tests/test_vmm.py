@@ -1,0 +1,191 @@
+"""The virtual memory manager: reclaim policy and swap-in.
+
+These tests pin the three behaviours DESIGN.md calls the heart of the
+reproduction: cache-first eviction at swappiness 0, suspended-first /
+clean-first process eviction, and the approximate-LRU inflation/leak.
+"""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.osmodel.config import NodeConfig
+from repro.osmodel.kernel import NodeKernel
+from repro.osmodel.signals import Signal
+from repro.sim.engine import Simulation
+from repro.units import GB, MB
+
+
+def make_kernel(**overrides) -> NodeKernel:
+    defaults = dict(
+        ram_bytes=1 * GB,
+        os_reserved_bytes=0,
+        swap_bytes=2 * GB,
+        page_cache_min_bytes=0,
+        working_set_protect_bytes=64 * MB,
+        lru_overshoot=0.0,
+        lru_scan_leak=0.0,
+        alloc_chunk_bytes=1 * GB,  # single-shot reclaim for deterministic tests
+        direct_reclaim_fraction=1.0,
+        fault_in_sync_fraction=1.0,
+        hostname="vmmtest",
+    )
+    defaults.update(overrides)
+    return NodeKernel(Simulation(seed=1), NodeConfig(**defaults))
+
+
+class TestCacheFirstEviction:
+    def test_swappiness_zero_drops_cache_before_processes(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("victim")
+        kernel.charge_allocation(proc, 600 * MB)
+        kernel.vmm.cache_file_read(300 * MB)
+        assert kernel.vmm.page_cache.size == 300 * MB
+        # Free RAM is 1024-600-300 = 124 MB; allocating 300 MB forces a
+        # 176 MB reclaim that the cache absorbs entirely.
+        newcomer = kernel.spawn("newcomer")
+        charge = kernel.charge_allocation(newcomer, 300 * MB)
+        assert charge.swapped_out == 0
+        assert kernel.vmm.page_cache.size == 124 * MB
+        assert proc.image.swapped == 0
+
+    def test_cache_respects_floor(self):
+        kernel = make_kernel(page_cache_min_bytes=64 * MB)
+        kernel.vmm.cache_file_read(200 * MB)
+        freed = kernel.vmm.page_cache.shrink(1 * GB)
+        assert kernel.vmm.page_cache.size == 64 * MB
+        assert freed == 136 * MB
+
+
+class TestProcessEviction:
+    def test_stopped_process_evicted_before_running(self):
+        kernel = make_kernel()
+        stopped = kernel.spawn("stopped")
+        kernel.charge_allocation(stopped, 400 * MB)
+        kernel.signal(stopped.pid, Signal.SIGSTOP)
+        running = kernel.spawn("running")
+        kernel.charge_allocation(running, 400 * MB)
+        # Demand forces ~300 MB of eviction: all from the stopped one.
+        newcomer = kernel.spawn("new")
+        charge = kernel.charge_allocation(newcomer, 500 * MB)
+        assert charge.swapped_out > 0
+        assert stopped.image.swapped > 0
+        assert running.image.swapped == 0
+
+    def test_clean_pages_dropped_before_dirty_swapped(self):
+        kernel = make_kernel()
+        victim = kernel.spawn("victim")
+        kernel.charge_allocation(victim, 300 * MB, dirty=True)
+        victim.image.allocate(300 * MB, dirty=False, now=0.0)
+        kernel.signal(victim.pid, Signal.SIGSTOP)
+        newcomer = kernel.spawn("new")
+        # Need ~200 MB: clean pages cover it for free.
+        charge = kernel.charge_allocation(newcomer, 600 * MB)
+        assert charge.swapped_out == 0
+        assert victim.image.resident_clean < 300 * MB
+
+    def test_oom_when_ram_and_swap_exhausted(self):
+        kernel = make_kernel(swap_bytes=64 * MB)
+        hog = kernel.spawn("hog")
+        kernel.charge_allocation(hog, 900 * MB)
+        kernel.signal(hog.pid, Signal.SIGSTOP)
+        newcomer = kernel.spawn("new")
+        with pytest.raises(OutOfMemoryError):
+            kernel.charge_allocation(newcomer, 900 * MB)
+
+    def test_reclaim_cost_charged_to_allocator(self):
+        kernel = make_kernel()
+        victim = kernel.spawn("victim")
+        kernel.charge_allocation(victim, 800 * MB)
+        kernel.signal(victim.pid, Signal.SIGSTOP)
+        newcomer = kernel.spawn("new")
+        charge = kernel.charge_allocation(newcomer, 800 * MB)
+        assert charge.reclaim_time > 0
+        assert charge.total_time > charge.touch_time
+
+
+class TestApproximateLru:
+    def test_overshoot_inflates_eviction(self):
+        plain = make_kernel(lru_overshoot=0.0)
+        inflated = make_kernel(lru_overshoot=2.0)
+        for kernel in (plain, inflated):
+            victim = kernel.spawn("victim")
+            kernel.charge_allocation(victim, 700 * MB)
+            kernel.signal(victim.pid, Signal.SIGSTOP)
+            newcomer = kernel.spawn("new")
+            kernel.charge_allocation(newcomer, 500 * MB)
+        swapped_plain = plain.vmm.swap.total_out
+        swapped_inflated = inflated.vmm.swap.total_out
+        assert swapped_inflated > swapped_plain
+
+    def test_leak_spills_onto_running_cold_pages(self):
+        kernel = make_kernel(lru_scan_leak=1.0, working_set_protect_bytes=32 * MB,
+                             alloc_chunk_bytes=32 * MB)
+        victim = kernel.spawn("victim")
+        kernel.charge_allocation(victim, 500 * MB)
+        kernel.signal(victim.pid, Signal.SIGSTOP)
+        hog = kernel.spawn("hog")
+        kernel.charge_allocation(hog, 800 * MB)
+        # With a full leak the allocator's own cold pages get evicted too.
+        assert hog.image.swapped > 0
+        assert victim.image.swapped > 0
+        # And the victim keeps more resident than it would without leak.
+        no_leak = make_kernel(lru_scan_leak=0.0, alloc_chunk_bytes=32 * MB)
+        victim2 = no_leak.spawn("victim")
+        no_leak.charge_allocation(victim2, 500 * MB)
+        no_leak.signal(victim2.pid, Signal.SIGSTOP)
+        hog2 = no_leak.spawn("hog")
+        no_leak.charge_allocation(hog2, 800 * MB)
+        assert victim.image.swapped < victim2.image.swapped
+
+
+class TestFaultIn:
+    def test_fault_in_restores_everything(self):
+        kernel = make_kernel()
+        victim = kernel.spawn("victim")
+        kernel.charge_allocation(victim, 700 * MB)
+        kernel.signal(victim.pid, Signal.SIGSTOP)
+        newcomer = kernel.spawn("new")
+        kernel.charge_allocation(newcomer, 600 * MB)
+        assert victim.image.swapped > 0
+        # Free the newcomer so the fault-in has room.
+        kernel.signal(newcomer.pid, Signal.SIGKILL)
+        result = kernel.vmm.fault_in(victim)
+        assert result.paged_in > 0
+        assert result.time_cost > 0
+        assert victim.image.swapped == 0
+        assert kernel.vmm.swap.swapped_bytes(victim.pid) == 0
+
+    def test_fault_in_noop_without_swap(self):
+        kernel = make_kernel()
+        proc = kernel.spawn("p")
+        kernel.charge_allocation(proc, 100 * MB)
+        result = kernel.vmm.fault_in(proc)
+        assert result.paged_in == 0
+        assert result.time_cost == 0.0
+
+    def test_dead_process_releases_ram_and_swap(self):
+        kernel = make_kernel()
+        victim = kernel.spawn("victim")
+        kernel.charge_allocation(victim, 700 * MB)
+        kernel.signal(victim.pid, Signal.SIGSTOP)
+        newcomer = kernel.spawn("new")
+        kernel.charge_allocation(newcomer, 600 * MB)
+        before = kernel.vmm.free_ram()
+        kernel.signal(victim.pid, Signal.SIGKILL)
+        assert kernel.vmm.swap.swapped_bytes(victim.pid) == 0
+        assert kernel.vmm.free_ram() > before
+        kernel.check_invariants()
+
+
+class TestAsyncFractions:
+    def test_direct_reclaim_fraction_scales_stall(self):
+        full = make_kernel(direct_reclaim_fraction=1.0)
+        half = make_kernel(direct_reclaim_fraction=0.5)
+        stalls = {}
+        for name, kernel in (("full", full), ("half", half)):
+            victim = kernel.spawn("victim")
+            kernel.charge_allocation(victim, 800 * MB)
+            kernel.signal(victim.pid, Signal.SIGSTOP)
+            newcomer = kernel.spawn("new")
+            stalls[name] = kernel.charge_allocation(newcomer, 800 * MB).reclaim_time
+        assert stalls["half"] == pytest.approx(stalls["full"] / 2, rel=0.01)

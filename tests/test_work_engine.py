@@ -1,0 +1,237 @@
+"""The work engine: plans, exact suspension, progress watchers."""
+
+import pytest
+
+from repro.osmodel.config import NodeConfig
+from repro.osmodel.kernel import NodeKernel
+from repro.osmodel.process import ExitReason
+from repro.osmodel.signals import Signal
+from repro.osmodel.work import (
+    CpuWorkItem,
+    DiskWriteItem,
+    MemAllocItem,
+    MemTouchItem,
+    SleepItem,
+    WorkEngine,
+    WorkPlan,
+)
+from repro.sim.engine import Simulation
+from repro.units import GB, MB
+
+
+def build(plan_items, **node_overrides):
+    defaults = dict(
+        ram_bytes=1 * GB,
+        os_reserved_bytes=0,
+        swap_bytes=2 * GB,
+        page_cache_min_bytes=0,
+        mem_touch_bw=1000 * MB,
+        mem_read_bw=1000 * MB,
+        direct_reclaim_fraction=1.0,
+        fault_in_sync_fraction=1.0,
+        hostname="worktest",
+    )
+    defaults.update(node_overrides)
+    kernel = NodeKernel(Simulation(seed=5), NodeConfig(**defaults))
+    proc = kernel.spawn("task")
+    engine = WorkEngine(proc, WorkPlan(plan_items))
+    return kernel, proc, engine
+
+
+class TestPlanExecution:
+    def test_sequential_items(self):
+        kernel, proc, engine = build([SleepItem(2.0), SleepItem(3.0)])
+        done = []
+        proc.on_exit(lambda p, r: done.append((kernel.sim.now, r)))
+        engine.start()
+        kernel.sim.run()
+        assert done == [(pytest.approx(5.0), ExitReason.EXITED)]
+        assert engine.completed
+
+    def test_cpu_item_timing(self):
+        kernel, proc, engine = build(
+            [CpuWorkItem.for_bytes(70 * MB, parse_rate=7 * MB, weight=1.0)]
+        )
+        done = []
+        proc.on_exit(lambda p, r: done.append(kernel.sim.now))
+        engine.start()
+        kernel.sim.run()
+        assert done == [pytest.approx(10.0)]
+
+    def test_mem_alloc_item_accounts_memory_and_time(self):
+        kernel, proc, engine = build([MemAllocItem(500 * MB)])
+        engine.start()
+        kernel.sim.run()
+        assert proc.image.virtual == 0  # process exited, memory reaped
+        # Duration was alloc bytes / touch bandwidth = 0.5 s.
+        assert kernel.sim.now == pytest.approx(0.5)
+
+    def test_disk_write_item(self):
+        kernel, proc, engine = build([DiskWriteItem(90 * MB)])
+        engine.start()
+        kernel.sim.run()
+        assert kernel.sim.now == pytest.approx(1.0)  # default 90 MB/s write
+
+    def test_empty_plan_completes_immediately(self):
+        kernel, proc, engine = build([])
+        engine.start()
+        kernel.sim.run()
+        assert engine.completed
+        assert engine.progress() == 1.0
+
+    def test_zero_cpu_item(self):
+        kernel, proc, engine = build([CpuWorkItem(0.0, weight=1.0)])
+        engine.start()
+        kernel.sim.run()
+        assert engine.completed
+
+
+class TestProgress:
+    def test_weighted_progress(self):
+        kernel, proc, engine = build(
+            [
+                SleepItem(1.0, weight=0.0),
+                CpuWorkItem(10.0, weight=1.0),
+            ]
+        )
+        engine.start()
+        kernel.sim.run(until=1.0)
+        assert engine.progress() == pytest.approx(0.0)
+        kernel.sim.run(until=6.0)  # halfway through the CPU item
+        assert engine.progress() == pytest.approx(0.5)
+
+    def test_watcher_exact_crossing(self):
+        kernel, proc, engine = build(
+            [SleepItem(2.0, weight=0.0), CpuWorkItem(10.0, weight=1.0)]
+        )
+        hits = []
+        engine.start()
+        engine.when_progress(0.3, lambda: hits.append(kernel.sim.now))
+        kernel.sim.run()
+        assert hits == [pytest.approx(5.0)]  # 2 s sleep + 3 s of cpu
+
+    def test_watcher_registered_before_item_starts(self):
+        kernel, proc, engine = build(
+            [SleepItem(4.0, weight=0.5), SleepItem(4.0, weight=0.5)]
+        )
+        hits = []
+        engine.start()
+        engine.when_progress(0.75, lambda: hits.append(kernel.sim.now))
+        kernel.sim.run()
+        assert hits == [pytest.approx(6.0)]
+
+    def test_watcher_past_fraction_fires_immediately(self):
+        kernel, proc, engine = build([SleepItem(2.0, weight=1.0)])
+        hits = []
+        engine.start()
+        kernel.sim.run(until=1.5)
+        engine.when_progress(0.5, lambda: hits.append(kernel.sim.now))
+        kernel.sim.run()
+        assert hits and hits[0] == pytest.approx(1.5)
+
+    def test_watcher_fires_at_completion_at_latest(self):
+        kernel, proc, engine = build([SleepItem(1.0, weight=0.0)])
+        hits = []
+        engine.start()
+        engine.when_progress(1.0, lambda: hits.append(kernel.sim.now))
+        kernel.sim.run()
+        assert hits == [pytest.approx(1.0)]
+
+
+class TestSuspension:
+    def test_pause_preserves_exact_remaining(self):
+        kernel, proc, engine = build([CpuWorkItem(10.0, weight=1.0)])
+        done = []
+        proc.on_exit(lambda p, r: done.append(kernel.sim.now))
+        engine.start()
+        kernel.sim.schedule(4.0, kernel.signal, proc.pid, Signal.SIGSTOP)
+        kernel.sim.schedule(9.0, kernel.signal, proc.pid, Signal.SIGCONT)
+        kernel.sim.run()
+        # 4 s of work, 5 s stopped, 6 s of work left -> done at 15.
+        assert done == [pytest.approx(15.0)]
+
+    def test_suspend_during_sleep_item(self):
+        kernel, proc, engine = build([SleepItem(10.0)])
+        done = []
+        proc.on_exit(lambda p, r: done.append(kernel.sim.now))
+        engine.start()
+        kernel.sim.schedule(3.0, kernel.signal, proc.pid, Signal.SIGSTOP)
+        kernel.sim.schedule(5.0, kernel.signal, proc.pid, Signal.SIGCONT)
+        kernel.sim.run()
+        assert done == [pytest.approx(12.0)]
+
+    def test_progress_frozen_while_stopped(self):
+        kernel, proc, engine = build([CpuWorkItem(10.0, weight=1.0)])
+        engine.start()
+        kernel.sim.schedule(4.0, kernel.signal, proc.pid, Signal.SIGSTOP)
+        kernel.sim.run(until=8.0)
+        assert engine.progress() == pytest.approx(0.4)
+
+    def test_resume_charges_fault_in(self):
+        # Victim loses pages while stopped; resume pays page-in time.
+        kernel, proc, engine = build(
+            [MemAllocItem(600 * MB), CpuWorkItem(10.0, weight=1.0)]
+        )
+        done = []
+        proc.on_exit(lambda p, r: done.append(kernel.sim.now))
+        engine.start()
+        kernel.sim.run(until=2.0)  # alloc done (0.6 s), cpu running
+        kernel.signal(proc.pid, Signal.SIGSTOP)
+        hog = kernel.spawn("hog")
+        kernel.charge_allocation(hog, 700 * MB)  # forces victim pages out
+        assert proc.image.swapped > 0
+        kernel.signal(hog.pid, Signal.SIGKILL)
+        kernel.signal(proc.pid, Signal.SIGCONT)
+        kernel.sim.run()
+        assert engine.fault_in_seconds > 0
+        assert proc.image.swapped == 0
+        assert done  # completed despite the round trip
+
+    def test_abort_preserves_partial_progress(self):
+        kernel, proc, engine = build([CpuWorkItem(10.0, weight=1.0)])
+        engine.start()
+        kernel.sim.run(until=4.0)
+        kernel.signal(proc.pid, Signal.SIGKILL)
+        assert engine.progress() == pytest.approx(0.4)
+        kernel.sim.run()
+        assert engine.progress() == pytest.approx(0.4)  # frozen forever
+
+    def test_double_pause_resume_cycles(self):
+        kernel, proc, engine = build([CpuWorkItem(12.0, weight=1.0)])
+        done = []
+        proc.on_exit(lambda p, r: done.append(kernel.sim.now))
+        engine.start()
+        for stop_at, cont_at in ((2.0, 4.0), (6.0, 9.0)):
+            kernel.sim.schedule(stop_at, kernel.signal, proc.pid, Signal.SIGSTOP)
+            kernel.sim.schedule(cont_at, kernel.signal, proc.pid, Signal.SIGCONT)
+        kernel.sim.run()
+        # 12 s of work + 2 s + 3 s stopped = 17 s.
+        assert done == [pytest.approx(17.0)]
+
+
+class TestMemTouch:
+    def test_touch_reads_resident(self):
+        kernel, proc, engine = build(
+            [MemAllocItem(500 * MB), MemTouchItem()]
+        )
+        engine.start()
+        kernel.sim.run()
+        # 0.5 s alloc + 0.5 s read-back (1000 MB/s both ways).
+        assert kernel.sim.now == pytest.approx(1.0)
+
+    def test_touch_faults_in_swapped(self):
+        kernel, proc, engine = build(
+            [MemAllocItem(600 * MB), SleepItem(5.0), MemTouchItem()]
+        )
+        engine.start()
+        kernel.sim.run(until=2.0)
+        kernel.signal(proc.pid, Signal.SIGSTOP)
+        hog = kernel.spawn("hog")
+        kernel.charge_allocation(hog, 700 * MB)
+        swapped = proc.image.swapped
+        assert swapped > 0
+        kernel.signal(hog.pid, Signal.SIGKILL)
+        kernel.signal(proc.pid, Signal.SIGCONT)
+        kernel.sim.run()
+        assert proc.image.swapped == 0
+        assert engine.completed

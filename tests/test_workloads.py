@@ -1,0 +1,149 @@
+"""Workload specs and generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RngRegistry
+from repro.units import GB, MB
+from repro.workloads.jobspec import JobSpec, MemoryProfile, TaskKind, TaskSpec
+from repro.workloads.swim import DEFAULT_CLASSES, SwimGenerator, SwimJobClass
+from repro.workloads.synthetic import (
+    PAPER_INPUT_BYTES,
+    WORST_CASE_FOOTPRINT,
+    heavy_task,
+    light_task,
+    make_job,
+    two_job_microbenchmark,
+)
+
+
+class TestTaskSpec:
+    def test_defaults_are_paper_shaped(self):
+        spec = TaskSpec()
+        assert spec.kind is TaskKind.MAP
+        assert spec.input_bytes == 512 * MB
+        assert not spec.stateful
+
+    def test_stateful_requires_footprint(self):
+        spec = TaskSpec(profile=MemoryProfile.STATEFUL, footprint_bytes=0)
+        assert not spec.stateful
+        spec = TaskSpec(profile=MemoryProfile.STATEFUL, footprint_bytes=GB)
+        assert spec.stateful
+
+    def test_with_footprint(self):
+        spec = TaskSpec().with_footprint(GB)
+        assert spec.stateful
+        assert spec.footprint_bytes == GB
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TaskSpec(input_bytes=-1)
+        with pytest.raises(ConfigurationError):
+            TaskSpec(parse_rate=0)
+        with pytest.raises(ConfigurationError):
+            TaskSpec(shuffle_bytes=5)  # map tasks do not shuffle
+        with pytest.raises(ConfigurationError):
+            TaskSpec(resume_read_bytes=-1)
+
+    def test_reduce_may_shuffle(self):
+        spec = TaskSpec(kind=TaskKind.REDUCE, shuffle_bytes=5 * MB)
+        assert spec.shuffle_bytes == 5 * MB
+
+
+class TestJobSpec:
+    def test_auto_name(self):
+        spec = JobSpec(name="")
+        assert spec.name.startswith("job-")
+
+    def test_kind_views(self):
+        spec = JobSpec(
+            name="j",
+            tasks=[TaskSpec(), TaskSpec(kind=TaskKind.REDUCE, shuffle_bytes=MB)],
+        )
+        assert len(spec.map_tasks) == 1
+        assert len(spec.reduce_tasks) == 1
+
+    def test_total_input_and_estimate(self):
+        spec = JobSpec(
+            name="j",
+            tasks=[TaskSpec(input_bytes=70 * MB, parse_rate=7 * MB)] * 2,
+        )
+        assert spec.total_input_bytes == 140 * MB
+        assert spec.estimated_serial_seconds() == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec(name="j", submit_offset=-1.0)
+        with pytest.raises(ConfigurationError):
+            JobSpec(name="j", deadline_seconds=0)
+
+
+class TestSynthetic:
+    def test_light_task(self):
+        spec = light_task()
+        assert spec.input_bytes == PAPER_INPUT_BYTES
+        assert not spec.stateful
+
+    def test_heavy_task(self):
+        spec = heavy_task()
+        assert spec.footprint_bytes == WORST_CASE_FOOTPRINT
+        assert spec.stateful
+
+    def test_make_job(self):
+        job = make_job("x", light_task(), priority=3)
+        assert job.priority == 3
+        assert len(job.tasks) == 1
+
+    def test_microbenchmark_light(self):
+        tl, th = two_job_microbenchmark()
+        assert tl.priority < th.priority
+        assert not tl.tasks[0].stateful
+
+    def test_microbenchmark_heavy(self):
+        tl, th = two_job_microbenchmark(heavy=True, tl_footprint=GB, th_footprint=2 * GB)
+        assert tl.tasks[0].footprint_bytes == GB
+        assert th.tasks[0].footprint_bytes == 2 * GB
+
+
+class TestSwim:
+    def stream(self, seed=11):
+        return RngRegistry(seed).stream("swim")
+
+    def test_deterministic_per_seed(self):
+        a = SwimGenerator(self.stream()).generate_workload(10)
+        b = SwimGenerator(self.stream()).generate_workload(10)
+        assert [j.name for j in a] == [j.name for j in b]
+        assert [j.submit_offset for j in a] == [j.submit_offset for j in b]
+
+    def test_arrivals_monotonic(self):
+        jobs = SwimGenerator(self.stream()).generate_workload(20)
+        offsets = [j.submit_offset for j in jobs]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0.0
+
+    def test_sizes_within_class_bounds(self):
+        jobs = SwimGenerator(self.stream()).generate_workload(30)
+        lo = min(c.input_bytes[0] for c in DEFAULT_CLASSES)
+        hi = max(c.input_bytes[1] for c in DEFAULT_CLASSES)
+        for job in jobs:
+            for task in job.tasks:
+                assert lo <= task.input_bytes <= hi
+
+    def test_mix_respects_weights_roughly(self):
+        jobs = SwimGenerator(self.stream(), mean_interarrival=1.0).generate_workload(300)
+        small = sum(1 for j in jobs if "small" in j.name)
+        large = sum(1 for j in jobs if "large" in j.name)
+        assert small > large  # 60% vs 10% weights
+
+    def test_custom_classes(self):
+        cls = SwimJobClass("only", weight=1.0, num_tasks=range(3, 4))
+        jobs = SwimGenerator(self.stream(), classes=[cls]).generate_workload(5)
+        assert all(len(j.tasks) == 3 for j in jobs)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SwimJobClass("bad", weight=0)
+        with pytest.raises(ConfigurationError):
+            SwimGenerator(self.stream(), classes=[])
+        with pytest.raises(ConfigurationError):
+            SwimGenerator(self.stream()).generate_workload(-1)
