@@ -3,11 +3,13 @@
 ::
 
     repro list                          # experiments available
+    repro run faults_study --runs 3     # one experiment by name
     repro reproduce --figure 2 --runs 20 --out results/
     repro reproduce --all --quick
     repro schedule --primitive suspend --progress 50
     repro real-demo --input-mb 24       # real-process prototype
 
+``run`` executes a single registered experiment (name or alias);
 ``reproduce`` regenerates the paper's figures (tables + ASCII plots +
 CSV files); ``schedule`` prints one Figure 1 style Gantt chart;
 ``real-demo`` runs the POSIX-signal prototype with real worker
@@ -22,7 +24,11 @@ import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
-from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.registry import (
+    get_experiment,
+    list_experiments,
+    resolve_name,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -34,6 +40,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment by name")
+    run.add_argument("experiment", help="experiment id or alias "
+                     "(see `repro list`)")
+    run.add_argument("--runs", type=int, default=None,
+                     help="averaged runs per data point")
+    run.add_argument("--seed", type=int, default=None,
+                     help="base seed (experiments that accept one)")
+    run.add_argument("--quick", action="store_true",
+                     help="scaled-down axes and 2 runs per point")
+    run.add_argument("--out", default=None,
+                     help="directory for CSV output (optional)")
+    run.add_argument("--no-plots", action="store_true",
+                     help="tables only, no ASCII plots")
 
     rep = sub.add_parser("reproduce", help="regenerate figures")
     rep.add_argument("--figure", "-f", action="append", default=[],
@@ -90,7 +110,48 @@ def _quick_kwargs(name: str) -> dict:
         return {"runs": 2, "swappiness_values": [0, 60]}
     if name == "adaptive":
         return {"runs": 2, "progress_points": [0.02, 0.5, 0.98]}
+    if name == "faults":
+        return {"runs": 1}
     return {}
+
+
+def _emit_report(report, out: Optional[str], plots: bool) -> None:
+    """Print one report and optionally write its CSV series."""
+    print(report.render(plots=plots))
+    print()
+    if out:
+        os.makedirs(out, exist_ok=True)
+        for series_name, csv_text in report.to_csv().items():
+            path = os.path.join(out, f"{series_name}.csv")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(csv_text)
+            print(f"wrote {path}")
+
+
+def _cmd_run(args) -> int:
+    import inspect
+
+    name = resolve_name(args.experiment)
+    runner = get_experiment(name)
+    kwargs = _quick_kwargs(name) if args.quick else {}
+    if args.runs is not None:
+        kwargs["runs"] = args.runs
+    if args.seed is not None:
+        # Experiments name their seed knob base_seed or seed; pick the
+        # one the real runner's signature declares.
+        accepted = set(inspect.signature(runner.resolve()).parameters)
+        for knob in ("base_seed", "seed"):
+            if knob in accepted:
+                kwargs[knob] = args.seed
+                break
+        else:
+            print(
+                f"warning: {name} takes no seed; ignoring --seed",
+                file=sys.stderr,
+            )
+    report = runner(**kwargs)
+    _emit_report(report, args.out, plots=not args.no_plots)
+    return 0
 
 
 def _cmd_reproduce(args) -> int:
@@ -101,7 +162,8 @@ def _cmd_reproduce(args) -> int:
         print("nothing to do: pass --figure or --all", file=sys.stderr)
         return 2
     exit_code = 0
-    for name in names:
+    for raw_name in names:
+        name = resolve_name(raw_name)
         runner = get_experiment(name)
         kwargs = _quick_kwargs(name) if args.quick else {}
         if args.runs is not None:
@@ -109,15 +171,7 @@ def _cmd_reproduce(args) -> int:
         if name == "fig1":
             kwargs.pop("runs", None)
         report = runner(**kwargs)
-        print(report.render(plots=not args.no_plots))
-        print()
-        if args.out:
-            os.makedirs(args.out, exist_ok=True)
-            for series_name, csv_text in report.to_csv().items():
-                path = os.path.join(args.out, f"{series_name}.csv")
-                with open(path, "w", encoding="utf-8") as handle:
-                    handle.write(csv_text)
-                print(f"wrote {path}")
+        _emit_report(report, args.out, plots=not args.no_plots)
     return exit_code
 
 
@@ -167,6 +221,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
         if args.command == "reproduce":
             return _cmd_reproduce(args)
         if args.command == "schedule":

@@ -3,87 +3,58 @@
 Each runner takes keyword arguments (``runs``, ``seed``, scaled-down
 axes for quick checks) and returns a report object with a
 ``render()`` method; the CLI and the benchmark suite both go through
-this table.
+this table.  Runners are held as :class:`LazyRunner` proxies so the
+experiment modules import only when actually executed, while callers
+(the CLI's ``--seed`` plumbing) can still inspect the real signature
+via :meth:`LazyRunner.resolve`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import importlib
+from typing import Dict, List
 
 from repro.errors import ConfigurationError
 
 
-def _fig1(**kwargs):
-    from repro.experiments.fig1_schedules import run_fig1
+class LazyRunner:
+    """A callable proxy that imports its experiment module on demand."""
 
-    return run_fig1(**kwargs)
+    def __init__(self, module: str, attr: str):
+        self.module = module
+        self.attr = attr
 
+    def resolve(self):
+        """The real runner function (imports the module on first use)."""
+        return getattr(importlib.import_module(self.module), self.attr)
 
-def _fig2(**kwargs):
-    from repro.experiments.fig2_baseline import run_fig2
+    def __call__(self, **kwargs):
+        return self.resolve()(**kwargs)
 
-    return run_fig2(**kwargs)
-
-
-def _fig3(**kwargs):
-    from repro.experiments.fig3_worstcase import run_fig3
-
-    return run_fig3(**kwargs)
-
-
-def _fig4(**kwargs):
-    from repro.experiments.fig4_memory_sweep import run_fig4
-
-    return run_fig4(**kwargs)
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"LazyRunner({self.module}.{self.attr})"
 
 
-def _natjam(**kwargs):
-    from repro.experiments.natjam_overhead import run_natjam_overhead
-
-    return run_natjam_overhead(**kwargs)
-
-
-def _eviction(**kwargs):
-    from repro.experiments.eviction_study import run_eviction_study
-
-    return run_eviction_study(**kwargs)
-
-
-def _hfsp(**kwargs):
-    from repro.experiments.hfsp_study import run_hfsp_study
-
-    return run_hfsp_study(**kwargs)
-
-
-def _swappiness(**kwargs):
-    from repro.experiments.swappiness_study import run_swappiness_study
-
-    return run_swappiness_study(**kwargs)
-
-
-def _gc(**kwargs):
-    from repro.experiments.gc_study import run_gc_study
-
-    return run_gc_study(**kwargs)
-
-
-def _adaptive(**kwargs):
-    from repro.experiments.adaptive_study import run_adaptive_study
-
-    return run_adaptive_study(**kwargs)
-
-
-EXPERIMENTS: Dict[str, Callable] = {
-    "fig1": _fig1,
-    "fig2": _fig2,
-    "fig3": _fig3,
-    "fig4": _fig4,
-    "natjam": _natjam,
-    "eviction": _eviction,
-    "hfsp": _hfsp,
-    "swappiness": _swappiness,
-    "gc": _gc,
-    "adaptive": _adaptive,
+EXPERIMENTS: Dict[str, LazyRunner] = {
+    "fig1": LazyRunner("repro.experiments.fig1_schedules", "run_fig1"),
+    "fig2": LazyRunner("repro.experiments.fig2_baseline", "run_fig2"),
+    "fig3": LazyRunner("repro.experiments.fig3_worstcase", "run_fig3"),
+    "fig4": LazyRunner("repro.experiments.fig4_memory_sweep", "run_fig4"),
+    "natjam": LazyRunner(
+        "repro.experiments.natjam_overhead", "run_natjam_overhead"
+    ),
+    "eviction": LazyRunner(
+        "repro.experiments.eviction_study", "run_eviction_study"
+    ),
+    "hfsp": LazyRunner("repro.experiments.hfsp_study", "run_hfsp_study"),
+    "swappiness": LazyRunner(
+        "repro.experiments.swappiness_study", "run_swappiness_study"
+    ),
+    "gc": LazyRunner("repro.experiments.gc_study", "run_gc_study"),
+    "adaptive": LazyRunner(
+        "repro.experiments.adaptive_study", "run_adaptive_study"
+    ),
+    "faults": LazyRunner("repro.experiments.faults_study", "run_faults_study"),
 }
 
 #: aliases accepted by the CLI
@@ -99,17 +70,24 @@ ALIASES = {
     "e5": "natjam",
     "e6": "eviction",
     "e7": "hfsp",
+    "e8": "faults",
+    "faults_study": "faults",
 }
 
 
-def get_experiment(name: str) -> Callable:
-    """Resolve an experiment id or alias to its runner."""
+def resolve_name(name: str) -> str:
+    """Canonical experiment id for a name or alias."""
     key = ALIASES.get(name.lower(), name.lower())
     if key not in EXPERIMENTS:
         raise ConfigurationError(
             f"unknown experiment {name!r}; known: {', '.join(sorted(EXPERIMENTS))}"
         )
-    return EXPERIMENTS[key]
+    return key
+
+
+def get_experiment(name: str) -> LazyRunner:
+    """Resolve an experiment id or alias to its runner."""
+    return EXPERIMENTS[resolve_name(name)]
 
 
 def list_experiments() -> List[str]:

@@ -1,0 +1,37 @@
+"""Fault injection and recovery studies.
+
+The paper evaluates suspend/resume preemption on healthy clusters;
+this package supplies the missing axis: *what happens under failure*.
+ATLAS reports that ~40% of production Hadoop tasks experience failures
+the scheduler should anticipate, and preemption telemetry from the
+Open Science Grid shows wasted work is the metric that separates
+recovery strategies.  The pieces:
+
+* :mod:`repro.faults.plan` -- declarative, seeded fault plans (node
+  crash + restart, slow-node degradation, transient task failures,
+  page-cache corruption);
+* :mod:`repro.faults.injector` -- delivers planned faults through the
+  same code paths real faults take (silent tracker death, degraded
+  rate resources, SIGTERM to victim processes);
+* :mod:`repro.faults.scenarios` -- the canonical scenario library the
+  ``faults`` experiment, benchmarks and tests share.
+
+Recovery itself lives in the Hadoop layer (heartbeat-timeout tracker
+expiry, attempt retry caps, blacklisting, completed-map re-execution,
+speculative execution); this package only breaks things.
+"""
+
+from repro.faults.injector import FaultInjector, InjectorStats
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, random_plan
+from repro.faults.scenarios import build_scenario, list_scenarios
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectorStats",
+    "random_plan",
+    "build_scenario",
+    "list_scenarios",
+]

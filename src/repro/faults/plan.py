@@ -1,0 +1,191 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent` records
+-- *what* goes wrong, *where* and *when* -- decoupled from the
+machinery that makes it happen (:class:`~repro.faults.injector.
+FaultInjector`).  Plans are plain data so experiments can log them,
+tests can assert on them, and the same scenario can be replayed under
+every preemption primitive.
+
+Determinism contract: a plan is either fully explicit (every event
+carries its time and target) or generated from a named
+:class:`~repro.sim.rng.RngStream`, so two runs with the same master
+seed inject byte-identical fault sequences.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+class FaultKind(enum.Enum):
+    """The fault taxonomy the injector understands."""
+
+    #: the node's TaskTracker (and every process on it) dies silently;
+    #: optionally restarts after ``duration`` seconds
+    NODE_CRASH = "node-crash"
+    #: the node's CPU and disk run at ``factor`` of nominal speed,
+    #: optionally recovering after ``duration`` seconds
+    SLOW_NODE = "slow-node"
+    #: one running task attempt aborts with a task error (retryable)
+    TASK_FAIL = "task-fail"
+    #: ``fraction`` of the node's page cache is corrupted and dropped;
+    #: with ``fail_running`` one attempt on the node dies of an I/O error
+    CACHE_CORRUPTION = "cache-corruption"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``host`` may be None for :data:`FaultKind.TASK_FAIL` (the injector
+    then picks a victim attempt anywhere, deterministically); every
+    other kind targets a specific node.  ``job_name`` narrows
+    TASK_FAIL victims to one job's attempts.
+    """
+
+    at: float
+    kind: FaultKind
+    host: Optional[str] = None
+    duration: Optional[float] = None
+    factor: float = 1.0
+    fraction: float = 1.0
+    job_name: Optional[str] = None
+    fail_running: bool = False
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("fault time may not be negative")
+        if self.duration is not None and self.duration <= 0:
+            raise ConfigurationError("fault duration must be positive")
+        if self.kind is FaultKind.SLOW_NODE and not 0 < self.factor < 1:
+            raise ConfigurationError(
+                "slow-node factor must be in (0, 1) -- 1.0 is a healthy node"
+            )
+        if self.kind is FaultKind.CACHE_CORRUPTION and not 0 < self.fraction <= 1:
+            raise ConfigurationError("corruption fraction must be in (0, 1]")
+        if self.kind in (FaultKind.NODE_CRASH, FaultKind.SLOW_NODE,
+                         FaultKind.CACHE_CORRUPTION) and not self.host:
+            raise ConfigurationError(f"{self.kind.value} needs a target host")
+
+    def describe(self) -> str:
+        """Short human-readable form for traces and reports."""
+        bits = [f"t={self.at:g}", self.kind.value]
+        if self.host:
+            bits.append(self.host)
+        if self.kind is FaultKind.SLOW_NODE:
+            bits.append(f"x{self.factor:g}")
+        if self.duration is not None:
+            bits.append(f"for {self.duration:g}s")
+        return " ".join(bits)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, validated collection of fault events."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    # -- builders (fluent, chainable) ------------------------------------------
+
+    def crash(
+        self, at: float, host: str, restart_after: Optional[float] = None
+    ) -> "FaultPlan":
+        """Node crash at ``at``; restarts ``restart_after`` s later if given."""
+        self.events.append(
+            FaultEvent(at=at, kind=FaultKind.NODE_CRASH, host=host,
+                       duration=restart_after)
+        )
+        return self
+
+    def slow_node(
+        self, at: float, host: str, factor: float,
+        duration: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Degrade ``host`` to ``factor`` of nominal speed at ``at``."""
+        self.events.append(
+            FaultEvent(at=at, kind=FaultKind.SLOW_NODE, host=host,
+                       factor=factor, duration=duration)
+        )
+        return self
+
+    def fail_task(
+        self, at: float, job_name: Optional[str] = None,
+        host: Optional[str] = None,
+    ) -> "FaultPlan":
+        """Abort one running attempt (of ``job_name``/on ``host`` if given)."""
+        self.events.append(
+            FaultEvent(at=at, kind=FaultKind.TASK_FAIL, host=host,
+                       job_name=job_name)
+        )
+        return self
+
+    def corrupt_cache(
+        self, at: float, host: str, fraction: float = 1.0,
+        fail_running: bool = False,
+    ) -> "FaultPlan":
+        """Drop ``fraction`` of ``host``'s page cache (disk corruption)."""
+        self.events.append(
+            FaultEvent(at=at, kind=FaultKind.CACHE_CORRUPTION, host=host,
+                       fraction=fraction, fail_running=fail_running)
+        )
+        return self
+
+    # -- views ---------------------------------------------------------------------
+
+    def ordered(self) -> List[FaultEvent]:
+        """Events by injection time (stable for equal times)."""
+        return sorted(self.events, key=lambda e: e.at)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.ordered())
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def describe(self) -> str:
+        """One line per event, in injection order."""
+        return "; ".join(e.describe() for e in self.ordered()) or "<no faults>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"FaultPlan({self.describe()})"
+
+
+def random_plan(
+    rng,
+    hosts: List[str],
+    horizon: float,
+    crashes: int = 0,
+    stragglers: int = 0,
+    task_failures: int = 0,
+    restart_after: Optional[float] = 60.0,
+    slow_factor_range=(0.2, 0.6),
+) -> FaultPlan:
+    """Draw a seeded random plan from an :class:`~repro.sim.rng.RngStream`.
+
+    Event times are uniform over ``[0, horizon]`` and hosts are drawn
+    uniformly, so the plan is a pure function of the stream's seed --
+    the fault-study requirement that reruns reproduce identical
+    numbers falls out of this.
+    """
+    if not hosts:
+        raise ConfigurationError("random_plan needs at least one host")
+    if horizon <= 0:
+        raise ConfigurationError("horizon must be positive")
+    plan = FaultPlan()
+    for _ in range(crashes):
+        plan.crash(rng.uniform(0, horizon), rng.choice(hosts),
+                   restart_after=restart_after)
+    for _ in range(stragglers):
+        plan.slow_node(
+            rng.uniform(0, horizon),
+            rng.choice(hosts),
+            factor=rng.uniform(*slow_factor_range),
+        )
+    for _ in range(task_failures):
+        plan.fail_task(rng.uniform(0, horizon))
+    return plan

@@ -1,0 +1,85 @@
+"""Canonical fault scenarios for the comparative studies.
+
+Each scenario is a named :class:`~repro.faults.plan.FaultPlan` builder
+with the timing tuned to the two-job contention window the paper's
+experiments revolve around: the background job is well underway, the
+urgent job has (or is about to) arrive, and then something breaks.
+Keeping the scenarios here -- instead of inline in the experiment --
+lets tests, benchmarks and the CLI refer to the same fault sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
+
+#: scenario-name -> builder(hosts) registry
+SCENARIOS: Dict[str, Callable[[List[str]], FaultPlan]] = {}
+
+
+def scenario(name: str):
+    """Register a scenario builder under ``name``."""
+
+    def register(builder: Callable[[List[str]], FaultPlan]):
+        SCENARIOS[name] = builder
+        return builder
+
+    return register
+
+
+def build_scenario(name: str, hosts: List[str]) -> FaultPlan:
+    """Build a registered scenario for a concrete host list."""
+    if name not in SCENARIOS:
+        raise ConfigurationError(
+            f"unknown fault scenario {name!r}; known: {', '.join(sorted(SCENARIOS))}"
+        )
+    if not hosts:
+        raise ConfigurationError("a fault scenario needs at least one host")
+    return SCENARIOS[name](hosts)
+
+
+def list_scenarios() -> List[str]:
+    """Registered scenario names."""
+    return sorted(SCENARIOS)
+
+
+@scenario("none")
+def _healthy(hosts: List[str]) -> FaultPlan:
+    """Control: no faults (isolates the preemption primitive's cost)."""
+    return FaultPlan()
+
+
+@scenario("node-crash")
+def _node_crash(hosts: List[str]) -> FaultPlan:
+    """The last node crashes mid-contention and reboots 45 s later.
+
+    The last host is chosen (rather than the first) so the crash hits
+    a node running background work, not the one that usually hosts the
+    job setup task.
+    """
+    return FaultPlan().crash(at=45.0, host=hosts[-1], restart_after=45.0)
+
+
+@scenario("straggler")
+def _straggler(hosts: List[str]) -> FaultPlan:
+    """One node degrades to 30% speed early and never recovers --
+    the classic speculative-execution target."""
+    return FaultPlan().slow_node(at=12.0, host=hosts[-1], factor=0.3)
+
+
+@scenario("transient-failure")
+def _transient(hosts: List[str]) -> FaultPlan:
+    """Two task attempts die of transient errors, spaced out so the
+    retry of the first can itself be running when the second hits."""
+    return FaultPlan().fail_task(at=30.0).fail_task(at=70.0)
+
+
+@scenario("cache-corruption")
+def _corruption(hosts: List[str]) -> FaultPlan:
+    """A latent disk error invalidates the first node's page cache and
+    kills the attempt reading through it."""
+    return FaultPlan().corrupt_cache(
+        at=40.0, host=hosts[0], fraction=1.0, fail_running=True
+    )

@@ -89,12 +89,14 @@ class HadoopCluster:
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> None:
-        """Start all TaskTracker heartbeat loops (staggered)."""
+        """Start all TaskTracker heartbeat loops (staggered) and the
+        JobTracker's heartbeat-timeout monitor."""
         if self._started:
             return
         self._started = True
         for i, tracker in enumerate(self.trackers.values()):
             tracker.start(stagger=0.05 + 0.11 * i)
+        self.jobtracker.start_expiry_monitor()
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Start (if needed) and run the simulation.
@@ -172,6 +174,33 @@ class HadoopCluster:
     def job_by_name(self, name: str) -> JobInProgress:
         """Find a submitted job by its spec name."""
         return self.jobtracker.job_by_name(name)
+
+    # -- fault recovery helpers ------------------------------------------------------
+
+    def crash_tracker(self, host: str) -> None:
+        """Silently kill one node's TaskTracker (and its processes).
+
+        Nothing is reported to the JobTracker: recovery relies on the
+        heartbeat-timeout monitor, exactly like a real node crash.
+        """
+        tracker = self.trackers.get(host)
+        if tracker is None:
+            raise ConfigurationError(f"unknown host {host!r}")
+        tracker.shutdown()
+        self.trace("cluster.crash", host=host)
+
+    def restart_tracker(self, host: str, stagger: float = 0.05) -> None:
+        """Bring a crashed node's TaskTracker daemon back up."""
+        tracker = self.trackers.get(host)
+        if tracker is None:
+            raise ConfigurationError(f"unknown host {host!r}")
+        tracker.restart(stagger=stagger)
+        self.trace("cluster.restart", host=host)
+
+    def wasted_work_seconds(self) -> float:
+        """Total discarded task-seconds (kills, failures, node losses,
+        speculation losers) from the JobTracker's wasted-work ledger."""
+        return self.jobtracker.wasted.total()
 
     # -- attempt lookup ------------------------------------------------------------
 

@@ -63,6 +63,34 @@ class HadoopConfig:
         Upper bound a task may allocate (``mapred.child.java.opts``);
         the paper notes the 2 GB worst case "requires an ad hoc change
         to the Hadoop configuration".
+    tracker_expiry_interval:
+        Seconds without a heartbeat after which the JobTracker declares
+        a TaskTracker lost and requeues its work
+        (``mapred.tasktracker.expiry.interval``, 600 s in stock
+        Hadoop 1).  Fault studies shrink this for snappier recovery.
+    map_max_attempts / reduce_max_attempts:
+        Per-task retry caps (``mapred.map.max.attempts`` /
+        ``mapred.reduce.max.attempts``).  A task whose attempt count
+        reaches the cap fails its job.
+    tracker_blacklist_threshold:
+        Task failures on one TaskTracker after which it is blacklisted
+        and stops receiving new work (``mapred.max.tracker.failures``).
+        0 disables blacklisting.
+    rerun_completed_maps_on_loss:
+        When a TaskTracker is lost, re-execute the completed map tasks
+        whose output lived on it (real Hadoop does this because map
+        output is served from tracker-local disk).
+    speculative_execution:
+        Enable JobTracker-side backup attempts for stragglers
+        (``mapred.map.tasks.speculative.execution``).
+    speculative_lag:
+        Minimum seconds an attempt must have run before it can be
+        considered a straggler.
+    speculative_slowness:
+        An attempt is a straggler when its progress rate falls below
+        this fraction of the mean progress rate of its job's running
+        peers.  Suspended attempts are never stragglers: their
+        progress is frozen by design, not by slowness.
     """
 
     heartbeat_interval: float = 3.0
@@ -89,6 +117,14 @@ class HadoopConfig:
     #: task's live state (Section V-B: collectors that do not release
     #: memory inflate the suspended footprint); 0 disables the effect
     jvm_heap_slack: float = 0.0
+    tracker_expiry_interval: float = 600.0
+    map_max_attempts: int = 4
+    reduce_max_attempts: int = 4
+    tracker_blacklist_threshold: int = 4
+    rerun_completed_maps_on_loss: bool = True
+    speculative_execution: bool = False
+    speculative_lag: float = 30.0
+    speculative_slowness: float = 0.5
 
     def __post_init__(self) -> None:
         self.validate()
@@ -120,6 +156,16 @@ class HadoopConfig:
             raise ConfigurationError("task_time_jitter must be in [0, 1)")
         if self.jvm_heap_slack < 0:
             raise ConfigurationError("jvm_heap_slack may not be negative")
+        if self.tracker_expiry_interval <= 0:
+            raise ConfigurationError("tracker_expiry_interval must be positive")
+        if self.map_max_attempts < 1 or self.reduce_max_attempts < 1:
+            raise ConfigurationError("max attempt caps must be at least 1")
+        if self.tracker_blacklist_threshold < 0:
+            raise ConfigurationError("tracker_blacklist_threshold out of range")
+        if self.speculative_lag < 0:
+            raise ConfigurationError("speculative_lag may not be negative")
+        if not 0 < self.speculative_slowness <= 1:
+            raise ConfigurationError("speculative_slowness must be in (0, 1]")
 
     def replace(self, **overrides) -> "HadoopConfig":
         """Return a copy with the given fields replaced."""

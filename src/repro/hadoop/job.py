@@ -25,11 +25,12 @@ class JobState(enum.Enum):
     RUNNING = "RUNNING"
     SUCCEEDED = "SUCCEEDED"
     KILLED = "KILLED"
+    FAILED = "FAILED"
 
     @property
     def terminal(self) -> bool:
         """True once the job can no longer change."""
-        return self in (JobState.SUCCEEDED, JobState.KILLED)
+        return self in (JobState.SUCCEEDED, JobState.KILLED, JobState.FAILED)
 
 
 def _aux_spec(name: str) -> TaskSpec:
@@ -159,6 +160,13 @@ class JobInProgress:
         """Mark the whole job killed (tips are killed by the JobTracker)."""
         if not self.state.terminal:
             self.state = JobState.KILLED
+            self.finish_time = now
+
+    def mark_failed(self, now: float) -> None:
+        """A task exhausted its retry cap: the whole job fails
+        (Hadoop's ``mapred.map.max.attempts`` semantics)."""
+        if not self.state.terminal:
+            self.state = JobState.FAILED
             self.finish_time = now
 
     # -- metrics -------------------------------------------------------------------

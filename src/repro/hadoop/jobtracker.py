@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.errors import (
     TaskStateError,
@@ -34,8 +34,18 @@ from repro.hadoop.heartbeat import (
     TrackerAction,
 )
 from repro.hadoop.job import JobInProgress, JobState
+from repro.hadoop.speculation import SpeculativeExecutor
 from repro.hadoop.states import AttemptState, TipState
 from repro.hadoop.task import TaskInProgress, TipRole
+from repro.metrics.wasted import (
+    JOB_TEARDOWN,
+    LOST_MAP_OUTPUT,
+    PREEMPTION_KILL,
+    SPECULATION_LOSER,
+    TASK_FAILURE,
+    TRACKER_LOST,
+    WastedWorkLedger,
+)
 from repro.sim.engine import Simulation
 from repro.workloads.jobspec import JobSpec, TaskKind, TaskSpec
 
@@ -71,16 +81,32 @@ class JobTracker:
             Callable[[TaskInProgress, TaskSpec], TaskSpec]
         ] = []
         self.heartbeats_received = 0
+        #: virtual time of each tracker's last heartbeat (expiry input)
+        self.last_heartbeat: Dict[str, float] = {}
+        #: trackers no longer given new work (too many task failures)
+        self.blacklisted: Set[str] = set()
+        #: task failures charged to each tracker (blacklist input)
+        self.tracker_failure_counts: Dict[str, int] = {}
+        #: discarded task-seconds by cause (kills, failures, losses)
+        self.wasted = WastedWorkLedger()
+        self.trackers_lost = 0
+        self.speculator: Optional[SpeculativeExecutor] = None
+        if config.speculative_execution:
+            self.speculator = SpeculativeExecutor(self)
+        self._expiry_event = None
         scheduler.bind(self)
 
     # -- registration -------------------------------------------------------------
 
     def register_tracker(self, tracker) -> None:
-        """Called by TaskTracker constructors."""
+        """Called by TaskTracker constructors (and on daemon restart)."""
         self.trackers[tracker.host] = tracker
+        self.last_heartbeat[tracker.host] = self.sim.now
 
     def on_job_complete(self, callback: Callable[[JobInProgress], None]) -> None:
-        """Register a callback fired when any job reaches SUCCEEDED."""
+        """Register a callback fired when any job reaches a terminal
+        state through the JobTracker (SUCCEEDED, or FAILED via the
+        retry-cap path).  Check ``job.state`` if only success matters."""
         self._completion_callbacks.append(callback)
 
     # -- job API ---------------------------------------------------------------------
@@ -124,6 +150,7 @@ class JobTracker:
                     tip.request_kill(self.sim.now)
                 except TaskStateError:  # pragma: no cover - defensive
                     pass
+        self._teardown_speculative(job)
         self.trace("jt.kill-job", job=job_id)
 
     # -- the preemption API (Section III-B) ----------------------------------------------
@@ -169,33 +196,159 @@ class JobTracker:
 
     # -- tracker failure ----------------------------------------------------------
 
+    def start_expiry_monitor(self) -> None:
+        """Begin periodic heartbeat-timeout checks.
+
+        A tracker silent for ``config.tracker_expiry_interval`` seconds
+        is declared lost and its work requeued -- Hadoop's
+        ``mapred.tasktracker.expiry.interval`` behaviour.  Called by
+        :meth:`repro.hadoop.cluster.HadoopCluster.start`.
+        """
+        if self._expiry_event is not None:
+            return
+        self._schedule_expiry_check()
+
+    def _schedule_expiry_check(self) -> None:
+        # Check at a fraction of the expiry interval so detection lag
+        # stays small relative to the timeout itself.
+        self._expiry_event = self.sim.schedule(
+            max(self.config.tracker_expiry_interval / 3.0, 1.0),
+            self._check_tracker_expiry,
+            label="jt.expiry-check",
+        )
+
+    def _check_tracker_expiry(self) -> None:
+        deadline = self.sim.now - self.config.tracker_expiry_interval
+        expired = [
+            host
+            for host, seen in self.last_heartbeat.items()
+            if seen < deadline and host in self.trackers
+        ]
+        for host in sorted(expired):
+            self.trace("jt.tracker-expired", tracker=host)
+            self.tracker_lost(host)
+        self._schedule_expiry_check()
+
     def tracker_lost(self, host: str) -> None:
         """A TaskTracker stopped heartbeating: requeue everything it ran.
 
         Suspended process images die with the node ("a suspended
         process can only be resumed on the same machine"), so their
         tasks restart from scratch -- the same fallback as a non-local
-        resume.
+        resume.  Completed map output also lives on the node's local
+        disk, so completed maps of unfinished jobs are re-executed.
         """
         tracker = self.trackers.pop(host, None)
         if tracker is None:
             raise UnknownJobError(f"no tracker registered on {host!r}")
         tracker.shutdown()
+        self.last_heartbeat.pop(host, None)
+        # Drop the host's failure record with it: stale blacklist
+        # entries would otherwise tighten the half-cluster blacklist
+        # cap against the remaining live trackers forever.
+        self.blacklisted.discard(host)
+        self.tracker_failure_counts.pop(host, None)
+        self.trackers_lost += 1
+        self._requeue_tracker_tasks(host, tracker)
+        self.trace("jt.tracker-lost", tracker=host)
+
+    def _requeue_tracker_tasks(self, host: str, tracker=None) -> None:
+        """Requeue live and (where needed) completed work of a dead host.
+
+        ``tracker`` (when still available) lets the discarded progress
+        of backup attempts that died with the node be read off their
+        attempt records for the wasted-work ledger.
+        """
         for tip in self._tips_on_tracker(host):
+            if tip.state is TipState.SUCCEEDED:
+                if self._map_output_needed(tip):
+                    self.wasted.add(
+                        LOST_MAP_OUTPUT,
+                        tip.work_seconds(),
+                        tip.tip_id,
+                    )
+                    tip.mark_output_lost()
+                    self.scheduler.job_updated(tip.job)
+                continue
             if tip.state.terminal:
                 continue
             progress_lost = tip.progress
             tip.mark_lost_tracker()
-            tip.wasted_seconds += (
-                progress_lost * tip.spec.input_bytes / tip.spec.parse_rate
+            lost_seconds = (
+                tip.work_seconds(progress_lost)
             )
-        self.trace("jt.tracker-lost", tracker=host)
+            tip.wasted_seconds += lost_seconds
+            self.wasted.add(TRACKER_LOST, lost_seconds, tip.tip_id)
+        # Backup attempts that lived on the dead host die with it; the
+        # primaries elsewhere are unaffected, but the backups' progress
+        # is discarded work like any other.
+        for tip in self._tips.values():
+            if tip.speculative_tracker != host:
+                continue
+            if tracker is not None:
+                attempt = tracker.attempts.get(tip.speculative_attempt_id)
+                if attempt is not None:
+                    lost = (
+                        tip.work_seconds(attempt.progress())
+                    )
+                    tip.wasted_seconds += lost
+                    self.wasted.add(TRACKER_LOST, lost, tip.tip_id)
+            tip.clear_speculative()
+
+    def _map_output_needed(self, tip: TaskInProgress) -> bool:
+        """True when a completed map's lost output must be recomputed."""
+        return (
+            self.config.rerun_completed_maps_on_loss
+            and tip.role is TipRole.MAP
+            and not tip.job.state.terminal
+        )
+
+    def handle_tracker_restart(self, tracker) -> None:
+        """A TaskTracker daemon came back on a known host.
+
+        If the old incarnation was never declared lost (it crashed and
+        restarted within the expiry interval), its in-flight work is
+        requeued now: the fresh daemon has no task state.
+        """
+        host = tracker.host
+        if host in self.trackers:
+            self._requeue_tracker_tasks(host, tracker)
+        # A fresh daemon starts with a clean record, as in real Hadoop:
+        # the blacklist targets a sick incarnation, not the hostname.
+        self.blacklisted.discard(host)
+        self.tracker_failure_counts.pop(host, None)
+        self.register_tracker(tracker)
+        self.trace("jt.tracker-restarted", tracker=host)
+
+    # -- blacklisting ----------------------------------------------------------------
+
+    def _charge_tracker_failure(self, host: Optional[str]) -> None:
+        """Count a task failure against ``host``; blacklist past the
+        threshold (``mapred.max.tracker.failures``).
+
+        As in real Hadoop, at most half the cluster may be blacklisted:
+        without the cap, failures on every node would leave zero
+        assignable trackers and deadlock jobs that should instead keep
+        retrying (or fail through the attempt cap).
+        """
+        if host is None or self.config.tracker_blacklist_threshold <= 0:
+            return
+        count = self.tracker_failure_counts.get(host, 0) + 1
+        self.tracker_failure_counts[host] = count
+        if count >= self.config.tracker_blacklist_threshold:
+            if (
+                host not in self.blacklisted
+                and (len(self.blacklisted) + 1) * 2 <= len(self.trackers)
+            ):
+                self.blacklisted.add(host)
+                self.trace("jt.blacklisted", tracker=host, failures=count)
 
     # -- heartbeat handling -----------------------------------------------------------------
 
     def heartbeat(self, report: HeartbeatReport) -> HeartbeatResponse:
         """Process a TaskTracker report and reply with directives."""
         self.heartbeats_received += 1
+        self.last_heartbeat[report.tracker] = self.sim.now
         self._process_report(report)
         actions: List[TrackerAction] = []
         free_map = report.free_map_slots
@@ -208,6 +361,11 @@ class JobTracker:
             report, actions, free_map, free_reduce
         )
 
+        # Blacklisted trackers keep servicing what they already run
+        # (including resumes above) but get no new work.
+        if report.tracker in self.blacklisted:
+            free_map = free_reduce = 0
+
         # 2. Job setup/cleanup launches (Hadoop runs them outside the
         #    pluggable scheduler).
         free_map = self._aux_launches(report, actions, free_map)
@@ -219,6 +377,11 @@ class JobTracker:
         for tip in self.scheduler.assign_tasks(report.tracker, free_map, free_reduce):
             if tip.tip_id in seen or not tip.schedulable:
                 continue
+            if tip.speculative_tracker == report.tracker:
+                # A requeued primary must not share its backup's host:
+                # co-locating the two attempts halves both rates and
+                # forfeits the redundancy the backup exists to provide.
+                continue
             seen.add(tip.tip_id)
             if tip.spec.kind is TaskKind.REDUCE:
                 if free_reduce <= 0:
@@ -229,6 +392,12 @@ class JobTracker:
                     continue
                 free_map -= 1
             actions.append(self._make_launch(tip, report.tracker))
+
+        # 4. Leftover slots may host backup attempts for stragglers.
+        if self.speculator is not None:
+            free_map, free_reduce = self.speculator.fill_slots(
+                report.tracker, actions, free_map, free_reduce
+            )
 
         response = HeartbeatResponse(sequence=report.sequence, actions=actions)
         if actions:
@@ -242,28 +411,118 @@ class JobTracker:
     def _process_report(self, report: HeartbeatReport) -> None:
         for status in report.attempts:
             tip = self._tips.get(status.tip_id)
-            if tip is None or status.attempt_id != tip.active_attempt_id:
+            if tip is None:
+                continue
+            if status.attempt_id == tip.speculative_attempt_id:
+                self._process_speculative_status(tip, status, report.tracker)
+                continue
+            if status.attempt_id != tip.active_attempt_id:
                 # Stale report for a superseded attempt.
                 continue
             if status.state is AttemptState.SUCCEEDED:
                 self._on_attempt_succeeded(tip, status)
-            elif status.state in (AttemptState.KILLED, AttemptState.FAILED):
+            elif status.state is AttemptState.FAILED:
+                self._on_attempt_failed(tip, status, report.tracker)
+            elif status.state is AttemptState.KILLED:
                 self._on_attempt_killed(tip, status)
             elif status.state is AttemptState.SUSPENDED:
                 if tip.state is TipState.MUST_SUSPEND:
-                    tip.confirm_suspended()
+                    tip.confirm_suspended(self.sim.now)
                     self.trace("jt.suspended", tip=tip.tip_id)
                 tip.progress = status.progress
             elif status.state in (AttemptState.RUNNING, AttemptState.SUSPENDING):
                 if tip.state is TipState.MUST_RESUME:
-                    tip.confirm_resumed()
+                    tip.confirm_resumed(self.sim.now)
                     self.trace("jt.resumed", tip=tip.tip_id)
                 tip.progress = status.progress
+
+    def _process_speculative_status(
+        self, tip: TaskInProgress, status: AttemptStatus, tracker: str
+    ) -> None:
+        """Status for a backup attempt: first finisher wins."""
+        if status.state is AttemptState.SUCCEEDED:
+            if tip.state.terminal:
+                return
+            loser_id, loser_host = tip.active_attempt_id, tip.tracker
+            tip.promote_speculative()
+            self._on_attempt_succeeded(tip, status)
+            self._kill_loser(tip, loser_id, loser_host)
+        elif status.state.terminal:
+            # The backup died; the primary carries on alone.  A genuine
+            # failure still counts against the host (blacklisting,
+            # per-TIP avoidance) and the ledger -- only the retry cap is
+            # untouched, since the primary is alive and well.
+            if status.state is AttemptState.FAILED:
+                lost = tip.work_seconds(status.progress)
+                tip.wasted_seconds += lost
+                self.wasted.add(TASK_FAILURE, lost, tip.tip_id)
+                self._charge_tracker_failure(tracker)
+                tip.failed_on.add(tracker)
+            tip.clear_speculative()
+
+    def _kill_loser(
+        self,
+        tip: TaskInProgress,
+        attempt_id: Optional[str],
+        host: Optional[str],
+        cause: str = SPECULATION_LOSER,
+        reason: str = "lost speculative race",
+    ) -> None:
+        """A redundant attempt must die: kill it, charge its work.
+
+        This deliberately bypasses the MUST_KILL heartbeat-directive
+        path: that state machine is per-TIP, and by the time a loser is
+        reaped the TIP is already SUCCEEDED (or terminal), so there is
+        no state to carry the directive.  The direct kill after one RPC
+        hop models the same wire exchange; the ledger reads the loser's
+        progress at directive time, undercounting by at most
+        ``rpc_latency`` of extra running.
+        """
+        if attempt_id is None or host is None:
+            return
+        tracker = self.trackers.get(host)
+        if tracker is None:
+            return
+        attempt = tracker.attempts.get(attempt_id)
+        if attempt is not None and not attempt.state.terminal:
+            lost = tip.work_seconds(attempt.progress())
+            tip.wasted_seconds += lost
+            self.wasted.add(cause, lost, tip.tip_id)
+        self.trace("jt.kill-loser", tip=tip.tip_id, attempt=attempt_id)
+        # The kill directive takes one RPC hop, like any other action.
+        self.sim.schedule(
+            self.config.rpc_latency,
+            tracker._kill,
+            attempt_id,
+            reason,
+            label=f"jt.kill-loser:{attempt_id}",
+        )
+
+    def _teardown_speculative(self, job: JobInProgress) -> None:
+        """The job is terminal: reap any still-running backup attempts
+        (they would otherwise hold slots until natural completion)."""
+        for tip in job.tips:
+            if not tip.has_speculative:
+                continue
+            backup_id, backup_host = (
+                tip.speculative_attempt_id,
+                tip.speculative_tracker,
+            )
+            tip.clear_speculative()
+            self._kill_loser(
+                tip, backup_id, backup_host,
+                cause=JOB_TEARDOWN, reason="job terminated",
+            )
 
     def _on_attempt_succeeded(self, tip: TaskInProgress, status: AttemptStatus) -> None:
         job = tip.job
         # "or whether it completed in the meanwhile": MUST_SUSPEND and
         # MUST_KILL races resolve in favour of completion.
+        if tip.has_speculative:
+            # The primary finished first: the backup is now redundant.
+            loser_id, loser_host = tip.speculative_attempt_id, tip.speculative_tracker
+            tip.clear_speculative()
+            self._kill_loser(tip, loser_id, loser_host)
         tip.mark_succeeded(self.sim.now)
         self.trace("jt.tip-done", tip=tip.tip_id)
         if tip.role is TipRole.JOB_SETUP:
@@ -271,10 +530,55 @@ class JobTracker:
         self._maybe_complete_job(job)
         self.scheduler.job_updated(job)
 
+    def _on_attempt_failed(
+        self, tip: TaskInProgress, status: AttemptStatus, tracker: str
+    ) -> None:
+        """A task error (not a kill): retry up to the attempt cap."""
+        job = tip.job
+        lost_seconds = tip.work_seconds(status.progress)
+        self.wasted.add(TASK_FAILURE, lost_seconds, tip.tip_id)
+        self._charge_tracker_failure(tracker)
+        tip.mark_failed_attempt(progress_lost=status.progress, tracker=tracker)
+        cap = (
+            self.config.reduce_max_attempts
+            if tip.kind is TaskKind.REDUCE
+            else self.config.map_max_attempts
+        )
+        retry = tip.failed_attempt_count < cap and not job.state.terminal
+        self.trace(
+            "jt.tip-failed",
+            tip=tip.tip_id,
+            failures=tip.failed_attempt_count,
+            retry=retry,
+        )
+        if retry:
+            tip.set_state(TipState.UNASSIGNED)
+        elif not job.state.terminal:
+            job.mark_failed(self.sim.now)
+            self.trace("jt.job-failed", job=job.job_id, culprit=tip.tip_id)
+            for other in job.all_tips():
+                if other.state.active and other.state is not TipState.MUST_KILL:
+                    try:
+                        other.request_kill(self.sim.now)
+                    except TaskStateError:  # pragma: no cover - defensive
+                        pass
+            self._teardown_speculative(job)
+            self._announce_completion(job)
+        self.scheduler.job_updated(job)
+
     def _on_attempt_killed(self, tip: TaskInProgress, status: AttemptStatus) -> None:
         job = tip.job
         reschedule = job.state is JobState.RUNNING or job.state is JobState.PREP
         tip.mark_killed_attempt(progress_lost=status.progress, reschedule=reschedule)
+        # Kills of a live job's tasks are preemption; kills mopping up a
+        # failed/killed job are teardown collateral, not a preemption
+        # cost -- keeping the causes apart is what makes the fault
+        # studies' kill-vs-suspend wasted-work comparison honest.
+        self.wasted.add(
+            PREEMPTION_KILL if reschedule else JOB_TEARDOWN,
+            tip.work_seconds(status.progress),
+            tip.tip_id,
+        )
         self.trace(
             "jt.tip-killed",
             tip=tip.tip_id,
@@ -362,8 +666,12 @@ class JobTracker:
                 free_map -= 1
         return free_map
 
-    def _make_launch(self, tip: TaskInProgress, tracker: str) -> LaunchTaskAction:
-        attempt_id = tip.new_attempt_id(tracker)
+    def _register_descriptor(
+        self, tip: TaskInProgress, attempt_id: str
+    ) -> AttemptDescriptor:
+        """Build (transformed spec) and register one attempt descriptor
+        -- shared by primary and speculative launches so the two racing
+        attempts always run identical specs."""
         spec = tip.spec
         for transform in self.spec_transformers:
             spec = transform(tip, spec)
@@ -376,6 +684,11 @@ class JobTracker:
             is_cleanup=tip.role is TipRole.JOB_CLEANUP,
         )
         self._descriptors[attempt_id] = descriptor
+        return descriptor
+
+    def _make_launch(self, tip: TaskInProgress, tracker: str) -> LaunchTaskAction:
+        attempt_id = tip.new_attempt_id(tracker)
+        descriptor = self._register_descriptor(tip, attempt_id)
         tip.mark_launched(self.sim.now)
         return LaunchTaskAction(
             tip_id=tip.tip_id,
@@ -383,6 +696,15 @@ class JobTracker:
             is_setup=descriptor.is_setup,
             is_cleanup=descriptor.is_cleanup,
         )
+
+    def _make_speculative_launch(
+        self, tip: TaskInProgress, tracker: str
+    ) -> LaunchTaskAction:
+        """Launch a backup attempt without disturbing the primary."""
+        attempt_id = tip.new_speculative_attempt_id(tracker, now=self.sim.now)
+        self._register_descriptor(tip, attempt_id)
+        self.trace("jt.speculate", tip=tip.tip_id, attempt=attempt_id, on=tracker)
+        return LaunchTaskAction(tip_id=tip.tip_id, attempt_id=attempt_id)
 
     # -- introspection -------------------------------------------------------------------------------
 

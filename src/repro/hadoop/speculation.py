@@ -1,0 +1,163 @@
+"""Speculative execution: backup attempts for stragglers.
+
+Hadoop's defence against slow nodes: when a task's progress rate falls
+far behind its peers, the JobTracker launches a second ("speculative")
+attempt of the same task on another node; whichever attempt finishes
+first wins and the loser is killed.  This is the standard
+progress-rate heuristic (Zaharia et al.'s LATE refines it; the stock
+Hadoop 1 version compares against the job average, which is what this
+module implements).
+
+Interaction with the paper's suspend primitive is the subtle part: a
+*suspended* attempt reports frozen progress, which the naive heuristic
+would read as an extreme straggler and waste a slot (plus the
+suspended work) on a redundant backup.  Tasks in any suspension-related
+state are therefore excluded from both the straggler candidates and
+the peer-average they are compared against.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.hadoop.heartbeat import TrackerAction
+from repro.hadoop.states import TipState
+from repro.hadoop.task import TaskInProgress, TipRole
+from repro.workloads.jobspec import TaskKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hadoop.jobtracker import JobTracker
+
+
+class SpeculativeExecutor:
+    """JobTracker-side straggler detection and backup launching."""
+
+    def __init__(self, jobtracker: "JobTracker"):
+        self.jobtracker = jobtracker
+        self.config = jobtracker.config
+        self.backups_launched = 0
+
+    # -- the heartbeat hook ---------------------------------------------------
+
+    def fill_slots(
+        self,
+        tracker: str,
+        actions: List[TrackerAction],
+        free_map: int,
+        free_reduce: int,
+    ):
+        """Spend leftover heartbeat slots on backups for stragglers.
+
+        Called by :meth:`JobTracker.heartbeat` after the pluggable
+        scheduler has taken its share; regular work always outranks
+        speculation.
+        """
+        if free_map <= 0 and free_reduce <= 0:
+            return free_map, free_reduce
+        for tip in self._stragglers(exclude_host=tracker):
+            if tip.kind is TaskKind.REDUCE:
+                if free_reduce <= 0:
+                    continue
+                free_reduce -= 1
+            else:
+                if free_map <= 0:
+                    continue
+                free_map -= 1
+            actions.append(self.jobtracker._make_speculative_launch(tip, tracker))
+            self.backups_launched += 1
+        return free_map, free_reduce
+
+    # -- straggler detection ------------------------------------------------------
+
+    def _stragglers(self, exclude_host: str) -> List[TaskInProgress]:
+        """Stragglers eligible for a backup, slowest first.
+
+        A candidate must be genuinely RUNNING (a suspended attempt's
+        progress is frozen by design -- it is *preempted*, not slow),
+        old enough to have a meaningful rate, without an existing
+        backup, and its primary must run on a different host than the
+        one offering the slot.
+        """
+        now = self.jobtracker.sim.now
+        found = []
+        for job in self.jobtracker.running_jobs():
+            if not self._job_eligible(job):
+                continue
+            for kind in (TaskKind.MAP, TaskKind.REDUCE):
+                # Peer means are per category, as in stock Hadoop: maps
+                # and reduces have incomparable progress rates, and a
+                # pooled mean would flag the whole slower phase.  The
+                # mean includes completed tasks (their whole-life rate)
+                # so stragglers are still flagged once every healthy
+                # peer has finished.
+                peers = [t for t in job.tips if t.kind is kind]
+                rates = {}
+                for tip in peers:
+                    rate = self._progress_rate(tip, now)
+                    if rate is not None:
+                        rates[tip.tip_id] = rate
+                if len(rates) < 2:
+                    continue  # no peer group to compare against
+                mean_rate = sum(rates.values()) / len(rates)
+                if mean_rate <= 0:
+                    continue
+                threshold = self.config.speculative_slowness * mean_rate
+                for tip in peers:
+                    if tip.state is not TipState.RUNNING:
+                        continue  # only live primaries get backups
+                    rate = rates.get(tip.tip_id)
+                    if rate is None or rate >= threshold:
+                        continue
+                    if tip.has_speculative or tip.tracker == exclude_host:
+                        continue
+                    if exclude_host in tip.failed_on:
+                        continue  # never back up onto a failed host
+                    found.append((rate, tip.tip_id, tip))
+        found.sort(key=lambda item: (item[0], item[1]))
+        return [tip for _, _, tip in found]
+
+    def _job_eligible(self, job) -> bool:
+        """Defer to the scheduler's assignment policy.
+
+        A job the scheduler is deliberately not serving (the dummy
+        scheduler's freeze/allowlist, used by the experiments to fence
+        preempted work out of freed slots) must not sneak backups into
+        those slots either.
+        """
+        return self.jobtracker.scheduler.serves_job(job)
+
+    def _progress_rate(self, tip: TaskInProgress, now: float) -> Optional[float]:
+        """Progress per second since launch; None when not comparable.
+
+        Completed tasks contribute their whole-life rate to the peer
+        mean; running tasks contribute their live rate once they are
+        ``speculative_lag`` old.  Suspension-related states contribute
+        nothing: their progress is frozen by policy, not slowness.
+        """
+        if tip.role not in (TipRole.MAP, TipRole.REDUCE):
+            return None
+        if tip.last_launched_at is None:
+            return None
+        if tip.state is TipState.SUCCEEDED:
+            if tip.finished_at is None:
+                return None
+            runtime = (
+                tip.finished_at - tip.last_launched_at - tip.suspended_seconds
+            )
+            return 1.0 / runtime if runtime > 0 else None
+        if tip.state is not TipState.RUNNING:
+            return None
+        # Time spent suspended is a policy decision, not slowness:
+        # exclude it, or a resumed preemption victim reads as an
+        # extreme straggler and gets a redundant backup that discards
+        # exactly the work suspension preserved.
+        runtime = now - tip.last_launched_at - tip.suspended_seconds
+        if runtime < self.config.speculative_lag or runtime <= 0:
+            # Too young for a meaningful rate; keeping it out of the
+            # peer mean also stops fresh launches dragging the mean to
+            # zero and triggering a speculation storm.
+            return None
+        return tip.progress / runtime
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SpeculativeExecutor(backups={self.backups_launched})"

@@ -61,7 +61,14 @@ class TipState(enum.Enum):
 #: illegal edge is ever taken.
 TIP_TRANSITIONS: Dict[TipState, FrozenSet[TipState]] = {
     TipState.UNASSIGNED: frozenset(
-        {TipState.RUNNING, TipState.KILLED, TipState.FAILED}
+        {
+            TipState.RUNNING,
+            TipState.KILLED,
+            TipState.FAILED,
+            # A requeued task (its primary's tracker died) whose live
+            # speculative backup completed before the relaunch.
+            TipState.SUCCEEDED,
+        }
     ),
     TipState.RUNNING: frozenset(
         {
@@ -90,6 +97,7 @@ TIP_TRANSITIONS: Dict[TipState, FrozenSet[TipState]] = {
             TipState.KILLED,
             TipState.UNASSIGNED,  # non-local restart = delayed kill
             TipState.FAILED,
+            TipState.SUCCEEDED,  # a speculative backup finished first
         }
     ),
     TipState.MUST_RESUME: frozenset(
@@ -99,12 +107,20 @@ TIP_TRANSITIONS: Dict[TipState, FrozenSet[TipState]] = {
             TipState.KILLED,
             TipState.FAILED,
             TipState.UNASSIGNED,  # tracker lost mid-directive
+            TipState.SUCCEEDED,  # a speculative backup finished first
         }
     ),
     TipState.MUST_KILL: frozenset(
-        {TipState.KILLED, TipState.UNASSIGNED, TipState.SUCCEEDED}
+        {
+            TipState.KILLED,
+            TipState.UNASSIGNED,
+            TipState.SUCCEEDED,
+            TipState.FAILED,  # task error raced the kill directive
+        }
     ),
-    TipState.SUCCEEDED: frozenset(),
+    # A completed map whose output lived on a lost TaskTracker must be
+    # re-executed (its output is served from tracker-local disk).
+    TipState.SUCCEEDED: frozenset({TipState.UNASSIGNED}),
     TipState.KILLED: frozenset({TipState.UNASSIGNED}),  # rescheduled from scratch
     TipState.FAILED: frozenset({TipState.UNASSIGNED}),
 }

@@ -9,7 +9,7 @@ states).  Transitions are validated against
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Set
 
 from repro.errors import TaskStateError
 from repro.hadoop.states import TipState, check_tip_transition
@@ -51,8 +51,25 @@ class TaskInProgress:
         self.progress = 0.0
         self.finished_at: Optional[float] = None
         self.first_launched_at: Optional[float] = None
+        self.last_launched_at: Optional[float] = None
         #: seconds of work discarded by kill-style preemption
         self.wasted_seconds = 0.0
+        #: attempts that ended in FAILED (counts toward max-attempts)
+        self.failed_attempt_count = 0
+        #: hosts where an attempt of this TIP failed (avoided on retry)
+        self.failed_on: Set[str] = set()
+        #: backup attempt launched by speculative execution, if any
+        self.speculative_attempt_id: Optional[str] = None
+        self.speculative_tracker: Optional[str] = None
+        self.speculative_launched_at: Optional[float] = None
+        #: how many times this TIP's completed output was lost with a
+        #: dead tracker and had to be recomputed
+        self.output_lost_count = 0
+        #: wall time this TIP's current attempt spent suspended; the
+        #: speculator excludes it from progress-rate runtimes so a
+        #: resumed victim is not misread as a straggler
+        self.suspended_seconds = 0.0
+        self._suspended_at: Optional[float] = None
         #: when the user/scheduler issued the outstanding directive
         self.directive_issued_at: Optional[float] = None
         #: when the JobTracker last piggybacked it on a heartbeat
@@ -69,6 +86,15 @@ class TaskInProgress:
     def schedulable(self) -> bool:
         """True when the JobTracker may start a (new) attempt."""
         return self.state is TipState.UNASSIGNED
+
+    def work_seconds(self, progress: float = 1.0) -> float:
+        """Single-core seconds behind ``progress`` of this task's body.
+
+        The one place the task-cost model lives: wasted-work accounting
+        (kills, failures, node losses, speculation losers) all charge
+        through here.
+        """
+        return progress * self.spec.input_bytes / self.spec.parse_rate
 
     @property
     def is_aux(self) -> bool:
@@ -95,6 +121,9 @@ class TaskInProgress:
         """Record the (first) attempt launch; TIP becomes RUNNING."""
         if self.first_launched_at is None:
             self.first_launched_at = now
+        self.last_launched_at = now
+        self.suspended_seconds = 0.0
+        self._suspended_at = None
         self.set_state(TipState.RUNNING)
 
     def mark_succeeded(self, now: float) -> None:
@@ -104,6 +133,47 @@ class TaskInProgress:
         self.finished_at = now
         self.active_attempt_id = None
 
+    # -- speculative execution ------------------------------------------------------
+
+    @property
+    def has_speculative(self) -> bool:
+        """True while a backup attempt exists for this TIP."""
+        return self.speculative_attempt_id is not None
+
+    def new_speculative_attempt_id(
+        self, tracker: str, now: Optional[float] = None
+    ) -> str:
+        """Allocate a backup attempt id without disturbing the primary."""
+        attempt_id = f"attempt_{self.tip_id}_{self.next_attempt_number}"
+        self.next_attempt_number += 1
+        self.attempt_ids.append(attempt_id)
+        self.speculative_attempt_id = attempt_id
+        self.speculative_tracker = tracker
+        self.speculative_launched_at = now
+        return attempt_id
+
+    def clear_speculative(self) -> None:
+        """Forget the backup attempt (it finished or its node died)."""
+        self.speculative_attempt_id = None
+        self.speculative_tracker = None
+        self.speculative_launched_at = None
+
+    def promote_speculative(self) -> None:
+        """The backup overtook the primary: it becomes the attempt of
+        record (called just before :meth:`mark_succeeded`).
+
+        The launch time and suspension total switch to the backup's so
+        whole-life progress rates (the speculator's peer mean) describe
+        the attempt that actually completed, not the replaced primary.
+        """
+        self.active_attempt_id = self.speculative_attempt_id
+        self.tracker = self.speculative_tracker
+        if self.speculative_launched_at is not None:
+            self.last_launched_at = self.speculative_launched_at
+            self.suspended_seconds = 0.0
+            self._suspended_at = None
+        self.clear_speculative()
+
     def mark_killed_attempt(self, progress_lost: float, reschedule: bool) -> None:
         """Attempt was killed; optionally requeue the TIP.
 
@@ -111,7 +181,7 @@ class TaskInProgress:
         wasted work for the redundant-work accounting the paper's
         makespan metric surfaces.
         """
-        self.wasted_seconds += progress_lost * self.spec.input_bytes / self.spec.parse_rate
+        self.wasted_seconds += self.work_seconds(progress_lost)
         self.active_attempt_id = None
         self.tracker = None
         self.progress = 0.0
@@ -120,6 +190,27 @@ class TaskInProgress:
         if reschedule:
             self.set_state(TipState.UNASSIGNED)
 
+    def mark_failed_attempt(
+        self, progress_lost: float, tracker: Optional[str]
+    ) -> None:
+        """Attempt failed (task error, not a kill); count it toward the
+        retry cap and remember the host so retries avoid it.
+
+        The retry-vs-fail-the-job decision is the JobTracker's
+        (:meth:`~repro.hadoop.jobtracker.JobTracker._on_attempt_failed`
+        checks the attempt cap); the discarded work is accounted like a
+        kill.
+        """
+        self.wasted_seconds += self.work_seconds(progress_lost)
+        self.failed_attempt_count += 1
+        if tracker is not None:
+            self.failed_on.add(tracker)
+        self.active_attempt_id = None
+        self.tracker = None
+        self.progress = 0.0
+        if self.state is not TipState.FAILED:
+            self.set_state(TipState.FAILED)
+
     def mark_lost_tracker(self) -> None:
         """The tracker died; requeue (suspended image is lost too)."""
         if self.state.terminal:
@@ -127,6 +218,20 @@ class TaskInProgress:
         self.active_attempt_id = None
         self.tracker = None
         self.progress = 0.0
+        self.set_state(TipState.UNASSIGNED)
+
+    def mark_output_lost(self) -> None:
+        """A completed map's output died with its tracker; re-execute.
+
+        Legal only from SUCCEEDED; the lost work is charged as wasted
+        (the whole task body must be recomputed).
+        """
+        self.wasted_seconds += self.work_seconds()
+        self.output_lost_count += 1
+        self.progress = 0.0
+        self.finished_at = None
+        self.active_attempt_id = None
+        self.tracker = None
         self.set_state(TipState.UNASSIGNED)
 
     # -- preemption-side transitions -----------------------------------------------
@@ -141,11 +246,12 @@ class TaskInProgress:
         self.directive_issued_at = now
         self.directive_sent_at = None
 
-    def confirm_suspended(self) -> None:
+    def confirm_suspended(self, now: Optional[float] = None) -> None:
         """Heartbeat confirmed the stop landed."""
         self.set_state(TipState.SUSPENDED)
         self.directive_issued_at = None
         self.directive_sent_at = None
+        self._suspended_at = now
 
     def request_resume(self, now: float) -> None:
         """User/scheduler asked to resume; legal only while SUSPENDED."""
@@ -157,11 +263,14 @@ class TaskInProgress:
         self.directive_issued_at = now
         self.directive_sent_at = None
 
-    def confirm_resumed(self) -> None:
+    def confirm_resumed(self, now: Optional[float] = None) -> None:
         """Heartbeat confirmed the process is running again."""
         self.set_state(TipState.RUNNING)
         self.directive_issued_at = None
         self.directive_sent_at = None
+        if now is not None and self._suspended_at is not None:
+            self.suspended_seconds += now - self._suspended_at
+        self._suspended_at = None
 
     def request_kill(self, now: float) -> None:
         """User/scheduler asked to kill the active attempt."""

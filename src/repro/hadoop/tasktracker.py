@@ -191,6 +191,11 @@ class TaskTracker:
     # -- directive execution ----------------------------------------------------------------
 
     def _execute_actions(self, actions: List[TrackerAction]) -> None:
+        if not self.started:
+            # The node died while the directives were on the wire; a
+            # dead daemon launches nothing (the JobTracker requeues
+            # through the expiry/restart paths).
+            return
         for action in actions:
             if isinstance(action, LaunchTaskAction):
                 self._launch(action)
@@ -302,6 +307,8 @@ class TaskTracker:
         for attempt in list(self.attempts.values()):
             if attempt.state.terminal or attempt.process is None:
                 continue
+            if not attempt.process.alive:
+                continue  # already dead (repeated shutdown after a crash)
             # The process dies with the node; silence the normal
             # reporting path first.
             attempt.process.exit_callbacks.clear()
@@ -309,6 +316,28 @@ class TaskTracker:
         self._map_slot_holders.clear()
         self._reduce_slot_holders.clear()
         self.trace("tt.shutdown")
+
+    def restart(self, stagger: float = 0.0) -> None:
+        """The daemon comes back after a crash.
+
+        A restarted TaskTracker has no task state (real Hadoop loses
+        the in-memory attempt table with the process), so the attempt
+        registry is dropped and the JobTracker is told to requeue
+        anything it still believes runs here before heartbeats resume.
+        """
+        if self.started:
+            return
+        # Requeue first, while the old attempt records still exist --
+        # the JobTracker reads their final progress for wasted-work
+        # accounting -- then drop the state the fresh daemon lacks.
+        self.jobtracker.handle_tracker_restart(self)
+        self.attempts.clear()
+        self._unreported.clear()
+        self._map_slot_holders.clear()
+        self._reduce_slot_holders.clear()
+        self._oob_pending = False
+        self.trace("tt.restart")
+        self.start(stagger=stagger)
 
     # -- misc -------------------------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from repro.metrics.report import ascii_plot, ascii_table, series_to_csv
 from repro.metrics.series import Series
 from repro.metrics.stats import RunStats, summarize
 from repro.metrics.timeline import TimelineSegment, extract_timeline, render_gantt
+from repro.metrics.wasted import WastedWorkLedger
 
 __all__ = [
     "Series",
@@ -28,4 +29,5 @@ __all__ = [
     "TimelineSegment",
     "extract_timeline",
     "render_gantt",
+    "WastedWorkLedger",
 ]

@@ -1,0 +1,57 @@
+"""Wasted-work accounting.
+
+Preemption, failures and speculation all discard partially (or fully)
+completed work; comparing how much each preemption primitive wastes
+under faults is the headline metric of the fault studies (ATLAS and
+the OSG preemption study both frame scheduler quality in terms of
+recovered vs wasted work).  The :class:`WastedWorkLedger` aggregates
+discarded task-seconds by cause so reports can show *why* work was
+lost, not just how much.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: canonical cause labels used by the Hadoop layer
+PREEMPTION_KILL = "preemption-kill"
+TASK_FAILURE = "task-failure"
+TRACKER_LOST = "tracker-lost"
+LOST_MAP_OUTPUT = "lost-map-output"
+SPECULATION_LOSER = "speculation-loser"
+JOB_TEARDOWN = "job-teardown"
+
+
+class WastedWorkLedger:
+    """Task-seconds of discarded work, grouped by cause."""
+
+    def __init__(self) -> None:
+        self._by_cause: Dict[str, float] = {}
+        self._entries: List[Tuple[str, str, float]] = []
+
+    def add(self, cause: str, seconds: float, tip_id: str = "") -> None:
+        """Charge ``seconds`` of discarded work to ``cause``."""
+        if seconds <= 0:
+            return
+        self._by_cause[cause] = self._by_cause.get(cause, 0.0) + seconds
+        self._entries.append((cause, tip_id, seconds))
+
+    def total(self) -> float:
+        """All wasted task-seconds."""
+        return sum(self._by_cause.values())
+
+    def by_cause(self) -> Dict[str, float]:
+        """Wasted task-seconds per cause label."""
+        return dict(self._by_cause)
+
+    def entries(self) -> List[Tuple[str, str, float]]:
+        """Every (cause, tip_id, seconds) charge, in order."""
+        return list(self._entries)
+
+    def merge(self, other: "WastedWorkLedger") -> None:
+        """Fold another ledger's charges into this one."""
+        for cause, tip_id, seconds in other.entries():
+            self.add(cause, seconds, tip_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"WastedWorkLedger(total={self.total():.1f}s)"

@@ -135,6 +135,8 @@ class RateResource:
         self.capacity = float(capacity)
         self.name = name
         self._claims: Set[Claim] = set()
+        #: degradation multiplier (slow-node fault injection); 1.0 = healthy
+        self.speed_factor = 1.0
 
     # -- policy --------------------------------------------------------
 
@@ -142,8 +144,22 @@ class RateResource:
         """Units/second each active claim currently receives."""
         n = len(self._claims)
         if n == 0:
-            return self.capacity
-        return self.capacity / n
+            return self.capacity * self.speed_factor
+        return self.capacity * self.speed_factor / n
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Degrade (or restore) the device to ``factor`` of nominal speed.
+
+        In-flight claims are settled at the old rate first, then every
+        completion/milestone event is recomputed -- the piecewise-
+        constant-rate contract the engine relies on.  Models slow-node
+        faults (failing disk, thermal throttling, a noisy neighbour).
+        """
+        if factor <= 0:
+            raise SimulationError(f"{self.name}: speed factor must be positive")
+        self._settle_all()
+        self.speed_factor = float(factor)
+        self._reschedule_all()
 
     # -- claim lifecycle -------------------------------------------------
 
@@ -301,8 +317,8 @@ class CpuResource(RateResource):
     def rate_per_claim(self) -> float:
         n = len(self._claims)
         if n == 0:
-            return 1.0
-        return min(1.0, self.cores / n)
+            return self.speed_factor
+        return min(1.0, self.cores / n) * self.speed_factor
 
 
 class DiskResource(RateResource):

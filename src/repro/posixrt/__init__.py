@@ -6,9 +6,10 @@ worker process (:mod:`repro.posixrt.worker`) that parses synthetic
 input and optionally allocates memory, and drives it with genuine
 POSIX signals:
 
-* ``SIGTSTP`` to suspend (the worker's handler tidies up and re-raises
-  the default stop, exactly the pattern the paper requires so external
-  state can be managed);
+* ``SIGTSTP`` to suspend (the worker's handler tidies up and then
+  stops itself, exactly the pattern the paper requires so external
+  state can be managed; see :mod:`repro.posixrt.worker` for the
+  orphaned-process-group portability detail);
 * ``SIGCONT`` to resume;
 * ``SIGKILL`` to kill.
 
@@ -18,8 +19,12 @@ Process state and memory are observed through ``/proc``
 two-job microbenchmark on real processes at laptop scale.
 """
 
-from repro.posixrt.controller import WorkerHandle, WorkerSpec
-from repro.posixrt.procfs import ProcStatus, read_proc_status
+from repro.posixrt.controller import (
+    WorkerHandle,
+    WorkerSpec,
+    sigtstp_stops_supported,
+)
+from repro.posixrt.procfs import ProcStatus, read_proc_status, read_stat_state
 from repro.posixrt.runner import MiniExperiment, PrimitiveOutcome
 
 __all__ = [
@@ -27,6 +32,8 @@ __all__ = [
     "WorkerSpec",
     "ProcStatus",
     "read_proc_status",
+    "read_stat_state",
+    "sigtstp_stops_supported",
     "MiniExperiment",
     "PrimitiveOutcome",
 ]

@@ -66,6 +66,26 @@ def _parse_kb(line: str) -> int:
         return 0
 
 
+def read_stat_state(pid: int) -> Optional[str]:
+    """The single-letter state field from ``/proc/<pid>/stat``.
+
+    ``/proc/<pid>/stat`` is updated synchronously with the scheduler's
+    view, which makes it the authoritative place to observe a job-
+    control stop (state ``T``).  The comm field may contain spaces and
+    parentheses, so the state is parsed as the first token after the
+    *last* ``)``.  Returns None when the process is gone.
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "r", encoding="ascii",
+                  errors="replace") as handle:
+            text = handle.read()
+    except (FileNotFoundError, ProcessLookupError, PermissionError):
+        return None
+    _, _, rest = text.rpartition(")")
+    fields = rest.split()
+    return fields[0] if fields else None
+
+
 def process_exists(pid: int) -> bool:
     """True when the pid names a live process we may signal."""
     try:

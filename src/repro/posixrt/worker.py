@@ -11,10 +11,17 @@ command line.  It emulates the paper's synthetic tasks:
 
 Signal behaviour is the heart of the prototype: the ``SIGTSTP``
 handler performs cleanup (flushes the status file -- standing in for
-"closing and reopening network connections"), then restores the
-default disposition and re-delivers SIGTSTP to actually stop; on
-``SIGCONT`` the handler is reinstalled.  This is the canonical
-job-control dance the paper's TaskTracker modification performs.
+"closing and reopening network connections"), then self-delivers
+``SIGSTOP`` to actually stop; on ``SIGCONT`` the handler is
+reinstalled.  This is the canonical job-control dance the paper's
+TaskTracker modification performs, with one portability twist: the
+controller starts workers in their own session, which makes the
+worker's process group *orphaned*, and POSIX discards the default
+stop action of SIGTSTP/SIGTTIN/SIGTTOU in orphaned process groups
+(the usual re-raise-SIGTSTP dance silently fails to stop).  SIGSTOP
+is exempt from that rule, so the handler uses it for the actual stop
+while SIGTSTP remains the external suspend request -- same observable
+behaviour (state ``T`` in /proc, SIGCONT resumes), robust everywhere.
 """
 
 from __future__ import annotations
@@ -54,12 +61,14 @@ class WorkerMain:
         signal.signal(signal.SIGTSTP, self._on_sigtstp)
 
     def _on_sigtstp(self, signum, frame) -> None:
-        # Tidy external state, then actually stop.
+        # Tidy external state, then actually stop.  SIGSTOP (not a
+        # re-raised SIGTSTP) delivers the stop: this process group is
+        # orphaned (the controller uses start_new_session), and POSIX
+        # discards SIGTSTP's default stop action in orphaned groups.
         self.emit("SUSPENDING", f"{time.monotonic():.6f}")
         self._status.flush()
-        signal.signal(signal.SIGTSTP, signal.SIG_DFL)
         signal.signal(signal.SIGCONT, self._on_sigcont)
-        os.kill(os.getpid(), signal.SIGTSTP)
+        os.kill(os.getpid(), signal.SIGSTOP)
 
     def _on_sigcont(self, signum, frame) -> None:
         self.emit("RESUMED", f"{time.monotonic():.6f}")
@@ -75,8 +84,10 @@ class WorkerMain:
         self._memory = bytearray(self.memory_bytes)
         page = 4096
         # Writing one word per page marks the page dirty without
-        # burning excessive CPU.
-        pattern = os.getpid() & 0xFF
+        # burning excessive CPU.  Force the low bit so the pattern is
+        # nonzero for every pid (pid % 256 == 0 would otherwise write
+        # zeros and defeat checksum-based dirtying checks).
+        pattern = (os.getpid() & 0xFF) | 1
         for offset in range(0, self.memory_bytes, page):
             self._memory[offset] = pattern
         self.emit("ALLOCATED", str(self.memory_bytes))

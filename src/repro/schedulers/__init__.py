@@ -18,13 +18,20 @@ job).  This package provides:
   size-based scheduler (the conclusion reports preliminary results of
   the suspend primitive inside HFSP);
 * :class:`~repro.schedulers.deadline.DeadlineScheduler` -- EDF with
-  preemption when a deadline is at risk.
+  preemption when a deadline is at risk;
+* :class:`~repro.schedulers.failure_aware.FailureAwareFifoScheduler`
+  -- ATLAS-style failure-history awareness (blacklist avoidance,
+  per-task tracker memory, recovery-first resubmission).
 """
 
 from repro.schedulers.base import TaskScheduler
 from repro.schedulers.capacity import CapacityScheduler
 from repro.schedulers.deadline import DeadlineScheduler
 from repro.schedulers.dummy import DummyScheduler
+from repro.schedulers.failure_aware import (
+    FailureAwareFifoScheduler,
+    FailureAwareMixin,
+)
 from repro.schedulers.fair import FairScheduler
 from repro.schedulers.fifo import FifoScheduler
 from repro.schedulers.hfsp import HfspScheduler
@@ -38,6 +45,8 @@ __all__ = [
     "CapacityScheduler",
     "HfspScheduler",
     "DeadlineScheduler",
+    "FailureAwareMixin",
+    "FailureAwareFifoScheduler",
     "ProgressTrigger",
     "TriggerAction",
     "TriggerEngine",

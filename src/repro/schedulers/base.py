@@ -41,6 +41,15 @@ class TaskScheduler(abc.ABC):
     def job_completed(self, job: JobInProgress) -> None:
         """The job reached a terminal state."""
 
+    def serves_job(self, job: JobInProgress) -> bool:
+        """True when this scheduler currently assigns the job's tasks.
+
+        Schedulers that fence jobs out of slots (the dummy scheduler's
+        freeze/allowlist) override this; speculative execution consults
+        it so backups never sneak a fenced job into a freed slot.
+        """
+        return True
+
     # -- the scheduling decision ----------------------------------------------
 
     @abc.abstractmethod
@@ -80,13 +89,18 @@ class TaskScheduler(abc.ABC):
             return len(job.tips)
         return len(job.schedulable_tips())
 
-    @staticmethod
+    def _schedulable_order(self, job: JobInProgress) -> List[TaskInProgress]:
+        """The order in which a job's schedulable tips are offered to
+        :meth:`_take_schedulable`.  Policy mixins override this (e.g.
+        recovery-first resubmission) without copying the slot loop."""
+        return job.schedulable_tips()
+
     def _take_schedulable(
-        job: JobInProgress, want_map: int, want_reduce: int
+        self, job: JobInProgress, want_map: int, want_reduce: int
     ) -> List[TaskInProgress]:
         """Up to the requested number of schedulable tips of each kind."""
         chosen: List[TaskInProgress] = []
-        for tip in job.schedulable_tips():
+        for tip in self._schedulable_order(job):
             if tip.kind.value == "map":
                 if want_map <= 0:
                     continue

@@ -57,6 +57,11 @@ class DummyScheduler(FifoScheduler):
             return False
         return True
 
+    def serves_job(self, job: JobInProgress) -> bool:
+        """Frozen / non-allowlisted jobs get no slots -- not even for
+        speculative backups."""
+        return self._eligible(job)
+
     def ordered_jobs(self) -> List[JobInProgress]:
         return [job for job in super().ordered_jobs() if self._eligible(job)]
 

@@ -1,0 +1,81 @@
+"""Failure-aware scheduling (ATLAS-style).
+
+ATLAS ("An Adaptive Failure-aware Scheduler for Hadoop") observes that
+a large fraction of production task failures recur on the same nodes,
+and that schedulers which account for failure history waste less work.
+The :class:`FailureAwareMixin` retrofits that behaviour onto any
+:class:`~repro.schedulers.base.TaskScheduler`:
+
+* **blacklist avoidance** -- trackers the JobTracker has blacklisted
+  get no assignments at all (the JobTracker enforces this too; doing
+  it here keeps the scheduler's own bookkeeping honest);
+* **per-task tracker memory** -- a task is never re-assigned to a
+  host where one of its attempts already failed (Hadoop's per-TIP
+  blacklist);
+* **recovery first** -- previously-failed tasks and re-executions of
+  lost map output are resubmitted ahead of fresh work, shrinking the
+  window in which a job is vulnerable to losing the same work twice.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hadoop.job import JobInProgress
+from repro.hadoop.task import TaskInProgress
+from repro.schedulers.fifo import FifoScheduler
+
+
+class FailureAwareMixin:
+    """Mixin adding failure-history awareness to a scheduler.
+
+    Compose it *before* the concrete scheduler class so its
+    ``assign_tasks`` wrapper runs first::
+
+        class FailureAwareFifoScheduler(FailureAwareMixin, FifoScheduler):
+            pass
+    """
+
+    def assign_tasks(
+        self, tracker: str, free_map_slots: int, free_reduce_slots: int
+    ) -> List[TaskInProgress]:
+        if self._tracker_blacklisted(tracker):
+            return []
+        chosen = super().assign_tasks(tracker, free_map_slots, free_reduce_slots)
+        # Tips filtered here are not replaced; the slot is simply
+        # re-offered at the next heartbeat, when another task (or
+        # another tracker) can take it.
+        return [t for t in chosen if self._host_allowed(t, tracker)]
+
+    def _schedulable_order(self, job: JobInProgress) -> List[TaskInProgress]:
+        """Selection override: resubmitted failed/lost work is offered
+        *before* fresh tips, so recovery really wins the contested
+        slots (sorting after selection would be a no-op)."""
+        return sorted(job.schedulable_tips(), key=self._recovery_rank)
+
+    # -- policy helpers -------------------------------------------------------
+
+    def _tracker_blacklisted(self, tracker: str) -> bool:
+        jobtracker = getattr(self, "jobtracker", None)
+        return jobtracker is not None and tracker in jobtracker.blacklisted
+
+    def _host_allowed(self, tip: TaskInProgress, tracker: str) -> bool:
+        """Avoid hosts where this task already failed -- unless it has
+        failed everywhere, in which case any host beats starving the
+        job (Hadoop relaxes its per-TIP blacklist the same way)."""
+        if tracker not in tip.failed_on:
+            return True
+        jobtracker = getattr(self, "jobtracker", None)
+        if jobtracker is None:
+            return False
+        return set(jobtracker.trackers) <= tip.failed_on
+
+    @staticmethod
+    def _recovery_rank(tip: TaskInProgress):
+        """Sort key: resubmitted failed/lost work first, stable otherwise."""
+        is_recovery = tip.failed_attempt_count > 0 or tip.output_lost_count > 0
+        return (0 if is_recovery else 1, tip.tip_id)
+
+
+class FailureAwareFifoScheduler(FailureAwareMixin, FifoScheduler):
+    """Priority-then-FIFO assignment with failure-history awareness."""

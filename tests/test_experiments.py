@@ -151,6 +151,7 @@ class TestRegistry:
             "swappiness",
             "gc",
             "adaptive",
+            "faults",
         }
 
     def test_aliases(self):

@@ -1,0 +1,193 @@
+"""The fault-injection subsystem: plans, injector, scenarios, study."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    build_scenario,
+    list_scenarios,
+    random_plan,
+)
+from repro.hadoop.job import JobState
+from repro.sim.rng import RngRegistry
+from repro.units import MB
+from repro.workloads.jobspec import JobSpec, TaskSpec
+from tests.conftest import quick_cluster
+
+
+def job_spec(name="job", tasks=4, input_mb=60):
+    return JobSpec(
+        name=name,
+        tasks=[
+            TaskSpec(input_bytes=input_mb * MB, parse_rate=7 * MB,
+                     output_bytes=0, name=f"{name}-{i}")
+            for i in range(tasks)
+        ],
+    )
+
+
+def fault_cluster(seed=19, **overrides):
+    defaults = dict(tracker_expiry_interval=6.0, map_slots=2)
+    defaults.update(overrides)
+    return quick_cluster(num_nodes=2, seed=seed, **defaults)
+
+
+class TestFaultPlan:
+    def test_builders_chain_and_order(self):
+        plan = (
+            FaultPlan()
+            .fail_task(at=30.0)
+            .crash(at=10.0, host="node00", restart_after=20.0)
+            .slow_node(at=5.0, host="node01", factor=0.5)
+        )
+        assert [e.kind for e in plan] == [
+            FaultKind.SLOW_NODE,
+            FaultKind.NODE_CRASH,
+            FaultKind.TASK_FAIL,
+        ]
+        assert len(plan) == 3
+        assert "node-crash" in plan.describe()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at=-1.0, kind=FaultKind.TASK_FAIL)
+        with pytest.raises(ConfigurationError):
+            FaultPlan().slow_node(at=0.0, host="n", factor=1.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan().crash(at=0.0, host="")
+        with pytest.raises(ConfigurationError):
+            FaultPlan().corrupt_cache(at=0.0, host="n", fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at=1.0, kind=FaultKind.NODE_CRASH, host="n",
+                       duration=-3.0)
+
+    def test_random_plan_is_seed_stable(self):
+        def draw():
+            rng = RngRegistry(99).stream("faults-plan")
+            plan = random_plan(rng, ["a", "b"], horizon=100.0, crashes=2,
+                               stragglers=1, task_failures=3)
+            return [(e.at, e.kind, e.host, e.factor) for e in plan]
+
+        assert draw() == draw()
+        with pytest.raises(ConfigurationError):
+            random_plan(RngRegistry(1).stream("x"), [], horizon=10.0)
+
+
+class TestScenarios:
+    def test_registry_lists_known_scenarios(self):
+        names = list_scenarios()
+        for expected in ("node-crash", "straggler", "transient-failure",
+                         "cache-corruption", "none"):
+            assert expected in names
+
+    def test_build_scenario_validates(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario("no-such-scenario", ["node00"])
+        with pytest.raises(ConfigurationError):
+            build_scenario("node-crash", [])
+        plan = build_scenario("node-crash", ["node00", "node01"])
+        assert plan.ordered()[0].host == "node01"
+
+
+class TestInjector:
+    def test_slow_node_degrades_and_heals(self):
+        cluster = fault_cluster()
+        cluster.submit_job(job_spec())
+        plan = FaultPlan().slow_node(at=2.0, host="node01", factor=0.25,
+                                     duration=4.0)
+        injector = FaultInjector(cluster, plan)
+        injector.install()
+        cluster.start()
+        cluster.sim.run(until=3.0)
+        kernel = cluster.kernel_of("node01")
+        assert kernel.cpu.speed_factor == 0.25
+        assert kernel.disk.read_stream.speed_factor == 0.25
+        cluster.sim.run(until=7.0)
+        assert kernel.cpu.speed_factor == 1.0
+        assert injector.stats.slowdowns == 1
+
+    def test_cache_corruption_drops_cache(self):
+        cluster = fault_cluster(seed=23)
+        cluster.submit_job(job_spec(input_mb=80))
+        # Input bytes land in the cache as tasks finish (~12.5 s here);
+        # the corruption hits right after.
+        injector = FaultInjector(
+            cluster, FaultPlan().corrupt_cache(at=14.0, host="node00")
+        )
+        injector.install()
+        cluster.start()
+        cluster.sim.run(until=13.9)
+        cache = cluster.kernel_of("node00").vmm.page_cache
+        assert cache.size > cache.min_bytes  # reads filled it
+        cluster.sim.run(until=14.5)
+        assert cache.size <= cache.min_bytes
+        assert injector.stats.corruptions == 1
+
+    def test_task_fail_victim_is_deterministic(self):
+        def victim(seed):
+            cluster = fault_cluster(seed=seed)
+            cluster.submit_job(job_spec())
+            injector = FaultInjector(cluster, FaultPlan().fail_task(at=3.0))
+            injector.install()
+            cluster.run_until_jobs_complete(timeout=3600.0)
+            assert injector.stats.task_failures == 1
+            return injector.stats.records[0].detail
+
+        assert victim(31) == victim(31)
+
+    def test_crash_without_running_tracker_is_skipped(self):
+        cluster = fault_cluster()
+        injector = FaultInjector(
+            cluster, FaultPlan().crash(at=1.0, host="node01")
+        )
+        injector.install()
+        # Never started: the tracker is not running, so the crash is a
+        # no-op rather than an error.
+        cluster.sim.run(until=2.0)
+        assert injector.stats.crashes == 0
+        assert injector.stats.skipped == 1
+
+    def test_crash_and_restart_full_cycle(self):
+        cluster = fault_cluster(seed=29)
+        job = cluster.submit_job(job_spec())
+        injector = FaultInjector(
+            cluster,
+            FaultPlan().crash(at=3.0, host="node01", restart_after=15.0),
+        )
+        injector.install()
+        cluster.run_until_jobs_complete(timeout=3600.0)
+        assert job.state is JobState.SUCCEEDED
+        assert injector.stats.crashes == 1
+        assert injector.stats.restarts == 1
+        assert cluster.jobtracker.trackers_lost == 1
+        # The restarted tracker is registered and heartbeating again.
+        assert "node01" in cluster.jobtracker.trackers
+        assert cluster.trackers["node01"].started
+
+
+class TestFaultsStudy:
+    def test_study_grid_is_deterministic_and_complete(self):
+        from repro.experiments.faults_study import run_faults_study
+
+        def one():
+            report = run_faults_study(runs=1, base_seed=4242)
+            return report.extras["metrics"]
+
+        first, second = one(), one()
+        assert first == second
+        for scenario in ("node-crash", "straggler", "transient-failure"):
+            for primitive in ("kill", "wait", "suspend"):
+                cell = first[scenario][primitive]
+                assert cell["makespan"][0] > 0
+                assert cell["sojourn"][0] > 0
+                assert cell["wasted"][0] >= 0
+
+    def test_registry_and_cli_spell_it_faults(self):
+        from repro.experiments.registry import get_experiment
+
+        assert get_experiment("faults") is get_experiment("faults_study")
+        assert get_experiment("faults") is get_experiment("e8")

@@ -60,8 +60,12 @@ class TestTipStates:
         assert not TipState.UNASSIGNED.active
         assert not TipState.SUCCEEDED.active
 
-    def test_succeeded_is_a_sink(self):
-        assert TIP_TRANSITIONS[TipState.SUCCEEDED] == frozenset()
+    def test_succeeded_reopens_only_for_lost_output(self):
+        # A completed map may be re-executed when the tracker holding
+        # its output is lost; nothing else leaves SUCCEEDED.
+        assert TIP_TRANSITIONS[TipState.SUCCEEDED] == frozenset(
+            {TipState.UNASSIGNED}
+        )
 
     def test_killed_can_be_rescheduled(self):
         check_tip_transition(TipState.KILLED, TipState.UNASSIGNED)

@@ -15,8 +15,12 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.posixrt.cgroups import CgroupResult, detect_version, limit_memory
-from repro.posixrt.controller import WorkerHandle, WorkerSpec
-from repro.posixrt.procfs import process_exists, read_proc_status
+from repro.posixrt.controller import (
+    WorkerHandle,
+    WorkerSpec,
+    sigtstp_stops_supported,
+)
+from repro.posixrt.procfs import process_exists, read_proc_status, read_stat_state
 from repro.posixrt.runner import MiniExperiment
 from repro.units import MB
 
@@ -25,6 +29,21 @@ pytestmark = [pytest.mark.posix, pytest.mark.integration]
 needs_linux = pytest.mark.skipif(
     not sys.platform.startswith("linux"), reason="requires Linux /proc and signals"
 )
+
+
+@pytest.fixture
+def job_control():
+    """Skip when SIGTSTP stops cannot be delivered or observed.
+
+    A fixture rather than a skipif mark so the (subprocess-spawning,
+    up-to-5s) probe only runs when a suspend test is actually selected
+    -- `-m "not posix"` collections never pay for it.
+    """
+    if not sys.platform.startswith("linux") or not sigtstp_stops_supported():
+        pytest.skip("platform cannot deliver/observe SIGTSTP job-control stops")
+
+
+needs_job_control = pytest.mark.usefixtures("job_control")
 
 
 def quick_spec(name="w", input_mb=4, rate=16.0, memory_mb=0):
@@ -72,7 +91,7 @@ class TestWorkerLifecycle:
             worker.kill()
 
 
-@needs_linux
+@needs_job_control
 class TestSuspendResume:
     def test_sigtstp_stops_process(self):
         with WorkerHandle(quick_spec(input_mb=64, rate=4.0)) as worker:
@@ -137,9 +156,17 @@ class TestProcfs:
         assert process_exists(os.getpid())
         assert not process_exists(2 ** 22 + 12345)
 
+    def test_read_stat_state(self):
+        # This process is running (R) or, under some test runners,
+        # briefly sleeping (S); never stopped.
+        state = read_stat_state(os.getpid())
+        assert state in ("R", "S", "D")
+        assert read_stat_state(2 ** 22 + 12345) is None
+
 
 @needs_linux
 class TestMiniExperiment:
+    @needs_job_control
     def test_compare_orders_primitives(self):
         experiment = MiniExperiment(
             input_mb=3, rate_mb_per_sec=12.0, progress_at_launch=0.5

@@ -1,0 +1,186 @@
+"""Speculative execution: stragglers, backups, first-finisher-wins.
+
+The straggler scenarios use the fault injector's slow-node event so
+the progress-rate divergence is real (the degraded node's CPU and
+disk genuinely run slower), not scripted.
+"""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.hadoop.job import JobState
+from repro.hadoop.states import AttemptState, TipState
+from repro.units import MB
+from repro.workloads.jobspec import JobSpec, TaskSpec
+from tests.conftest import quick_cluster
+
+pytestmark = pytest.mark.integration
+
+SLOW_HOST = "node01"
+
+
+def spec_cluster(seed=3, **overrides):
+    defaults = dict(
+        map_slots=2,
+        speculative_execution=True,
+        speculative_lag=5.0,
+        speculative_slowness=0.5,
+    )
+    defaults.update(overrides)
+    return quick_cluster(num_nodes=2, seed=seed, **defaults)
+
+
+def job_spec(tasks=4, input_mb=60, name="spec"):
+    return JobSpec(
+        name=name,
+        tasks=[
+            TaskSpec(input_bytes=input_mb * MB, parse_rate=7 * MB,
+                     output_bytes=0, name=f"{name}-{i}")
+            for i in range(tasks)
+        ],
+    )
+
+
+def run_with_straggler(cluster, job, factor=0.15, at=1.0):
+    FaultInjector(
+        cluster, FaultPlan().slow_node(at=at, host=SLOW_HOST, factor=factor)
+    ).install()
+    cluster.run_until_jobs_complete(timeout=3600.0)
+    return job
+
+
+class TestStragglerBackups:
+    def test_straggler_gets_backup_and_job_finishes_early(self):
+        cluster = spec_cluster()
+        job = cluster.submit_job(job_spec())
+        run_with_straggler(cluster, job)
+        assert job.state is JobState.SUCCEEDED
+        assert cluster.jobtracker.speculator.backups_launched >= 1
+        # At ~15% speed a 60 MB task body takes ~57 s alone; backups
+        # must beat that decisively.
+        assert job.finish_time < 45.0
+        # Every winner ran on the healthy node.
+        for tip in job.tips:
+            assert tip.tracker == "node00"
+
+    def test_first_finisher_wins_and_loser_is_killed(self):
+        cluster = spec_cluster(seed=5)
+        job = cluster.submit_job(job_spec())
+        run_with_straggler(cluster, job)
+        speculated = [t for t in job.tips if t.next_attempt_number >= 2]
+        assert speculated
+        killed = [
+            a
+            for tracker in cluster.trackers.values()
+            for a in tracker.attempts.values()
+            if a.state is AttemptState.KILLED
+        ]
+        assert killed  # the losing primaries were reaped
+        assert cluster.jobtracker.wasted.by_cause().get(
+            "speculation-loser", 0
+        ) > 0
+
+    def test_no_speculation_when_disabled(self):
+        cluster = quick_cluster(num_nodes=2, seed=3, map_slots=2)
+        assert cluster.jobtracker.speculator is None
+        job = cluster.submit_job(job_spec())
+        run_with_straggler(cluster, job)
+        assert job.state is JobState.SUCCEEDED
+        assert all(t.next_attempt_number == 1 for t in job.tips)
+
+    def test_speculation_is_deterministic(self):
+        def one_run(seed):
+            cluster = spec_cluster(seed=seed)
+            job = cluster.submit_job(job_spec())
+            run_with_straggler(cluster, job)
+            return (job.finish_time, cluster.jobtracker.wasted.total())
+
+        assert one_run(9) == one_run(9)
+
+
+class TestSuspendInteraction:
+    def test_suspended_attempt_is_not_a_straggler(self):
+        # A suspended task's progress is frozen by *policy*; the
+        # speculator must not read that as slowness.
+        cluster = spec_cluster(seed=7, speculative_lag=3.0)
+        job = cluster.submit_job(job_spec(tasks=3, input_mb=80))
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "spec", 0.1, lambda: cluster.jobtracker.suspend_task(tip.tip_id)
+        )
+        cluster.start()
+        cluster.sim.run(until=60.0)
+        assert tip.state is TipState.SUSPENDED
+        assert not tip.has_speculative
+        assert tip.next_attempt_number == 1
+
+    def test_backup_wins_over_suspended_primary(self):
+        # Regression: the straggling primary gets a backup, then the
+        # preemption API suspends the primary; when the backup finishes
+        # the tip must complete (SUSPENDED -> SUCCEEDED) and the frozen
+        # loser must be killed -- this used to crash the heartbeat with
+        # an illegal-transition error.
+        cluster = spec_cluster(seed=13)
+        job = cluster.submit_job(job_spec())
+        FaultInjector(
+            cluster, FaultPlan().slow_node(at=1.0, host=SLOW_HOST, factor=0.15)
+        ).install()
+        cluster.start()
+        suspended = []
+
+        def freeze_speculated() -> None:
+            for tip in job.tips:
+                if tip.has_speculative and tip.state is TipState.RUNNING:
+                    cluster.jobtracker.suspend_task(tip.tip_id)
+                    suspended.append(tip)
+                    return
+
+        # Poll until a backup exists, then suspend its primary.
+        def arm(delay=0.5):
+            if suspended:
+                return
+            freeze_speculated()
+            if not suspended:
+                cluster.sim.schedule(delay, arm)
+
+        cluster.sim.schedule(6.0, arm)
+        cluster.run_until_jobs_complete(timeout=3600.0)
+        assert suspended, "scenario never produced a backup to suspend"
+        assert job.state is JobState.SUCCEEDED
+        for tip in suspended:
+            assert tip.state is TipState.SUCCEEDED
+            assert tip.tracker == "node00"  # the backup's host won
+
+    def test_resumed_victim_is_not_a_straggler(self):
+        # Regression: time spent suspended must not count into the
+        # progress rate -- a resumed victim with healthy throughput
+        # used to look like an extreme straggler and got a redundant
+        # backup that wasted the preserved work.
+        cluster = spec_cluster(seed=17, speculative_lag=3.0)
+        job = cluster.submit_job(job_spec(tasks=4, input_mb=80))
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "spec", 0.1, lambda: cluster.jobtracker.suspend_task(tip.tip_id)
+        )
+        # Resume well past the speculative lag, then run to completion.
+        cluster.sim.schedule(
+            20.0, lambda: cluster.jobtracker.resume_task(tip.tip_id)
+        )
+        cluster.run_until_jobs_complete(timeout=3600.0)
+        assert job.state is JobState.SUCCEEDED
+        assert tip.suspended_seconds > 5.0  # the pause really happened
+        assert cluster.jobtracker.speculator.backups_launched == 0
+        assert tip.next_attempt_number == 1
+
+    def test_suspended_peer_does_not_poison_the_mean(self):
+        # With one suspended task and healthy peers, nobody should be
+        # speculated: the frozen task is excluded from the rate pool.
+        cluster = spec_cluster(seed=11, speculative_lag=3.0)
+        job = cluster.submit_job(job_spec(tasks=4, input_mb=80))
+        tip = job.tips[0]
+        cluster.when_job_progress(
+            "spec", 0.1, lambda: cluster.jobtracker.suspend_task(tip.tip_id)
+        )
+        cluster.start()
+        cluster.sim.run(until=60.0)
+        assert cluster.jobtracker.speculator.backups_launched == 0

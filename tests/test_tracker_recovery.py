@@ -1,0 +1,190 @@
+"""Heartbeat-loss recovery: expiry, requeue, retries, blacklisting.
+
+The recovery machinery the fault subsystem leans on: a TaskTracker
+that stops heartbeating is declared lost after
+``tracker_expiry_interval``; its running attempts *and* its completed
+map output are rescheduled; failed attempts retry up to
+``mapred.map.max.attempts``; trackers that keep failing tasks are
+blacklisted.  Everything is driven through the public cluster API and
+seeded, so runs are deterministic.
+"""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.hadoop.job import JobState
+from repro.hadoop.states import TipState
+from repro.schedulers.failure_aware import FailureAwareFifoScheduler
+from repro.units import MB
+from repro.workloads.jobspec import JobSpec, TaskSpec
+from tests.conftest import quick_cluster
+
+pytestmark = pytest.mark.integration
+
+
+def job_spec(name="job", tasks=4, input_mb=60):
+    return JobSpec(
+        name=name,
+        tasks=[
+            TaskSpec(input_bytes=input_mb * MB, parse_rate=7 * MB,
+                     output_bytes=0, name=f"{name}-{i}")
+            for i in range(tasks)
+        ],
+    )
+
+
+def recovery_cluster(seed=11, scheduler=None, **overrides):
+    defaults = dict(tracker_expiry_interval=6.0, map_slots=2)
+    defaults.update(overrides)
+    return quick_cluster(num_nodes=2, seed=seed, scheduler=scheduler, **defaults)
+
+
+class TestHeartbeatLossRecovery:
+    def test_silent_tracker_declared_lost_and_job_completes(self):
+        cluster = recovery_cluster()
+        job = cluster.submit_job(job_spec())
+        cluster.start()
+        cluster.sim.run(until=4.0)
+        running_on_node01 = [
+            t for t in job.tips if t.tracker == "node01" and t.state.active
+        ]
+        assert running_on_node01  # the crash must actually hit work
+        cluster.crash_tracker("node01")  # silent: no report to the JT
+
+        cluster.run_until_jobs_complete(timeout=3600.0)
+        assert cluster.jobtracker.trackers_lost == 1
+        assert "node01" not in cluster.jobtracker.trackers
+        assert job.state is JobState.SUCCEEDED
+        # Every crashed task finished elsewhere.
+        for tip in running_on_node01:
+            assert tip.state is TipState.SUCCEEDED
+            assert tip.tracker == "node00"
+            assert tip.wasted_seconds > 0
+
+    def test_completed_map_output_rescheduled_with_lost_tracker(self):
+        # Long tasks on node00, short on node01: node01's work completes,
+        # then the node dies while node00 still crunches.
+        cluster = recovery_cluster(seed=13)
+        spec = JobSpec(
+            name="mixed",
+            tasks=[
+                TaskSpec(input_bytes=200 * MB, parse_rate=7 * MB,
+                         output_bytes=0, name="long-0"),
+                TaskSpec(input_bytes=200 * MB, parse_rate=7 * MB,
+                         output_bytes=0, name="long-1"),
+                TaskSpec(input_bytes=20 * MB, parse_rate=7 * MB,
+                         output_bytes=0, name="short-0"),
+                TaskSpec(input_bytes=20 * MB, parse_rate=7 * MB,
+                         output_bytes=0, name="short-1"),
+            ],
+        )
+        job = cluster.submit_job(spec)
+        cluster.start()
+        cluster.sim.run(until=12.0)
+        done_on_node01 = [
+            t for t in job.tips
+            if t.state is TipState.SUCCEEDED and t.tracker == "node01"
+        ]
+        assert done_on_node01  # shorts must have completed there
+        cluster.crash_tracker("node01")
+        cluster.run_until_jobs_complete(timeout=3600.0)
+        assert job.state is JobState.SUCCEEDED
+        for tip in done_on_node01:
+            assert tip.output_lost_count == 1
+            assert tip.state is TipState.SUCCEEDED
+            assert tip.tracker == "node00"  # re-executed on the survivor
+            assert tip.next_attempt_number >= 2
+
+    def test_restart_within_expiry_requeues_stale_work(self):
+        cluster = recovery_cluster(seed=17, tracker_expiry_interval=60.0)
+        job = cluster.submit_job(job_spec(tasks=2, input_mb=80))
+        cluster.start()
+        cluster.sim.run(until=4.0)
+        victims = [t for t in job.tips if t.tracker == "node01"]
+        cluster.crash_tracker("node01")
+        # Reboot long before the (lazy) expiry would notice.
+        cluster.restart_tracker("node01")
+        cluster.run_until_jobs_complete(timeout=3600.0)
+        assert job.state is JobState.SUCCEEDED
+        # The JT never declared the tracker lost, but the restart
+        # handshake requeued the stale attempts.
+        assert cluster.jobtracker.trackers_lost == 0
+        for tip in victims:
+            assert tip.state is TipState.SUCCEEDED
+
+    def test_recovery_is_deterministic(self):
+        def one_run():
+            cluster = recovery_cluster(seed=23)
+            job = cluster.submit_job(job_spec())
+            FaultInjector(
+                cluster, FaultPlan().crash(at=4.0, host="node01",
+                                           restart_after=20.0)
+            ).install()
+            cluster.run_until_jobs_complete(timeout=3600.0)
+            return (
+                job.finish_time,
+                job.wasted_seconds,
+                cluster.jobtracker.wasted.total(),
+            )
+
+        assert one_run() == one_run()
+
+
+class TestAttemptRetries:
+    def test_transient_failure_retried_and_recorded(self):
+        cluster = recovery_cluster(seed=29)
+        job = cluster.submit_job(job_spec(tasks=2, input_mb=60))
+        FaultInjector(cluster, FaultPlan().fail_task(at=3.0)).install()
+        cluster.run_until_jobs_complete(timeout=3600.0)
+        assert job.state is JobState.SUCCEEDED
+        failed = [t for t in job.tips if t.failed_attempt_count > 0]
+        assert len(failed) == 1
+        tip = failed[0]
+        assert tip.failed_on  # the host is remembered
+        assert cluster.jobtracker.wasted.by_cause().get("task-failure", 0) > 0
+
+    def test_retry_cap_fails_the_job(self):
+        cluster = recovery_cluster(seed=31, map_max_attempts=2)
+        job = cluster.submit_job(
+            JobSpec(name="doomed", tasks=[
+                TaskSpec(input_bytes=120 * MB, parse_rate=7 * MB,
+                         output_bytes=0, name="victim"),
+            ])
+        )
+        # Keep failing the only task; the cap is 2 attempts.
+        plan = FaultPlan()
+        for at in (3.0, 10.0, 17.0, 24.0):
+            plan.fail_task(at=at)
+        FaultInjector(cluster, plan).install()
+        cluster.run_until_jobs_complete(timeout=3600.0)
+        assert job.state is JobState.FAILED
+        assert job.tips[0].failed_attempt_count == 2
+        assert job.tips[0].state is TipState.FAILED
+
+
+class TestBlacklisting:
+    def test_failing_tracker_blacklisted_and_avoided(self):
+        cluster = recovery_cluster(seed=37, tracker_blacklist_threshold=2)
+        job = cluster.submit_job(job_spec(tasks=6, input_mb=40))
+        plan = FaultPlan().fail_task(at=2.5, host="node01").fail_task(
+            at=5.0, host="node01"
+        )
+        FaultInjector(cluster, plan).install()
+        cluster.run_until_jobs_complete(timeout=3600.0)
+        assert job.state is JobState.SUCCEEDED
+        assert "node01" in cluster.jobtracker.blacklisted
+        # Work assigned after the blacklist trip all landed on node00.
+        blacklist_time = 5.0
+        late = [t for t in job.tips if (t.last_launched_at or 0) > blacklist_time + 3]
+        assert late and all(t.tracker == "node00" for t in late)
+
+    def test_failure_aware_scheduler_skips_blacklisted_tracker(self):
+        scheduler = FailureAwareFifoScheduler()
+        cluster = recovery_cluster(seed=41, scheduler=scheduler)
+        cluster.submit_job(job_spec(tasks=4))
+        cluster.start()
+        cluster.sim.run(until=2.0)
+        cluster.jobtracker.blacklisted.add("node00")
+        assert scheduler.assign_tasks("node00", 2, 2) == []
+        # The healthy tracker is still served.
+        assert isinstance(scheduler.assign_tasks("node01", 0, 0), list)
