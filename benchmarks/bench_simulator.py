@@ -34,6 +34,34 @@ def bench_event_loop_throughput(benchmark):
     assert result == 20_000
 
 
+def bench_cancellation_heavy(benchmark):
+    """The cancellation-heavy pattern: 50k schedules, 80% cancelled,
+    ``pending_events`` polled throughout.
+
+    Before the cancelled-event counter this was quadratic (every poll
+    scanned the whole heap) and the dead handles lingered until popped;
+    with the counter plus lazy compaction both the polls and the final
+    drain are cheap.
+    """
+
+    def run():
+        sim = Simulation()
+        handles = []
+        polled = 0
+        for i in range(50_000):
+            handles.append(sim.schedule(float(i % 100) + 1.0, lambda: None))
+            if i % 5:
+                handles[-1].cancel()
+            if i % 50 == 0:
+                polled += sim.pending_events
+        sim.run()
+        assert sim.pending_events == 0
+        return sim.events_fired
+
+    result = benchmark(run)
+    assert result == 10_000
+
+
 def bench_suspend_resume_round_trip(benchmark):
     """1000 suspend/resume cycles against one CPU-bound process."""
 

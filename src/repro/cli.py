@@ -50,6 +50,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="base seed (experiments that accept one)")
     run.add_argument("--quick", action="store_true",
                      help="scaled-down axes and 2 runs per point")
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes sharding the experiment grid "
+                     "(results are identical for any value; 0 = all cores)")
     run.add_argument("--out", default=None,
                      help="directory for CSV output (optional)")
     run.add_argument("--no-plots", action="store_true",
@@ -64,6 +67,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="averaged runs per data point (default: paper's 20)")
     rep.add_argument("--quick", action="store_true",
                      help="scaled-down axes and 2 runs per point")
+    rep.add_argument("--workers", type=int, default=1,
+                     help="worker processes sharding each experiment grid "
+                     "(results are identical for any value; 0 = all cores)")
     rep.add_argument("--out", default=None,
                      help="directory for CSV output (optional)")
     rep.add_argument("--no-plots", action="store_true",
@@ -112,6 +118,13 @@ def _quick_kwargs(name: str) -> dict:
         return {"runs": 2, "progress_points": [0.02, 0.5, 0.98]}
     if name == "faults":
         return {"runs": 1}
+    if name == "scale":
+        return {
+            "runs": 1,
+            "cluster_sizes": [25],
+            "scenarios": ["baseline", "burst"],
+            "num_jobs": 15,
+        }
     return {}
 
 
@@ -128,6 +141,38 @@ def _emit_report(report, out: Optional[str], plots: bool) -> None:
             print(f"wrote {path}")
 
 
+def _resolve_workers(requested: int) -> int:
+    """CLI worker count: 0 means one worker per core."""
+    if requested < 0:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"--workers must be >= 0 (got {requested}); 0 means all cores"
+        )
+    if requested == 0:
+        from repro.experiments.runner import default_workers
+
+        return default_workers()
+    return requested
+
+
+def _apply_workers(name: str, runner, kwargs: dict, requested: int) -> None:
+    """Pass --workers to experiments whose runner accepts the knob."""
+    import inspect
+
+    workers = _resolve_workers(requested)
+    if workers <= 1:
+        return
+    accepted = set(inspect.signature(runner.resolve()).parameters)
+    if "workers" in accepted:
+        kwargs["workers"] = workers
+    else:
+        print(
+            f"warning: {name} runs serially; ignoring --workers",
+            file=sys.stderr,
+        )
+
+
 def _cmd_run(args) -> int:
     import inspect
 
@@ -136,6 +181,7 @@ def _cmd_run(args) -> int:
     kwargs = _quick_kwargs(name) if args.quick else {}
     if args.runs is not None:
         kwargs["runs"] = args.runs
+    _apply_workers(name, runner, kwargs, args.workers)
     if args.seed is not None:
         # Experiments name their seed knob base_seed or seed; pick the
         # one the real runner's signature declares.
@@ -170,6 +216,7 @@ def _cmd_reproduce(args) -> int:
             kwargs["runs"] = args.runs
         if name == "fig1":
             kwargs.pop("runs", None)
+        _apply_workers(name, runner, kwargs, args.workers)
         report = runner(**kwargs)
         _emit_report(report, args.out, plots=not args.no_plots)
     return exit_code

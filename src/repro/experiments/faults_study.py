@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 from repro.errors import NotPreemptibleError
 from repro.experiments import params as P
 from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import Cell, run_cells
 from repro.faults.injector import FaultInjector
 from repro.faults.scenarios import build_scenario
 from repro.hadoop.cluster import HadoopCluster
@@ -167,8 +168,15 @@ def run_faults_study(
     base_seed: int = 7000,
     scenarios: Optional[List[str]] = None,
     primitives: Optional[List[str]] = None,
+    workers: int = 1,
 ) -> ExperimentReport:
-    """Makespan and wasted work per fault scenario x preemption primitive."""
+    """Makespan and wasted work per fault scenario x preemption primitive.
+
+    The (scenario x primitive x repetition) grid shards across
+    ``workers`` processes; every cell's seed depends only on its
+    repetition index, so the numbers are identical for any worker
+    count.
+    """
     chosen_scenarios = scenarios or list(DEFAULT_SCENARIOS)
     chosen_primitives = primitives or list(DEFAULT_PRIMITIVES)
     metrics: Dict[str, Dict[str, Dict[str, List[float]]]] = {
@@ -179,12 +187,27 @@ def run_faults_study(
         }
         for s in chosen_scenarios
     }
-    for scenario in chosen_scenarios:
-        for primitive in chosen_primitives:
-            for i in range(runs):
-                out = _run_once(scenario, primitive, base_seed + i)
-                for key, value in out.items():
-                    metrics[scenario][primitive][key].append(value)
+    coords = [
+        (scenario, primitive, i)
+        for scenario in chosen_scenarios
+        for primitive in chosen_primitives
+        for i in range(runs)
+    ]
+    cells = [
+        Cell.make(
+            "repro.experiments.faults_study",
+            "_run_once",
+            scenario=scenario,
+            primitive_name=primitive,
+            seed=base_seed + i,
+        )
+        for scenario, primitive, i in coords
+    ]
+    for (scenario, primitive, _), out in zip(
+        coords, run_cells(cells, workers=workers)
+    ):
+        for key, value in out.items():
+            metrics[scenario][primitive][key].append(value)
 
     report = ExperimentReport(
         experiment_id="faults",

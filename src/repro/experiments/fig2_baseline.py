@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.experiments import params as P
-from repro.experiments.harness import TwoJobResult, sweep_progress
+from repro.experiments.harness import TwoJobResult, sweep_grid
 from repro.experiments.report import ExperimentReport
 from repro.metrics.series import Series
 
@@ -53,19 +53,26 @@ def run_fig2(
     progress_points: Optional[List[float]] = None,
     base_seed: int = 1000,
     heavy: bool = False,
+    workers: int = 1,
 ) -> ExperimentReport:
-    """Regenerate Figure 2 (or Figure 3 when ``heavy=True``)."""
+    """Regenerate Figure 2 (or Figure 3 when ``heavy=True``).
+
+    ``workers`` shards the repetitions of every (primitive, progress)
+    point over processes; results are identical for any value.
+    """
     points = progress_points or P.PAPER_PROGRESS_POINTS
-    results = {
-        primitive: sweep_progress(
-            primitive,
-            progress_points=points,
-            heavy=heavy,
-            runs=runs,
-            base_seed=base_seed,
-        )
-        for primitive in PRIMITIVES
-    }
+    # One flat cell grid for every worker count: with workers=1 the
+    # cells run serially in-process, so there is a single data path to
+    # keep correct (the determinism suite pins it against the
+    # per-primitive sweep_progress helper).
+    results = sweep_grid(
+        PRIMITIVES,
+        progress_points=points,
+        heavy=heavy,
+        runs=runs,
+        base_seed=base_seed,
+        workers=workers,
+    )
     figure = "fig3" if heavy else "fig2"
     title = (
         "worst-case experiments (memory-hungry tasks)"

@@ -28,6 +28,7 @@ def run_fig3(
     runs: int = P.PAPER_RUNS,
     progress_points: Optional[List[float]] = None,
     base_seed: int = 2000,
+    workers: int = 1,
 ) -> ExperimentReport:
     """Regenerate Figure 3 (memory-hungry variant of the sweep)."""
     return run_fig2(
@@ -35,4 +36,5 @@ def run_fig3(
         progress_points=progress_points,
         base_seed=base_seed,
         heavy=True,
+        workers=workers,
     )

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.experiments import params as P
+from repro.experiments.runner import Cell, run_cells
 from repro.hadoop.cluster import HadoopCluster
 from repro.metrics.stats import RunStats, summarize
 from repro.preemption.base import make_primitive
@@ -74,6 +75,7 @@ class TwoJobHarness:
         keep_traces: bool = False,
         node_config=None,
         hadoop_config=None,
+        workers: int = 1,
     ):
         if not 0.0 < progress_at_launch < 1.0:
             raise ConfigurationError("progress_at_launch must be in (0, 1)")
@@ -89,6 +91,7 @@ class TwoJobHarness:
         self.keep_traces = keep_traces
         self.node_config = node_config
         self.hadoop_config = hadoop_config
+        self.workers = workers
         # Overridable for the GC ablation (see experiments.gc_study).
         from repro.hadoop.jvm import GcPolicy
 
@@ -156,9 +159,42 @@ class TwoJobHarness:
 
     # -- aggregation ---------------------------------------------------------------------
 
+    def _cell_params(self) -> dict:
+        """Constructor arguments a worker needs to rebuild this harness
+        (minus seed plumbing; traces cannot cross process boundaries)."""
+        return dict(
+            primitive=self.primitive_name,
+            progress_at_launch=self.progress_at_launch,
+            heavy=self.heavy,
+            tl_footprint=self.tl_footprint,
+            th_footprint=self.th_footprint,
+            node_config=self.node_config,
+            hadoop_config=self.hadoop_config,
+            gc_policy_name=self.gc_policy.name,
+        )
+
     def run(self) -> TwoJobResult:
-        """Average the configured number of seeded repetitions."""
-        results = [self.run_once(self.base_seed + i) for i in range(self.runs)]
+        """Average the configured number of seeded repetitions.
+
+        With ``workers > 1`` the repetitions shard across processes
+        (identical numbers to the serial path: each repetition is a
+        pure function of its seed).  Kept traces pin the run serial --
+        a simulated cluster does not survive pickling.
+        """
+        if self.workers > 1 and not self.keep_traces:
+            params = self._cell_params()
+            cells = [
+                Cell.make(
+                    "repro.experiments.harness",
+                    "_harness_cell",
+                    seed=self.base_seed + i,
+                    **params,
+                )
+                for i in range(self.runs)
+            ]
+            results = run_cells(cells, workers=self.workers)
+        else:
+            results = [self.run_once(self.base_seed + i) for i in range(self.runs)]
         return TwoJobResult(
             primitive=self.primitive_name,
             progress_at_launch=self.progress_at_launch,
@@ -170,12 +206,93 @@ class TwoJobHarness:
         )
 
 
+def _harness_cell(
+    seed: int,
+    primitive: str,
+    progress_at_launch: float,
+    heavy: bool,
+    tl_footprint: int,
+    th_footprint: int,
+    node_config,
+    hadoop_config,
+    gc_policy_name: str,
+) -> SingleRunResult:
+    """One repetition, rebuilt from plain arguments in a worker."""
+    from repro.hadoop.jvm import GcPolicy
+
+    harness = TwoJobHarness(
+        primitive=primitive,
+        progress_at_launch=progress_at_launch,
+        heavy=heavy,
+        tl_footprint=tl_footprint,
+        th_footprint=th_footprint,
+        runs=1,
+        base_seed=seed,
+        node_config=node_config,
+        hadoop_config=hadoop_config,
+    )
+    harness.gc_policy = GcPolicy[gc_policy_name]
+    return harness.run_once(seed)
+
+
+def sweep_grid(
+    primitives,
+    progress_points: List[float],
+    heavy: bool = False,
+    runs: int = P.PAPER_RUNS,
+    base_seed: int = 1000,
+    workers: int = 1,
+) -> Dict[str, Dict[float, TwoJobResult]]:
+    """The whole (primitive x progress x repetition) microbenchmark
+    grid as ONE flat cell list through ONE worker pool.
+
+    Numerically identical to per-primitive :func:`sweep_progress` calls
+    (each cell is the same pure function of its seed), but the pool is
+    created once and late points of one primitive overlap with early
+    points of the next instead of pausing at every axis boundary.
+    """
+    coords = [(prim, r) for prim in primitives for r in progress_points]
+    cells: List[Cell] = []
+    for prim, r in coords:
+        params = TwoJobHarness(
+            primitive=prim,
+            progress_at_launch=r,
+            heavy=heavy,
+            runs=runs,
+            base_seed=base_seed,
+        )._cell_params()
+        for i in range(runs):
+            cells.append(
+                Cell.make(
+                    "repro.experiments.harness",
+                    "_harness_cell",
+                    seed=base_seed + i,
+                    **params,
+                )
+            )
+    flat = run_cells(cells, workers=workers)
+    out: Dict[str, Dict[float, TwoJobResult]] = {prim: {} for prim in primitives}
+    for index, (prim, r) in enumerate(coords):
+        chunk = flat[index * runs:(index + 1) * runs]
+        out[prim][r] = TwoJobResult(
+            primitive=prim,
+            progress_at_launch=r,
+            sojourn_th=summarize([c.sojourn_th for c in chunk]),
+            makespan=summarize([c.makespan for c in chunk]),
+            tl_paged_bytes=summarize([c.tl_paged_bytes for c in chunk]),
+            tl_wasted_seconds=summarize([c.tl_wasted_seconds for c in chunk]),
+            runs=list(chunk),
+        )
+    return out
+
+
 def sweep_progress(
     primitive: str,
     progress_points: Optional[List[float]] = None,
     heavy: bool = False,
     runs: int = P.PAPER_RUNS,
     base_seed: int = 1000,
+    workers: int = 1,
 ) -> Dict[float, TwoJobResult]:
     """Run the harness across the paper's r-axis for one primitive."""
     points = progress_points or P.PAPER_PROGRESS_POINTS
@@ -187,6 +304,7 @@ def sweep_progress(
             heavy=heavy,
             runs=runs,
             base_seed=base_seed,
+            workers=workers,
         )
         out[r] = harness.run()
     return out

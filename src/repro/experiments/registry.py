@@ -55,6 +55,7 @@ EXPERIMENTS: Dict[str, LazyRunner] = {
         "repro.experiments.adaptive_study", "run_adaptive_study"
     ),
     "faults": LazyRunner("repro.experiments.faults_study", "run_faults_study"),
+    "scale": LazyRunner("repro.experiments.scale_study", "run_scale_study"),
 }
 
 #: aliases accepted by the CLI
@@ -72,6 +73,8 @@ ALIASES = {
     "e7": "hfsp",
     "e8": "faults",
     "faults_study": "faults",
+    "e9": "scale",
+    "scale_study": "scale",
 }
 
 

@@ -122,9 +122,22 @@ class HadoopCluster:
         self.start()
         deadline = self.sim.now + timeout
 
+        # The wait list shrinks as jobs finish, so the per-event check
+        # is O(still-running) rather than O(all jobs ever submitted).
+        # When no explicit list is given, the pool is refreshed after
+        # draining so jobs submitted by scheduled events are picked up.
+        pending: List[JobInProgress] = []
+
         def outstanding() -> bool:
-            watched = jobs if jobs is not None else list(self.jobtracker.jobs.values())
-            return any(not job.state.terminal for job in watched)
+            nonlocal pending
+            pending = [job for job in pending if not job.state.terminal]
+            if pending:
+                return True
+            if jobs is not None:
+                pending = [job for job in jobs if not job.state.terminal]
+            else:
+                pending = self.jobtracker.running_jobs()
+            return bool(pending)
 
         while outstanding():
             if self.sim.now >= deadline:

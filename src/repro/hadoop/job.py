@@ -76,6 +76,10 @@ class JobInProgress:
         self.finish_time: Optional[float] = None
         #: aggregated counters of all terminal attempts
         self.counters = Counters()
+        #: completed work tips, maintained by the tips themselves so
+        #: :attr:`work_complete` is O(1) per heartbeat instead of a
+        #: scan of every tip
+        self._completed_work_tips = 0
 
     # -- lookup --------------------------------------------------------------
 
@@ -112,10 +116,15 @@ class JobInProgress:
             and self.work_complete
         )
 
+    def note_work_tip_completed(self, delta: int) -> None:
+        """A work tip completed (+1) or had its output invalidated
+        (-1); called from the tip state machine."""
+        self._completed_work_tips += delta
+
     @property
     def work_complete(self) -> bool:
         """True when every work tip succeeded."""
-        return all(t.complete for t in self.tips)
+        return self._completed_work_tips >= len(self.tips)
 
     def schedulable_tips(self) -> List[TaskInProgress]:
         """Work tips the scheduler may launch right now."""

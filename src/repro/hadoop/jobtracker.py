@@ -72,6 +72,14 @@ class JobTracker:
         self.jobs: Dict[str, JobInProgress] = {}
         self.trackers: Dict[str, "object"] = {}
         self._tips: Dict[str, TaskInProgress] = {}
+        #: host -> {tip_id: tip} for tips whose active attempt runs
+        #: there; maintained through the TIPs' tracker observers so
+        #: heartbeat handling is O(tips on that host), not O(all tips)
+        self._tips_by_tracker: Dict[str, Dict[str, TaskInProgress]] = {}
+        #: submission-ordered index of not-yet-terminal jobs; pruned
+        #: lazily by :meth:`running_jobs` so the per-heartbeat job scans
+        #: shrink as the workload drains instead of growing forever
+        self._live_jobs: Dict[str, JobInProgress] = {}
         self._descriptors: Dict[str, AttemptDescriptor] = {}
         self._job_counter = itertools.count(1)
         self._completion_callbacks: List[Callable[[JobInProgress], None]] = []
@@ -121,8 +129,10 @@ class JobTracker:
             run_setup_cleanup=self.config.run_job_setup_cleanup,
         )
         self.jobs[job_id] = job
+        self._live_jobs[job_id] = job
         for tip in job.all_tips():
             self._tips[tip.tip_id] = tip
+            tip.tracker_observer = self._on_tip_tracker_change
         self.trace("jt.submit", job=job_id, name=spec.name)
         self.scheduler.job_added(job)
         return job
@@ -394,7 +404,22 @@ class JobTracker:
             actions.append(self._make_launch(tip, report.tracker))
 
         # 4. Leftover slots may host backup attempts for stragglers.
+        #    Slots the scheduler just reserved for resumes (step 3 may
+        #    request_resume; the directive only rides the *next*
+        #    heartbeat) are subtracted first, or the speculator would
+        #    book them and starve the resume behind its backups.
         if self.speculator is not None:
+            for tip in self._tips_on_tracker(report.tracker):
+                if (
+                    tip.state is TipState.MUST_RESUME
+                    and tip.directive_sent_at is None
+                ):
+                    if tip.kind is TaskKind.REDUCE:
+                        free_reduce -= 1
+                    else:
+                        free_map -= 1
+            free_map = max(free_map, 0)
+            free_reduce = max(free_reduce, 0)
             free_map, free_reduce = self.speculator.fill_slots(
                 report.tracker, actions, free_map, free_reduce
             )
@@ -648,14 +673,32 @@ class JobTracker:
             return True
         return now - tip.directive_sent_at >= self.config.suspend_resend_timeout
 
+    def _on_tip_tracker_change(
+        self,
+        tip: TaskInProgress,
+        old_host: Optional[str],
+        new_host: Optional[str],
+    ) -> None:
+        """Keep the per-tracker tip index exact across every rebind
+        (launch, requeue, speculative promotion, tracker loss)."""
+        if old_host is not None:
+            bucket = self._tips_by_tracker.get(old_host)
+            if bucket is not None:
+                bucket.pop(tip.tip_id, None)
+        if new_host is not None:
+            self._tips_by_tracker.setdefault(new_host, {})[tip.tip_id] = tip
+
     def _tips_on_tracker(self, tracker: str) -> List[TaskInProgress]:
-        return [t for t in self._tips.values() if t.tracker == tracker]
+        bucket = self._tips_by_tracker.get(tracker)
+        if not bucket:
+            return []
+        return list(bucket.values())
 
     def _aux_launches(
         self, report: HeartbeatReport, actions: List[TrackerAction], free_map: int
     ) -> int:
         """Launch job setup/cleanup tasks (highest priority)."""
-        for job in self.jobs.values():
+        for job in self.running_jobs():
             if free_map <= 0:
                 break
             if job.setup_pending:
@@ -709,8 +752,20 @@ class JobTracker:
     # -- introspection -------------------------------------------------------------------------------
 
     def running_jobs(self) -> List[JobInProgress]:
-        """Jobs not yet terminal, submission order."""
-        return [j for j in self.jobs.values() if not j.state.terminal]
+        """Jobs not yet terminal, submission order.
+
+        Backed by the live-jobs index: entries that turned terminal
+        since the last call are evicted here, so repeated calls cost
+        O(live jobs) however many jobs the tracker has ever seen.
+        """
+        finished = [
+            job_id
+            for job_id, job in self._live_jobs.items()
+            if job.state.terminal
+        ]
+        for job_id in finished:
+            del self._live_jobs[job_id]
+        return list(self._live_jobs.values())
 
     def trace(self, label: str, **fields) -> None:
         """Record a JobTracker trace event."""

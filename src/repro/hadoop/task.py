@@ -42,9 +42,17 @@ class TaskInProgress:
         self.index = index
         self.spec = spec
         self.role = role
+        #: single-core seconds of the full task body (static: derived
+        #: from the immutable base spec); schedulers read this on every
+        #: heartbeat, so it is computed once
+        self.full_seconds = spec.input_bytes / spec.parse_rate
         self.tip_id = f"task_{job.job_id}_{role.value}_{index:06d}"
         self.state = TipState.UNASSIGNED
-        self.tracker: Optional[str] = None
+        self._tracker: Optional[str] = None
+        #: callback(tip, old_host, new_host) fired on every tracker
+        #: (re)binding; the JobTracker uses it to keep its per-tracker
+        #: tip index exact without rescanning all tips per heartbeat
+        self.tracker_observer = None
         self.active_attempt_id: Optional[str] = None
         self.attempt_ids: List[str] = []
         self.next_attempt_number = 0
@@ -75,6 +83,22 @@ class TaskInProgress:
         #: when the JobTracker last piggybacked it on a heartbeat
         self.directive_sent_at: Optional[float] = None
 
+    # -- tracker binding --------------------------------------------------------
+
+    @property
+    def tracker(self) -> Optional[str]:
+        """Host currently running this TIP's active attempt (if any)."""
+        return self._tracker
+
+    @tracker.setter
+    def tracker(self, host: Optional[str]) -> None:
+        old = self._tracker
+        if host == old:
+            return
+        self._tracker = host
+        if self.tracker_observer is not None:
+            self.tracker_observer(self, old, host)
+
     # -- state machine ----------------------------------------------------------
 
     def set_state(self, new: TipState) -> None:
@@ -94,7 +118,7 @@ class TaskInProgress:
         (kills, failures, node losses, speculation losers) all charge
         through here.
         """
-        return progress * self.spec.input_bytes / self.spec.parse_rate
+        return progress * self.full_seconds
 
     @property
     def is_aux(self) -> bool:
@@ -132,6 +156,8 @@ class TaskInProgress:
         self.progress = 1.0
         self.finished_at = now
         self.active_attempt_id = None
+        if self.role in (TipRole.MAP, TipRole.REDUCE):
+            self.job.note_work_tip_completed(+1)
 
     # -- speculative execution ------------------------------------------------------
 
@@ -233,6 +259,8 @@ class TaskInProgress:
         self.active_attempt_id = None
         self.tracker = None
         self.set_state(TipState.UNASSIGNED)
+        if self.role in (TipRole.MAP, TipRole.REDUCE):
+            self.job.note_work_tip_completed(-1)
 
     # -- preemption-side transitions -----------------------------------------------
 

@@ -67,11 +67,7 @@ class TaskScheduler(abc.ABC):
 
     def _candidate_jobs(self) -> List[JobInProgress]:
         """Running jobs in submission order."""
-        return [
-            job
-            for job in self.jobtracker.jobs.values()
-            if not job.state.terminal
-        ]
+        return self.jobtracker.running_jobs()
 
     @staticmethod
     def job_pending_demand(job: JobInProgress) -> int:

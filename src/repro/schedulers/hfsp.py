@@ -55,8 +55,9 @@ class HfspScheduler(TaskScheduler):
         """Serial seconds of work left in the job."""
         remaining = 0.0
         for tip in job.tips:
-            task_seconds = tip.spec.input_bytes / tip.spec.parse_rate
-            remaining += task_seconds * (1.0 - min(1.0, tip.progress))
+            progress = tip.progress
+            if progress < 1.0:
+                remaining += tip.full_seconds * (1.0 - progress)
         return remaining
 
     def ordered_jobs(self) -> List[JobInProgress]:
@@ -71,10 +72,33 @@ class HfspScheduler(TaskScheduler):
     def assign_tasks(
         self, tracker: str, free_map_slots: int, free_reduce_slots: int
     ) -> List[TaskInProgress]:
+        suspended_here = self._suspended_on(tracker)
         assigned: List[TaskInProgress] = []
         for job in self.ordered_jobs():
             if free_map_slots <= 0 and free_reduce_slots <= 0:
                 break
+            # A job first gets its own suspended tips back (resume is
+            # cheaper than a fresh launch), then new attempts.  Doing
+            # this inside the SRPT loop keeps the size order honest: a
+            # bigger job's suspended tip never steals the slot a
+            # smaller job's work is queued for.  Riding the host's own
+            # heartbeat (suspended images are host-bound) also
+            # guarantees survivors resume even when no further
+            # job-completion event ever fires.
+            for tip in suspended_here.get(job.job_id, ()):
+                is_map = tip.kind.value == "map"
+                free = free_map_slots if is_map else free_reduce_slots
+                if free <= 0 or tip.state is not TipState.SUSPENDED:
+                    continue
+                try:
+                    self.primitive.restore(tip)
+                except NotPreemptibleError:  # pragma: no cover - defensive
+                    continue
+                self._suspended.remove(tip)
+                if is_map:
+                    free_map_slots -= 1
+                else:
+                    free_reduce_slots -= 1
             chosen = self._take_schedulable(job, free_map_slots, free_reduce_slots)
             for tip in chosen:
                 if tip.kind.value == "map":
@@ -83,6 +107,30 @@ class HfspScheduler(TaskScheduler):
                     free_reduce_slots -= 1
             assigned.extend(chosen)
         return assigned
+
+    def _suspended_on(self, tracker: str) -> dict:
+        """Still-suspended tips bound to ``tracker``, grouped by job.
+
+        Stale entries (tips that resumed, finished or died elsewhere)
+        are pruned here so the watch list cannot grow without bound;
+        tips whose stop directive is still in flight (MUST_SUSPEND)
+        stay tracked but are not offered slots yet.
+        """
+        if self.primitive is None or not self._suspended:
+            return {}
+        live = [
+            t
+            for t in self._suspended
+            if t.state in (TipState.SUSPENDED, TipState.MUST_SUSPEND)
+        ]
+        self._suspended = live
+        by_job: dict = {}
+        for tip in live:
+            if tip.state is TipState.SUSPENDED and tip.tracker == tracker:
+                by_job.setdefault(tip.job.job_id, []).append(tip)
+        for tips in by_job.values():
+            tips.sort(key=lambda t: t.tip_id)
+        return by_job
 
     # -- preemption on arrival -----------------------------------------------------------
 
@@ -98,17 +146,33 @@ class HfspScheduler(TaskScheduler):
         if self.primitive is None:
             return
         still: List[TaskInProgress] = []
-        restored = 0
+        restored = {"map": 0, "reduce": 0}
         for tip in sorted(
             self._suspended,
             key=lambda t: (self.remaining_size(t.job), t.tip_id),
         ):
+            if tip.state is TipState.MUST_SUSPEND:
+                # The stop directive is still in flight; keep tracking
+                # the tip or it would stay suspended forever once the
+                # directive lands.
+                still.append(tip)
+                continue
             if tip.state is not TipState.SUSPENDED:
                 continue
             tracker = self.jobtracker.trackers.get(tip.tracker or "")
-            if tracker is not None and restored < 1 + tracker.free_map_slots:
+            kind = tip.kind.value
+            free = 0
+            if tracker is not None:
+                free = (
+                    tracker.free_reduce_slots
+                    if kind == "reduce"
+                    else tracker.free_map_slots
+                )
+            # "1 +": the completing job's own slot frees momentarily,
+            # so one restore beyond the currently-free count is safe.
+            if tracker is not None and restored[kind] < 1 + free:
                 self.primitive.restore(tip)
-                restored += 1
+                restored[kind] += 1
             else:
                 still.append(tip)
         self._suspended = still

@@ -38,6 +38,10 @@ class Simulation:
         Useful in tests and when rendering Figure 1 style schedules.
     """
 
+    #: heaps smaller than this are never compacted (the rebuild would
+    #: cost more than the dead entries ever will)
+    COMPACTION_MIN_SIZE = 64
+
     def __init__(self, seed: int = 0, trace: bool = False):
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
@@ -47,6 +51,13 @@ class Simulation:
         self._running = False
         self._stopped = False
         self._events_fired = 0
+        #: cancelled handles still sitting in the heap; kept exact so
+        #: :attr:`pending_events` is O(1) instead of an O(n) scan
+        self._cancelled_in_heap = 0
+        self._compactions = 0
+        #: bound once: attribute access on self would otherwise build a
+        #: fresh bound-method object per scheduled event
+        self._on_cancel_hook = self._note_cancelled
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -84,6 +95,7 @@ class Simulation:
                 f"cannot schedule at t={time:.6f} (now={self.now:.6f})"
             )
         handle = EventHandle(time, self._seq, callback, args, label=label)
+        handle._on_cancel = self._on_cancel_hook
         self._seq += 1
         heapq.heappush(self._heap, handle)
         return handle
@@ -109,6 +121,7 @@ class Simulation:
         while self._heap:
             handle = heapq.heappop(self._heap)
             if handle.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             if handle.time < self.now:  # pragma: no cover - defensive
                 raise SimulationError(
@@ -160,14 +173,50 @@ class Simulation:
     def _peek_time(self) -> float:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_in_heap -= 1
         if not self._heap:
             return float("inf")
         return self._heap[0].time
 
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self, handle: EventHandle) -> None:
+        """Called by :meth:`EventHandle.cancel`.  Handles stay in the
+        heap when cancelled, so the counter tracks the dead weight; once
+        more than half the heap is dead it is rebuilt without the
+        cancelled entries (heap order is preserved by re-heapifying on
+        the same ``(time, seq)`` keys)."""
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= self.COMPACTION_MIN_SIZE
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled handle from the heap in one pass."""
+        self._heap = [h for h in self._heap if not h.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
+
     @property
     def pending_events(self) -> int:
         """Number of scheduled (non-cancelled) events still in the heap."""
-        return sum(1 for handle in self._heap if not handle.cancelled)
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, cancelled entries included (introspection
+        for the compaction tests and benchmarks)."""
+        return len(self._heap)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap was rebuilt to shed cancellations."""
+        return self._compactions
 
     @property
     def events_fired(self) -> int:

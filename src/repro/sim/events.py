@@ -29,7 +29,7 @@ class EventHandle:
     inspects their state.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "label", "state")
+    __slots__ = ("time", "seq", "callback", "args", "label", "state", "_on_cancel")
 
     def __init__(
         self,
@@ -45,6 +45,9 @@ class EventHandle:
         self.args = args
         self.label = label or getattr(callback, "__name__", "event")
         self.state = EventState.PENDING
+        #: engine bookkeeping hook; lets the owning Simulation keep its
+        #: cancelled-event counter exact without scanning the heap
+        self._on_cancel: Any = None
 
     # Heap ordering ------------------------------------------------------
 
@@ -82,6 +85,8 @@ class EventHandle:
         """
         if self.state is EventState.PENDING:
             self.state = EventState.CANCELLED
+            if self._on_cancel is not None:
+                self._on_cancel(self)
             return True
         return False
 

@@ -9,6 +9,7 @@ these records, and tests assert on them.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -92,6 +93,29 @@ class TraceLog:
             if rec.matches(label_prefix, **field_filters):
                 return rec
         return None
+
+    def digest(self) -> str:
+        """SHA-256 over every stored record (time, label, fields).
+
+        ``repr(float)`` round-trips exactly in Python 3, so two logs
+        digest equal iff their records are bit-identical -- the
+        determinism tests compare whole runs through this one value.
+        """
+        h = hashlib.sha256()
+        for rec in self._records:
+            # Separator bytes between every component: without them
+            # distinct records could concatenate to the same byte
+            # stream (e.g. time '1.0' + label '5x' vs '1.05' + 'x').
+            h.update(repr(rec.time).encode("utf-8"))
+            h.update(b"\x1f")
+            h.update(rec.label.encode("utf-8"))
+            for key in sorted(rec.fields):
+                h.update(b"\x1f")
+                h.update(key.encode("utf-8"))
+                h.update(b"\x1e")
+                h.update(repr(rec.fields[key]).encode("utf-8"))
+            h.update(b"\x00")
+        return h.hexdigest()
 
     def render(self, limit: Optional[int] = None) -> str:
         """Human-readable dump of the last ``limit`` records."""

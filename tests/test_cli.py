@@ -15,6 +15,17 @@ class TestList:
             assert name in out
 
 
+class TestWorkers:
+    def test_negative_workers_rejected(self, capsys):
+        assert main(["run", "fig1", "--workers", "-1"]) == 1
+        assert "--workers must be >= 0" in capsys.readouterr().err
+
+    def test_serial_experiment_warns_on_workers(self, capsys):
+        # fig1 takes no workers kwarg; the flag is ignored with a note.
+        assert main(["run", "fig1", "--workers", "2", "--no-plots"]) == 0
+        assert "ignoring --workers" in capsys.readouterr().err
+
+
 class TestSchedule:
     def test_schedule_suspend(self, capsys):
         assert main(["schedule", "--primitive", "suspend", "--progress", "50"]) == 0

@@ -1,0 +1,142 @@
+"""Golden-trace determinism: same seed => identical runs.
+
+Every experiment cell in this repository must be a pure function of
+its arguments: two executions with the same seed produce the same
+:class:`~repro.sim.trace.TraceLog` digest and the same metric values,
+in the same process, across processes, and regardless of how many
+workers the grid is sharded over.  These tests are the contract the
+parallel runner's bit-identity guarantee rests on.
+"""
+
+import pytest
+
+from repro.experiments.faults_study import _run_once as faults_cell
+from repro.experiments.harness import TwoJobHarness
+from repro.experiments.scale_study import _run_once as scale_cell
+from repro.experiments.scale_study import run_scale_study
+from tests.conftest import quick_cluster
+from repro.workloads.jobspec import JobSpec, TaskSpec
+from repro.units import MB
+
+
+def tracing_run(seed: int):
+    """A small traced cluster run used for digest comparisons.
+
+    Jitter is on so the run actually consumes seeded randomness --
+    with zero jitter every seed would (correctly) trace identically.
+    """
+    cluster = quick_cluster(num_nodes=2, seed=seed, task_time_jitter=0.05)
+    cluster.submit_job(
+        JobSpec(
+            name="d",
+            tasks=[
+                TaskSpec(input_bytes=35 * MB, parse_rate=7 * MB, name=f"t{i}")
+                for i in range(3)
+            ],
+        )
+    )
+    cluster.run_until_jobs_complete(timeout=3600.0)
+    return cluster
+
+
+class TestTraceDigest:
+    def test_same_seed_same_digest(self):
+        a = tracing_run(11)
+        b = tracing_run(11)
+        assert len(a.sim.trace_log) > 50
+        assert a.sim.trace_log.digest() == b.sim.trace_log.digest()
+
+    def test_different_seed_different_digest(self):
+        assert (
+            tracing_run(11).sim.trace_log.digest()
+            != tracing_run(12).sim.trace_log.digest()
+        )
+
+    def test_digest_sees_field_values(self):
+        a = tracing_run(11).sim.trace_log
+        digest_before = a.digest()
+        a.record(0.0, "extra", detail=1)
+        assert a.digest() != digest_before
+
+
+class TestFig2Determinism:
+    def test_harness_cell_repeatable(self):
+        first = TwoJobHarness("suspend", 0.5, runs=1, keep_traces=True).run_once(77)
+        second = TwoJobHarness("suspend", 0.5, runs=1, keep_traces=True).run_once(77)
+        assert first.sojourn_th == second.sojourn_th
+        assert first.makespan == second.makespan
+        assert first.tl_paged_bytes == second.tl_paged_bytes
+        assert (
+            first.trace_cluster.sim.trace_log.digest()
+            == second.trace_cluster.sim.trace_log.digest()
+        )
+
+    def test_serial_equals_parallel(self):
+        serial = TwoJobHarness("kill", 0.4, runs=2, workers=1).run()
+        parallel = TwoJobHarness("kill", 0.4, runs=2, workers=2).run()
+        assert [r.sojourn_th for r in serial.runs] == [
+            r.sojourn_th for r in parallel.runs
+        ]
+        assert serial.makespan.mean == parallel.makespan.mean
+        assert serial.tl_paged_bytes.mean == parallel.tl_paged_bytes.mean
+
+    @pytest.mark.integration
+    def test_flat_grid_equals_per_primitive_sweeps(self):
+        # fig2's one-pool grid path must reproduce the serial sweeps.
+        from repro.experiments.harness import sweep_grid, sweep_progress
+
+        points = [0.3, 0.7]
+        flat = sweep_grid(
+            ["wait", "kill"], progress_points=points, runs=2, workers=2
+        )
+        for primitive in ("wait", "kill"):
+            serial = sweep_progress(
+                primitive, progress_points=points, runs=2
+            )
+            for r in points:
+                assert flat[primitive][r].sojourn_th.mean == (
+                    serial[r].sojourn_th.mean
+                )
+                assert flat[primitive][r].makespan.mean == (
+                    serial[r].makespan.mean
+                )
+
+
+class TestFaultsDeterminism:
+    def test_cell_repeatable(self):
+        first = faults_cell("node-crash", "kill", 4242)
+        second = faults_cell("node-crash", "kill", 4242)
+        assert first == second
+
+    @pytest.mark.integration
+    def test_serial_equals_parallel(self):
+        from repro.experiments.faults_study import run_faults_study
+
+        kwargs = dict(runs=1, scenarios=["transient-failure"],
+                      primitives=["kill", "suspend"])
+        serial = run_faults_study(workers=1, **kwargs)
+        parallel = run_faults_study(workers=2, **kwargs)
+        assert serial.extras["metrics"] == parallel.extras["metrics"]
+        assert serial.render() == parallel.render()
+
+
+class TestScaleDeterminism:
+    CELL = dict(scenario="baseline", primitive_name="kill",
+                trackers=5, num_jobs=6, seed=31337)
+
+    def test_cell_repeatable(self):
+        assert scale_cell(**self.CELL) == scale_cell(**self.CELL)
+
+    @pytest.mark.integration
+    def test_serial_equals_parallel_byte_identical(self):
+        kwargs = dict(
+            runs=1,
+            cluster_sizes=[5],
+            scenarios=["baseline", "burst"],
+            primitives=["wait", "suspend"],
+            num_jobs=6,
+        )
+        serial = run_scale_study(workers=1, **kwargs)
+        parallel = run_scale_study(workers=2, **kwargs)
+        assert serial.extras["digest"] == parallel.extras["digest"]
+        assert serial.render().encode() == parallel.render().encode()

@@ -152,6 +152,7 @@ class TestRegistry:
             "gc",
             "adaptive",
             "faults",
+            "scale",
         }
 
     def test_aliases(self):

@@ -1,0 +1,91 @@
+"""The parallel experiment runner: sharding, seeds, ordering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import (
+    Cell,
+    default_workers,
+    derive_seed,
+    execute_cell,
+    run_cells,
+)
+
+
+def probe_cell(seed: int, scale: float = 1.0) -> dict:
+    """Deterministic toy cell; importable from worker processes."""
+    return {"seed": seed, "value": seed * scale}
+
+
+def failing_cell(seed: int) -> None:
+    raise ValueError(f"cell {seed} exploded")
+
+
+class TestDeriveSeed:
+    def test_stable_golden_value(self):
+        # Pinned: if this changes, every recorded experiment digest
+        # silently shifts meaning.
+        assert derive_seed(9000, "scale", "baseline", 25, "suspend", 0) == (
+            2639974939052086021
+        )
+
+    def test_coordinates_matter_worker_count_does_not(self):
+        a = derive_seed(1, "s", 25, "kill", 0)
+        b = derive_seed(1, "s", 25, "kill", 1)
+        c = derive_seed(1, "s", 100, "kill", 0)
+        assert len({a, b, c}) == 3
+        # No argument anywhere encodes worker count or order: the same
+        # coordinates always map to the same seed.
+        assert a == derive_seed(1, "s", 25, "kill", 0)
+
+    def test_seed_fits_in_63_bits(self):
+        for rep in range(50):
+            seed = derive_seed(7, "x", rep)
+            assert 0 <= seed < 2**63
+
+
+class TestCell:
+    def test_make_sorts_params(self):
+        cell = Cell.make("m", "f", zebra=1, alpha=2)
+        assert cell.params == (("alpha", 2), ("zebra", 1))
+        assert cell.kwargs == {"alpha": 2, "zebra": 1}
+
+    def test_execute_by_module_path(self):
+        cell = Cell.make("tests.test_runner", "probe_cell", seed=4, scale=2.0)
+        assert execute_cell(cell) == {"seed": 4, "value": 8.0}
+
+
+class TestRunCells:
+    def cells(self, n=4):
+        return [
+            Cell.make("tests.test_runner", "probe_cell", seed=i) for i in range(n)
+        ]
+
+    def test_serial_order_preserved(self):
+        results = run_cells(self.cells(), workers=1)
+        assert [r["seed"] for r in results] == [0, 1, 2, 3]
+
+    def test_parallel_identical_to_serial(self):
+        serial = run_cells(self.cells(6), workers=1)
+        parallel = run_cells(self.cells(6), workers=3)
+        assert serial == parallel
+
+    def test_workers_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_cells(self.cells(), workers=0)
+
+    def test_empty_cells(self):
+        assert run_cells([], workers=4) == []
+
+    def test_single_cell_skips_pool(self):
+        assert run_cells(self.cells(1), workers=8)[0]["seed"] == 0
+
+    def test_worker_exception_propagates(self):
+        bad = [Cell.make("tests.test_runner", "failing_cell", seed=1)]
+        with pytest.raises(ValueError, match="exploded"):
+            run_cells(bad, workers=1)
+        with pytest.raises(ValueError, match="exploded"):
+            run_cells(bad + self.cells(2), workers=2)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1

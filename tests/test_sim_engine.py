@@ -101,6 +101,170 @@ class TestCancellation:
         assert keep.pending
 
 
+class TestCancellationCounter:
+    """pending_events is a counter now; it must stay exact under heavy
+    cancellation, compaction, and mixed pop/cancel interleavings."""
+
+    def test_heavy_cancellation_count_exact(self):
+        sim = Simulation()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(500)]
+        for i, handle in enumerate(handles):
+            if i % 3:
+                handle.cancel()
+        expected = sum(1 for i in range(500) if not i % 3)
+        assert sim.pending_events == expected
+        fired = 0
+        while sim.step():
+            fired += 1
+        assert fired == expected
+        assert sim.pending_events == 0
+
+    def test_compaction_triggers_and_preserves_order(self):
+        sim = Simulation()
+        fired = []
+        keep = []
+        for i in range(200):
+            handle = sim.schedule(float(200 - i), fired.append, 200 - i)
+            if i % 2:
+                keep.append(200 - i)
+            else:
+                handle.cancel()
+        assert sim.compactions >= 1
+        # Compaction shed dead weight: the raw heap holds the live
+        # events plus only the cancellations since the last rebuild.
+        assert sim.pending_events == len(keep)
+        assert sim.heap_size < 200
+        sim.run()
+        assert fired == sorted(keep)
+
+    def test_no_compaction_below_minimum_heap(self):
+        sim = Simulation()
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.compactions == 0
+        assert sim.pending_events == 0
+        assert sim.heap_size == 10  # lazily discarded on pop
+        sim.run()
+        assert sim.heap_size == 0
+
+    def test_counter_exact_after_peek_discards(self):
+        sim = Simulation()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        # _peek_time pops the cancelled head; the counter must follow.
+        sim.run(until=0.5)
+        assert sim.pending_events == 1
+        assert not sim.idle
+
+    def test_cancel_during_callback_counted(self):
+        sim = Simulation()
+        victims = [sim.schedule(5.0, lambda: None) for _ in range(100)]
+
+        def cancel_all():
+            for victim in victims:
+                victim.cancel()
+
+        sim.schedule(1.0, cancel_all)
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_fired == 1
+
+    def test_pending_events_is_constant_time_shape(self):
+        # Not a timing assert: just pin that the property no longer
+        # depends on scanning (heap_size >> pending_events is fine).
+        sim = Simulation()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(63)]
+        for handle in handles[1:]:
+            handle.cancel()
+        assert sim.heap_size == 63
+        assert sim.pending_events == 1
+
+
+class TestEngineInvariants:
+    """The clock/ordering contracts every model layer relies on."""
+
+    def test_now_monotonic_across_chained_events(self):
+        sim = Simulation(seed=3)
+        times = []
+        rng = sim.rng.stream("t")
+
+        def tick(depth):
+            times.append(sim.now)
+            if depth < 200:
+                sim.schedule(rng.uniform(0.0, 2.0), tick, depth + 1)
+
+        sim.schedule(0.0, tick, 0)
+        sim.run()
+        assert times == sorted(times)
+        assert len(times) == 201
+
+    def test_same_instant_fifo_includes_mid_run_schedules(self):
+        sim = Simulation()
+        fired = []
+
+        def first():
+            fired.append("first")
+            # Scheduled *during* the instant: still runs at t=1, after
+            # everything already queued for t=1.
+            sim.schedule(0.0, fired.append, "late")
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, fired.append, "second")
+        sim.run()
+        assert fired == ["first", "second", "late"]
+        assert sim.now == 1.0
+
+    def test_run_until_advances_clock_with_empty_heap(self):
+        sim = Simulation()
+        sim.run(until=7.5)
+        assert sim.now == 7.5
+        assert sim.events_fired == 0
+
+    def test_run_until_exact_boundary_fires_event_at_until(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(2.0, fired.append, "at-boundary")
+        sim.schedule(2.0000001, fired.append, "past")
+        sim.run(until=2.0)
+        assert fired == ["at-boundary"]
+        assert sim.now == 2.0
+
+    def test_repeated_run_until_is_a_paced_replay(self):
+        sim = Simulation()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            sim.schedule(t, fired.append, t)
+        for checkpoint in (0.5, 1.5, 2.5, 5.0):
+            sim.run(until=checkpoint)
+            assert sim.now == checkpoint
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_stop_mid_run_keeps_pending_and_resumes(self):
+        sim = Simulation()
+        fired = []
+
+        def stopper():
+            fired.append("stop")
+            sim.stop()
+
+        sim.schedule(1.0, stopper)
+        sim.schedule(2.0, fired.append, "after")
+        sim.run()
+        assert fired == ["stop"]
+        assert sim.pending_events == 1
+        assert sim.now == 1.0
+        sim.run()
+        assert fired == ["stop", "after"]
+
+    def test_stop_does_not_advance_clock_to_until(self):
+        sim = Simulation()
+        sim.schedule(1.0, sim.stop)
+        sim.run(until=100.0)
+        assert sim.now == 1.0
+
+
 class TestRunControl:
     def test_run_until(self):
         sim = Simulation()
