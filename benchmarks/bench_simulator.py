@@ -102,3 +102,73 @@ def bench_heavy_two_job_simulation(benchmark):
 
     result = benchmark(run)
     assert result.tl_paged_bytes > 0
+
+
+def bench_resource_contention_churn(benchmark):
+    """The virtual-time core's headline pattern: one shared resource,
+    hundreds of concurrent claims, constant pause/resume/speed churn.
+
+    The eager model cancelled and re-armed every claim's completion
+    event on every state change (O(active claims) each); the
+    virtual-time model does O(log n) heap work and moves one armed
+    event.  Event counters are asserted so the bench doubles as a
+    regression tripwire for the O(1)-engine-traffic contract.
+    """
+
+    def run():
+        sim = Simulation()
+        from repro.osmodel.resources import RateResource
+
+        res = RateResource(sim, capacity=100.0)
+        claims = [res.submit(1e8 + i, lambda: None) for i in range(400)]
+        for cycle in range(1000):
+            victim = claims[(cycle * 37) % len(claims)]
+            res.pause(victim)
+            res.activate(victim)
+            if cycle % 50 == 0:
+                res.set_speed_factor(0.5 if cycle % 100 == 0 else 1.0)
+        # One armed event serves all 400 claims.
+        assert sim.pending_events == 1
+        return sim.events_scheduled + sim.reschedules
+
+    engine_ops = benchmark(run)
+    # ~4 engine ops per churn cycle, NOT ~400: the O(active claims)
+    # blow-up would push this into the hundreds of thousands.
+    assert engine_ops < 10_000
+
+
+def bench_hot_class_allocation(benchmark):
+    """Allocation throughput of the __slots__-bearing hot classes.
+
+    Scale replays construct one WorkPlan (4-6 WorkItems), one Claim
+    and a handful of EventHandles per task attempt; this bench tracks
+    the construction cost (and, implicitly, the footprint win) of the
+    slotted versions.
+    """
+    from repro.osmodel.work import (
+        CpuWorkItem,
+        DiskWriteItem,
+        MemAllocItem,
+        MemTouchItem,
+        SleepItem,
+        WorkPlan,
+    )
+    from repro.units import MB
+
+    def run():
+        plans = [
+            WorkPlan(
+                [
+                    SleepItem(1.0, label="jvm-start"),
+                    MemAllocItem(64 * MB),
+                    CpuWorkItem(30.0, weight=1.0, reads_bytes=64 * MB),
+                    MemTouchItem(),
+                    DiskWriteItem(16 * MB),
+                ]
+            )
+            for _ in range(2_000)
+        ]
+        return len(plans)
+
+    result = benchmark(run)
+    assert result == 2_000

@@ -7,6 +7,7 @@
     repro reproduce --figure 2 --runs 20 --out results/
     repro reproduce --all --quick
     repro schedule --primitive suspend --progress 50
+    repro profile scale --quick         # cProfile hotspot report
     repro real-demo --input-mb 24       # real-process prototype
 
 ``run`` executes a single registered experiment (name or alias);
@@ -82,6 +83,24 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="tl progress at launch of th (percent)")
     sch.add_argument("--heavy", action="store_true",
                      help="memory-hungry tasks (2 GB footprints)")
+
+    prof = sub.add_parser(
+        "profile", help="run one experiment under cProfile and print hotspots"
+    )
+    prof.add_argument("experiment", help="experiment id or alias "
+                      "(see `repro list`)")
+    prof.add_argument("--runs", type=int, default=None,
+                      help="averaged runs per data point")
+    prof.add_argument("--quick", action="store_true",
+                      help="scaled-down axes and 2 runs per point")
+    prof.add_argument("--top", type=int, default=20,
+                      help="rows of the profile report (default 20)")
+    prof.add_argument("--sort", default="cumulative",
+                      choices=["cumulative", "tottime", "calls"],
+                      help="pstats sort order (default cumulative)")
+    prof.add_argument("--out", default=None,
+                      help="also dump raw pstats data to this file "
+                      "(inspect later with `python -m pstats`)")
 
     demo = sub.add_parser("real-demo", help="real-process prototype demo")
     demo.add_argument("--input-mb", type=int, default=24,
@@ -222,6 +241,35 @@ def _cmd_reproduce(args) -> int:
     return exit_code
 
 
+def _cmd_profile(args) -> int:
+    """Run one experiment under cProfile; print the hotspot table.
+
+    The fast path to "where did this replay's time go" -- the same
+    loop the PR-level optimisation work uses, now one command:
+    ``repro profile scale --quick``.
+    """
+    import cProfile
+    import pstats
+
+    name = resolve_name(args.experiment)
+    runner = get_experiment(name)
+    kwargs = _quick_kwargs(name) if args.quick else {}
+    if args.runs is not None:
+        kwargs["runs"] = args.runs
+    if name == "fig1":
+        kwargs.pop("runs", None)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    runner(**kwargs)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_schedule(args) -> int:
     from repro.experiments.harness import TwoJobHarness
     from repro.metrics.timeline import extract_timeline, render_gantt
@@ -272,6 +320,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "reproduce":
             return _cmd_reproduce(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
         if args.command == "schedule":
             return _cmd_schedule(args)
         if args.command == "real-demo":

@@ -15,7 +15,7 @@ from typing import List, Optional
 from repro.hadoop.states import AttemptState
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AttemptStatus:
     """One attempt's status inside a heartbeat report."""
 
@@ -28,7 +28,7 @@ class AttemptStatus:
     swapped_bytes: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class HeartbeatReport:
     """TaskTracker -> JobTracker."""
 
@@ -51,12 +51,14 @@ class HeartbeatReport:
 class TrackerAction:
     """Base class for piggybacked directives."""
 
+    __slots__ = ()
+
     def describe(self) -> str:
         """Short human-readable form for traces."""
         return type(self).__name__
 
 
-@dataclass
+@dataclass(slots=True)
 class LaunchTaskAction(TrackerAction):
     """Start a new attempt of ``tip_id`` on the tracker."""
 
@@ -70,7 +72,7 @@ class LaunchTaskAction(TrackerAction):
         return f"launch[{kind}] {self.attempt_id}"
 
 
-@dataclass
+@dataclass(slots=True)
 class KillTaskAction(TrackerAction):
     """SIGKILL an attempt (and run its cleanup attempt)."""
 
@@ -81,7 +83,7 @@ class KillTaskAction(TrackerAction):
         return f"kill {self.attempt_id} ({self.reason})"
 
 
-@dataclass
+@dataclass(slots=True)
 class SuspendTaskAction(TrackerAction):
     """SIGTSTP an attempt -- the paper's new directive."""
 
@@ -91,7 +93,7 @@ class SuspendTaskAction(TrackerAction):
         return f"suspend {self.attempt_id}"
 
 
-@dataclass
+@dataclass(slots=True)
 class ResumeTaskAction(TrackerAction):
     """SIGCONT a suspended attempt -- the paper's new directive."""
 
@@ -101,7 +103,7 @@ class ResumeTaskAction(TrackerAction):
         return f"resume {self.attempt_id}"
 
 
-@dataclass
+@dataclass(slots=True)
 class HeartbeatResponse:
     """JobTracker -> TaskTracker."""
 

@@ -14,6 +14,7 @@ from typing import List, Optional
 
 from repro.errors import UnknownTaskError
 from repro.hadoop.counters import Counters
+from repro.hadoop.states import TipState
 from repro.hadoop.task import TaskInProgress, TipRole
 from repro.workloads.jobspec import JobSpec, TaskSpec
 
@@ -80,6 +81,22 @@ class JobInProgress:
         #: :attr:`work_complete` is O(1) per heartbeat instead of a
         #: scan of every tip
         self._completed_work_tips = 0
+        #: cached [tip for tip in tips if tip.schedulable]; invalidated
+        #: by the tips' state machine so the per-heartbeat scheduler
+        #: scans cost O(1) for the (vast majority of) jobs whose tips
+        #: did not change state since the last heartbeat
+        self._schedulable_cache: Optional[List[TaskInProgress]] = None
+        #: cached serial seconds of work left (the HFSP sort key);
+        #: recomputed -- by the exact same summation -- only after a
+        #: tip reported progress, so values are bit-identical to a
+        #: fresh scan
+        self._remaining_work = 0.0
+        self._remaining_dirty = True
+        #: cached :meth:`pending_aux_tip` verdict: the JobTracker asks
+        #: every live job on every heartbeat, but the answer only moves
+        #: on tip/job state transitions and work-tip completions
+        self._aux_cache: Optional[TaskInProgress] = None
+        self._aux_dirty = True
 
     # -- lookup --------------------------------------------------------------
 
@@ -120,6 +137,51 @@ class JobInProgress:
         """A work tip completed (+1) or had its output invalidated
         (-1); called from the tip state machine."""
         self._completed_work_tips += delta
+        self._aux_dirty = True
+
+    def note_tip_progress(self) -> None:
+        """A tip's reported progress changed; the remaining-size
+        aggregate must be re-derived before its next read."""
+        self._remaining_dirty = True
+
+    def note_tip_state_changed(self, old: "TipState", new: "TipState") -> None:
+        """Tip state-machine hook: drop caches the transition touches."""
+        self._aux_dirty = True
+        if self._schedulable_cache is not None and (
+            old is TipState.UNASSIGNED or new is TipState.UNASSIGNED
+        ):
+            self._schedulable_cache = None
+
+    def pending_aux_tip(self) -> Optional[TaskInProgress]:
+        """The setup or cleanup tip awaiting launch right now, if any.
+
+        Equivalent to checking :attr:`setup_pending` then
+        :attr:`cleanup_pending`, cached because the JobTracker polls
+        every live job per heartbeat and the verdict only moves on
+        state transitions (every mover marks ``_aux_dirty``).
+        """
+        if self._aux_dirty:
+            if self.setup_pending:
+                self._aux_cache = self.setup_tip
+            elif self.cleanup_pending:
+                self._aux_cache = self.cleanup_tip
+            else:
+                self._aux_cache = None
+            self._aux_dirty = False
+        return self._aux_cache
+
+    def remaining_work_seconds(self) -> float:
+        """Serial seconds of work left across all tips (size-based
+        schedulers read this on every heartbeat for every live job)."""
+        if self._remaining_dirty:
+            remaining = 0.0
+            for tip in self.tips:
+                progress = tip.progress
+                if progress < 1.0:
+                    remaining += tip.full_seconds * (1.0 - progress)
+            self._remaining_work = remaining
+            self._remaining_dirty = False
+        return self._remaining_work
 
     @property
     def work_complete(self) -> bool:
@@ -127,10 +189,16 @@ class JobInProgress:
         return self._completed_work_tips >= len(self.tips)
 
     def schedulable_tips(self) -> List[TaskInProgress]:
-        """Work tips the scheduler may launch right now."""
+        """Work tips the scheduler may launch right now.
+
+        Returns the cached list; callers iterate but must not mutate.
+        """
         if self.state is not JobState.RUNNING:
             return []
-        return [t for t in self.tips if t.schedulable]
+        tips = self._schedulable_cache
+        if tips is None:
+            tips = self._schedulable_cache = [t for t in self.tips if t.schedulable]
+        return tips
 
     def running_tips(self) -> List[TaskInProgress]:
         """Work tips with an active (running or suspended) attempt."""
@@ -149,6 +217,7 @@ class JobInProgress:
         if self.state is JobState.PREP:
             self.state = JobState.RUNNING
             self.launch_time = now
+            self._aux_dirty = True
 
     def maybe_finish(self, now: float) -> bool:
         """Complete the job if all work (and cleanup) is done.
@@ -163,6 +232,7 @@ class JobInProgress:
             return False
         self.state = JobState.SUCCEEDED
         self.finish_time = now
+        self._aux_dirty = True
         return True
 
     def kill(self, now: float) -> None:
@@ -170,6 +240,7 @@ class JobInProgress:
         if not self.state.terminal:
             self.state = JobState.KILLED
             self.finish_time = now
+            self._aux_dirty = True
 
     def mark_failed(self, now: float) -> None:
         """A task exhausted its retry cap: the whole job fails
@@ -177,6 +248,7 @@ class JobInProgress:
         if not self.state.terminal:
             self.state = JobState.FAILED
             self.finish_time = now
+            self._aux_dirty = True
 
     # -- metrics -------------------------------------------------------------------
 

@@ -698,14 +698,16 @@ class JobTracker:
         self, report: HeartbeatReport, actions: List[TrackerAction], free_map: int
     ) -> int:
         """Launch job setup/cleanup tasks (highest priority)."""
+        if free_map <= 0:
+            # The loop below breaks before its first launch check; skip
+            # the live-job scan (most heartbeats on a busy cluster).
+            return free_map
         for job in self.running_jobs():
             if free_map <= 0:
                 break
-            if job.setup_pending:
-                actions.append(self._make_launch(job.setup_tip, report.tracker))
-                free_map -= 1
-            elif job.cleanup_pending:
-                actions.append(self._make_launch(job.cleanup_tip, report.tracker))
+            aux_tip = job.pending_aux_tip()
+            if aux_tip is not None:
+                actions.append(self._make_launch(aux_tip, report.tracker))
                 free_map -= 1
         return free_map
 
@@ -758,10 +760,14 @@ class JobTracker:
         since the last call are evicted here, so repeated calls cost
         O(live jobs) however many jobs the tracker has ever seen.
         """
+        # ``finish_time`` is stamped by exactly the transitions that
+        # make a job terminal, and the attribute test is far cheaper
+        # than enum membership at this call frequency (twice per
+        # heartbeat over every live job).
         finished = [
             job_id
             for job_id, job in self._live_jobs.items()
-            if job.state.terminal
+            if job.finish_time is not None
         ]
         for job_id in finished:
             del self._live_jobs[job_id]

@@ -29,7 +29,43 @@ class TipRole(enum.Enum):
 
 
 class TaskInProgress:
-    """One logical task of a job."""
+    """One logical task of a job.
+
+    ``__slots__`` because scale replays create one TIP per task of
+    every job in the workload and schedulers touch them on every
+    heartbeat; dropping the per-instance dict measurably shrinks both
+    footprint and attribute-access time.
+    """
+
+    __slots__ = (
+        "job",
+        "index",
+        "spec",
+        "role",
+        "full_seconds",
+        "tip_id",
+        "state",
+        "_tracker",
+        "tracker_observer",
+        "active_attempt_id",
+        "attempt_ids",
+        "next_attempt_number",
+        "_progress",
+        "finished_at",
+        "first_launched_at",
+        "last_launched_at",
+        "wasted_seconds",
+        "failed_attempt_count",
+        "failed_on",
+        "speculative_attempt_id",
+        "speculative_tracker",
+        "speculative_launched_at",
+        "output_lost_count",
+        "suspended_seconds",
+        "_suspended_at",
+        "directive_issued_at",
+        "directive_sent_at",
+    )
 
     def __init__(
         self,
@@ -56,7 +92,7 @@ class TaskInProgress:
         self.active_attempt_id: Optional[str] = None
         self.attempt_ids: List[str] = []
         self.next_attempt_number = 0
-        self.progress = 0.0
+        self._progress = 0.0
         self.finished_at: Optional[float] = None
         self.first_launched_at: Optional[float] = None
         self.last_launched_at: Optional[float] = None
@@ -99,12 +135,28 @@ class TaskInProgress:
         if self.tracker_observer is not None:
             self.tracker_observer(self, old, host)
 
+    # -- progress ----------------------------------------------------------------
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the task body completed (last reported)."""
+        return self._progress
+
+    @progress.setter
+    def progress(self, value: float) -> None:
+        # Route through the job so its cached remaining-size aggregate
+        # (the HFSP per-heartbeat sort key) knows to recompute.
+        self._progress = value
+        self.job.note_tip_progress()
+
     # -- state machine ----------------------------------------------------------
 
     def set_state(self, new: TipState) -> None:
         """Transition with validation."""
         check_tip_transition(self.state, new)
+        old = self.state
         self.state = new
+        self.job.note_tip_state_changed(old, new)
 
     @property
     def schedulable(self) -> bool:

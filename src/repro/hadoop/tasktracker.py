@@ -62,6 +62,12 @@ class TaskTracker:
         self.map_slots = config.map_slots
         self.reduce_slots = config.reduce_slots
         self.attempts: Dict[str, TaskAttempt] = {}
+        #: attempts that still belong in heartbeat reports: live ones
+        #: plus terminal ones not yet reported.  ``attempts`` keeps the
+        #: full history for lookups; iterating it per heartbeat made
+        #: report building O(every attempt the node ever ran).  A dict
+        #: (not a set) so iteration keeps deterministic launch order.
+        self._reportable: Dict[str, TaskAttempt] = {}
         #: attempt ids (or cleanup tokens) holding a map slot
         self._map_slot_holders: Set[str] = set()
         self._reduce_slot_holders: Set[str] = set()
@@ -109,7 +115,9 @@ class TaskTracker:
     def suspended_attempts(self) -> List[TaskAttempt]:
         """Attempts currently suspended on this tracker."""
         return [
-            a for a in self.attempts.values() if a.state is AttemptState.SUSPENDED
+            a
+            for a in self._reportable.values()
+            if a.state is AttemptState.SUSPENDED
         ]
 
     # -- heartbeat loop ----------------------------------------------------------------
@@ -160,7 +168,7 @@ class TaskTracker:
         self._sequence += 1
         statuses = []
         reported_terminal = []
-        for attempt in self.attempts.values():
+        for attempt in self._reportable.values():
             if attempt.state.terminal and attempt.attempt_id not in self._unreported:
                 continue
             statuses.append(
@@ -178,6 +186,7 @@ class TaskTracker:
                 reported_terminal.append(attempt.attempt_id)
         for attempt_id in reported_terminal:
             self._unreported.remove(attempt_id)
+            self._reportable.pop(attempt_id, None)
         return HeartbeatReport(
             tracker=self.host,
             sequence=self._sequence,
@@ -225,6 +234,7 @@ class TaskTracker:
             gc_policy=self.gc_policy,
         )
         self.attempts[attempt.attempt_id] = attempt
+        self._reportable[attempt.attempt_id] = attempt
         self._occupy_slot(attempt)
         attempt.launch()
         for callback in list(self.launch_callbacks):
@@ -332,6 +342,7 @@ class TaskTracker:
         # accounting -- then drop the state the fresh daemon lacks.
         self.jobtracker.handle_tracker_restart(self)
         self.attempts.clear()
+        self._reportable.clear()
         self._unreported.clear()
         self._map_slot_holders.clear()
         self._reduce_slot_holders.clear()

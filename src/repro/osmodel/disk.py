@@ -23,7 +23,7 @@ from repro.osmodel.resources import Claim, DiskResource
 from repro.sim.engine import Simulation
 
 
-@dataclass
+@dataclass(slots=True)
 class BurstCost:
     """Breakdown of a synchronous I/O burst's cost."""
 

@@ -28,7 +28,7 @@ from repro.sim.engine import Simulation
 from repro.units import page_align
 
 
-@dataclass
+@dataclass(slots=True)
 class AllocationCharge:
     """Time cost of one memory allocation."""
 
@@ -107,6 +107,22 @@ class NodeKernel:
     def note_process_resumed(self, proc: OSProcess) -> None:
         """Bookkeeping hook invoked when a process leaves STOPPED."""
         self.trace("os.resumed", pid=proc.pid, name=proc.name)
+
+    # -- device speed ---------------------------------------------------------
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Degrade (or restore) every device on the node to ``factor``
+        of nominal speed.
+
+        The single entry point for slow-node faults and thermal
+        models: with the virtual-time resource core each device is one
+        O(1) rate update (advance the virtual clock, re-aim one armed
+        event) -- no per-claim rescheduling anywhere.
+        """
+        self.cpu.set_speed_factor(factor)
+        self.disk.read_stream.set_speed_factor(factor)
+        self.disk.write_stream.set_speed_factor(factor)
+        self.trace("os.speed", factor=factor)
 
     # -- memory ---------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Processor-shared rate resources.
+"""Processor-shared rate resources: the virtual-time fluid model.
 
 A :class:`RateResource` models a device that serves several claims at
 once by splitting its capacity equally (egalitarian processor
@@ -6,10 +6,30 @@ sharing): *n* active claims each progress at ``rate_per_claim()``
 units per second.  CPUs and disks subclass only to define how capacity
 scales with the number of claims.
 
-The implementation keeps, for every active claim, the amount of work
-remaining, and reschedules each claim's completion event whenever the
-set of active claims changes.  This is exact for piecewise-constant
-rates, which is all a discrete-event model needs.
+Because sharing is egalitarian, every active claim receives service at
+the *same* instantaneous rate, so the resource can keep one cumulative
+per-claim service function ``S(t)`` (the "virtual time") instead of
+per-claim countdowns.  A claim admitted with ``u`` units remaining
+completes when ``S`` crosses ``S_at_admit + u`` -- its *virtual finish
+key* -- and a milestone at ``m`` units remaining fires when ``S``
+crosses ``finish_key - m``.  Both kinds of crossing live in one lazy
+min-heap keyed by virtual time, and the resource arms exactly **one**
+engine event: for the earliest crossing.  The payoff over the previous
+eager model (settle + re-arm every claim's event on every state
+change):
+
+* completion *order* among active claims is invariant under rate
+  changes, so rate changes never reorder the heap;
+* activate/pause/cancel are O(log n) heap traffic for the touched
+  claim only;
+* a speed-factor change (slow-node fault injection) is O(1): advance
+  ``S`` at the old rate, then re-aim the single armed event;
+* remaining work is *derived* (``finish_key - S``) rather than
+  repeatedly decremented, so long replays cannot accumulate per-settle
+  floating-point drift.
+
+This is exact for piecewise-constant rates, which is all a
+discrete-event model needs.
 
 Claims also support **milestones**: callbacks fired at the exact
 instant the remaining work crosses a threshold.  The experiment
@@ -20,6 +40,7 @@ dummy-scheduler triggers.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, List, Optional, Set
 
 from repro.errors import SimulationError
@@ -32,12 +53,11 @@ _EPS = 1e-9
 class _Milestone:
     """A threshold on a claim's remaining work."""
 
-    __slots__ = ("threshold", "callback", "event", "fired")
+    __slots__ = ("threshold", "callback", "fired")
 
     def __init__(self, threshold: float, callback: Callable[[], None]):
         self.threshold = threshold
         self.callback = callback
-        self.event: Optional[EventHandle] = None
         self.fired = False
 
 
@@ -52,15 +72,16 @@ class Claim:
     __slots__ = (
         "resource",
         "initial",
-        "remaining",
         "on_done",
         "label",
         "owner",
-        "_last_update",
-        "_event",
         "active",
-        "milestones",
         "done",
+        "milestones",
+        "_remaining",
+        "_vfinish",
+        "_epoch",
+        "_live_entries",
     )
 
     def __init__(
@@ -73,15 +94,23 @@ class Claim:
     ):
         self.resource = resource
         self.initial = float(units)
-        self.remaining = float(units)
         self.on_done = on_done
         self.label = label
         self.owner = owner
-        self._last_update: float = 0.0
-        self._event: Optional[EventHandle] = None
         self.active = False
         self.done = False
         self.milestones: List[_Milestone] = []
+        #: authoritative remaining units while inactive; while active
+        #: the truth is ``_vfinish - S`` (see :attr:`remaining`)
+        self._remaining = float(units)
+        #: virtual-time key at which this claim completes (valid while
+        #: active)
+        self._vfinish = 0.0
+        #: bumped on every deactivation; crossing-heap entries carrying
+        #: an older epoch are dead and discarded lazily
+        self._epoch = 0
+        #: live crossing-heap entries referencing this claim
+        self._live_entries = 0
 
     @property
     def rate(self) -> float:
@@ -90,28 +119,33 @@ class Claim:
             return 0.0
         return self.resource.rate_per_claim()
 
+    @property
+    def remaining(self) -> float:
+        """Units of service still owed, settled to now."""
+        if self.active:
+            return max(0.0, self._vfinish - self.resource._virtual_now())
+        return self._remaining
+
     def fraction_done(self) -> float:
         """Fraction of the initial work already served, settled to now."""
         if self.initial <= 0:
             return 1.0
-        remaining = self.remaining
-        if self.active:
-            elapsed = self.resource.sim.now - self._last_update
-            remaining = max(0.0, remaining - self.rate * elapsed)
-        return max(0.0, min(1.0, 1.0 - remaining / self.initial))
+        return max(0.0, min(1.0, 1.0 - self.remaining / self.initial))
 
     def add_milestone(self, remaining_at: float, callback: Callable[[], None]) -> None:
         """Fire ``callback`` when remaining work first drops to
         ``remaining_at`` units.  Fires immediately (as a zero-delay
         event) if the threshold is already crossed."""
+        resource = self.resource
+        resource.settle()
         milestone = _Milestone(remaining_at, callback)
         self.milestones.append(milestone)
-        self.resource._settle_all()
         if self.remaining <= remaining_at + _EPS:
             milestone.fired = True
-            self.resource.sim.call_soon(callback, label=f"milestone:{self.label}")
+            resource.sim.call_soon(callback, label=f"milestone:{self.label}")
         elif self.active:
-            self.resource._schedule_milestone(self, milestone)
+            resource._push(self._vfinish - remaining_at, self, milestone)
+            resource._rearm()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
@@ -128,6 +162,9 @@ class RateResource:
     CPU serves up to ``cores`` claims at full speed).
     """
 
+    #: crossing heaps smaller than this are never compacted
+    COMPACTION_MIN_SIZE = 64
+
     def __init__(self, sim: Simulation, capacity: float, name: str = "resource"):
         if capacity <= 0:
             raise SimulationError(f"{name}: capacity must be positive")
@@ -137,6 +174,19 @@ class RateResource:
         self._claims: Set[Claim] = set()
         #: degradation multiplier (slow-node fault injection); 1.0 = healthy
         self.speed_factor = 1.0
+        #: cumulative per-claim service S(t); frozen while no claim is
+        #: active
+        self._vtime = 0.0
+        #: wall-clock instant S was last brought up to date
+        self._vtime_at = 0.0
+        #: lazy min-heap of (virtual key, seq, claim, milestone|None,
+        #: epoch) crossings; entries whose epoch lags their claim's are
+        #: dead
+        self._crossings: list = []
+        self._cross_seq = 0
+        self._stale = 0
+        #: the single armed engine event, aimed at the earliest crossing
+        self._armed: Optional[EventHandle] = None
 
     # -- policy --------------------------------------------------------
 
@@ -150,16 +200,17 @@ class RateResource:
     def set_speed_factor(self, factor: float) -> None:
         """Degrade (or restore) the device to ``factor`` of nominal speed.
 
-        In-flight claims are settled at the old rate first, then every
-        completion/milestone event is recomputed -- the piecewise-
-        constant-rate contract the engine relies on.  Models slow-node
-        faults (failing disk, thermal throttling, a noisy neighbour).
+        In-flight service is settled at the old rate first, then the
+        single armed crossing event is re-aimed -- O(1), where the
+        eager model re-armed one event per active claim.  Models
+        slow-node faults (failing disk, thermal throttling, a noisy
+        neighbour).
         """
         if factor <= 0:
             raise SimulationError(f"{self.name}: speed factor must be positive")
-        self._settle_all()
+        self._advance()
         self.speed_factor = float(factor)
-        self._reschedule_all()
+        self._rearm()
 
     # -- claim lifecycle -------------------------------------------------
 
@@ -189,99 +240,170 @@ class RateResource:
         """Begin (or resume) serving ``claim``."""
         if claim.active or claim.done:
             return
-        self._settle_all()
+        self._advance()
         claim.active = True
-        claim._last_update = self.sim.now
+        claim._vfinish = self._vtime + claim._remaining
         self._claims.add(claim)
-        self._reschedule_all()
+        self._push(claim._vfinish, claim, None)
+        for milestone in claim.milestones:
+            if not milestone.fired:
+                self._push(claim._vfinish - milestone.threshold, claim, milestone)
+        self._rearm()
 
     def pause(self, claim: Claim) -> None:
         """Stop serving ``claim``, preserving its remaining work."""
         if not claim.active:
             return
-        self._settle_all()
+        self._advance()
+        claim._remaining = max(0.0, claim._vfinish - self._vtime)
         claim.active = False
         self._claims.discard(claim)
-        self._cancel_claim_events(claim)
-        self._reschedule_all()
+        self._invalidate(claim)
+        self._rearm()
 
     def cancel(self, claim: Claim) -> None:
         """Abort ``claim`` entirely (completion callback never fires)."""
         self.pause(claim)
         claim.done = True
 
-    # -- internals -------------------------------------------------------
+    # -- virtual clock ----------------------------------------------------
 
-    def _cancel_claim_events(self, claim: Claim) -> None:
-        if claim._event is not None:
-            claim._event.cancel()
-            claim._event = None
-        for milestone in claim.milestones:
-            if milestone.event is not None:
-                milestone.event.cancel()
-                milestone.event = None
+    def settle(self) -> None:
+        """Bring the virtual clock up to now.
 
-    def _settle_all(self) -> None:
-        """Charge elapsed service to every active claim."""
+        Purely an accounting sync -- derived views (remaining work,
+        fractions) are exact without it -- but model code that is about
+        to read several of them at one instant may call this once
+        instead of paying the projection per read.
+        """
+        self._advance()
+
+    def _virtual_now(self) -> float:
+        """S projected to the current instant (no state mutation)."""
+        elapsed = self.sim.now - self._vtime_at
+        if elapsed > 0 and self._claims:
+            return self._vtime + self.rate_per_claim() * elapsed
+        return self._vtime
+
+    def _advance(self) -> None:
+        """Accrue service since the last update into the virtual clock.
+
+        Must run *before* any mutation of the claim set or the speed
+        factor -- the elapsed interval was served under the old rate
+        (the piecewise-constant contract).
+        """
         now = self.sim.now
-        rate = self.rate_per_claim()
-        for claim in self._claims:
-            elapsed = now - claim._last_update
-            if elapsed > 0:
-                claim.remaining = max(0.0, claim.remaining - rate * elapsed)
-            claim._last_update = now
+        elapsed = now - self._vtime_at
+        if elapsed > 0:
+            if self._claims:
+                self._vtime += self.rate_per_claim() * elapsed
+            self._vtime_at = now
+        elif not self._claims:
+            self._vtime_at = now
 
-    def _reschedule_all(self) -> None:
-        """Recompute every active claim's completion/milestone events."""
-        rate = self.rate_per_claim()
-        for claim in self._claims:
-            self._cancel_claim_events(claim)
-            if rate <= 0:
-                continue
-            eta = claim.remaining / rate
-            claim._event = self.sim.schedule(
-                eta, self._complete, claim, label=f"{self.name}.done:{claim.label}"
-            )
-            for milestone in claim.milestones:
-                if not milestone.fired:
-                    self._schedule_milestone(claim, milestone)
+    # -- crossing heap ------------------------------------------------------
 
-    def _schedule_milestone(self, claim: Claim, milestone: _Milestone) -> None:
-        rate = self.rate_per_claim()
-        if rate <= 0 or not claim.active:
-            return
-        eta = max(0.0, (claim.remaining - milestone.threshold) / rate)
-        milestone.event = self.sim.schedule(
-            eta,
-            self._fire_milestone,
-            claim,
-            milestone,
-            label=f"{self.name}.milestone:{claim.label}",
+    def _push(self, vkey: float, claim: Claim, milestone: Optional[_Milestone]) -> None:
+        self._cross_seq += 1
+        heapq.heappush(
+            self._crossings, (vkey, self._cross_seq, claim, milestone, claim._epoch)
         )
+        claim._live_entries += 1
 
-    def _fire_milestone(self, claim: Claim, milestone: _Milestone) -> None:
-        if milestone.fired or not claim.active:
+    def _invalidate(self, claim: Claim) -> None:
+        """Mark every heap entry of ``claim`` dead (lazily discarded)."""
+        claim._epoch += 1
+        self._stale += claim._live_entries
+        claim._live_entries = 0
+        if (
+            len(self._crossings) >= self.COMPACTION_MIN_SIZE
+            and self._stale * 2 > len(self._crossings)
+        ):
+            self._crossings = [
+                entry for entry in self._crossings if entry[4] == entry[2]._epoch
+            ]
+            heapq.heapify(self._crossings)
+            self._stale = 0
+
+    def _peek_live(self):
+        crossings = self._crossings
+        while crossings:
+            entry = crossings[0]
+            if entry[4] != entry[2]._epoch:
+                heapq.heappop(crossings)
+                self._stale -= 1
+                continue
+            return entry
+        return None
+
+    # -- the armed event ----------------------------------------------------
+
+    def _rearm(self) -> None:
+        """Aim the single engine event at the earliest live crossing."""
+        head = self._peek_live()
+        armed = self._armed
+        if head is None:
+            if armed is not None and armed.pending:
+                armed.cancel()
+            self._armed = None
             return
-        self._settle_all()
-        if claim.remaining > milestone.threshold + 1e-6:
-            # The rate dropped since this event was scheduled; try again
-            # at the recomputed crossing time.
-            self._schedule_milestone(claim, milestone)
-            return
-        milestone.fired = True
-        milestone.event = None
-        milestone.callback()
+        rate = self.rate_per_claim()
+        eta = (head[0] - self._vtime) / rate
+        if eta < 0.0:
+            eta = 0.0
+        at = self.sim.now + eta
+        if armed is not None and armed.pending:
+            self._armed = self.sim.reschedule(armed, at)
+        else:
+            self._armed = self.sim.schedule_at(
+                at, self._on_crossing, label=f"{self.name}.crossing"
+            )
+
+    def _due(self, vkey: float) -> bool:
+        """Is the crossing at ``vkey`` due at the current instant?
+
+        True when S has (numerically) reached the key, and also when
+        the residual is so small that re-arming could not advance the
+        wall clock -- re-arming then would spin on zero-delay events.
+        """
+        delta = vkey - self._vtime
+        if delta <= _EPS + 1e-12 * abs(vkey):
+            return True
+        now = self.sim.now
+        return now + delta / self.rate_per_claim() <= now
+
+    def _on_crossing(self) -> None:
+        """The armed event fired: service every crossing now due.
+
+        Callbacks may re-enter the resource (a completed work item
+        typically activates its successor's claim here), so the loop
+        re-reads the clock and the heap head after every callback.
+        """
+        self._armed = None
+        while True:
+            self._advance()
+            head = self._peek_live()
+            if head is None or not self._due(head[0]):
+                break
+            heapq.heappop(self._crossings)
+            _, _, claim, milestone, _ = head
+            claim._live_entries -= 1
+            if milestone is not None:
+                milestone.fired = True
+                milestone.callback()
+            else:
+                self._complete(claim)
+        self._rearm()
 
     def _complete(self, claim: Claim) -> None:
-        if not claim.active:  # paused after the event was queued
-            return
-        self._settle_all()
-        # Guard against float drift: the event fired, so the claim is done.
-        claim.remaining = 0.0
+        # Guard against float drift: the crossing fired, so the claim
+        # is done regardless of the last few ulps of S.
+        claim._remaining = 0.0
+        claim._vfinish = self._vtime
         claim.active = False
         claim.done = True
         self._claims.discard(claim)
-        self._cancel_claim_events(claim)
+        self._invalidate(claim)
         # Unfired milestones are vacuously crossed at completion.
         for milestone in claim.milestones:
             if not milestone.fired:
@@ -289,13 +411,18 @@ class RateResource:
                 self.sim.call_soon(
                     milestone.callback, label=f"{self.name}.milestone:{claim.label}"
                 )
-        self._reschedule_all()
         claim.on_done()
 
     @property
     def active_claims(self) -> int:
         """Number of claims currently being served."""
         return len(self._claims)
+
+    @property
+    def virtual_time(self) -> float:
+        """Cumulative per-claim service delivered so far (introspection
+        for tests and benchmarks)."""
+        return self._virtual_now()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"{type(self).__name__}(name={self.name!r}, claims={len(self._claims)})"

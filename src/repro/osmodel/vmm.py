@@ -36,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.osmodel.process import OSProcess
 
 
-@dataclass
+@dataclass(slots=True)
 class ReclaimResult:
     """Outcome of one :meth:`VirtualMemoryManager.make_room` call."""
 
@@ -53,7 +53,7 @@ class ReclaimResult:
         return self.freed_from_cache + self.dropped_clean + self.swapped_out
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultInResult:
     """Outcome of one :meth:`VirtualMemoryManager.fault_in` call."""
 

@@ -39,7 +39,13 @@ class WorkItem(abc.ABC):
     Hadoop reports map progress as the fraction of input consumed, so
     plans give the input-processing item weight 1.0 and bookkeeping
     items weight 0.
+
+    The hierarchy declares ``__slots__`` throughout: scale replays
+    build one plan (4-6 items) per task attempt, and the per-instance
+    dict is the bulk of each item's footprint.
     """
+
+    __slots__ = ("label", "weight", "started", "finished")
 
     def __init__(self, label: str, weight: float = 0.0):
         self.label = label
@@ -84,6 +90,8 @@ class WorkItem(abc.ABC):
 
 class SleepItem(WorkItem):
     """A fixed-duration step (JVM start-up, framework bookkeeping)."""
+
+    __slots__ = ("duration", "remaining", "_since", "_event", "_crossings")
 
     def __init__(self, duration: float, label: str = "sleep", weight: float = 0.0):
         super().__init__(label, weight)
@@ -175,8 +183,16 @@ class SleepItem(WorkItem):
         crossing[1]()
 
 
-class _ClaimItem(WorkItem):
-    """Base for items backed by a processor-shared resource claim."""
+class RateWorkItem(WorkItem):
+    """Base for items backed by a processor-shared resource claim.
+
+    Subclasses choose the :class:`~repro.osmodel.resources.RateResource`
+    drawn from; pause/resume/abort and progress crossings all ride the
+    claim API, so the virtual-time model's O(log n) state changes apply
+    to every rate-backed step uniformly.
+    """
+
+    __slots__ = ("units", "claim")
 
     def __init__(self, units: float, label: str, weight: float):
         super().__init__(label, weight)
@@ -230,7 +246,7 @@ class _ClaimItem(WorkItem):
         self.claim.add_milestone(remaining_at, callback)
 
 
-class CpuWorkItem(_ClaimItem):
+class CpuWorkItem(RateWorkItem):
     """CPU-bound work, expressed in core-seconds.
 
     The synthetic mappers of the paper "read and parse the randomly
@@ -239,6 +255,8 @@ class CpuWorkItem(_ClaimItem):
     streamed from disk entering the page cache as the work progresses
     (``reads_bytes``).
     """
+
+    __slots__ = ("reads_bytes", "_cached_fraction")
 
     def __init__(
         self,
@@ -289,10 +307,10 @@ class CpuWorkItem(_ClaimItem):
             self._cached_fraction = fraction
 
     def pause(self, engine: "WorkEngine") -> None:
-        # Settle the claim first so the cache accounting sees the exact
-        # fraction at the pause instant.
+        # Sync the resource's virtual clock first so the cache
+        # accounting and the pause read one settled instant.
         if self.claim is not None:
-            self.claim.resource._settle_all()
+            self.claim.resource.settle()
         self.account_cache(engine)
         super().pause(engine)
 
@@ -301,8 +319,10 @@ class CpuWorkItem(_ClaimItem):
         super()._finish(engine)
 
 
-class DiskWriteItem(_ClaimItem):
+class DiskWriteItem(RateWorkItem):
     """Sequential write of output data (commit phase)."""
+
+    __slots__ = ("nbytes",)
 
     def __init__(self, nbytes: int, label: str = "write", weight: float = 0.0):
         super().__init__(float(nbytes), label, weight)
@@ -312,8 +332,10 @@ class DiskWriteItem(_ClaimItem):
         return engine.kernel.disk.write_stream
 
 
-class DiskReadItem(_ClaimItem):
+class DiskReadItem(RateWorkItem):
     """Sequential read of input data that is I/O-bound (no parsing)."""
+
+    __slots__ = ("nbytes",)
 
     def __init__(self, nbytes: int, label: str = "read", weight: float = 0.0):
         super().__init__(float(nbytes), label, weight)
@@ -338,6 +360,8 @@ class MemAllocItem(SleepItem):
     exactly the overhead Figure 4 measures).
     """
 
+    __slots__ = ("nbytes", "reclaim_cost")
+
     def __init__(self, nbytes: int, label: str = "alloc", weight: float = 0.0):
         # Duration is computed lazily in begin(), when the reclaim cost
         # is known; initialise with a placeholder.
@@ -360,6 +384,8 @@ class MemTouchItem(SleepItem):
     any of it was swapped out while suspended the page-in cost lands
     here (unless it was already charged at resume time).
     """
+
+    __slots__ = ("fault_cost",)
 
     def __init__(self, label: str = "touch", weight: float = 0.0):
         super().__init__(0.0, label, weight)

@@ -52,13 +52,13 @@ class HfspScheduler(TaskScheduler):
 
     @staticmethod
     def remaining_size(job: JobInProgress) -> float:
-        """Serial seconds of work left in the job."""
-        remaining = 0.0
-        for tip in job.tips:
-            progress = tip.progress
-            if progress < 1.0:
-                remaining += tip.full_seconds * (1.0 - progress)
-        return remaining
+        """Serial seconds of work left in the job.
+
+        Served from the job's progress-invalidated cache: the
+        per-heartbeat SRPT sort reads this for every live job, and most
+        jobs saw no progress report since the last heartbeat.
+        """
+        return job.remaining_work_seconds()
 
     def ordered_jobs(self) -> List[JobInProgress]:
         """Smallest remaining size first."""
@@ -73,8 +73,27 @@ class HfspScheduler(TaskScheduler):
         self, tracker: str, free_map_slots: int, free_reduce_slots: int
     ) -> List[TaskInProgress]:
         suspended_here = self._suspended_on(tracker)
+        if free_map_slots <= 0 and free_reduce_slots <= 0:
+            # Saturated tracker: the job loop below would break on its
+            # first iteration (restores need a free slot too), so skip
+            # the SRPT sort entirely -- on a loaded cluster this is the
+            # common case for every heartbeat.
+            return []
+        # Only jobs that can absorb this tracker's slots matter: a job
+        # with neither schedulable tips nor suspended tips here is a
+        # no-op in the loop, so leaving it out of the SRPT sort changes
+        # nothing -- and on steady-state replays the overwhelming
+        # majority of live jobs are fully launched and drop out here.
+        candidates = [
+            job
+            for job in self._candidate_jobs()
+            if job.job_id in suspended_here or job.schedulable_tips()
+        ]
+        candidates.sort(
+            key=lambda job: (self.remaining_size(job), job.submit_time, job.job_id)
+        )
         assigned: List[TaskInProgress] = []
-        for job in self.ordered_jobs():
+        for job in candidates:
             if free_map_slots <= 0 and free_reduce_slots <= 0:
                 break
             # A job first gets its own suspended tips back (resume is

@@ -6,6 +6,14 @@ virtual times; callbacks schedule further events.  The engine never
 advances the clock past the next pending event, so model code can rely
 on ``sim.now`` being exact at every callback.
 
+The heap stores ``(time, seq, handle)`` tuples, so ordering is decided
+by C-level tuple comparison rather than Python ``__lt__`` calls, and a
+handle's key can move without touching the entries already heaped:
+:meth:`Simulation.reschedule` defers a pending event to a later time by
+rewriting the handle's desired key and recycling the old heap entry
+when it surfaces -- the fast path the virtual-time resource model leans
+on, where every rate change moves one armed event.
+
 Typical use::
 
     sim = Simulation(seed=42)
@@ -16,7 +24,7 @@ Typical use::
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SchedulingInPastError, SimulationError
 from repro.sim.events import EventHandle
@@ -46,15 +54,22 @@ class Simulation:
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
         self.trace_log = TraceLog(enabled=trace)
-        self._heap: List[EventHandle] = []
+        #: (time, seq, handle) entries; a pending handle is represented
+        #: by exactly one entry whose key equals ``handle._entry``
+        self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq = 0
         self._running = False
         self._stopped = False
         self._events_fired = 0
-        #: cancelled handles still sitting in the heap; kept exact so
-        #: :attr:`pending_events` is O(1) instead of an O(n) scan
-        self._cancelled_in_heap = 0
+        #: heap entries that will be discarded on pop: entries of
+        #: cancelled handles plus entries orphaned when a reschedule
+        #: moved a handle earlier; kept exact so :attr:`pending_events`
+        #: is O(1) instead of an O(n) scan
+        self._dead_in_heap = 0
         self._compactions = 0
+        self._scheduled = 0
+        self._reschedules = 0
+        self._reschedule_reuses = 0
         #: bound once: attribute access on self would otherwise build a
         #: fresh bound-method object per scheduled event
         self._on_cancel_hook = self._note_cancelled
@@ -97,7 +112,8 @@ class Simulation:
         handle = EventHandle(time, self._seq, callback, args, label=label)
         handle._on_cancel = self._on_cancel_hook
         self._seq += 1
-        heapq.heappush(self._heap, handle)
+        self._scheduled += 1
+        heapq.heappush(self._heap, (time, handle.seq, handle))
         return handle
 
     def call_soon(
@@ -107,6 +123,55 @@ class Simulation:
         same-time events)."""
         return self.schedule(0.0, callback, *args, label=label)
 
+    def reschedule(self, handle: EventHandle, time: float) -> EventHandle:
+        """Move a pending event to absolute virtual time ``time``.
+
+        The handle keeps its callback and args; only the firing time
+        changes, with FIFO ordering as if the event had been freshly
+        scheduled now.  Three cost tiers:
+
+        * unchanged time: no heap traffic at all;
+        * later time: the existing heap entry is left in place and
+          recycled when it surfaces (one lazy push, no cancel);
+        * earlier time: one push; the old entry is dropped lazily.
+
+        Raises :class:`SimulationError` if the handle already fired or
+        was cancelled -- callers own their handle lifecycle.
+        """
+        if time < self.now:
+            raise SchedulingInPastError(
+                f"cannot reschedule to t={time:.6f} (now={self.now:.6f})"
+            )
+        if not handle.pending:
+            raise SimulationError(
+                f"cannot reschedule {handle!r}: event is not pending"
+            )
+        self._reschedules += 1
+        if time == handle.time:
+            self._reschedule_reuses += 1
+            return handle
+        entry = handle._entry
+        handle.seq = self._seq
+        self._seq += 1
+        handle.time = time
+        if entry is not None and time >= entry[0]:
+            # Deferred: the entry already in the heap pops no later
+            # than the new time; recycle it when it surfaces.
+            self._reschedule_reuses += 1
+        else:
+            # Moved earlier than the resident entry: a fresh entry must
+            # carry the handle.  Re-point ``_entry`` *before* counting
+            # the old entry dead -- a compaction triggered by the
+            # counter bump classifies entries by comparing against
+            # ``_entry``, and must not mistake the orphan for the
+            # representative.
+            handle._entry = (time, handle.seq)
+            heapq.heappush(self._heap, (time, handle.seq, handle))
+            if entry is not None:
+                self._dead_in_heap += 1
+                self._maybe_compact()
+        return handle
+
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
@@ -115,20 +180,22 @@ class Simulation:
         """Fire the next pending event.
 
         Returns ``True`` if an event fired, ``False`` if the heap is
-        empty (simulation finished).  Cancelled events are discarded
-        silently.
+        empty (simulation finished).  Dead entries (cancelled events,
+        orphans of earlier reschedules) are discarded silently; entries
+        of deferred reschedules are pushed back at their current key.
         """
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                self._cancelled_in_heap -= 1
+        heap = self._heap
+        while heap:
+            time, seq, handle = heapq.heappop(heap)
+            if not self._entry_fireable(time, seq, handle):
+                self._discard_or_recycle(time, seq, handle)
                 continue
-            if handle.time < self.now:  # pragma: no cover - defensive
+            if time < self.now:  # pragma: no cover - defensive
                 raise SimulationError(
-                    f"event heap corrupted: event at t={handle.time} "
+                    f"event heap corrupted: event at t={time} "
                     f"popped at now={self.now}"
                 )
-            self.now = handle.time
+            self.now = time
             handle._mark_fired()
             self._events_fired += 1
             self.trace_log.record(self.now, handle.label)
@@ -171,57 +238,133 @@ class Simulation:
     # ------------------------------------------------------------------
 
     def _peek_time(self) -> float:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            self._cancelled_in_heap -= 1
-        if not self._heap:
-            return float("inf")
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            time, seq, handle = heap[0]
+            if self._entry_fireable(time, seq, handle):
+                return time
+            heapq.heappop(heap)
+            self._discard_or_recycle(time, seq, handle)
+        return float("inf")
 
     # ------------------------------------------------------------------
-    # Cancellation bookkeeping
+    # Heap-entry protocol
+    #
+    # A pending handle is represented by exactly one entry, recorded in
+    # ``handle._entry``; everything else in the heap is an orphan of an
+    # earlier-move reschedule or the residue of a cancel/fire.  The two
+    # helpers below are the single definition of that protocol; step(),
+    # _peek_time() and _compact() all classify through it.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _entry_fireable(time: float, seq: int, handle: EventHandle) -> bool:
+        """True when a heap entry is live at its desired key: it is the
+        handle's representative, not cancelled, and not deferred."""
+        entry = handle._entry
+        return (
+            entry is not None
+            and entry[0] == time
+            and entry[1] == seq
+            and time == handle.time
+            and seq == handle.seq
+            and not handle.cancelled
+        )
+
+    def _discard_or_recycle(self, time: float, seq: int, handle: EventHandle) -> None:
+        """Settle a popped non-fireable entry: drop dead weight (with
+        its counter) or re-push a deferred representative at the
+        handle's current desired key."""
+        entry = handle._entry
+        if entry is None or entry[0] != time or entry[1] != seq:
+            # orphan of an earlier move, or residue of a fired handle
+            self._dead_in_heap -= 1
+        elif handle.cancelled:
+            self._dead_in_heap -= 1
+            handle._entry = None
+        else:
+            # deferred reschedule: recycle the entry at the new key
+            handle._entry = (handle.time, handle.seq)
+            heapq.heappush(self._heap, (handle.time, handle.seq, handle))
+
+    # ------------------------------------------------------------------
+    # Dead-entry bookkeeping
     # ------------------------------------------------------------------
 
     def _note_cancelled(self, handle: EventHandle) -> None:
-        """Called by :meth:`EventHandle.cancel`.  Handles stay in the
-        heap when cancelled, so the counter tracks the dead weight; once
-        more than half the heap is dead it is rebuilt without the
-        cancelled entries (heap order is preserved by re-heapifying on
-        the same ``(time, seq)`` keys)."""
-        self._cancelled_in_heap += 1
+        """Called by :meth:`EventHandle.cancel`.  Entries stay in the
+        heap when their handle is cancelled, so the counter tracks the
+        dead weight; once more than half the heap is dead it is rebuilt
+        without them (heap order is preserved by re-heapifying on the
+        same ``(time, seq)`` keys)."""
+        self._dead_in_heap += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
         if (
             len(self._heap) >= self.COMPACTION_MIN_SIZE
-            and self._cancelled_in_heap * 2 > len(self._heap)
+            and self._dead_in_heap * 2 > len(self._heap)
         ):
             self._compact()
 
     def _compact(self) -> None:
-        """Drop every cancelled handle from the heap in one pass."""
-        self._heap = [h for h in self._heap if not h.cancelled]
+        """Drop every dead entry from the heap in one pass.
+
+        Entries of deferred reschedules are rebuilt at their current
+        desired key, so the compacted heap holds exactly one live entry
+        per pending handle."""
+        live = []
+        for time, seq, handle in self._heap:
+            entry = handle._entry
+            if entry is None or entry[0] != time or entry[1] != seq:
+                continue
+            if handle.cancelled:
+                handle._entry = None
+                continue
+            handle._entry = (handle.time, handle.seq)
+            live.append((handle.time, handle.seq, handle))
+        self._heap = live
         heapq.heapify(self._heap)
-        self._cancelled_in_heap = 0
+        self._dead_in_heap = 0
         self._compactions += 1
 
     @property
     def pending_events(self) -> int:
         """Number of scheduled (non-cancelled) events still in the heap."""
-        return len(self._heap) - self._cancelled_in_heap
+        return len(self._heap) - self._dead_in_heap
 
     @property
     def heap_size(self) -> int:
-        """Raw heap length, cancelled entries included (introspection
-        for the compaction tests and benchmarks)."""
+        """Raw heap length, dead entries included (introspection for
+        the compaction tests and benchmarks)."""
         return len(self._heap)
 
     @property
     def compactions(self) -> int:
-        """How many times the heap was rebuilt to shed cancellations."""
+        """How many times the heap was rebuilt to shed dead entries."""
         return self._compactions
 
     @property
     def events_fired(self) -> int:
         """Total number of events fired since construction."""
         return self._events_fired
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total :meth:`schedule_at` calls since construction (the
+        event-churn counter the resource-model tests assert on)."""
+        return self._scheduled
+
+    @property
+    def reschedules(self) -> int:
+        """Total :meth:`reschedule` calls since construction."""
+        return self._reschedules
+
+    @property
+    def reschedule_reuses(self) -> int:
+        """Reschedules that reused the resident heap entry (same-time
+        no-ops plus deferred moves) instead of pushing a fresh one."""
+        return self._reschedule_reuses
 
     @property
     def idle(self) -> bool:

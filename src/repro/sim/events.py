@@ -2,16 +2,22 @@
 
 An :class:`EventHandle` is returned by
 :meth:`repro.sim.engine.Simulation.schedule` and lets the caller cancel
-the event or ask whether it already fired.  Handles sort by
-``(time, seq)`` so the engine's heap pops events in deterministic
-order: time first, then FIFO among events scheduled for the same
-instant.
+the event, move it with :meth:`~repro.sim.engine.Simulation.reschedule`,
+or ask whether it already fired.  The engine's heap orders entries by
+``(time, seq)``: time first, then FIFO among events scheduled for the
+same instant.
+
+A handle's ``(time, seq)`` is its *desired* firing key; the engine
+tracks separately which heap entry currently represents the handle
+(``_entry``), so a reschedule to a later time can leave the existing
+entry in place and recycle it when it surfaces instead of paying a
+cancel-plus-push per move.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 
 class EventState(enum.Enum):
@@ -25,11 +31,12 @@ class EventState(enum.Enum):
 class EventHandle:
     """A cancellable reference to one scheduled callback.
 
-    Instances are created by the engine; user code only cancels them or
-    inspects their state.
+    Instances are created by the engine; user code only cancels them,
+    reschedules them through the owning simulation, or inspects state.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "label", "state", "_on_cancel")
+    __slots__ = ("time", "seq", "callback", "args", "label", "state",
+                 "_on_cancel", "_entry")
 
     def __init__(
         self,
@@ -46,17 +53,12 @@ class EventHandle:
         self.label = label or getattr(callback, "__name__", "event")
         self.state = EventState.PENDING
         #: engine bookkeeping hook; lets the owning Simulation keep its
-        #: cancelled-event counter exact without scanning the heap
+        #: dead-entry counter exact without scanning the heap
         self._on_cancel: Any = None
-
-    # Heap ordering ------------------------------------------------------
-
-    def sort_key(self) -> Tuple[float, int]:
-        """Key used by the engine's heap: time, then scheduling order."""
-        return (self.time, self.seq)
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return self.sort_key() < other.sort_key()
+        #: the (time, seq) key of the heap entry currently representing
+        #: this handle; diverges from (self.time, self.seq) after a
+        #: deferred reschedule, None once fired/extracted
+        self._entry: Optional[Tuple[float, int]] = (time, seq)
 
     # State queries ------------------------------------------------------
 
@@ -80,8 +82,8 @@ class EventHandle:
 
         Returns ``True`` if the event was pending and is now cancelled,
         ``False`` if it had already fired or was already cancelled.
-        Cancellation is lazy: the handle stays in the engine's heap and
-        is discarded when popped.
+        Cancellation is lazy: the handle's entry stays in the engine's
+        heap and is discarded when popped.
         """
         if self.state is EventState.PENDING:
             self.state = EventState.CANCELLED
@@ -92,6 +94,7 @@ class EventHandle:
 
     def _mark_fired(self) -> None:
         self.state = EventState.FIRED
+        self._entry = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -1,0 +1,326 @@
+"""The pre-virtual-time resource model, kept verbatim as the oracle
+for the old-vs-new differential suite (``test_resources_differential``).
+
+This is the eager O(active claims)-per-state-change implementation the
+virtual-time fluid model in :mod:`repro.osmodel.resources` replaced:
+every activate/pause/cancel/speed change settles and re-arms one
+completion event per active claim.  Exact for piecewise-constant
+rates, which makes it a trustworthy (if slow) reference: the rewrite
+must reproduce its completion times and milestone firing order.
+"""
+
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Set
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulation
+from repro.sim.events import EventHandle
+
+_EPS = 1e-9
+
+
+class LegacyMilestone:
+    """A threshold on a claim's remaining work."""
+
+    __slots__ = ("threshold", "callback", "event", "fired")
+
+    def __init__(self, threshold: float, callback: Callable[[], None]):
+        self.threshold = threshold
+        self.callback = callback
+        self.event: Optional[EventHandle] = None
+        self.fired = False
+
+
+class LegacyClaim:
+    """One unit of in-progress work on a :class:`LegacyRateResource`.
+
+    ``on_done`` fires when ``units`` of service have been delivered.
+    The owner may pause the claim (removing it from service) and later
+    resume it; remaining work is preserved exactly.
+    """
+
+    __slots__ = (
+        "resource",
+        "initial",
+        "remaining",
+        "on_done",
+        "label",
+        "owner",
+        "_last_update",
+        "_event",
+        "active",
+        "milestones",
+        "done",
+    )
+
+    def __init__(
+        self,
+        resource: "LegacyRateResource",
+        units: float,
+        on_done: Callable[[], None],
+        label: str = "",
+        owner: Any = None,
+    ):
+        self.resource = resource
+        self.initial = float(units)
+        self.remaining = float(units)
+        self.on_done = on_done
+        self.label = label
+        self.owner = owner
+        self._last_update: float = 0.0
+        self._event: Optional[EventHandle] = None
+        self.active = False
+        self.done = False
+        self.milestones: List[LegacyMilestone] = []
+
+    @property
+    def rate(self) -> float:
+        """Current service rate (units/second); 0 when paused."""
+        if not self.active:
+            return 0.0
+        return self.resource.rate_per_claim()
+
+    def fraction_done(self) -> float:
+        """Fraction of the initial work already served, settled to now."""
+        if self.initial <= 0:
+            return 1.0
+        remaining = self.remaining
+        if self.active:
+            elapsed = self.resource.sim.now - self._last_update
+            remaining = max(0.0, remaining - self.rate * elapsed)
+        return max(0.0, min(1.0, 1.0 - remaining / self.initial))
+
+    def add_milestone(self, remaining_at: float, callback: Callable[[], None]) -> None:
+        """Fire ``callback`` when remaining work first drops to
+        ``remaining_at`` units.  Fires immediately (as a zero-delay
+        event) if the threshold is already crossed."""
+        milestone = LegacyMilestone(remaining_at, callback)
+        self.milestones.append(milestone)
+        self.resource._settle_all()
+        if self.remaining <= remaining_at + _EPS:
+            milestone.fired = True
+            self.resource.sim.call_soon(callback, label=f"milestone:{self.label}")
+        elif self.active:
+            self.resource._schedule_milestone(self, milestone)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"LegacyClaim(label={self.label!r}, remaining={self.remaining:.1f}, "
+            f"active={self.active})"
+        )
+
+
+class LegacyRateResource:
+    """A capacity shared equally among active claims.
+
+    Subclasses override :meth:`rate_per_claim` to model devices whose
+    aggregate throughput depends on the claim count (e.g. a multi-core
+    CPU serves up to ``cores`` claims at full speed).
+    """
+
+    def __init__(self, sim: Simulation, capacity: float, name: str = "resource"):
+        if capacity <= 0:
+            raise SimulationError(f"{name}: capacity must be positive")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.name = name
+        self._claims: Set[LegacyClaim] = set()
+        #: degradation multiplier (slow-node fault injection); 1.0 = healthy
+        self.speed_factor = 1.0
+
+    # -- policy --------------------------------------------------------
+
+    def rate_per_claim(self) -> float:
+        """Units/second each active claim currently receives."""
+        n = len(self._claims)
+        if n == 0:
+            return self.capacity * self.speed_factor
+        return self.capacity * self.speed_factor / n
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Degrade (or restore) the device to ``factor`` of nominal speed.
+
+        In-flight claims are settled at the old rate first, then every
+        completion/milestone event is recomputed -- the piecewise-
+        constant-rate contract the engine relies on.  Models slow-node
+        faults (failing disk, thermal throttling, a noisy neighbour).
+        """
+        if factor <= 0:
+            raise SimulationError(f"{self.name}: speed factor must be positive")
+        self._settle_all()
+        self.speed_factor = float(factor)
+        self._reschedule_all()
+
+    # -- claim lifecycle -------------------------------------------------
+
+    def submit(
+        self,
+        units: float,
+        on_done: Callable[[], None],
+        label: str = "",
+        owner: Any = None,
+    ) -> LegacyClaim:
+        """Create and immediately activate a claim for ``units`` of work."""
+        claim = LegacyClaim(self, units, on_done, label=label, owner=owner)
+        self.activate(claim)
+        return claim
+
+    def create(
+        self,
+        units: float,
+        on_done: Callable[[], None],
+        label: str = "",
+        owner: Any = None,
+    ) -> LegacyClaim:
+        """Create a claim without activating it (caller activates later)."""
+        return LegacyClaim(self, units, on_done, label=label, owner=owner)
+
+    def activate(self, claim: LegacyClaim) -> None:
+        """Begin (or resume) serving ``claim``."""
+        if claim.active or claim.done:
+            return
+        self._settle_all()
+        claim.active = True
+        claim._last_update = self.sim.now
+        self._claims.add(claim)
+        self._reschedule_all()
+
+    def pause(self, claim: LegacyClaim) -> None:
+        """Stop serving ``claim``, preserving its remaining work."""
+        if not claim.active:
+            return
+        self._settle_all()
+        claim.active = False
+        self._claims.discard(claim)
+        self._cancel_claim_events(claim)
+        self._reschedule_all()
+
+    def cancel(self, claim: LegacyClaim) -> None:
+        """Abort ``claim`` entirely (completion callback never fires)."""
+        self.pause(claim)
+        claim.done = True
+
+    # -- internals -------------------------------------------------------
+
+    def _cancel_claim_events(self, claim: LegacyClaim) -> None:
+        if claim._event is not None:
+            claim._event.cancel()
+            claim._event = None
+        for milestone in claim.milestones:
+            if milestone.event is not None:
+                milestone.event.cancel()
+                milestone.event = None
+
+    def _settle_all(self) -> None:
+        """Charge elapsed service to every active claim."""
+        now = self.sim.now
+        rate = self.rate_per_claim()
+        for claim in self._claims:
+            elapsed = now - claim._last_update
+            if elapsed > 0:
+                claim.remaining = max(0.0, claim.remaining - rate * elapsed)
+            claim._last_update = now
+
+    def _reschedule_all(self) -> None:
+        """Recompute every active claim's completion/milestone events."""
+        rate = self.rate_per_claim()
+        for claim in self._claims:
+            self._cancel_claim_events(claim)
+            if rate <= 0:
+                continue
+            eta = claim.remaining / rate
+            claim._event = self.sim.schedule(
+                eta, self._complete, claim, label=f"{self.name}.done:{claim.label}"
+            )
+            for milestone in claim.milestones:
+                if not milestone.fired:
+                    self._schedule_milestone(claim, milestone)
+
+    def _schedule_milestone(self, claim: LegacyClaim, milestone: LegacyMilestone) -> None:
+        rate = self.rate_per_claim()
+        if rate <= 0 or not claim.active:
+            return
+        eta = max(0.0, (claim.remaining - milestone.threshold) / rate)
+        milestone.event = self.sim.schedule(
+            eta,
+            self._fire_milestone,
+            claim,
+            milestone,
+            label=f"{self.name}.milestone:{claim.label}",
+        )
+
+    def _fire_milestone(self, claim: LegacyClaim, milestone: LegacyMilestone) -> None:
+        if milestone.fired or not claim.active:
+            return
+        self._settle_all()
+        if claim.remaining > milestone.threshold + 1e-6:
+            # The rate dropped since this event was scheduled; try again
+            # at the recomputed crossing time.
+            self._schedule_milestone(claim, milestone)
+            return
+        milestone.fired = True
+        milestone.event = None
+        milestone.callback()
+
+    def _complete(self, claim: LegacyClaim) -> None:
+        if not claim.active:  # paused after the event was queued
+            return
+        self._settle_all()
+        # Guard against float drift: the event fired, so the claim is done.
+        claim.remaining = 0.0
+        claim.active = False
+        claim.done = True
+        self._claims.discard(claim)
+        self._cancel_claim_events(claim)
+        # Unfired milestones are vacuously crossed at completion.
+        for milestone in claim.milestones:
+            if not milestone.fired:
+                milestone.fired = True
+                self.sim.call_soon(
+                    milestone.callback, label=f"{self.name}.milestone:{claim.label}"
+                )
+        self._reschedule_all()
+        claim.on_done()
+
+    @property
+    def active_claims(self) -> int:
+        """Number of claims currently being served."""
+        return len(self._claims)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(name={self.name!r}, claims={len(self._claims)})"
+
+
+class LegacyCpuResource(LegacyRateResource):
+    """A multi-core CPU.
+
+    Rates are expressed in core-seconds per second.  Up to ``cores``
+    claims run at one core each; beyond that the cores are shared
+    equally, matching the Linux CFS behaviour for equal-priority
+    CPU-bound processes.
+    """
+
+    def __init__(self, sim: Simulation, cores: int, name: str = "cpu"):
+        super().__init__(sim, capacity=float(cores), name=name)
+        self.cores = cores
+
+    def rate_per_claim(self) -> float:
+        n = len(self._claims)
+        if n == 0:
+            return self.speed_factor
+        return min(1.0, self.cores / n) * self.speed_factor
+
+
+class LegacyDiskResource(LegacyRateResource):
+    """Streaming disk bandwidth, equally shared among active streams.
+
+    Capacity is bytes/second of sequential transfer.  Seek costs for
+    short bursts are handled separately by
+    :meth:`repro.osmodel.disk.DiskDevice.burst_time`; long streams are
+    dominated by transfer time.
+    """
+
+    def __init__(self, sim: Simulation, bandwidth: float, name: str = "disk"):
+        super().__init__(sim, capacity=bandwidth, name=name)

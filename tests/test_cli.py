@@ -76,3 +76,86 @@ class TestReproduce:
         )
         assert code == 0
         assert "natjam" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_quick_fig1(self, capsys):
+        assert main(["profile", "fig1", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out  # pstats table header
+        assert "function calls" in out
+
+    def test_profile_dump_to_file(self, tmp_path, capsys):
+        out_path = os.path.join(tmp_path, "prof.pstats")
+        assert main(
+            ["profile", "fig1", "--sort", "tottime", "--out", out_path]
+        ) == 0
+        assert os.path.exists(out_path)
+        assert f"wrote {out_path}" in capsys.readouterr().out
+
+    def test_profile_unknown_experiment(self, capsys):
+        assert main(["profile", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchGuard:
+    """tools/bench_guard.py: artifact shape and regression detection."""
+
+    def _load_guard(self):
+        import importlib.util
+        import pathlib
+
+        path = pathlib.Path(__file__).parent.parent / "tools" / "bench_guard.py"
+        spec = importlib.util.spec_from_file_location("bench_guard", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_run_and_self_check_passes(self, tmp_path):
+        guard = self._load_guard()
+        out = os.path.join(tmp_path, "bench.json")
+        assert guard.main(["--out", out, "--scale", "0.08"]) == 0
+        import json
+
+        with open(out) as handle:
+            payload = json.load(handle)
+        assert set(payload["benches"]) == set(guard.BENCHES)
+        for counters in payload["benches"].values():
+            assert counters["wall_s"] >= 0
+        # Same machine, same scale: the guard must accept its own run.
+        out2 = os.path.join(tmp_path, "bench2.json")
+        assert guard.main(
+            ["--out", out2, "--scale", "0.08", "--check", out]
+        ) == 0
+
+    def test_counter_regression_fails(self, tmp_path):
+        guard = self._load_guard()
+        current = {"cell": {"wall_s": 1.0, "events": 130, "engine_ops": 10}}
+        baseline = {"cell": {"wall_s": 1.0, "events": 100, "engine_ops": 10}}
+        problems = guard.check(current, baseline)
+        assert problems and "events" in problems[0]
+
+    def test_uniformly_slower_machine_passes_wall(self):
+        guard = self._load_guard()
+        baseline = {
+            "a": {"wall_s": 1.0, "events": 10, "engine_ops": 0},
+            "b": {"wall_s": 2.0, "events": 10, "engine_ops": 0},
+            "c": {"wall_s": 4.0, "events": 10, "engine_ops": 0},
+        }
+        current = {
+            name: {"wall_s": vals["wall_s"] * 3.0, "events": 10, "engine_ops": 0}
+            for name, vals in baseline.items()
+        }
+        assert guard.check(current, baseline) == []
+
+    def test_single_bench_wall_regression_fails(self):
+        guard = self._load_guard()
+        baseline = {
+            "a": {"wall_s": 1.0, "events": 10, "engine_ops": 0},
+            "b": {"wall_s": 2.0, "events": 10, "engine_ops": 0},
+            "c": {"wall_s": 4.0, "events": 10, "engine_ops": 0},
+        }
+        current = {name: dict(vals) for name, vals in baseline.items()}
+        current["c"]["wall_s"] = 20.0
+        problems = guard.check(current, baseline)
+        assert problems and "c: wall" in problems[0]

@@ -175,3 +175,144 @@ class TestDiskResource:
         # alone at 100/s -> done at t=4.
         assert done["a"] == pytest.approx(2.0)
         assert done["b"] == pytest.approx(4.0)
+
+
+class TestFloatDrift:
+    """Remaining work is derived from the cumulative service total, so
+    settlement cycles cannot accumulate subtraction error."""
+
+    def test_10k_settle_cycles_exact_remaining(self):
+        # Pause/resume with zero elapsed time between: the remaining
+        # units must round-trip *exactly* -- the old model subtracted a
+        # settled delta per cycle and drifted.
+        sim = Simulation()
+        res = RateResource(sim, capacity=3.0)
+        claim = res.submit(1.0 / 3.0, lambda: None)
+        start_remaining = claim.remaining
+        for _ in range(10_000):
+            res.pause(claim)
+            res.activate(claim)
+        assert claim.remaining == start_remaining
+
+    def test_10k_churn_cycles_completion_time(self):
+        # A long-lived claim survives 10k rate changes from short
+        # competing claims; its completion time must match the analytic
+        # value to float precision, not wander with the churn.
+        sim = Simulation()
+        res = RateResource(sim, capacity=2.0)
+        done = []
+        victim = res.submit(10_000.0, lambda: done.append(sim.now))
+        interval = 0.25
+
+        def churn(i=[0]):
+            i[0] += 1
+            if i[0] <= 10_000:
+                res.submit(interval, lambda: None)  # ~one rate change each
+                sim.schedule(interval, churn)
+
+        sim.schedule(0.0, churn)
+        sim.run()
+        assert len(done) == 1
+        # Work accounting: victim gets 1.0/s while sharing with one
+        # short claim, 2.0/s otherwise; each churn claim takes 0.25
+        # units => victim's completion solves the piecewise integral.
+        # Rather than re-deriving the exact closed form, assert against
+        # the legacy oracle which integrates the same script eagerly.
+        from tests.legacy_resources import LegacyRateResource
+
+        sim2 = Simulation()
+        res2 = LegacyRateResource(sim2, capacity=2.0)
+        done2 = []
+        res2.submit(10_000.0, lambda: done2.append(sim2.now))
+
+        def churn2(i=[0]):
+            i[0] += 1
+            if i[0] <= 10_000:
+                res2.submit(interval, lambda: None)
+                sim2.schedule(interval, churn2)
+
+        sim2.schedule(0.0, churn2)
+        sim2.run()
+        assert done[0] == pytest.approx(done2[0], rel=1e-9)
+
+    def test_fraction_done_monotone_under_churn(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=5.0)
+        claim = res.submit(200.0, lambda: None)
+        seen = []
+
+        def sample(step=[0]):
+            seen.append(claim.fraction_done())
+            step[0] += 1
+            if step[0] < 200:
+                if step[0] % 3 == 0:
+                    res.submit(1.0, lambda: None)
+                sim.schedule(0.3, sample)
+
+        sim.schedule(0.3, sample)
+        sim.run()
+        assert seen == sorted(seen)
+        assert claim.done
+
+
+class TestEventChurn:
+    """The virtual-time model's acceptance bar: per-state-change event
+    traffic is O(log n) heap work and O(1) engine events, however many
+    claims are active."""
+
+    N = 512
+
+    def _loaded_resource(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=1000.0)
+        claims = [res.submit(1e9 + i, lambda: None) for i in range(self.N)]
+        return sim, res, claims
+
+    @staticmethod
+    def _engine_ops(sim):
+        return sim.events_scheduled + sim.reschedules
+
+    def test_activate_is_constant_engine_traffic(self):
+        sim, res, claims = self._loaded_resource()
+        before = self._engine_ops(sim)
+        res.submit(1e9, lambda: None)
+        # One armed-event move at most, plus the new claim's crossing
+        # bookkeeping: independent of the 512 active claims (the eager
+        # model re-armed 513 completion events here).
+        assert self._engine_ops(sim) - before <= 2
+
+    def test_pause_resume_is_constant_engine_traffic(self):
+        sim, res, claims = self._loaded_resource()
+        before = self._engine_ops(sim)
+        res.pause(claims[17])
+        res.activate(claims[17])
+        assert self._engine_ops(sim) - before <= 4
+
+    def test_speed_change_is_constant_engine_traffic(self):
+        sim, res, claims = self._loaded_resource()
+        before = self._engine_ops(sim)
+        res.set_speed_factor(0.5)
+        res.set_speed_factor(1.0)
+        assert self._engine_ops(sim) - before <= 2
+
+    def test_one_armed_event_for_many_claims(self):
+        sim, res, claims = self._loaded_resource()
+        # 512 active claims, one pending engine event for all of them.
+        assert sim.pending_events == 1
+
+    def test_rate_changes_defer_instead_of_reschedule(self):
+        sim, res, _ = self._loaded_resource()
+        # Every submit slowed the shared rate, pushing the armed event
+        # later: the engine must have recycled its heap entry rather
+        # than cancel+push each time.
+        assert sim.reschedule_reuses > self.N // 2
+
+    def test_completion_storm_still_fires_everything(self):
+        sim = Simulation()
+        res = RateResource(sim, capacity=100.0)
+        done = []
+        for i in range(100):
+            res.submit(50.0, lambda i=i: done.append(i))
+        sim.run()
+        assert sorted(done) == list(range(100))
+        assert res.active_claims == 0

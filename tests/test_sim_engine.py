@@ -337,3 +337,158 @@ class TestDeterminism:
         sim.run()
         assert fired == sorted(fired)
         assert len(fired) == len(delays)
+
+
+class TestReschedule:
+    """reschedule(): correctness of the deferred-entry reuse paths."""
+
+    def test_defer_fires_at_new_time(self):
+        sim = Simulation()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.reschedule(handle, 5.0)
+        sim.run()
+        assert fired == [5.0]
+        assert handle.fired
+
+    def test_advance_fires_at_new_time(self):
+        sim = Simulation()
+        fired = []
+        handle = sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.reschedule(handle, 1.0)
+        sim.run()
+        assert fired == [1.0]
+
+    def test_same_time_is_a_noop_reuse(self):
+        sim = Simulation()
+        handle = sim.schedule(2.0, lambda: None)
+        before = sim.heap_size
+        assert sim.reschedule(handle, 2.0) is handle
+        assert sim.heap_size == before
+        assert sim.reschedule_reuses == 1
+
+    def test_defer_reuses_heap_entry(self):
+        sim = Simulation()
+        handle = sim.schedule(1.0, lambda: None)
+        before = sim.heap_size
+        sim.reschedule(handle, 9.0)
+        assert sim.heap_size == before  # recycled lazily, no new push
+        assert sim.reschedule_reuses == 1
+        assert sim.pending_events == 1
+
+    def test_repeated_defers_then_advance(self):
+        sim = Simulation()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.reschedule(handle, 4.0)
+        sim.reschedule(handle, 8.0)
+        sim.reschedule(handle, 2.0)
+        sim.run()
+        assert fired == [2.0]
+        assert sim.pending_events == 0
+
+    def test_cancel_after_defer(self):
+        sim = Simulation()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        sim.reschedule(handle, 3.0)
+        assert handle.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.pending_events == 0
+
+    def test_reschedule_into_past_rejected(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(5.0, lambda: None)
+        sim.run(until=2.0)
+        with pytest.raises(SchedulingInPastError):
+            sim.reschedule(handle, 1.5)
+
+    def test_reschedule_fired_handle_rejected(self):
+        sim = Simulation()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.reschedule(handle, 2.0)
+
+    def test_fifo_order_is_as_if_freshly_scheduled(self):
+        # A reschedule behaves like cancel+schedule for same-instant
+        # ordering: the moved event fires after events already queued
+        # at the target time.
+        sim = Simulation()
+        fired = []
+        moved = sim.schedule(1.0, fired.append, "moved")
+        sim.schedule(3.0, fired.append, "incumbent")
+        sim.reschedule(moved, 3.0)
+        sim.run()
+        assert fired == ["incumbent", "moved"]
+
+    def test_pending_events_exact_under_mixed_traffic(self):
+        sim = Simulation()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for i, handle in enumerate(handles):
+            if i % 3 == 0:
+                sim.reschedule(handle, float(i + 50))
+            elif i % 3 == 1:
+                sim.reschedule(handle, max(float(i) * 0.5, 0.0))
+        for handle in handles[::5]:
+            handle.cancel()
+        alive = sum(1 for h in handles if h.pending)
+        assert sim.pending_events == alive
+        fired = 0
+        while sim.step():
+            fired += 1
+        assert fired == alive
+        assert sim.pending_events == 0
+
+    def test_compaction_preserves_deferred_entries(self):
+        sim = Simulation()
+        fired = []
+        keepers = []
+        for i in range(200):
+            handle = sim.schedule(float(i + 1), fired.append, i)
+            if i % 2 == 0:
+                handle.cancel()
+            else:
+                sim.reschedule(handle, float(i + 1) + 500.0)
+                keepers.append(i)
+        # enough cancellations to force at least one compaction
+        assert sim.compactions >= 1
+        sim.run()
+        assert fired == keepers
+        assert sim.pending_events == 0
+
+    def test_peek_time_resolves_deferred_head(self):
+        sim = Simulation()
+        fired = []
+        head = sim.schedule(1.0, fired.append, "late")
+        sim.schedule(2.0, fired.append, "early")
+        sim.reschedule(head, 10.0)
+        # run(until) must not step past `until` chasing the stale head.
+        sim.run(until=5.0)
+        assert fired == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_compaction_during_earlier_move_keeps_counter_exact(self):
+        # Regression: an earlier-move reschedule bumps the dead-entry
+        # counter and may trigger compaction *mid-reschedule*; the
+        # handle's new entry must already be its representative by
+        # then, or compaction resurrects the orphan as a duplicate and
+        # the dead counter goes negative once both surface.
+        sim = Simulation()
+        keepers = [sim.schedule(float(i + 10), lambda: None) for i in range(100)]
+        movers = [sim.schedule(1000.0 + i, lambda: None) for i in range(120)]
+        for i, handle in enumerate(movers):
+            # every move is earlier: each leaves one orphan entry
+            sim.reschedule(handle, 500.0 - i)
+        alive = len(keepers) + len(movers)
+        assert sim.pending_events == alive
+        fired = 0
+        while sim.step():
+            fired += 1
+        assert fired == alive
+        assert sim.pending_events == 0
+        assert sim.heap_size == 0

@@ -1,0 +1,213 @@
+"""Benchmark guard: regenerate BENCH_PR3.json and police regressions.
+
+Runs a small battery of deterministic workloads spanning the layers
+the virtual-time resource refactor touched -- the contention
+microbench, a two-job paper cell, and two SWIM replay cells -- and
+records, per bench:
+
+* ``wall_s``   -- wall-clock seconds (machine-dependent);
+* ``events``   -- simulation events fired (deterministic);
+* ``engine_ops`` -- schedule + reschedule calls (deterministic).
+
+``--check BASELINE`` compares against a checked-in baseline and exits
+non-zero on a >20% regression.  The deterministic counters compare
+directly.  Wall-clock is compared *after calibration*: every bench's
+current/baseline ratio is divided by the median ratio across benches,
+so a uniformly slower CI machine cancels out and only benches that
+regressed relative to their peers trip the guard (a uniform algorithmic
+slowdown is still caught by the event/op counters, which do not
+calibrate).
+
+Usage::
+
+    python tools/bench_guard.py --out BENCH_PR3.json
+    python tools/bench_guard.py --out BENCH_PR3.json \
+        --check benchmarks/BENCH_PR3.baseline.json
+    python tools/bench_guard.py --update-baseline   # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+WALL_TOLERANCE = 1.20
+COUNTER_TOLERANCE = 1.20
+#: benches faster than this are policed by their deterministic
+#: counters only -- sub-250ms wall clocks are timer noise on shared CI
+WALL_FLOOR_S = 0.25
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "BENCH_PR3.baseline.json"
+)
+
+
+def bench_resource_churn(scale: float = 1.0) -> dict:
+    """The tentpole pattern: one resource, many claims, heavy churn."""
+    from repro.osmodel.resources import RateResource
+    from repro.sim.engine import Simulation
+
+    claims_n = max(int(600 * scale), 8)
+    cycles = max(int(20_000 * scale), 16)
+    sim = Simulation()
+    res = RateResource(sim, capacity=100.0)
+    claims = [res.submit(1e8 + i, lambda: None) for i in range(claims_n)]
+    for cycle in range(cycles):
+        victim = claims[(cycle * 37) % claims_n]
+        res.pause(victim)
+        res.activate(victim)
+        if cycle % 50 == 0:
+            res.set_speed_factor(0.5 if cycle % 100 == 0 else 1.0)
+    return {
+        "events": sim.events_fired,
+        "engine_ops": sim.events_scheduled + sim.reschedules,
+    }
+
+
+def bench_two_job_suspend(scale: float = 1.0) -> dict:
+    """Figure-2 microbenchmark cells (suspend at 50%), heavy variant
+    included so the bench clears the wall-clock floor."""
+    from repro.experiments.harness import TwoJobHarness
+
+    runs = max(int(10 * scale), 1)
+    events = ops = 0
+    for seed in range(99, 99 + runs):
+        harness = TwoJobHarness("suspend", 0.5, runs=1, keep_traces=True)
+        result = harness.run_once(seed=seed)
+        sim = result.trace_cluster.sim
+        events += sim.events_fired
+        ops += sim.events_scheduled + sim.reschedules
+    return {"events": events, "engine_ops": ops}
+
+
+def bench_scale_baseline_50(scale: float = 1.0) -> dict:
+    """A mid-size SWIM replay cell: 50 trackers, facebook mix."""
+    return _scale_cell("baseline", trackers=max(int(50 * scale), 5),
+                       num_jobs=max(int(50 * scale), 5))
+
+
+def bench_scale_shuffle_100(scale: float = 1.0) -> dict:
+    """The contention-heavy replay cell: shuffle-heavy mix."""
+    return _scale_cell("shuffle-heavy", trackers=max(int(100 * scale), 5),
+                       num_jobs=max(int(100 * scale), 5))
+
+
+def _scale_cell(scenario: str, trackers: int, num_jobs: int) -> dict:
+    from repro.experiments.runner import derive_seed
+    from repro.experiments.scale_study import _run_once
+
+    out = _run_once(
+        scenario=scenario,
+        primitive_name="suspend",
+        trackers=trackers,
+        num_jobs=num_jobs,
+        seed=derive_seed(9000, "scale", scenario, trackers, "suspend", 0),
+    )
+    return {"events": int(out["events"]), "engine_ops": 0}
+
+
+BENCHES = {
+    "resource_churn": bench_resource_churn,
+    "two_job_suspend": bench_two_job_suspend,
+    "scale_baseline_50": bench_scale_baseline_50,
+    "scale_shuffle_100": bench_scale_shuffle_100,
+}
+
+
+def run_benches(scale: float = 1.0) -> dict:
+    results = {}
+    for name, fn in BENCHES.items():
+        start = time.perf_counter()
+        counters = fn(scale)
+        counters["wall_s"] = round(time.perf_counter() - start, 4)
+        results[name] = counters
+        print(f"  {name:>20}: {counters['wall_s']:.3f}s "
+              f"events={counters['events']} ops={counters['engine_ops']}")
+    return results
+
+
+def check(current: dict, baseline: dict) -> list:
+    """Return a list of regression messages (empty = pass)."""
+    problems = []
+    shared = [name for name in baseline if name in current]
+    if not shared:
+        return ["baseline and current share no benches"]
+    # Calibrate on the benches whose baselines are long enough to time
+    # stably; sub-floor benches are pure timer noise and would corrupt
+    # the median (they are policed by their counters instead).
+    ratios = [
+        current[name]["wall_s"] / baseline[name]["wall_s"]
+        for name in shared
+        if baseline[name]["wall_s"] >= WALL_FLOOR_S
+    ]
+    machine_factor = statistics.median(ratios) if ratios else 1.0
+    for name in shared:
+        cur, base = current[name], baseline[name]
+        for counter in ("events", "engine_ops"):
+            if base.get(counter, 0) > 0 and cur[counter] > base[counter] * COUNTER_TOLERANCE:
+                problems.append(
+                    f"{name}: {counter} {cur[counter]} vs baseline "
+                    f"{base[counter]} (> {COUNTER_TOLERANCE:.0%})"
+                )
+        if base["wall_s"] >= WALL_FLOOR_S and machine_factor > 0:
+            calibrated = cur["wall_s"] / machine_factor
+            if calibrated > base["wall_s"] * WALL_TOLERANCE:
+                problems.append(
+                    f"{name}: wall {cur['wall_s']:.3f}s "
+                    f"(calibrated {calibrated:.3f}s, machine x{machine_factor:.2f}) "
+                    f"vs baseline {base['wall_s']:.3f}s (> {WALL_TOLERANCE:.0%})"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_PR3.json",
+                        help="result artifact path (default BENCH_PR3.json)")
+    parser.add_argument("--check", default=None,
+                        help="baseline JSON to compare against "
+                        "(non-zero exit on >20%% regression)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help=f"write results to {BASELINE_PATH}")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (tests use <1)")
+    args = parser.parse_args(argv)
+
+    print("bench_guard: running benches...")
+    results = run_benches(scale=args.scale)
+    payload = {"scale": args.scale, "benches": results}
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.update_baseline:
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {BASELINE_PATH}")
+
+    if args.check:
+        with open(args.check, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        if baseline.get("scale") != args.scale:
+            print(f"error: baseline scale {baseline.get('scale')} != "
+                  f"run scale {args.scale}", file=sys.stderr)
+            return 2
+        problems = check(results, baseline["benches"])
+        if problems:
+            print("bench_guard: REGRESSIONS DETECTED", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print("bench_guard: within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
