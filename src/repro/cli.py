@@ -26,6 +26,7 @@ from typing import List, Optional
 
 from repro.errors import ReproError
 from repro.experiments.registry import (
+    describe_experiment,
     get_experiment,
     list_experiments,
     resolve_name,
@@ -114,8 +115,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_list() -> int:
     print("experiments:")
-    for name in list_experiments():
-        print(f"  {name}")
+    names = list_experiments()
+    width = max(len(name) for name in names)
+    for name in names:
+        print(f"  {name:<{width}}  {describe_experiment(name)}")
     return 0
 
 
@@ -144,6 +147,8 @@ def _quick_kwargs(name: str) -> dict:
             "scenarios": ["baseline", "burst"],
             "num_jobs": 15,
         }
+    if name == "shuffle":
+        return {"runs": 1, "cluster_sizes": [10], "num_jobs": 12}
     return {}
 
 

@@ -56,6 +56,28 @@ EXPERIMENTS: Dict[str, LazyRunner] = {
     ),
     "faults": LazyRunner("repro.experiments.faults_study", "run_faults_study"),
     "scale": LazyRunner("repro.experiments.scale_study", "run_scale_study"),
+    "shuffle": LazyRunner(
+        "repro.experiments.shuffle_study", "run_shuffle_study"
+    ),
+}
+
+#: one-line summaries printed by ``repro list`` (kept here, next to
+#: the registry, so adding an experiment without a description is a
+#: visible omission rather than a silent one)
+DESCRIPTIONS: Dict[str, str] = {
+    "fig1": "Gantt charts of the two-job microbenchmark schedules (Figure 1)",
+    "fig2": "baseline two-job sweep: th sojourn and makespan vs tl progress (Figure 2)",
+    "fig3": "worst-case sweep with 2 GB memory-hungry tasks (Figure 3)",
+    "fig4": "suspended-footprint memory sweep: bytes paged to swap (Figure 4)",
+    "natjam": "checkpoint-based (Natjam-style) preemption overhead comparison",
+    "eviction": "eviction-policy study: which running task to preempt",
+    "hfsp": "HFSP size-based scheduling with each preemption primitive",
+    "swappiness": "vm.swappiness sensitivity of the suspend primitive",
+    "gc": "GC policy (hoarding vs releasing collector) suspended-footprint study",
+    "adaptive": "adaptive primitive selection by task progress",
+    "faults": "fault injection and recovery: crashes, slow nodes, task failures",
+    "scale": "cluster-at-scale SWIM replay (25/100/400 trackers, HFSP)",
+    "shuffle": "network-contention study: shuffle flows on oversubscribed uplinks",
 }
 
 #: aliases accepted by the CLI
@@ -75,6 +97,9 @@ ALIASES = {
     "faults_study": "faults",
     "e9": "scale",
     "scale_study": "scale",
+    "e10": "shuffle",
+    "shuffle_study": "shuffle",
+    "netmodel": "shuffle",
 }
 
 
@@ -96,3 +121,8 @@ def get_experiment(name: str) -> LazyRunner:
 def list_experiments() -> List[str]:
     """Registered experiment ids."""
     return sorted(EXPERIMENTS)
+
+
+def describe_experiment(name: str) -> str:
+    """One-line description of an experiment id."""
+    return DESCRIPTIONS.get(resolve_name(name), "")

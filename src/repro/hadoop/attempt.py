@@ -199,6 +199,14 @@ class TaskAttempt:
             "input_bytes",
             int(self._final_progress * self.spec.input_bytes),
         )
+        fetched = self.fetched_network_bytes()
+        if fetched:
+            self.counters.set_value("task", "shuffle_bytes_fetched", fetched)
+        discarded = self.discarded_network_bytes()
+        if discarded:
+            self.counters.set_value(
+                "task", "network_bytes_discarded", discarded
+            )
         self.counters.set_value(
             "task", "swapped_bytes", self.lifetime_swapped_bytes()
         )
@@ -213,6 +221,36 @@ class TaskAttempt:
                 "stopped_ms",
                 int(self.jvm.process.stopped_seconds * 1000),
             )
+
+    # -- network introspection (the shuffle study's metric) --------------------------------
+
+    def fetched_network_bytes(self) -> int:
+        """Bytes this attempt pulled over the fabric, settled to now."""
+        if self.jvm is None:
+            return 0
+        from repro.netmodel.fetch import NetworkFetchItem
+
+        return int(
+            sum(
+                item.fetched_bytes()
+                for item in self.jvm.engine.plan
+                if isinstance(item, NetworkFetchItem)
+            )
+        )
+
+    def discarded_network_bytes(self) -> int:
+        """Network traffic a kill (or failure) threw away.
+
+        Every shuffle byte the attempt moved is lost with it -- the
+        completed fetches die with the attempt's local state, and the
+        in-flight ones were frozen at abort time.  Zero for succeeded
+        (nothing discarded) and live attempts.
+        """
+        if self.jvm is None or not self.state.terminal:
+            return 0
+        if self.state is AttemptState.SUCCEEDED:
+            return 0
+        return self.fetched_network_bytes()
 
     # -- memory introspection (Figure 4's metric) ------------------------------------------
 

@@ -28,14 +28,17 @@ from repro.hadoop.jobtracker import JobTracker
 from repro.hadoop.jvm import GcPolicy
 from repro.hadoop.states import AttemptState
 from repro.hadoop.tasktracker import TaskTracker
+from repro.hadoop.task import TaskInProgress, TipRole
 from repro.hdfs.block import DEFAULT_BLOCK_SIZE
 from repro.hdfs.datanode import DataNode
 from repro.hdfs.namenode import NameNode
 from repro.hdfs.topology import RackTopology
+from repro.netmodel.config import NetConfig
+from repro.netmodel.fabric import Fabric
 from repro.osmodel.config import NodeConfig
 from repro.osmodel.kernel import NodeKernel
 from repro.sim.engine import Simulation
-from repro.workloads.jobspec import JobSpec
+from repro.workloads.jobspec import JobSpec, TaskKind, TaskSpec
 
 
 class HadoopCluster:
@@ -52,6 +55,7 @@ class HadoopCluster:
         gc_policy: GcPolicy = GcPolicy.HOARD,
         replication: int = 1,
         racks: int = 1,
+        net_config: Optional[NetConfig] = None,
     ):
         if num_nodes < 1:
             raise ConfigurationError("a cluster needs at least one node")
@@ -85,6 +89,16 @@ class HadoopCluster:
                 self.sim, kernel, self.hadoop_config, self.jobtracker, gc_policy
             )
             self.trackers[hostname] = tracker
+
+        #: the shared-bandwidth network fabric; None (the default)
+        #: keeps the historical network-free model -- shuffles and
+        #: remote reads stay local disk stand-ins
+        self.fabric: Optional[Fabric] = None
+        if net_config is not None:
+            self.fabric = Fabric(self.sim, self.topology, net_config)
+            for kernel in self.kernels.values():
+                kernel.fabric = self.fabric
+            self.jobtracker.spec_transformers.append(self._attach_shuffle_sources)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -188,6 +202,50 @@ class HadoopCluster:
         """Find a submitted job by its spec name."""
         return self.jobtracker.job_by_name(name)
 
+    # -- network fabric helpers -------------------------------------------------------
+
+    def _attach_shuffle_sources(
+        self, tip: TaskInProgress, spec: TaskSpec
+    ) -> TaskSpec:
+        """Spec transformer: resolve a reduce attempt's shuffle into
+        per-source-host flows at attempt-creation time.
+
+        Each map tip's share of the shuffle is proportional to its
+        input and sourced from the host its attempt is (or was) bound
+        to.  Maps not yet placed are attributed round-robin across the
+        topology -- a deterministic stand-in for "wherever that map
+        will run", which keeps the traffic spread realistic without
+        modelling the full shuffle barrier.
+        """
+        if (
+            spec.kind is not TaskKind.REDUCE
+            or spec.shuffle_bytes <= 0
+            or spec.shuffle_sources
+        ):
+            return spec
+        maps = [t for t in tip.job.tips if t.role is TipRole.MAP]
+        hosts = self.topology.hosts()
+        if not maps or not hosts:
+            return spec
+        total_input = sum(m.spec.input_bytes for m in maps)
+        by_host: Dict[str, int] = {}
+        allocated = 0
+        for m in maps:
+            if total_input > 0:
+                share = spec.shuffle_bytes * m.spec.input_bytes // total_input
+            else:
+                share = spec.shuffle_bytes // len(maps)
+            host = m.tracker or hosts[m.index % len(hosts)]
+            by_host[host] = by_host.get(host, 0) + share
+            allocated += share
+            last_host = host
+        remainder = spec.shuffle_bytes - allocated
+        if remainder > 0:
+            by_host[last_host] = by_host.get(last_host, 0) + remainder
+        from dataclasses import replace
+
+        return replace(spec, shuffle_sources=tuple(by_host.items()))
+
     # -- fault recovery helpers ------------------------------------------------------
 
     def crash_tracker(self, host: str) -> None:
@@ -214,6 +272,11 @@ class HadoopCluster:
         """Total discarded task-seconds (kills, failures, node losses,
         speculation losers) from the JobTracker's wasted-work ledger."""
         return self.jobtracker.wasted.total()
+
+    def wasted_network_bytes(self) -> int:
+        """Total discarded shuffle traffic (killed/failed attempts'
+        fetched bytes) from the wasted-work ledger's network column."""
+        return self.jobtracker.wasted.network_bytes_total()
 
     # -- attempt lookup ------------------------------------------------------------
 

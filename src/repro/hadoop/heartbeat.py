@@ -26,6 +26,9 @@ class AttemptStatus:
     progress: float
     resident_bytes: int = 0
     swapped_bytes: int = 0
+    #: shuffle traffic a terminal (killed/failed) attempt discards;
+    #: the JobTracker charges it to the wasted-network-bytes ledger
+    discarded_network_bytes: int = 0
 
 
 @dataclass(slots=True)

@@ -283,6 +283,15 @@ class JobTracker:
             if tip.state.terminal:
                 continue
             progress_lost = tip.progress
+            if tracker is not None and tip.active_attempt_id is not None:
+                attempt = tracker.attempts.get(tip.active_attempt_id)
+                if attempt is not None:
+                    # The node's shuffle traffic died with its daemon.
+                    self.wasted.add_network_bytes(
+                        TRACKER_LOST,
+                        attempt.fetched_network_bytes(),
+                        tip.tip_id,
+                    )
             tip.mark_lost_tracker()
             lost_seconds = (
                 tip.work_seconds(progress_lost)
@@ -481,6 +490,9 @@ class JobTracker:
                 lost = tip.work_seconds(status.progress)
                 tip.wasted_seconds += lost
                 self.wasted.add(TASK_FAILURE, lost, tip.tip_id)
+                self.wasted.add_network_bytes(
+                    TASK_FAILURE, status.discarded_network_bytes, tip.tip_id
+                )
                 self._charge_tracker_failure(tracker)
                 tip.failed_on.add(tracker)
             tip.clear_speculative()
@@ -513,6 +525,12 @@ class JobTracker:
             lost = tip.work_seconds(attempt.progress())
             tip.wasted_seconds += lost
             self.wasted.add(cause, lost, tip.tip_id)
+            # The loser's terminal status later hits the stale-report
+            # path, so its shuffle traffic is charged here, at the same
+            # instant as its seconds.
+            self.wasted.add_network_bytes(
+                cause, attempt.fetched_network_bytes(), tip.tip_id
+            )
         self.trace("jt.kill-loser", tip=tip.tip_id, attempt=attempt_id)
         # The kill directive takes one RPC hop, like any other action.
         self.sim.schedule(
@@ -562,6 +580,9 @@ class JobTracker:
         job = tip.job
         lost_seconds = tip.work_seconds(status.progress)
         self.wasted.add(TASK_FAILURE, lost_seconds, tip.tip_id)
+        self.wasted.add_network_bytes(
+            TASK_FAILURE, status.discarded_network_bytes, tip.tip_id
+        )
         self._charge_tracker_failure(tracker)
         tip.mark_failed_attempt(progress_lost=status.progress, tracker=tracker)
         cap = (
@@ -602,6 +623,14 @@ class JobTracker:
         self.wasted.add(
             PREEMPTION_KILL if reschedule else JOB_TEARDOWN,
             tip.work_seconds(status.progress),
+            tip.tip_id,
+        )
+        # A killed reducer's shuffle traffic died with it; suspended
+        # reducers never land here (their fetches pause and resume), so
+        # this column is where kill-vs-suspend diverge on the network.
+        self.wasted.add_network_bytes(
+            PREEMPTION_KILL if reschedule else JOB_TEARDOWN,
+            status.discarded_network_bytes,
             tip.tip_id,
         )
         self.trace(

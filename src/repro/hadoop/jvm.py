@@ -132,11 +132,27 @@ class ChildJVM:
         return items
 
     def _reduce_phases(self) -> List[WorkItem]:
-        """Hadoop reduce progress: shuffle, sort, reduce thirds."""
+        """Hadoop reduce progress: shuffle, sort, reduce thirds.
+
+        With a network fabric attached, the shuffle third fetches the
+        map outputs from the hosts that produced them as real flows
+        (:class:`~repro.netmodel.fetch.NetworkFetchItem`); without
+        one, it keeps the historical local disk-read stand-in.
+        """
         spec = self.spec
         shuffle_bytes = spec.shuffle_bytes or spec.input_bytes
+        if spec.shuffle_sources and self.kernel.fabric is not None:
+            from repro.netmodel.fetch import NetworkFetchItem
+
+            shuffle_item: WorkItem = NetworkFetchItem(
+                spec.shuffle_sources, label="shuffle", weight=1.0 / 3
+            )
+        else:
+            shuffle_item = DiskReadItem(
+                shuffle_bytes, label="shuffle", weight=1.0 / 3
+            )
         return [
-            DiskReadItem(shuffle_bytes, label="shuffle", weight=1.0 / 3),
+            shuffle_item,
             CpuWorkItem(
                 shuffle_bytes / self.config.sort_rate,
                 label="sort",

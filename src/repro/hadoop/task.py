@@ -65,6 +65,7 @@ class TaskInProgress:
         "_suspended_at",
         "directive_issued_at",
         "directive_sent_at",
+        "locality_skipped_at",
     )
 
     def __init__(
@@ -118,6 +119,10 @@ class TaskInProgress:
         self.directive_issued_at: Optional[float] = None
         #: when the JobTracker last piggybacked it on a heartbeat
         self.directive_sent_at: Optional[float] = None
+        #: when delay scheduling first skipped this tip on an off-rack
+        #: slot offer; once the locality wait is exhausted the tip
+        #: accepts any slot (see TaskScheduler.locality knob)
+        self.locality_skipped_at: Optional[float] = None
 
     # -- tracker binding --------------------------------------------------------
 
@@ -200,6 +205,7 @@ class TaskInProgress:
         self.last_launched_at = now
         self.suspended_seconds = 0.0
         self._suspended_at = None
+        self.locality_skipped_at = None
         self.set_state(TipState.RUNNING)
 
     def mark_succeeded(self, now: float) -> None:

@@ -180,6 +180,7 @@ class TaskTracker:
                     progress=attempt.progress(),
                     resident_bytes=attempt.resident_bytes(),
                     swapped_bytes=attempt.current_swapped_bytes(),
+                    discarded_network_bytes=attempt.discarded_network_bytes(),
                 )
             )
             if attempt.state.terminal:

@@ -8,7 +8,7 @@ what makes the paper's swappiness discussion meaningful).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Set
+from typing import Callable, Dict, Optional, Set
 
 from repro.errors import BlockNotFoundError
 from repro.hdfs.block import Block
@@ -23,6 +23,7 @@ class DataNode:
         self.host = kernel.config.hostname
         self._blocks: Dict[int, Block] = {}
         self.bytes_served = 0
+        self.remote_bytes_served = 0
 
     @property
     def stored_blocks(self) -> Set[int]:
@@ -42,19 +43,45 @@ class DataNode:
         return sum(b.size for b in self._blocks.values())
 
     def read_block(
-        self, block_id: int, on_done: Callable[[], None], label: str = ""
+        self,
+        block_id: int,
+        on_done: Callable[[], None],
+        label: str = "",
+        reader_host: Optional[str] = None,
     ) -> None:
-        """Stream a full block off the local disk; ``on_done`` fires at
-        completion.  Raises if the replica is not here."""
+        """Stream a full block to ``reader_host`` (default: local).
+
+        The replica is always read off this node's disk (through its
+        page cache); when the reader lives elsewhere and the cluster
+        has a network fabric, the bytes then cross it as a flow --
+        remote HDFS reads contend with shuffle traffic for the same
+        NICs and uplinks.  Without a fabric the transfer hop is free,
+        preserving the historical network-less timing.  Raises if the
+        replica is not here.
+        """
         block = self._blocks.get(block_id)
         if block is None:
             raise BlockNotFoundError(
                 f"datanode {self.host} does not store block {block_id}"
             )
         self.bytes_served += block.size
-        self.kernel.read_file(
-            block.size, on_done, label=label or f"hdfs.read:blk_{block_id}"
-        )
+        label = label or f"hdfs.read:blk_{block_id}"
+        fabric = self.kernel.fabric
+        if reader_host and reader_host != self.host and fabric is not None:
+            self.remote_bytes_served += block.size
+
+            def ship() -> None:
+                fabric.start_flow(
+                    self.host,
+                    reader_host,
+                    block.size,
+                    lambda flow: on_done(),
+                    label=label,
+                )
+
+            self.kernel.read_file(block.size, ship, label=label)
+        else:
+            self.kernel.read_file(block.size, on_done, label=label)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"DataNode(host={self.host!r}, blocks={len(self._blocks)})"

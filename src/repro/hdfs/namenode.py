@@ -158,6 +158,29 @@ class NameNode:
         """Replica locations for every block of ``path``."""
         return [self.locate_block(b.block_id) for b in self.file(path).blocks]
 
+    def open_block(
+        self, block_id: int, reader_host: str, on_done, label: str = ""
+    ) -> DataNode:
+        """Read one block from its best replica for ``reader_host``.
+
+        Replica choice follows the HDFS client: node-local beats
+        rack-local beats off-rack (ties broken by placement order).
+        Off-rack reads become fabric flows when the serving datanode's
+        kernel has one attached (see
+        :meth:`~repro.hdfs.datanode.DataNode.read_block`); the chosen
+        datanode is returned for introspection.
+        """
+        location = self.locate_block(block_id)
+        chosen = min(
+            location.hosts,
+            key=lambda host: self.topology.locality(host, [reader_host]),
+        )
+        datanode = self.datanode(chosen)
+        datanode.read_block(
+            block_id, on_done, label=label, reader_host=reader_host
+        )
+        return datanode
+
     # -- placement -----------------------------------------------------------------
 
     def _place_replicas(self, writer_host: Optional[str]) -> List[str]:

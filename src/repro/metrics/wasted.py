@@ -23,11 +23,20 @@ JOB_TEARDOWN = "job-teardown"
 
 
 class WastedWorkLedger:
-    """Task-seconds of discarded work, grouped by cause."""
+    """Task-seconds (and network bytes) of discarded work, by cause.
+
+    The network column exists because the preemption primitives differ
+    on it the same way they differ on compute: a killed reducer throws
+    away every shuffle byte it already moved across the (contended)
+    fabric, while a suspended one keeps them -- the headline comparison
+    of the ``shuffle`` experiment.
+    """
 
     def __init__(self) -> None:
         self._by_cause: Dict[str, float] = {}
         self._entries: List[Tuple[str, str, float]] = []
+        self._bytes_by_cause: Dict[str, int] = {}
+        self._byte_entries: List[Tuple[str, str, int]] = []
 
     def add(self, cause: str, seconds: float, tip_id: str = "") -> None:
         """Charge ``seconds`` of discarded work to ``cause``."""
@@ -36,22 +45,46 @@ class WastedWorkLedger:
         self._by_cause[cause] = self._by_cause.get(cause, 0.0) + seconds
         self._entries.append((cause, tip_id, seconds))
 
+    def add_network_bytes(self, cause: str, nbytes: int, tip_id: str = "") -> None:
+        """Charge ``nbytes`` of discarded network traffic to ``cause``."""
+        if nbytes <= 0:
+            return
+        self._bytes_by_cause[cause] = self._bytes_by_cause.get(cause, 0) + nbytes
+        self._byte_entries.append((cause, tip_id, nbytes))
+
     def total(self) -> float:
         """All wasted task-seconds."""
         return sum(self._by_cause.values())
+
+    def network_bytes_total(self) -> int:
+        """All wasted network bytes."""
+        return sum(self._bytes_by_cause.values())
 
     def by_cause(self) -> Dict[str, float]:
         """Wasted task-seconds per cause label."""
         return dict(self._by_cause)
 
+    def network_bytes_by_cause(self) -> Dict[str, int]:
+        """Wasted network bytes per cause label."""
+        return dict(self._bytes_by_cause)
+
     def entries(self) -> List[Tuple[str, str, float]]:
         """Every (cause, tip_id, seconds) charge, in order."""
         return list(self._entries)
+
+    def network_entries(self) -> List[Tuple[str, str, int]]:
+        """Every (cause, tip_id, nbytes) network charge, in order."""
+        return list(self._byte_entries)
 
     def merge(self, other: "WastedWorkLedger") -> None:
         """Fold another ledger's charges into this one."""
         for cause, tip_id, seconds in other.entries():
             self.add(cause, seconds, tip_id)
+        for cause, tip_id, nbytes in other.network_entries():
+            self.add_network_bytes(cause, nbytes, tip_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"WastedWorkLedger(total={self.total():.1f}s)"
+        return (
+            f"WastedWorkLedger(total={self.total():.1f}s, "
+            f"net={self.network_bytes_total()}B)"
+        )

@@ -1,0 +1,43 @@
+"""Shared-bandwidth network fabric.
+
+The paper's suspend primitive wins because a suspended task releases
+its resources without losing work; on real clusters the resource that
+shuffle-heavy workloads fight over is the *network*.  This package
+models it:
+
+* :class:`~repro.netmodel.link.Link` -- one shared segment (host NIC,
+  rack uplink, core switch) with egalitarian fair sharing, built on
+  the same virtual-time processor-sharing arithmetic as
+  :mod:`repro.osmodel.resources`;
+* :class:`~repro.netmodel.fabric.Fabric` -- routes a
+  :class:`~repro.netmodel.flow.Flow` over its
+  (src-NIC, src-uplink, core, dst-uplink, dst-NIC) path and couples
+  the per-flow rates: every flow progresses at the fair share of its
+  *bottleneck* link;
+* :class:`~repro.netmodel.transfer.TransferManager` -- multiplexes
+  many fetches per host under a parallel-copies cap and exposes
+  completion events to the engine;
+* :class:`~repro.netmodel.fetch.NetworkFetchItem` -- the work item
+  that replaces the local ``shuffle_fraction`` disk read: a reduce
+  attempt fetches its map outputs as real cross-rack flows, pausing
+  them under SIGTSTP and discarding them under SIGKILL.
+"""
+
+from repro.netmodel.config import NetConfig
+from repro.netmodel.fabric import Fabric
+from repro.netmodel.fetch import NetworkFetchItem
+from repro.netmodel.flow import Flow, FlowState
+from repro.netmodel.link import Link
+from repro.netmodel.transfer import Transfer, TransferManager, TransferState
+
+__all__ = [
+    "NetConfig",
+    "Fabric",
+    "Flow",
+    "FlowState",
+    "Link",
+    "NetworkFetchItem",
+    "Transfer",
+    "TransferManager",
+    "TransferState",
+]

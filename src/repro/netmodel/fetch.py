@@ -1,0 +1,228 @@
+"""The shuffle-fetch work item.
+
+Replaces the reduce plan's local ``DiskReadItem`` shuffle stand-in:
+the attempt fetches each map output from the host that produced it, as
+real flows through the fabric's :class:`~repro.netmodel.transfer.
+TransferManager`.  The preemption primitives now bite on the network:
+
+* **SIGTSTP** pauses every in-flight fetch (bytes preserved, link
+  capacity released) and holds the queued ones;
+* **SIGCONT** re-queues them where they left off;
+* **SIGKILL** cancels everything -- the bytes already moved are
+  discarded work, surfaced as :attr:`discarded_network_bytes` and
+  charged to the :class:`~repro.metrics.wasted.WastedWorkLedger`'s
+  wasted-network-bytes column by the JobTracker.
+
+Progress crossings are exact while a single transfer remains in
+flight (a milestone on its flow) and otherwise fire at the next
+transfer completion -- within one fetch of the requested instant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.netmodel.transfer import Transfer, TransferState
+from repro.osmodel.work import WorkEngine, WorkItem
+
+
+class NetworkFetchItem(WorkItem):
+    """Fetch map outputs over the network (the reduce shuffle phase)."""
+
+    __slots__ = (
+        "sources",
+        "total_bytes",
+        "discarded_network_bytes",
+        "_transfers",
+        "_completed_bytes",
+        "_pending",
+        "_engine",
+        "_crossings",
+        "_frozen_bytes",
+    )
+
+    def __init__(
+        self,
+        sources: Sequence[Tuple[str, int]],
+        label: str = "shuffle",
+        weight: float = 0.0,
+    ):
+        super().__init__(label, weight)
+        self.sources: Tuple[Tuple[str, int], ...] = tuple(
+            (host, int(nbytes)) for host, nbytes in sources
+        )
+        if any(nbytes < 0 for _, nbytes in self.sources):
+            raise SimulationError("fetch sizes may not be negative")
+        self.total_bytes = sum(nbytes for _, nbytes in self.sources)
+        #: partial traffic a kill threw away (set at abort)
+        self.discarded_network_bytes = 0
+        self._transfers: List[Transfer] = []
+        self._completed_bytes = 0
+        self._pending = 0
+        self._engine = None
+        # [byte target, callback, fired, armed-flow-ids] records
+        self._crossings: List[list] = []
+        self._frozen_bytes = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def begin(self, engine: WorkEngine) -> None:
+        self.started = True
+        self._engine = engine
+        fabric = getattr(engine.kernel, "fabric", None)
+        live_sources = [(h, n) for h, n in self.sources if n > 0]
+        if fabric is None or not live_sources:
+            engine.sim.call_soon(
+                self._finish, engine, label=f"work.zero:{self.label}"
+            )
+            return
+        dst = engine.kernel.config.hostname
+        self._pending = len(live_sources)
+        for host, nbytes in live_sources:
+            self._transfers.append(
+                fabric.transfers.fetch(
+                    host,
+                    dst,
+                    nbytes,
+                    self._on_transfer_done,
+                    label=f"{self.label}:{host}->{dst}",
+                    owner=engine.process,
+                )
+            )
+
+    def _on_transfer_done(self, transfer: Transfer) -> None:
+        self._completed_bytes += int(transfer.nbytes)
+        self._pending -= 1
+        self._check_crossings()
+        if self._pending == 0:
+            engine = self._engine
+            # Fetched map output lands in the node's page cache, like
+            # the DiskReadItem stand-in it replaces.
+            engine.kernel.vmm.cache_file_read(self.total_bytes)
+            self._finish(engine)
+
+    # -- preemption hooks ---------------------------------------------------------
+
+    def pause(self, engine: WorkEngine) -> None:
+        manager = self._manager(engine)
+        if manager is None:
+            return
+        # Queued transfers first: pausing an active one frees its fetch
+        # slot, and the manager's pump would otherwise promote this
+        # item's own queued siblings into real (instantly re-paused)
+        # flows mid-loop.
+        for transfer in self._transfers:
+            if transfer.state is TransferState.QUEUED:
+                manager.pause(transfer)
+        for transfer in self._transfers:
+            manager.pause(transfer)
+
+    def resume(self, engine: WorkEngine) -> None:
+        manager = self._manager(engine)
+        if manager is None:
+            return
+        for transfer in self._transfers:
+            manager.resume(transfer)
+        self._arm_single_crossing()
+
+    def abort(self, engine: WorkEngine) -> None:
+        self._frozen_bytes = self.fetched_bytes(engine)
+        self.discarded_network_bytes = int(self._frozen_bytes)
+        manager = self._manager(engine)
+        if manager is not None:
+            # Queued first, as in pause(): cancelling an active
+            # transfer frees its slot and would promote this item's
+            # own queued siblings into flows that die instantly.
+            for transfer in self._transfers:
+                if transfer.state is TransferState.QUEUED:
+                    manager.cancel(transfer)
+            for transfer in self._transfers:
+                manager.cancel(transfer)
+
+    @staticmethod
+    def _manager(engine: WorkEngine):
+        fabric = getattr(engine.kernel, "fabric", None)
+        return None if fabric is None else fabric.transfers
+
+    # -- progress -----------------------------------------------------------------
+
+    def fetched_bytes(self, engine: WorkEngine = None) -> float:
+        """Bytes fetched so far across all sources, settled to now."""
+        if self._frozen_bytes is not None:
+            return self._frozen_bytes
+        if self.finished:
+            return float(self.total_bytes)
+        # QUEUED counts too: a paused-then-resumed transfer waiting for
+        # a fetch slot still holds its partially-filled flow.
+        in_flight = sum(
+            t.transferred
+            for t in self._transfers
+            if t.state
+            in (TransferState.ACTIVE, TransferState.PAUSED, TransferState.QUEUED)
+        )
+        return self._completed_bytes + in_flight
+
+    def fraction_done(self, engine: WorkEngine) -> float:
+        if self.total_bytes <= 0:
+            return 1.0 if self.finished else 0.0
+        return max(0.0, min(1.0, self.fetched_bytes(engine) / self.total_bytes))
+
+    def schedule_crossing(
+        self, engine: WorkEngine, fraction: float, callback: Callable[[], None]
+    ) -> None:
+        target = fraction * self.total_bytes
+        # [byte target, callback, fired, flow ids already carrying a
+        # milestone for this crossing]
+        crossing = [target, callback, False, set()]
+        self._crossings.append(crossing)
+        if self.fetched_bytes(engine) >= target or self.total_bytes <= 0:
+            crossing[2] = True
+            engine.sim.call_soon(callback, label=f"work.crossing:{self.label}")
+            return
+        self._arm_single_crossing()
+
+    def _check_crossings(self) -> None:
+        fetched = self.fetched_bytes()
+        for crossing in self._crossings:
+            if not crossing[2] and fetched >= crossing[0]:
+                crossing[2] = True
+                crossing[1]()
+        self._arm_single_crossing()
+
+    def _arm_single_crossing(self) -> None:
+        """Exact crossings when one transfer remains in flight: ride a
+        milestone on its flow."""
+        live = [
+            t
+            for t in self._transfers
+            if t.state in (TransferState.ACTIVE, TransferState.QUEUED)
+        ]
+        if len(live) != 1 or live[0].flow is None:
+            return
+        transfer = live[0]
+        base = self._completed_bytes
+        for crossing in self._crossings:
+            if crossing[2] or transfer.flow.flow_id in crossing[3]:
+                continue  # fired, or this flow already carries it
+            need = crossing[0] - base
+            if 0 <= need <= transfer.nbytes:
+                crossing[3].add(transfer.flow.flow_id)
+                transfer.flow.when_transferred(
+                    need, self._fire_crossing(crossing)
+                )
+
+    def _fire_crossing(self, crossing: list):
+        def fire() -> None:
+            if crossing[2]:
+                return
+            crossing[2] = True
+            crossing[1]()
+
+        return fire
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"NetworkFetchItem({self.label}, {len(self.sources)} sources, "
+            f"{self.total_bytes}B)"
+        )

@@ -1,0 +1,137 @@
+"""Flows: one point-to-point transfer across the fabric.
+
+A flow's progress rides a dedicated single-claim
+:class:`~repro.osmodel.resources.RateResource` ("the pipe"): the
+fabric sets the pipe's speed factor to the flow's current bottleneck
+share, and the virtual-time machinery does the rest -- completion is
+one armed engine event, a rate change is O(1) (advance the virtual
+clock under the old rate, re-aim the event), pause/resume preserve the
+remaining bytes exactly, and milestones ("call me when N bytes have
+arrived") come for free.  An uncongested flow therefore *is* the plain
+PS resource: same arithmetic, same event pattern (the differential
+test in ``tests/test_netmodel.py`` pins this reduction).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.osmodel.resources import RateResource
+from repro.sim.engine import Simulation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netmodel.link import Link
+
+
+class FlowState(enum.Enum):
+    """Lifecycle of a flow."""
+
+    ACTIVE = "active"
+    PAUSED = "paused"
+    DONE = "done"
+    CANCELLED = "cancelled"
+
+
+class Flow:
+    """One transfer of ``nbytes`` from ``src`` to ``dst``."""
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "nbytes",
+        "label",
+        "owner",
+        "path",
+        "on_done",
+        "state",
+        "rate",
+        "started_at",
+        "finished_at",
+        "_pipe",
+        "_claim",
+    )
+
+    def __init__(
+        self,
+        sim: Simulation,
+        flow_id: int,
+        src: str,
+        dst: str,
+        nbytes: float,
+        path: List["Link"],
+        on_done: Callable[["Flow"], None],
+        label: str = "",
+        owner=None,
+    ):
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.nbytes = float(nbytes)
+        self.label = label or f"flow-{flow_id}"
+        self.owner = owner
+        self.path = path
+        self.on_done = on_done
+        self.state = FlowState.ACTIVE
+        #: current assigned rate (bytes/second); fabric-maintained
+        self.rate = 0.0
+        self.started_at = sim.now
+        self.finished_at: Optional[float] = None
+        self._pipe = RateResource(sim, capacity=1.0, name=f"pipe:{self.label}")
+        self._claim = self._pipe.create(self.nbytes, self._complete, label=self.label)
+
+    # -- progress -----------------------------------------------------------
+
+    @property
+    def transferred(self) -> float:
+        """Bytes delivered so far, settled to now."""
+        return max(0.0, self.nbytes - self._claim.remaining)
+
+    @property
+    def remaining(self) -> float:
+        """Bytes still to deliver."""
+        return self._claim.remaining
+
+    def when_transferred(self, nbytes: float, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` at the exact instant ``nbytes`` have
+        arrived (immediately if already past)."""
+        self._claim.add_milestone(max(0.0, self.nbytes - nbytes), callback)
+
+    # -- fabric-internal lifecycle ---------------------------------------------
+
+    def _set_rate(self, rate: float) -> None:
+        if rate == self.rate:
+            return
+        self.rate = rate
+        # Exact piecewise-constant semantics: the pipe settles the
+        # elapsed interval at the old rate before adopting the new one.
+        self._pipe.set_speed_factor(rate)
+
+    def _start(self, rate: float) -> None:
+        self.rate = rate
+        self._pipe.speed_factor = rate  # no history to settle yet
+        self._pipe.activate(self._claim)
+
+    def _pause(self) -> None:
+        self._pipe.pause(self._claim)
+        self.state = FlowState.PAUSED
+
+    def _resume(self) -> None:
+        self.state = FlowState.ACTIVE
+        self._pipe.activate(self._claim)
+
+    def _cancel(self) -> None:
+        self._pipe.cancel(self._claim)
+        self.state = FlowState.CANCELLED
+
+    def _complete(self) -> None:
+        self.state = FlowState.DONE
+        self.finished_at = self._pipe.sim.now
+        self.on_done(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Flow({self.label}, {self.src}->{self.dst}, "
+            f"{self.transferred:.0f}/{self.nbytes:.0f}B, {self.state.value})"
+        )

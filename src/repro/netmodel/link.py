@@ -1,0 +1,131 @@
+"""Links: the shared segments of the fabric.
+
+A :class:`Link` is a capacity shared equally among the flows that
+cross it -- the same egalitarian processor-sharing policy as
+:class:`~repro.osmodel.resources.RateResource`, but a flow's *actual*
+rate is set by its bottleneck link, so a link cannot integrate one
+cumulative service function for all of its flows (they progress at
+different rates).  The link therefore keeps only membership and the
+fair-share arithmetic; per-flow progress lives in each flow's own
+virtual-time pipe (see :mod:`repro.netmodel.flow`), and the
+:class:`~repro.netmodel.fabric.Fabric` couples the two.
+
+Each link also accumulates a deterministic utilization timeline: the
+aggregate flow rate is piecewise constant between fabric updates, so
+the byte integral per fixed-width bucket is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import SimulationError
+
+
+class Link:
+    """One shared network segment (NIC, rack uplink, core switch)."""
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "_flows",
+        "_rate_sum",
+        "_last_at",
+        "_created_at",
+        "_bucket_width",
+        "_buckets",
+        "bytes_carried",
+    )
+
+    def __init__(
+        self, name: str, capacity: float, now: float, bucket_width: float = 10.0
+    ):
+        if capacity <= 0:
+            raise SimulationError(f"{name}: link capacity must be positive")
+        self.name = name
+        self.capacity = float(capacity)
+        #: flow_id -> current rate; insertion-ordered for determinism
+        self._flows: Dict[int, float] = {}
+        #: sum of the current rates of all flows on this link
+        self._rate_sum = 0.0
+        self._last_at = now
+        self._created_at = now
+        self._bucket_width = bucket_width
+        #: bucket index -> bytes carried during that bucket
+        self._buckets: Dict[int, float] = {}
+        self.bytes_carried = 0.0
+
+    # -- fair sharing ------------------------------------------------------
+
+    @property
+    def flow_count(self) -> int:
+        """Number of flows currently crossing this link."""
+        return len(self._flows)
+
+    def fair_share(self) -> float:
+        """Bytes/second each crossing flow is entitled to."""
+        n = len(self._flows)
+        if n == 0:
+            return self.capacity
+        return self.capacity / n
+
+    # -- membership (fabric-internal) --------------------------------------
+
+    def _add(self, flow_id: int, now: float) -> None:
+        self._accumulate(now)
+        self._flows[flow_id] = 0.0
+
+    def _remove(self, flow_id: int, now: float) -> None:
+        self._accumulate(now)
+        rate = self._flows.pop(flow_id, 0.0)
+        self._rate_sum -= rate
+        if not self._flows:
+            self._rate_sum = 0.0  # kill residual float dust
+
+    def _set_flow_rate(self, flow_id: int, rate: float, now: float) -> None:
+        self._accumulate(now)
+        self._rate_sum += rate - self._flows[flow_id]
+        self._flows[flow_id] = rate
+
+    # -- utilization accounting ----------------------------------------------
+
+    def _accumulate(self, now: float) -> None:
+        """Fold the piecewise-constant aggregate rate since the last
+        change into the byte integral and its buckets."""
+        elapsed = now - self._last_at
+        if elapsed <= 0 or self._rate_sum <= 0:
+            self._last_at = now
+            return
+        start, rate = self._last_at, self._rate_sum
+        self.bytes_carried += rate * elapsed
+        width = self._bucket_width
+        first = int(start // width)
+        last = int(now // width)
+        for bucket in range(first, last + 1):
+            lo = max(start, bucket * width)
+            hi = min(now, (bucket + 1) * width)
+            if hi > lo:
+                self._buckets[bucket] = self._buckets.get(bucket, 0.0) + rate * (
+                    hi - lo
+                )
+        self._last_at = now
+
+    def mean_utilization(self, now: float) -> float:
+        """Fraction of capacity used since construction, settled to now."""
+        self._accumulate(now)
+        elapsed = now - self._created_at
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_carried / (self.capacity * elapsed)
+
+    def utilization_timeline(self, now: float) -> List[Tuple[float, float]]:
+        """(bucket start time, utilization in [0, 1]) pairs, in order."""
+        self._accumulate(now)
+        width = self._bucket_width
+        return [
+            (bucket * width, self._buckets[bucket] / (self.capacity * width))
+            for bucket in sorted(self._buckets)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Link(name={self.name!r}, flows={len(self._flows)})"

@@ -1,0 +1,182 @@
+"""Per-host transfer multiplexing.
+
+Hadoop reducers fetch map outputs a few at a time
+(``mapred.reduce.parallel.copies``); the :class:`TransferManager`
+enforces that cap per *destination host* -- all reducers on a node
+share its inbound fetch budget -- and queues the rest FIFO.  A
+:class:`Transfer` is the handle work items hold: it survives pause
+(suspend), resume, and cancel (kill) with exact byte accounting, and
+its completion is an ordinary engine event (the underlying flow's
+crossing).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, TYPE_CHECKING
+
+from repro.netmodel.flow import Flow, FlowState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netmodel.fabric import Fabric
+
+
+class TransferState(enum.Enum):
+    """Lifecycle of a managed transfer."""
+
+    QUEUED = "queued"
+    ACTIVE = "active"
+    PAUSED = "paused"
+    DONE = "done"
+    CANCELLED = "cancelled"
+
+
+class Transfer:
+    """One managed fetch of ``nbytes`` from ``src`` into ``dst``."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "nbytes",
+        "on_done",
+        "label",
+        "owner",
+        "state",
+        "flow",
+        "_final_bytes",
+    )
+
+    def __init__(self, src, dst, nbytes, on_done, label, owner):
+        self.src = src
+        self.dst = dst
+        self.nbytes = float(nbytes)
+        self.on_done = on_done
+        self.label = label
+        self.owner = owner
+        self.state = TransferState.QUEUED
+        self.flow: Optional[Flow] = None
+        self._final_bytes: Optional[float] = None
+
+    @property
+    def transferred(self) -> float:
+        """Bytes delivered so far (frozen at cancel/completion)."""
+        if self._final_bytes is not None:
+            return self._final_bytes
+        if self.flow is not None:
+            return self.flow.transferred
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Transfer({self.label}, {self.src}->{self.dst}, "
+            f"{self.state.value})"
+        )
+
+
+class TransferManager:
+    """FIFO fetch queues with a per-destination-host concurrency cap."""
+
+    def __init__(self, fabric: "Fabric", max_flows_per_host: int):
+        self.fabric = fabric
+        self.max_flows_per_host = max_flows_per_host
+        self._active: Dict[str, int] = {}
+        self._queues: Dict[str, Deque[Transfer]] = {}
+
+    # -- API ------------------------------------------------------------------
+
+    def fetch(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        on_done: Callable[[Transfer], None],
+        label: str = "",
+        owner=None,
+    ) -> Transfer:
+        """Request a transfer; it starts now if ``dst`` has fetch
+        budget, else queues behind the host's earlier requests."""
+        transfer = Transfer(src, dst, nbytes, on_done, label, owner)
+        self._queues.setdefault(dst, deque()).append(transfer)
+        self._pump(dst)
+        return transfer
+
+    def pause(self, transfer: Transfer) -> None:
+        """Hold a transfer: an active one pauses its flow and releases
+        its fetch slot to the next queued transfer; a queued one is
+        simply skipped until resumed."""
+        if transfer.state is TransferState.ACTIVE:
+            transfer.state = TransferState.PAUSED
+            self.fabric.pause_flow(transfer.flow)
+            self._release_slot(transfer.dst)
+        elif transfer.state is TransferState.QUEUED:
+            transfer.state = TransferState.PAUSED
+
+    def resume(self, transfer: Transfer) -> None:
+        """Re-queue a paused transfer (progress preserved)."""
+        if transfer.state is not TransferState.PAUSED:
+            return
+        transfer.state = TransferState.QUEUED
+        queue = self._queues.setdefault(transfer.dst, deque())
+        if transfer not in queue:
+            queue.append(transfer)
+        self._pump(transfer.dst)
+
+    def cancel(self, transfer: Transfer) -> None:
+        """Abort a transfer; partial bytes are frozen (and charged as
+        cancelled traffic by the fabric)."""
+        if transfer.state in (TransferState.DONE, TransferState.CANCELLED):
+            return
+        was_active = transfer.state is TransferState.ACTIVE
+        transfer._final_bytes = transfer.transferred
+        transfer.state = TransferState.CANCELLED
+        if transfer.flow is not None:
+            self.fabric.cancel_flow(transfer.flow)
+        if was_active:
+            self._release_slot(transfer.dst)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _pump(self, dst: str) -> None:
+        queue = self._queues.get(dst)
+        if not queue:
+            return
+        while queue and self._active.get(dst, 0) < self.max_flows_per_host:
+            transfer = queue.popleft()
+            if transfer.state is not TransferState.QUEUED:
+                continue  # paused or cancelled while waiting
+            self._active[dst] = self._active.get(dst, 0) + 1
+            transfer.state = TransferState.ACTIVE
+            if transfer.flow is not None:
+                # A previously paused transfer: resume where it left off.
+                self.fabric.resume_flow(transfer.flow)
+            else:
+                transfer.flow = self.fabric.start_flow(
+                    transfer.src,
+                    transfer.dst,
+                    transfer.nbytes,
+                    lambda flow, t=transfer: self._done(t),
+                    label=transfer.label,
+                    owner=transfer.owner,
+                )
+
+    def _done(self, transfer: Transfer) -> None:
+        transfer.state = TransferState.DONE
+        transfer._final_bytes = transfer.nbytes
+        self._release_slot(transfer.dst)
+        transfer.on_done(transfer)
+
+    def _release_slot(self, dst: str) -> None:
+        self._active[dst] = max(0, self._active.get(dst, 0) - 1)
+        self._pump(dst)
+
+    def active_count(self, dst: str) -> int:
+        """Transfers currently running into ``dst``."""
+        return self._active.get(dst, 0)
+
+    def queued_count(self, dst: str) -> int:
+        """Transfers waiting for fetch budget into ``dst``."""
+        queue = self._queues.get(dst)
+        if not queue:
+            return 0
+        return sum(1 for t in queue if t.state is TransferState.QUEUED)

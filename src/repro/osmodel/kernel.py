@@ -60,6 +60,11 @@ class NodeKernel:
         self._processes: Dict[int, OSProcess] = {}
         self._next_pid = 1000
         self.signals_sent = 0
+        #: the cluster's network fabric, attached by
+        #: :class:`repro.hadoop.cluster.HadoopCluster` when one is
+        #: configured; None keeps network-free behaviour (shuffle and
+        #: remote reads fall back to local disk stand-ins)
+        self.fabric = None
 
     # -- process table -----------------------------------------------------
 

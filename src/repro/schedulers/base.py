@@ -11,7 +11,7 @@ preemption API with a configurable
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.hadoop.job import JobInProgress
 from repro.hadoop.task import TaskInProgress
@@ -25,6 +25,15 @@ class TaskScheduler(abc.ABC):
 
     def __init__(self) -> None:
         self.jobtracker: "JobTracker" = None  # bound by the JobTracker
+        #: delay-scheduling knob: seconds a tip with a data preference
+        #: may decline off-rack slots before accepting any slot.  0
+        #: disables the behaviour (historical default).  Trades queue
+        #: wait against off-rack flows on the network fabric.
+        self.locality_wait_seconds = 0.0
+        #: set by schedulers that attach a cluster; locality decisions
+        #: need the rack map (and block locations for map inputs)
+        self.topology = None
+        self.namenode = None
 
     def bind(self, jobtracker: "JobTracker") -> None:
         """Attach to a JobTracker (called once at construction time)."""
@@ -92,18 +101,99 @@ class TaskScheduler(abc.ABC):
         return job.schedulable_tips()
 
     def _take_schedulable(
-        self, job: JobInProgress, want_map: int, want_reduce: int
+        self,
+        job: JobInProgress,
+        want_map: int,
+        want_reduce: int,
+        tracker: Optional[str] = None,
     ) -> List[TaskInProgress]:
-        """Up to the requested number of schedulable tips of each kind."""
+        """Up to the requested number of schedulable tips of each kind.
+
+        When the locality knob is on and the offering ``tracker`` is
+        known, tips whose data lives off-rack decline the slot until
+        they have waited ``locality_wait_seconds`` (classic delay
+        scheduling, applied to shuffle sources and HDFS replicas).
+        """
         chosen: List[TaskInProgress] = []
+        delay = self.locality_wait_seconds
+        check_locality = delay > 0 and tracker is not None and self.topology is not None
+        # Per-offer memo: every reduce tip of the job shares one
+        # map-output host list, and a map's replica set is constant, so
+        # resolve each at most once per call instead of per tip.
+        memo: dict = {}
         for tip in self._schedulable_order(job):
             if tip.kind.value == "map":
                 if want_map <= 0:
                     continue
-                want_map -= 1
             else:
                 if want_reduce <= 0:
                     continue
+            if check_locality and self._decline_for_locality(
+                tip, tracker, delay, memo
+            ):
+                continue
+            if tip.kind.value == "map":
+                want_map -= 1
+            else:
                 want_reduce -= 1
             chosen.append(tip)
         return chosen
+
+    # -- delay scheduling (locality knob) --------------------------------------
+
+    def _decline_for_locality(
+        self,
+        tip: TaskInProgress,
+        tracker: str,
+        delay: float,
+        memo: dict = None,
+    ) -> bool:
+        """True when ``tip`` should skip this off-rack offer and keep
+        waiting for a closer slot."""
+        from repro.hdfs.topology import Locality
+
+        if memo is None:
+            preferred = self._preferred_hosts(tip)
+        else:
+            key = (
+                ("reduce", tip.job.job_id)
+                if tip.spec.kind.value == "reduce"
+                else ("map", tip.spec.input_path)
+            )
+            if key not in memo:
+                memo[key] = self._preferred_hosts(tip)
+            preferred = memo[key]
+        if not preferred:
+            return False
+        if self.topology.locality(tracker, preferred) <= Locality.RACK_LOCAL:
+            tip.locality_skipped_at = None
+            return False
+        now = self.jobtracker.sim.now
+        if tip.locality_skipped_at is None:
+            tip.locality_skipped_at = now
+            return True
+        return now - tip.locality_skipped_at < delay
+
+    def _preferred_hosts(self, tip: TaskInProgress) -> List[str]:
+        """Hosts near this tip's data: map-input replicas for maps,
+        the job's map-output hosts for reduces.  Empty = no preference
+        (the tip accepts any slot immediately)."""
+        spec = tip.spec
+        if spec.kind.value == "reduce":
+            if spec.shuffle_bytes <= 0:
+                return []
+            from repro.hadoop.task import TipRole
+
+            return [
+                m.tracker
+                for m in tip.job.tips
+                if m.role is TipRole.MAP and m.tracker is not None
+            ]
+        if spec.input_path and self.namenode is not None:
+            hosts: List[str] = []
+            for location in self.namenode.block_locations(spec.input_path):
+                for host in location.hosts:
+                    if host not in hosts:
+                        hosts.append(host)
+            return hosts
+        return []

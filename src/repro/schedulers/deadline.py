@@ -94,7 +94,9 @@ class DeadlineScheduler(TaskScheduler):
         for job in self.ordered_jobs():
             if free_map_slots <= 0 and free_reduce_slots <= 0:
                 break
-            chosen = self._take_schedulable(job, free_map_slots, free_reduce_slots)
+            chosen = self._take_schedulable(
+                job, free_map_slots, free_reduce_slots, tracker=tracker
+            )
             for tip in chosen:
                 if tip.kind.value == "map":
                     free_map_slots -= 1

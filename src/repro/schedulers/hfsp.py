@@ -32,19 +32,28 @@ from repro.schedulers.base import TaskScheduler
 class HfspScheduler(TaskScheduler):
     """Shortest-remaining-size-first with preemption."""
 
-    def __init__(self, primitive_factory=None, preempt_on_arrival: bool = True):
+    def __init__(
+        self,
+        primitive_factory=None,
+        preempt_on_arrival: bool = True,
+        locality_wait_seconds: float = 0.0,
+    ):
         super().__init__()
         self.primitive_factory = primitive_factory
         self.primitive = None
         self.cluster = None
         self.preempt_on_arrival = preempt_on_arrival
         self.preemptions = 0
+        self.locality_wait_seconds = locality_wait_seconds
         self._suspended: List[TaskInProgress] = []
 
     def attach_cluster(self, cluster) -> None:
         """Enable preemption (optional; without it HFSP degrades to
-        non-preemptive shortest-job-first)."""
+        non-preemptive shortest-job-first) and the locality knob
+        (which needs the rack map)."""
         self.cluster = cluster
+        self.topology = cluster.topology
+        self.namenode = cluster.namenode
         if self.primitive_factory is not None:
             self.primitive = self.primitive_factory(cluster)
 
@@ -118,7 +127,9 @@ class HfspScheduler(TaskScheduler):
                     free_map_slots -= 1
                 else:
                     free_reduce_slots -= 1
-            chosen = self._take_schedulable(job, free_map_slots, free_reduce_slots)
+            chosen = self._take_schedulable(
+                job, free_map_slots, free_reduce_slots, tracker=tracker
+            )
             for tip in chosen:
                 if tip.kind.value == "map":
                     free_map_slots -= 1

@@ -67,6 +67,12 @@ class TaskSpec:
         from the namenode and the attempt prefers replica hosts.
     shuffle_bytes:
         Reduce only: bytes fetched from map outputs.
+    shuffle_sources:
+        Reduce only: ``(host, bytes)`` pairs naming where the map
+        outputs live.  Attached at attempt-creation time by clusters
+        with a network fabric (see
+        :meth:`repro.hadoop.cluster.HadoopCluster`); when empty, the
+        shuffle falls back to the local disk-read stand-in.
     resume_read_bytes:
         Bytes of checkpoint read back at startup before real work;
         used by Natjam-style fast-forwarded reschedules.
@@ -80,6 +86,7 @@ class TaskSpec:
     output_bytes: int = 8 * MB
     input_path: Optional[str] = None
     shuffle_bytes: int = 0
+    shuffle_sources: tuple = ()
     resume_read_bytes: int = 0
     name: str = ""
 
@@ -90,8 +97,10 @@ class TaskSpec:
             raise ConfigurationError("parse_rate must be positive")
         if self.shuffle_bytes < 0 or self.resume_read_bytes < 0:
             raise ConfigurationError("shuffle/resume sizes may not be negative")
-        if self.kind is TaskKind.MAP and self.shuffle_bytes:
+        if self.kind is TaskKind.MAP and (self.shuffle_bytes or self.shuffle_sources):
             raise ConfigurationError("map tasks do not shuffle")
+        if any(nbytes < 0 for _, nbytes in self.shuffle_sources):
+            raise ConfigurationError("shuffle source sizes may not be negative")
 
     @property
     def stateful(self) -> bool:

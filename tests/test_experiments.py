@@ -153,6 +153,7 @@ class TestRegistry:
             "adaptive",
             "faults",
             "scale",
+            "shuffle",
         }
 
     def test_aliases(self):

@@ -2,21 +2,25 @@
 
 Runs a small battery of deterministic workloads spanning the layers
 the virtual-time resource refactor touched -- the contention
-microbench, a two-job paper cell, and two SWIM replay cells -- and
-records, per bench:
+microbench, a two-job paper cell, SWIM replay cells, and a
+network-fabric shuffle cell -- and records, per bench:
 
 * ``wall_s``   -- wall-clock seconds (machine-dependent);
 * ``events``   -- simulation events fired (deterministic);
 * ``engine_ops`` -- schedule + reschedule calls (deterministic).
 
-``--check BASELINE`` compares against a checked-in baseline and exits
-non-zero on a >20% regression.  The deterministic counters compare
-directly.  Wall-clock is compared *after calibration*: every bench's
-current/baseline ratio is divided by the median ratio across benches,
-so a uniformly slower CI machine cancels out and only benches that
-regressed relative to their peers trip the guard (a uniform algorithmic
-slowdown is still caught by the event/op counters, which do not
-calibrate).
+``--check BASELINE`` compares against a checked-in baseline.  **Only
+the deterministic event/op counters are strict**: they compare exactly
+on any machine, so a >20% counter growth exits non-zero.  Wall-clock
+baselines are checked in from whatever host refreshed them last, and
+per-bench speed ratios vary across CPUs far beyond any useful
+tolerance; the guard therefore *recalibrates* the wall baseline --
+every bench's baseline wall is scaled by the median current/baseline
+ratio across benches (the machine factor) -- and reports benches that
+regressed relative to their recalibrated baseline as **warnings
+only**, never a failing exit.  A genuine algorithmic slowdown shows up
+in the strict counters; a wall-only warning is a profiling lead, not a
+gate.
 
 Usage::
 
@@ -97,6 +101,24 @@ def bench_scale_shuffle_100(scale: float = 1.0) -> dict:
                        num_jobs=max(int(100 * scale), 5))
 
 
+def bench_shuffle_net_25(scale: float = 1.0) -> dict:
+    """The network-fabric smoke cell: flow-routed shuffle under kill
+    on oversubscribed uplinks (the ``shuffle`` experiment's machinery)."""
+    from repro.experiments.runner import derive_seed
+    from repro.experiments.shuffle_study import _run_once
+
+    trackers = max(int(25 * scale), 5)
+    num_jobs = max(int(25 * scale), 5)
+    out = _run_once(
+        primitive_name="kill",
+        trackers=trackers,
+        num_jobs=num_jobs,
+        oversubscription=2.5,
+        seed=derive_seed(11000, "shuffle", trackers, "kill", 2.5, 0.0, 0),
+    )
+    return {"events": int(out["events"]), "engine_ops": 0}
+
+
 def _scale_cell(scenario: str, trackers: int, num_jobs: int) -> dict:
     from repro.experiments.runner import derive_seed
     from repro.experiments.scale_study import _run_once
@@ -116,6 +138,7 @@ BENCHES = {
     "two_job_suspend": bench_two_job_suspend,
     "scale_baseline_50": bench_scale_baseline_50,
     "scale_shuffle_100": bench_scale_shuffle_100,
+    "shuffle_net_25": bench_shuffle_net_25,
 }
 
 
@@ -131,12 +154,22 @@ def run_benches(scale: float = 1.0) -> dict:
     return results
 
 
-def check(current: dict, baseline: dict) -> list:
-    """Return a list of regression messages (empty = pass)."""
+def check(current: dict, baseline: dict) -> tuple:
+    """Compare against a baseline.
+
+    Returns ``(problems, warnings)``: *problems* (failing) come only
+    from the deterministic event/op counters, which are machine
+    independent; *warnings* (advisory) flag benches whose wall clock
+    regressed against the baseline recalibrated to this host -- each
+    baseline wall is scaled by the median current/baseline ratio, so
+    a uniformly different machine cancels out and only relative
+    outliers surface.
+    """
     problems = []
+    warnings = []
     shared = [name for name in baseline if name in current]
     if not shared:
-        return ["baseline and current share no benches"]
+        return ["baseline and current share no benches"], []
     # Calibrate on the benches whose baselines are long enough to time
     # stably; sub-floor benches are pure timer noise and would corrupt
     # the median (they are policed by their counters instead).
@@ -155,14 +188,15 @@ def check(current: dict, baseline: dict) -> list:
                     f"{base[counter]} (> {COUNTER_TOLERANCE:.0%})"
                 )
         if base["wall_s"] >= WALL_FLOOR_S and machine_factor > 0:
-            calibrated = cur["wall_s"] / machine_factor
-            if calibrated > base["wall_s"] * WALL_TOLERANCE:
-                problems.append(
-                    f"{name}: wall {cur['wall_s']:.3f}s "
-                    f"(calibrated {calibrated:.3f}s, machine x{machine_factor:.2f}) "
-                    f"vs baseline {base['wall_s']:.3f}s (> {WALL_TOLERANCE:.0%})"
+            recalibrated = base["wall_s"] * machine_factor
+            if cur["wall_s"] > recalibrated * WALL_TOLERANCE:
+                warnings.append(
+                    f"{name}: wall {cur['wall_s']:.3f}s vs recalibrated "
+                    f"baseline {recalibrated:.3f}s "
+                    f"(machine x{machine_factor:.2f}, > {WALL_TOLERANCE:.0%}; "
+                    f"advisory -- counters are the gate)"
                 )
-    return problems
+    return problems, warnings
 
 
 def main(argv=None) -> int:
@@ -199,13 +233,16 @@ def main(argv=None) -> int:
             print(f"error: baseline scale {baseline.get('scale')} != "
                   f"run scale {args.scale}", file=sys.stderr)
             return 2
-        problems = check(results, baseline["benches"])
+        problems, warnings = check(results, baseline["benches"])
+        for warning in warnings:
+            print(f"bench_guard: WARNING {warning}", file=sys.stderr)
         if problems:
             print("bench_guard: REGRESSIONS DETECTED", file=sys.stderr)
             for problem in problems:
                 print(f"  {problem}", file=sys.stderr)
             return 1
-        print("bench_guard: within tolerance of baseline")
+        print("bench_guard: counters within tolerance of baseline"
+              + (f" ({len(warnings)} wall warnings)" if warnings else ""))
     return 0
 
 
