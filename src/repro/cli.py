@@ -149,6 +149,8 @@ def _quick_kwargs(name: str) -> dict:
         }
     if name == "shuffle":
         return {"runs": 1, "cluster_sizes": [10], "num_jobs": 12}
+    if name == "memscale":
+        return {"runs": 1, "cluster_sizes": [10], "num_jobs": 12}
     return {}
 
 

@@ -76,6 +76,7 @@ class TwoJobHarness:
         node_config=None,
         hadoop_config=None,
         workers: int = 1,
+        admission=None,
     ):
         if not 0.0 < progress_at_launch < 1.0:
             raise ConfigurationError("progress_at_launch must be in (0, 1)")
@@ -92,6 +93,9 @@ class TwoJobHarness:
         self.node_config = node_config
         self.hadoop_config = hadoop_config
         self.workers = workers
+        #: optional AdmissionConfig routing suspend requests through
+        #: the swap-aware admission gate (fig2's gated variant)
+        self.admission = admission
         # Overridable for the GC ablation (see experiments.gc_study).
         from repro.hadoop.jvm import GcPolicy
 
@@ -118,13 +122,20 @@ class TwoJobHarness:
             parse_rate=P.PARSE_RATE,
         )
         primitive = make_primitive(self.primitive_name, cluster)
+        gate = None
+        if self.admission is not None:
+            from repro.preemption.admission import SuspendAdmissionGate
+
+            gate = SuspendAdmissionGate(cluster, self.admission)
         job_tl = cluster.submit_job(tl_spec)
 
         def preempt_and_submit() -> None:
+            from repro.preemption.admission import admit_and_preempt
+
             cluster.jobtracker.submit_job(th_spec)
             tip = job_tl.tips[0]
             if tip.state.value == "RUNNING":
-                primitive.preempt(tip)
+                admit_and_preempt(gate, primitive, tip)
 
         cluster.when_job_progress("tl", self.progress_at_launch, preempt_and_submit)
 
@@ -171,6 +182,7 @@ class TwoJobHarness:
             node_config=self.node_config,
             hadoop_config=self.hadoop_config,
             gc_policy_name=self.gc_policy.name,
+            admission=self.admission,
         )
 
     def run(self) -> TwoJobResult:
@@ -216,6 +228,7 @@ def _harness_cell(
     node_config,
     hadoop_config,
     gc_policy_name: str,
+    admission=None,
 ) -> SingleRunResult:
     """One repetition, rebuilt from plain arguments in a worker."""
     from repro.hadoop.jvm import GcPolicy
@@ -230,6 +243,7 @@ def _harness_cell(
         base_seed=seed,
         node_config=node_config,
         hadoop_config=hadoop_config,
+        admission=admission,
     )
     harness.gc_policy = GcPolicy[gc_policy_name]
     return harness.run_once(seed)

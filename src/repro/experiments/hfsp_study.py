@@ -54,12 +54,21 @@ def _short_job(index: int, offset: float) -> JobSpec:
     )
 
 
-def _run_once(primitive_name: str, seed: int, arrivals: List[float]) -> Dict[str, float]:
+def _run_once(
+    primitive_name: str,
+    seed: int,
+    arrivals: List[float],
+    admission=None,
+    trace: bool = False,
+) -> Dict[str, float]:
+    """``admission``/``trace`` exist for the gated-vs-ungated
+    differential tests and default to the historical behaviour."""
     if primitive_name == "wait":
         scheduler = HfspScheduler(primitive_factory=None)
     else:
         scheduler = HfspScheduler(
-            primitive_factory=lambda cluster: make_primitive(primitive_name, cluster)
+            primitive_factory=lambda cluster: make_primitive(primitive_name, cluster),
+            admission_config=admission,
         )
     cluster = HadoopCluster(
         num_nodes=1,
@@ -67,7 +76,7 @@ def _run_once(primitive_name: str, seed: int, arrivals: List[float]) -> Dict[str
         hadoop_config=P.paper_hadoop_config().replace(map_slots=2),
         scheduler=scheduler,
         seed=seed,
-        trace=False,
+        trace=trace,
     )
     scheduler.attach_cluster(cluster)
     long_job = cluster.submit_job(_long_job())
@@ -83,11 +92,14 @@ def _run_once(primitive_name: str, seed: int, arrivals: List[float]) -> Dict[str
     finish = max(
         j.finish_time for j in cluster.jobtracker.jobs.values() if j.finish_time
     )
-    return {
+    out = {
         "short_sojourn": sum(j.sojourn_time for j in shorts) / len(shorts),
         "long_sojourn": long_job.sojourn_time,
         "makespan": finish - long_job.submit_time,
     }
+    if trace:
+        out["trace_digest"] = cluster.sim.trace_log.digest()
+    return out
 
 
 def run_hfsp_study(

@@ -59,6 +59,9 @@ EXPERIMENTS: Dict[str, LazyRunner] = {
     "shuffle": LazyRunner(
         "repro.experiments.shuffle_study", "run_shuffle_study"
     ),
+    "memscale": LazyRunner(
+        "repro.experiments.memscale_study", "run_memscale_study"
+    ),
 }
 
 #: one-line summaries printed by ``repro list`` (kept here, next to
@@ -78,6 +81,10 @@ DESCRIPTIONS: Dict[str, str] = {
     "faults": "fault injection and recovery: crashes, slow nodes, task failures",
     "scale": "cluster-at-scale SWIM replay (25/100/400 trackers, HFSP)",
     "shuffle": "network-contention study: shuffle flows on oversubscribed uplinks",
+    "memscale": (
+        "memory-oversubscription study: swap-aware suspend admission "
+        "vs ungated SIGTSTP"
+    ),
 }
 
 #: aliases accepted by the CLI
@@ -100,6 +107,9 @@ ALIASES = {
     "e10": "shuffle",
     "shuffle_study": "shuffle",
     "netmodel": "shuffle",
+    "e11": "memscale",
+    "memscale_study": "memscale",
+    "memory": "memscale",
 }
 
 

@@ -87,8 +87,18 @@ def _run_once(
     trackers: int,
     num_jobs: int,
     seed: int,
+    admission=None,
+    trace: bool = False,
 ) -> Dict[str, float]:
-    """One replay cell: pure function of its arguments."""
+    """One replay cell: pure function of its arguments.
+
+    ``admission`` (an
+    :class:`~repro.preemption.admission.AdmissionConfig`) routes
+    suspensions through the swap-aware gate; ``trace`` keeps the
+    TraceLog and adds its digest to the result -- both exist for the
+    gated-vs-ungated differential tests and default to the historical
+    behaviour.
+    """
     if scenario not in SCENARIOS:
         raise ConfigurationError(
             f"unknown scenario {scenario!r}; known: {', '.join(sorted(SCENARIOS))}"
@@ -100,7 +110,8 @@ def _run_once(
         scheduler = HfspScheduler(
             primitive_factory=lambda cluster: make_primitive(
                 primitive_name, cluster
-            )
+            ),
+            admission_config=admission,
         )
     cluster = HadoopCluster(
         num_nodes=trackers,
@@ -110,7 +121,7 @@ def _run_once(
         ),
         scheduler=scheduler,
         seed=seed,
-        trace=False,
+        trace=trace,
     )
     scheduler.attach_cluster(cluster)
 
@@ -155,7 +166,7 @@ def _run_once(
         if job.spec.name in small_names and job.sojourn_time is not None
     ]
     finish = max(job.finish_time for job in jobs if job.finish_time is not None)
-    return {
+    out = {
         "mean_sojourn": sum(sojourns) / len(sojourns),
         "p95_sojourn": percentile(sojourns, 95),
         "small_mean_sojourn": sum(small) / len(small) if small else 0.0,
@@ -165,6 +176,9 @@ def _run_once(
         "jobs_completed": float(finished["count"]),
         "events": float(cluster.sim.events_fired),
     }
+    if trace:
+        out["trace_digest"] = cluster.sim.trace_log.digest()
+    return out
 
 
 def _jobs_for(trackers: int, num_jobs: Optional[int]) -> int:

@@ -210,6 +210,8 @@ class TaskAttempt:
         self.counters.set_value(
             "task", "swapped_bytes", self.lifetime_swapped_bytes()
         )
+        if self.oom_killed():
+            self.counters.increment("task", "oom_kills")
         if self.jvm is not None:
             self.counters.set_value(
                 "task",
@@ -253,6 +255,13 @@ class TaskAttempt:
         return self.fetched_network_bytes()
 
     # -- memory introspection (Figure 4's metric) ------------------------------------------
+
+    def oom_killed(self) -> bool:
+        """True when this attempt's JVM was reaped by the OOM killer."""
+        return (
+            self.process is not None
+            and self.process.exit_reason is ExitReason.OOM
+        )
 
     def current_swapped_bytes(self) -> int:
         """Bytes of this attempt's image currently in swap."""

@@ -10,9 +10,12 @@ alongside the existing launch/kill actions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.hadoop.states import AttemptState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.osmodel.vmm import MemoryHeadroom
 
 
 @dataclass(frozen=True, slots=True)
@@ -29,6 +32,9 @@ class AttemptStatus:
     #: shuffle traffic a terminal (killed/failed) attempt discards;
     #: the JobTracker charges it to the wasted-network-bytes ledger
     discarded_network_bytes: int = 0
+    #: True when a FAILED attempt died to the OOM killer; the
+    #: JobTracker charges its loss to the oom-kill ledger cause
+    oom_killed: bool = False
 
 
 @dataclass(slots=True)
@@ -42,6 +48,9 @@ class HeartbeatReport:
     attempts: List[AttemptStatus] = field(default_factory=list)
     suspended_count: int = 0
     out_of_band: bool = False
+    #: per-node memory/swap headroom snapshot (Section III-A's
+    #: operands), taken once per heartbeat by the TaskTracker
+    headroom: Optional["MemoryHeadroom"] = None
 
     def status_of(self, attempt_id: str) -> Optional[AttemptStatus]:
         """Find one attempt's status in this report."""

@@ -40,6 +40,7 @@ from repro.hadoop.task import TaskInProgress, TipRole
 from repro.metrics.wasted import (
     JOB_TEARDOWN,
     LOST_MAP_OUTPUT,
+    OOM_KILL,
     PREEMPTION_KILL,
     SPECULATION_LOSER,
     TASK_FAILURE,
@@ -91,6 +92,15 @@ class JobTracker:
         self.heartbeats_received = 0
         #: virtual time of each tracker's last heartbeat (expiry input)
         self.last_heartbeat: Dict[str, float] = {}
+        #: last memory/swap headroom snapshot each tracker reported --
+        #: the JobTracker-side view schedulers and studies introspect
+        self.tracker_headroom: Dict[str, "object"] = {}
+        #: largest per-node suspended total (resident + swapped) any
+        #: heartbeat ever reported -- Section III-A's operand, the
+        #: quantity the memscale study plots against the swap size
+        self.peak_suspended_bytes = 0
+        #: attempts lost to the OOM killer (cluster-wide)
+        self.oom_kills = 0
         #: trackers no longer given new work (too many task failures)
         self.blacklisted: Set[str] = set()
         #: task failures charged to each tracker (blacklist input)
@@ -368,6 +378,14 @@ class JobTracker:
         """Process a TaskTracker report and reply with directives."""
         self.heartbeats_received += 1
         self.last_heartbeat[report.tracker] = self.sim.now
+        if report.headroom is not None:
+            self.tracker_headroom[report.tracker] = report.headroom
+            suspended = (
+                report.headroom.stopped_resident
+                + report.headroom.stopped_swapped
+            )
+            if suspended > self.peak_suspended_bytes:
+                self.peak_suspended_bytes = suspended
         self._process_report(report)
         actions: List[TrackerAction] = []
         free_map = report.free_map_slots
@@ -489,9 +507,12 @@ class JobTracker:
             if status.state is AttemptState.FAILED:
                 lost = tip.work_seconds(status.progress)
                 tip.wasted_seconds += lost
-                self.wasted.add(TASK_FAILURE, lost, tip.tip_id)
+                cause = OOM_KILL if status.oom_killed else TASK_FAILURE
+                if status.oom_killed:
+                    self.oom_kills += 1
+                self.wasted.add(cause, lost, tip.tip_id)
                 self.wasted.add_network_bytes(
-                    TASK_FAILURE, status.discarded_network_bytes, tip.tip_id
+                    cause, status.discarded_network_bytes, tip.tip_id
                 )
                 self._charge_tracker_failure(tracker)
                 tip.failed_on.add(tracker)
@@ -579,9 +600,16 @@ class JobTracker:
         """A task error (not a kill): retry up to the attempt cap."""
         job = tip.job
         lost_seconds = tip.work_seconds(status.progress)
-        self.wasted.add(TASK_FAILURE, lost_seconds, tip.tip_id)
+        # OOM deaths get their own ledger cause: they are the loss mode
+        # the suspend-admission gate exists to prevent, and folding
+        # them into generic task failures would hide exactly the
+        # kill-vs-suspend-vs-gated comparison the memscale study makes.
+        cause = OOM_KILL if status.oom_killed else TASK_FAILURE
+        if status.oom_killed:
+            self.oom_kills += 1
+        self.wasted.add(cause, lost_seconds, tip.tip_id)
         self.wasted.add_network_bytes(
-            TASK_FAILURE, status.discarded_network_bytes, tip.tip_id
+            cause, status.discarded_network_bytes, tip.tip_id
         )
         self._charge_tracker_failure(tracker)
         tip.mark_failed_attempt(progress_lost=status.progress, tracker=tracker)

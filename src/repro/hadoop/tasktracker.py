@@ -181,6 +181,7 @@ class TaskTracker:
                     resident_bytes=attempt.resident_bytes(),
                     swapped_bytes=attempt.current_swapped_bytes(),
                     discarded_network_bytes=attempt.discarded_network_bytes(),
+                    oom_killed=attempt.oom_killed(),
                 )
             )
             if attempt.state.terminal:
@@ -196,6 +197,7 @@ class TaskTracker:
             attempts=statuses,
             suspended_count=len(self.suspended_attempts()),
             out_of_band=out_of_band,
+            headroom=self.kernel.memory_headroom(),
         )
 
     # -- directive execution ----------------------------------------------------------------

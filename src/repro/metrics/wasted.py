@@ -16,6 +16,9 @@ from typing import Dict, List, Tuple
 #: canonical cause labels used by the Hadoop layer
 PREEMPTION_KILL = "preemption-kill"
 TASK_FAILURE = "task-failure"
+#: the OOM killer reaped the attempt's JVM (RAM + swap exhausted --
+#: the loss mode suspend admission control exists to prevent)
+OOM_KILL = "oom-kill"
 TRACKER_LOST = "tracker-lost"
 LOST_MAP_OUTPUT = "lost-map-output"
 SPECULATION_LOSER = "speculation-loser"

@@ -202,22 +202,60 @@ class Fabric:
         now = self.sim.now
         for link in flow.path:
             link._add(flow.flow_id, now)
-        self._recouple(flow.path)
+        self._recouple(flow.path, added=flow)
 
     def _detach(self, flow: Flow) -> None:
         now = self.sim.now
         for link in flow.path:
             link._remove(flow.flow_id, now)
-        self._recouple(flow.path)
+        self._recouple(flow.path, removed=True)
 
-    def _recouple(self, touched: Iterable[Link]) -> None:
-        """Reassign bottleneck shares to every flow crossing a touched
-        link (including flows just attached)."""
+    def _recouple(
+        self,
+        touched: Iterable[Link],
+        added: Optional[Flow] = None,
+        removed: bool = False,
+    ) -> None:
+        """Reassign bottleneck shares to the flows a membership change
+        can actually move.
+
+        One attach/detach shifts each touched link's fair share in a
+        known direction, which screens the candidates: an **attach**
+        only lowers shares, so only flows whose current rate *exceeds*
+        the new share (plus the newcomer itself) can change; a
+        **detach** only raises them, so only flows that were
+        bottlenecked *at* a touched link -- ``rate == capacity /
+        (count + 1)``, an exact float because rates are pure functions
+        of the occupancy counts -- can rise.  Screened-out flows would
+        have recomputed to their current rate, so skipping them changes
+        no rate, no event, and no utilization sample; it is what keeps
+        a hot core link (hundreds of crossing flows) from turning every
+        membership change into a full re-rate.  Callers that pass
+        neither hint get the unscreened full visit.
+        """
         now = self.sim.now
-        affected = sorted(
-            {fid for link in touched for fid in link._flows}
-        )
-        for flow_id in affected:
+        affected = set()
+        if added is not None:
+            affected.add(added.flow_id)
+        for link in touched:
+            n = len(link._flows)
+            if n == 0:
+                continue
+            if added is not None:
+                share = link.capacity / n
+                for fid in link._flows:
+                    flow = self._flows.get(fid)
+                    if flow is not None and flow.rate > share:
+                        affected.add(fid)
+            elif removed:
+                prev_share = link.capacity / (n + 1)
+                for fid in link._flows:
+                    flow = self._flows.get(fid)
+                    if flow is not None and flow.rate == prev_share:
+                        affected.add(fid)
+            else:
+                affected.update(link._flows)
+        for flow_id in sorted(affected):
             flow = self._flows.get(flow_id)
             if flow is None or flow.state is not FlowState.ACTIVE:
                 continue

@@ -23,7 +23,7 @@ from repro.osmodel.disk import DiskDevice
 from repro.osmodel.process import ExitReason, OSProcess, ProcessState
 from repro.osmodel.resources import Claim, CpuResource
 from repro.osmodel.signals import Signal
-from repro.osmodel.vmm import VirtualMemoryManager
+from repro.osmodel.vmm import MemoryHeadroom, VirtualMemoryManager
 from repro.sim.engine import Simulation
 from repro.units import page_align
 
@@ -60,6 +60,8 @@ class NodeKernel:
         self._processes: Dict[int, OSProcess] = {}
         self._next_pid = 1000
         self.signals_sent = 0
+        #: processes reaped by the OOM killer (RAM + swap exhausted)
+        self.oom_kills = 0
         #: the cluster's network fabric, attached by
         #: :class:`repro.hadoop.cluster.HadoopCluster` when one is
         #: configured; None keeps network-free behaviour (shuffle and
@@ -104,6 +106,22 @@ class NodeKernel:
             name=proc.name,
             reason=proc.exit_reason.value if proc.exit_reason else "?",
         )
+
+    def oom_kill(self, proc: OSProcess, why: str = "") -> None:
+        """The OOM killer fires: reap ``proc`` with ``ExitReason.OOM``.
+
+        The model charges the failed allocation to the *requesting*
+        process (malloc-failure semantics): it is the deterministic
+        choice, and in the memory-oversubscribed replays the requester
+        is the memory-hungry task whose demand broke Section III-A's
+        constraint.  Callers catch
+        :class:`~repro.errors.OutOfMemoryError` from the allocation
+        paths and route it here instead of letting it unwind the event
+        loop.
+        """
+        self.oom_kills += 1
+        self.trace("os.oom-kill", pid=proc.pid, name=proc.name, why=why)
+        proc.die_oom()
 
     def note_process_stopped(self, proc: OSProcess) -> None:
         """Bookkeeping hook invoked when a process enters STOPPED."""
@@ -199,6 +217,11 @@ class NodeKernel:
         return self.disk.stream_write(nbytes, on_done, label=label, owner=owner)
 
     # -- introspection ----------------------------------------------------------
+
+    def memory_headroom(self) -> MemoryHeadroom:
+        """One-pass memory/swap headroom snapshot (heartbeats and the
+        suspend-admission gate read this)."""
+        return self.vmm.headroom()
 
     def memory_summary(self) -> Dict[str, int]:
         """Snapshot of RAM/cache/swap usage (bytes)."""

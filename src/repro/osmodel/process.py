@@ -185,6 +185,13 @@ class OSProcess:
         """Called by the work engine when the plan completes."""
         self._die(ExitReason.EXITED)
 
+    def die_oom(self) -> None:
+        """Reaped by the OOM killer (see
+        :meth:`repro.osmodel.kernel.NodeKernel.oom_kill`): like SIGKILL
+        but recorded as :attr:`ExitReason.OOM` so the Hadoop layer can
+        charge the loss to the right wasted-work cause."""
+        self._die(ExitReason.OOM)
+
     def _die(self, reason: ExitReason) -> None:
         if not self.alive:
             return

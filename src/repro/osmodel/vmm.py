@@ -62,6 +62,39 @@ class FaultInResult:
     reclaim: ReclaimResult | None = None
 
 
+@dataclass(frozen=True, slots=True)
+class MemoryHeadroom:
+    """One node's memory/swap headroom, snapshotted in a single pass.
+
+    This is the quantity Section III-A's constraint is stated over:
+    the aggregate memory of running + suspended tasks must fit in
+    RAM + swap.  TaskTrackers attach a snapshot to every heartbeat and
+    the suspend-admission gate reads it before issuing SIGTSTP, so the
+    constraint is actively managed instead of discovered as an OOM.
+    """
+
+    #: RAM free without any reclaim (bytes)
+    free_ram: int
+    #: page-cache bytes the reclaimer could drop for free
+    evictable_cache: int
+    #: unused swap bytes
+    free_swap: int
+    #: resident bytes of runnable processes
+    running_resident: int
+    #: resident bytes of stopped (suspended) processes
+    stopped_resident: int
+    #: swapped bytes held by stopped processes
+    stopped_swapped: int
+    #: number of stopped processes
+    stopped_count: int
+
+    @property
+    def suspend_budget(self) -> int:
+        """Bytes of additional task memory the node can still absorb:
+        free RAM, droppable cache, and unused swap."""
+        return self.free_ram + self.evictable_cache + self.free_swap
+
+
 class VirtualMemoryManager:
     """Owns the page cache, the swap area, and the reclaim policy."""
 
@@ -99,6 +132,36 @@ class VirtualMemoryManager:
         """Fraction of usable RAM in use (processes + cache)."""
         usable = max(1, self.config.usable_ram_bytes)
         return 1.0 - self.free_ram() / usable
+
+    def headroom(self) -> MemoryHeadroom:
+        """Snapshot the node's memory/swap headroom in one pass.
+
+        Batching matters at scale: heartbeat building and the suspend
+        admission gate both need these totals, and a single walk over
+        the (handful of) live processes replaces the per-attempt
+        resident/swap sums the old swap-capacity check performed.
+        """
+        running = stopped = stopped_swapped = 0
+        stopped_count = 0
+        for proc in self._live_processes():
+            if proc.stopped:
+                stopped += proc.image.resident
+                stopped_swapped += proc.image.swapped
+                stopped_count += 1
+            else:
+                running += proc.image.resident
+        free_ram = (
+            self.config.usable_ram_bytes - running - stopped - self.page_cache.size
+        )
+        return MemoryHeadroom(
+            free_ram=free_ram,
+            evictable_cache=self.page_cache.evictable,
+            free_swap=self.swap.free,
+            running_resident=running,
+            stopped_resident=stopped,
+            stopped_swapped=stopped_swapped,
+            stopped_count=stopped_count,
+        )
 
     # -- page cache population --------------------------------------------------
 

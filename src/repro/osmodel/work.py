@@ -23,7 +23,7 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Callable, List, Optional
 
-from repro.errors import SimulationError
+from repro.errors import OutOfMemoryError, SimulationError
 from repro.sim.events import EventHandle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -370,7 +370,11 @@ class MemAllocItem(SleepItem):
         self.reclaim_cost = 0.0
 
     def begin(self, engine: "WorkEngine") -> None:
-        charge = engine.kernel.charge_allocation(engine.process, self.nbytes)
+        try:
+            charge = engine.kernel.charge_allocation(engine.process, self.nbytes)
+        except OutOfMemoryError as exc:
+            engine.kernel.oom_kill(engine.process, why=str(exc))
+            return
         self.reclaim_cost = charge.reclaim_time
         self.duration = charge.total_time
         self.remaining = self.duration
@@ -393,7 +397,11 @@ class MemTouchItem(SleepItem):
 
     def begin(self, engine: "WorkEngine") -> None:
         process = engine.process
-        fault = engine.kernel.vmm.fault_in(process)
+        try:
+            fault = engine.kernel.vmm.fault_in(process)
+        except OutOfMemoryError as exc:
+            engine.kernel.oom_kill(process, why=str(exc))
+            return
         self.fault_cost = fault.time_cost
         read_time = process.image.resident / engine.kernel.config.mem_read_bw
         self.duration = read_time + fault.time_cost
@@ -511,7 +519,14 @@ class WorkEngine:
         if not self.paused or self.completed:
             return
         self.paused = False
-        fault = self.kernel.vmm.fault_in(self.process)
+        try:
+            fault = self.kernel.vmm.fault_in(self.process)
+        except OutOfMemoryError as exc:
+            # The node cannot hold the faulting-in image: the OOM
+            # killer reaps the resuming process (RAM + swap are over-
+            # committed past Section III-A's constraint).
+            self.kernel.oom_kill(self.process, why=str(exc))
+            return
         self.fault_in_seconds += fault.time_cost
         if fault.time_cost > 0:
             self._pending_resume = self.sim.schedule(

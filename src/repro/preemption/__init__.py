@@ -22,6 +22,12 @@ eviction policies (:mod:`repro.preemption.eviction`), a cost advisor
 delay scheduling (:mod:`repro.preemption.locality`).
 """
 
+from repro.preemption.admission import (
+    AdmissionConfig,
+    AdmissionDecision,
+    SuspendAdmissionGate,
+    admit_and_preempt,
+)
 from repro.preemption.base import (
     PreemptionPrimitive,
     PrimitiveName,
@@ -36,6 +42,7 @@ from repro.preemption.eviction import (
     LargestMemoryPolicy,
     RandomPolicy,
     SmallestMemoryPolicy,
+    SuspendCostPolicy,
 )
 from repro.preemption.kill import KillPrimitive
 from repro.preemption.locality import ResumeLocalityManager
@@ -60,6 +67,11 @@ __all__ = [
     "SmallestMemoryPolicy",
     "LargestMemoryPolicy",
     "RandomPolicy",
+    "SuspendCostPolicy",
+    "AdmissionConfig",
+    "AdmissionDecision",
+    "SuspendAdmissionGate",
+    "admit_and_preempt",
     "PreemptionAdvisor",
     "PrimitiveChoice",
     "ResumeLocalityManager",

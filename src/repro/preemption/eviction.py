@@ -128,6 +128,41 @@ class SmallestMemoryPolicy(EvictionPolicy):
         return sorted(candidates, key=lambda c: (c.resident_bytes, c.tip_id))
 
 
+class SuspendCostPolicy(EvictionPolicy):
+    """Resident-footprint x progress cost model for suspend victims.
+
+    A suspension's overhead scales with the resident bytes that may
+    round-trip through swap (Figure 4), while the *scheduling* cost of
+    freezing a task scales with the work it still has to do -- a
+    nearly-done task resumes and completes quickly (Cho et al.'s
+    closest-to-completion argument), a barely-started one holds its
+    job open for its whole body.  The policy evicts the candidate with
+    the smallest
+
+        resident_bytes * (alpha + 1 - progress)
+
+    first: small footprints and high progress are cheap; ``alpha``
+    keeps the footprint term alive for tasks at the finish line (and
+    breaks the degenerate all-zero ordering for stateless fleets).
+    """
+
+    name = "suspend-cost"
+
+    def __init__(self, alpha: float = 0.25):
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+
+    def rank(self, candidates: List[EvictionCandidate]) -> List[EvictionCandidate]:
+        return sorted(
+            candidates,
+            key=lambda c: (
+                c.resident_bytes * (self.alpha + 1.0 - c.progress),
+                c.tip_id,
+            ),
+        )
+
+
 class LargestMemoryPolicy(EvictionPolicy):
     """Control policy: evict the biggest tasks first (worst case for
     suspend/resume paging)."""

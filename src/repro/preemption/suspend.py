@@ -25,14 +25,28 @@ class SuspendResumePrimitive(PreemptionPrimitive):
 
     name = PrimitiveName.SUSPEND
 
-    def __init__(self, cluster, enforce_swap_capacity: bool = True):
+    def __init__(
+        self,
+        cluster,
+        enforce_swap_capacity: bool = True,
+        enforce_suspend_cap: bool = True,
+    ):
         super().__init__(cluster)
+        #: static capacity compare: victim + suspended vs the swap
+        #: *device size* (coarse; see :meth:`_check_swap_capacity`)
         self.enforce_swap_capacity = enforce_swap_capacity
+        #: per-tracker suspended-count cap
+        #: (``HadoopConfig.max_suspended_per_tracker``); kept separate
+        #: so dynamically-gated setups can drop the capacity compare
+        #: while retaining the historical count cap
+        self.enforce_suspend_cap = enforce_suspend_cap
 
     def preempt(self, tip: TaskInProgress) -> None:
         """Mark the task MUST_SUSPEND; the TaskTracker stops it at the
         next heartbeat exchange."""
         self._require_running(tip)
+        if self.enforce_suspend_cap:
+            self._check_suspend_cap(tip)
         if self.enforce_swap_capacity:
             self._check_swap_capacity(tip)
         self.preempt_count += 1
@@ -55,12 +69,16 @@ class SuspendResumePrimitive(PreemptionPrimitive):
 
     # -- safety -------------------------------------------------------------
 
-    def _check_swap_capacity(self, tip: TaskInProgress) -> None:
-        """Section III-A: aggregate suspended memory must fit in swap,
-        and the per-tracker suspended count is capped by config."""
+    def _live_tracker(self, tip: TaskInProgress):
         tracker = self.cluster.trackers.get(tip.tracker or "")
         if tracker is None:
             raise NotPreemptibleError(f"{tip.tip_id} has no live tracker")
+        return tracker
+
+    def _check_suspend_cap(self, tip: TaskInProgress) -> None:
+        """Per-tracker suspended-count cap
+        (``mapred``-style ``max_suspended_per_tracker``)."""
+        tracker = self._live_tracker(tip)
         if (
             len(tracker.suspended_attempts())
             >= tracker.config.max_suspended_per_tracker
@@ -70,6 +88,19 @@ class SuspendResumePrimitive(PreemptionPrimitive):
                 f"{len(tracker.suspended_attempts())} suspended tasks "
                 f"(max_suspended_per_tracker)"
             )
+
+    def _check_swap_capacity(self, tip: TaskInProgress) -> None:
+        """Section III-A: aggregate suspended memory must fit in swap.
+
+        This is the *static* check: it compares against the swap
+        device's capacity, not its live occupancy, so it neither sees
+        pressure from running tasks nor admits safely on a nearly-full
+        device.  Schedulers that manage the constraint dynamically use
+        the swap-aware gate
+        (:class:`repro.preemption.admission.SuspendAdmissionGate`) and
+        build this primitive with ``enforce_swap_capacity=False``.
+        """
+        tracker = self._live_tracker(tip)
         attempt = self.attempt_of(tip)
         if attempt is None:
             raise NotPreemptibleError(f"{tip.tip_id} has no live attempt")

@@ -34,6 +34,10 @@ class TaskScheduler(abc.ABC):
         #: need the rack map (and block locations for map inputs)
         self.topology = None
         self.namenode = None
+        #: swap-aware suspend admission gate
+        #: (:class:`repro.preemption.admission.SuspendAdmissionGate`);
+        #: None (the default) preserves ungated suspension
+        self.admission = None
 
     def bind(self, jobtracker: "JobTracker") -> None:
         """Attach to a JobTracker (called once at construction time)."""
@@ -73,6 +77,21 @@ class TaskScheduler(abc.ABC):
         """
 
     # -- helpers shared by implementations ----------------------------------------
+
+    def preempt_with_admission(self, primitive, tip: TaskInProgress) -> str:
+        """Preempt ``tip``, honouring the suspend-admission gate when
+        one is configured; returns the action actually taken
+        ("suspend", "kill", "wait" or the primitive's own name).
+
+        With no gate this is exactly ``primitive.preempt(tip)`` -- the
+        historical, ungated behaviour.  With a gate, suspend requests
+        are admitted only while the victim node's RAM + swap headroom
+        covers the Section III-A constraint; denials walk the gate's
+        fallback ladder.
+        """
+        from repro.preemption.admission import admit_and_preempt
+
+        return admit_and_preempt(self.admission, primitive, tip)
 
     def _candidate_jobs(self) -> List[JobInProgress]:
         """Running jobs in submission order."""

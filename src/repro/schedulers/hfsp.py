@@ -37,6 +37,8 @@ class HfspScheduler(TaskScheduler):
         primitive_factory=None,
         preempt_on_arrival: bool = True,
         locality_wait_seconds: float = 0.0,
+        admission_config=None,
+        eviction_policy=None,
     ):
         super().__init__()
         self.primitive_factory = primitive_factory
@@ -45,17 +47,28 @@ class HfspScheduler(TaskScheduler):
         self.preempt_on_arrival = preempt_on_arrival
         self.preemptions = 0
         self.locality_wait_seconds = locality_wait_seconds
+        #: :class:`repro.preemption.admission.AdmissionConfig` enabling
+        #: the swap-aware suspend gate; None keeps ungated suspension
+        self.admission_config = admission_config
+        #: optional :class:`repro.preemption.eviction.EvictionPolicy`
+        #: re-ranking victims; None keeps the historical
+        #: largest-job-first order
+        self.eviction_policy = eviction_policy
         self._suspended: List[TaskInProgress] = []
 
     def attach_cluster(self, cluster) -> None:
         """Enable preemption (optional; without it HFSP degrades to
-        non-preemptive shortest-job-first) and the locality knob
-        (which needs the rack map)."""
+        non-preemptive shortest-job-first), the locality knob (which
+        needs the rack map), and the suspend-admission gate."""
         self.cluster = cluster
         self.topology = cluster.topology
         self.namenode = cluster.namenode
         if self.primitive_factory is not None:
             self.primitive = self.primitive_factory(cluster)
+        if self.admission_config is not None:
+            from repro.preemption.admission import SuspendAdmissionGate
+
+            self.admission = SuspendAdmissionGate(cluster, self.admission_config)
 
     # -- size bookkeeping -------------------------------------------------------
 
@@ -226,16 +239,25 @@ class HfspScheduler(TaskScheduler):
             )
             if self.remaining_size(c.tip.job) > new_size
         ]
-        # Largest job's tasks go first (they delay everyone the most).
+        # Largest job's tasks go first (they delay everyone the most);
+        # an explicit eviction policy (e.g. the resident x progress
+        # suspend-cost model) re-ranks within that default.
         candidates.sort(
             key=lambda c: (-self.remaining_size(c.tip.job), c.tip_id)
         )
+        if self.eviction_policy is not None:
+            candidates = self.eviction_policy.rank(candidates)
         demand = sum(1 for t in new_job.tips if t.schedulable)
         for victim in candidates[: max(0, demand)]:
             try:
-                self.primitive.preempt(victim.tip)
-                self.preemptions += 1
-                if victim.tip.state is TipState.MUST_SUSPEND:
-                    self._suspended.append(victim.tip)
+                action = self.preempt_with_admission(self.primitive, victim.tip)
             except NotPreemptibleError:
                 continue
+            if self.admission is not None and action == "wait":
+                # Admission denied into waiting: the victim keeps its
+                # slot and the arrival queues behind it (counted in
+                # the gate's own stats).
+                continue
+            self.preemptions += 1
+            if victim.tip.state is TipState.MUST_SUSPEND:
+                self._suspended.append(victim.tip)

@@ -38,6 +38,10 @@ class SwimJobClass:
     ``shuffle_fraction`` describe the class's reduce phase: each job
     shuffles ``shuffle_fraction`` of its total map input, split evenly
     over its reduce tasks (zero reduces = a map-only bin).
+    ``reduce_footprint_bytes`` makes the reduces *stateful*: each
+    draws that much anonymous memory (aggregation state held across
+    the whole reduce), which is what puts a class's reduces in play
+    for the memory-oversubscription study.
     """
 
     name: str
@@ -48,6 +52,7 @@ class SwimJobClass:
     parse_rate: tuple = (6 * MB, 9 * MB)
     num_reduces: range = field(default_factory=lambda: range(0, 1))
     shuffle_fraction: tuple = (0.0, 0.0)
+    reduce_footprint_bytes: tuple = (0, 0)
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
@@ -58,6 +63,11 @@ class SwimJobClass:
         if not 0.0 <= lo <= hi <= 1.0:
             raise ConfigurationError(
                 "shuffle_fraction must be an ordered pair within [0, 1]"
+            )
+        lo, hi = self.reduce_footprint_bytes
+        if not 0 <= lo <= hi:
+            raise ConfigurationError(
+                "reduce_footprint_bytes must be an ordered non-negative pair"
             )
 
     @property
@@ -114,11 +124,45 @@ SHUFFLE_HEAVY_CLASSES: List[SwimJobClass] = [
                  num_reduces=range(4, 10), shuffle_fraction=(0.7, 1.0)),
 ]
 
+#: The FACEBOOK mix with memory-hungry *stateful* bodies: reduce-
+#: bearing bins hold large in-memory aggregation state and their maps
+#: carry moderate footprints, so task slots hold multi-hundred-MB
+#: resident sets -- the workload of the memory-oversubscription
+#: (``memscale``) study.  Footprints are sized so a node's *running*
+#: set (2 map slots + 1 reduce slot at the class maxima, plus JVM
+#: bases) always fits in the study's RAM + swap: wait/kill replays
+#: never OOM on their own, and only suspend *stacking* can
+#: oversubscribe a node past Section III-A's constraint.
+MEMORY_HEAVY_CLASSES: List[SwimJobClass] = [
+    SwimJobClass("tiny", weight=0.50, num_tasks=range(1, 3),
+                 input_bytes=(32 * MB, 128 * MB)),
+    SwimJobClass("small", weight=0.25, num_tasks=range(2, 8),
+                 input_bytes=(64 * MB, 256 * MB),
+                 num_reduces=range(1, 2), shuffle_fraction=(0.1, 0.3),
+                 reduce_footprint_bytes=(256 * MB, 512 * MB)),
+    SwimJobClass("medium", weight=0.15, num_tasks=range(8, 24),
+                 input_bytes=(128 * MB, 512 * MB),
+                 footprint_bytes=(256 * MB, 384 * MB),
+                 num_reduces=range(1, 4), shuffle_fraction=(0.2, 0.5),
+                 reduce_footprint_bytes=(512 * MB, 896 * MB)),
+    SwimJobClass("large", weight=0.08, num_tasks=range(24, 64),
+                 input_bytes=(256 * MB, 768 * MB),
+                 footprint_bytes=(320 * MB, 512 * MB),
+                 num_reduces=range(2, 8), shuffle_fraction=(0.4, 0.8),
+                 reduce_footprint_bytes=(640 * MB, 1152 * MB)),
+    SwimJobClass("huge", weight=0.02, num_tasks=range(64, 128),
+                 input_bytes=(384 * MB, 1024 * MB),
+                 footprint_bytes=(384 * MB, 640 * MB),
+                 num_reduces=range(4, 12), shuffle_fraction=(0.5, 0.9),
+                 reduce_footprint_bytes=(896 * MB, 1408 * MB)),
+]
+
 #: Named mixes the scale experiment (and the CLI) select by key.
 MIXES: Dict[str, List[SwimJobClass]] = {
     "default": DEFAULT_CLASSES,
     "facebook": FACEBOOK_CLASSES,
     "shuffle-heavy": SHUFFLE_HEAVY_CLASSES,
+    "memory-heavy": MEMORY_HEAVY_CLASSES,
 }
 
 
@@ -225,7 +269,13 @@ class SwimGenerator:
         self, cls: SwimJobClass, index: int, total_map_input: int
     ) -> List[TaskSpec]:
         """The job's reduce phase: ``shuffle_fraction`` of the map input
-        split evenly over the drawn number of reduces."""
+        split evenly over the drawn number of reduces.
+
+        Footprint draws are guarded so classes without stateful
+        reduces consume exactly the RNG stream they always did --
+        existing mixes' workloads (and every digest pinned on them)
+        are unchanged.
+        """
         if cls.max_reduces <= 0:
             return []
         num_reduces = self.rng.randint(cls.num_reduces.start, cls.max_reduces)
@@ -233,16 +283,29 @@ class SwimGenerator:
             return []
         fraction = self.rng.uniform(*cls.shuffle_fraction)
         share = int(total_map_input * fraction / num_reduces)
-        return [
-            TaskSpec(
-                kind=TaskKind.REDUCE,
-                input_bytes=share,
-                parse_rate=self.rng.uniform(*cls.parse_rate),
-                shuffle_bytes=share,
-                name=f"swim-{index}-{cls.name}-r{t}",
+        tasks = []
+        for t in range(num_reduces):
+            footprint = (
+                self.rng.randint(*cls.reduce_footprint_bytes)
+                if cls.reduce_footprint_bytes[1]
+                else 0
             )
-            for t in range(num_reduces)
-        ]
+            tasks.append(
+                TaskSpec(
+                    kind=TaskKind.REDUCE,
+                    input_bytes=share,
+                    parse_rate=self.rng.uniform(*cls.parse_rate),
+                    shuffle_bytes=share,
+                    footprint_bytes=footprint,
+                    profile=(
+                        MemoryProfile.STATEFUL
+                        if footprint
+                        else MemoryProfile.STATELESS
+                    ),
+                    name=f"swim-{index}-{cls.name}-r{t}",
+                )
+            )
+        return tasks
 
     # -- arrivals -------------------------------------------------------------
 

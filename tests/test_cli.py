@@ -11,7 +11,8 @@ class TestList:
     def test_list_prints_experiments(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in ("fig1", "fig2", "fig3", "fig4", "natjam", "shuffle"):
+        for name in ("fig1", "fig2", "fig3", "fig4", "natjam", "shuffle",
+                     "memscale"):
             assert name in out
 
     def test_list_prints_descriptions(self, capsys):
@@ -19,10 +20,38 @@ class TestList:
 
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        # Every registered experiment carries its one-line description.
+        # Every registered experiment carries its one-line description:
+        # a registry entry without one is a test failure here, never a
+        # silent omission in `repro list`.
         assert set(DESCRIPTIONS) == set(list_experiments())
         for name in list_experiments():
-            assert DESCRIPTIONS[name] in out
+            description = DESCRIPTIONS[name]
+            assert description and description.strip(), (
+                f"experiment {name!r} has an empty description"
+            )
+            assert description in out
+
+    def test_every_alias_resolves_to_a_registered_experiment(self):
+        from repro.experiments.registry import (
+            ALIASES,
+            EXPERIMENTS,
+            describe_experiment,
+            resolve_name,
+        )
+
+        for alias, target in ALIASES.items():
+            assert target in EXPERIMENTS, (
+                f"alias {alias!r} points at unregistered {target!r}"
+            )
+            assert resolve_name(alias) == target
+            # Descriptions are reachable through aliases too.
+            assert describe_experiment(alias)
+
+    def test_memscale_registered_with_aliases(self):
+        from repro.experiments.registry import get_experiment
+
+        assert get_experiment("memscale") is get_experiment("e11")
+        assert get_experiment("memory") is get_experiment("memscale_study")
 
 
 class TestWorkers:

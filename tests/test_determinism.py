@@ -127,6 +127,14 @@ class TestScaleDeterminism:
     def test_cell_repeatable(self):
         assert scale_cell(**self.CELL) == scale_cell(**self.CELL)
 
+    def test_gated_cell_repeatable(self):
+        # The admission gate must not introduce nondeterminism.
+        from repro.preemption.admission import AdmissionConfig
+
+        cell = dict(self.CELL, primitive_name="suspend",
+                    admission=AdmissionConfig(reserve_bytes=256 * MB))
+        assert scale_cell(**cell) == scale_cell(**cell)
+
     @pytest.mark.integration
     def test_serial_equals_parallel_byte_identical(self):
         kwargs = dict(
@@ -138,5 +146,31 @@ class TestScaleDeterminism:
         )
         serial = run_scale_study(workers=1, **kwargs)
         parallel = run_scale_study(workers=2, **kwargs)
+        assert serial.extras["digest"] == parallel.extras["digest"]
+        assert serial.render().encode() == parallel.render().encode()
+
+
+class TestMemscaleDeterminism:
+    """The memscale grid shards byte-identically like scale/shuffle."""
+
+    CELL = dict(mode="suspend-gated", trackers=6, num_jobs=8, seed=41001)
+
+    def test_cell_repeatable(self):
+        from repro.experiments.memscale_study import _run_once as memscale_cell
+
+        assert memscale_cell(**self.CELL) == memscale_cell(**self.CELL)
+
+    @pytest.mark.integration
+    def test_serial_equals_parallel_byte_identical(self):
+        from repro.experiments.memscale_study import run_memscale_study
+
+        kwargs = dict(
+            runs=1,
+            cluster_sizes=[6],
+            modes=["kill", "suspend-gated", "suspend-ungated"],
+            num_jobs=8,
+        )
+        serial = run_memscale_study(workers=1, **kwargs)
+        parallel = run_memscale_study(workers=4, **kwargs)
         assert serial.extras["digest"] == parallel.extras["digest"]
         assert serial.render().encode() == parallel.render().encode()

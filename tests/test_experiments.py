@@ -154,6 +154,7 @@ class TestRegistry:
             "faults",
             "scale",
             "shuffle",
+            "memscale",
         }
 
     def test_aliases(self):

@@ -1,0 +1,100 @@
+"""The ``memscale`` memory-oversubscription study.
+
+Wiring, mode validation, and the acceptance property the experiment
+exists to demonstrate: admission-gated suspension manages Section
+III-A's constraint (zero OOM kills, zero swap-exhaustion) while
+ungated suspension under the same oversubscribed cell destroys work
+through the OOM killer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.memscale_study import (
+    MODES,
+    RESERVE_BYTES,
+    SWAP_BYTES,
+    _run_once,
+    run_memscale_study,
+)
+from repro.experiments.runner import derive_seed
+
+
+def _cell(mode: str, trackers: int = 25, num_jobs: int = 25):
+    return _run_once(
+        mode=mode,
+        trackers=trackers,
+        num_jobs=num_jobs,
+        seed=derive_seed(
+            12000, "memscale", trackers, mode, SWAP_BYTES, RESERVE_BYTES, 0
+        ),
+    )
+
+
+class TestWiring:
+    def test_report_shape(self):
+        report = run_memscale_study(
+            runs=1, cluster_sizes=[6], num_jobs=6,
+            modes=["kill", "suspend-gated"],
+        )
+        text = report.render(plots=False)
+        assert "memscale" in text
+        assert "metrics digest" in text
+        assert report.extras["modes"] == ["kill", "suspend-gated"]
+        assert report.extras["swap_bytes"] == SWAP_BYTES
+        metrics = report.extras["metrics"]
+        assert set(metrics) == {6}
+        assert set(metrics[6]) == {"kill", "suspend-gated"}
+        assert metrics[6]["suspend-gated"]["oom_kills"] == [0.0]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_memscale_study(modes=["teleport"], cluster_sizes=[4])
+        with pytest.raises(ConfigurationError):
+            _run_once(mode="teleport", trackers=4, num_jobs=4, seed=1)
+
+    def test_modes_registry(self):
+        assert MODES == ("kill", "wait", "suspend-gated", "suspend-ungated")
+
+
+@pytest.mark.integration
+class TestAcceptance:
+    """The acceptance cell: 25 swap-constrained trackers, hot load."""
+
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return {mode: _cell(mode) for mode in MODES}
+
+    def test_gated_suspension_never_violates_the_constraint(self, cells):
+        gated = cells["suspend-gated"]
+        assert gated["oom_kills"] == 0.0
+        assert gated["oom_raises"] == 0.0  # no SwapExhausted/OOM raises at all
+        # The gate genuinely arbitrated (this is not a no-suspend run).
+        assert gated["suspend_denials"] > 0
+        assert gated["suspends_admitted"] == gated["preemptions"]
+
+    def test_ungated_suspension_breaks_the_constraint(self, cells):
+        ungated = cells["suspend-ungated"]
+        # Section III-A violated: swap exhausts / the OOM killer fires.
+        assert ungated["oom_kills"] > 0
+        assert ungated["oom_raises"] >= ungated["oom_kills"]
+        # The stacking thrashes swap far beyond the gated run.
+        assert ungated["swap_out_mb"] > cells["suspend-gated"]["swap_out_mb"]
+
+    def test_baselines_never_oom(self, cells):
+        for mode in ("kill", "wait"):
+            assert cells[mode]["oom_kills"] == 0.0
+
+    def test_gated_small_jobs_competitive(self, cells):
+        # Admission denials may cost small jobs queueing versus the
+        # reckless ungated run, but never more than the kill/wait
+        # spread of the same cell -- the safety is not bought with a
+        # collapse of the very metric preemption exists to protect.
+        gated = cells["suspend-gated"]["small_mean_sojourn"]
+        others = [
+            cells[m]["small_mean_sojourn"]
+            for m in ("suspend-ungated", "kill", "wait")
+        ]
+        assert 0.0 < gated <= max(others) * 1.5

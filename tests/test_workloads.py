@@ -226,7 +226,9 @@ class TestSwimReduces:
             assert shuffled <= map_input
 
     def test_named_mixes_registry(self):
-        assert set(MIXES) == {"default", "facebook", "shuffle-heavy"}
+        assert set(MIXES) == {
+            "default", "facebook", "shuffle-heavy", "memory-heavy"
+        }
         assert MIXES["default"] is DEFAULT_CLASSES
 
 

@@ -2,8 +2,9 @@
 
 Runs a small battery of deterministic workloads spanning the layers
 the virtual-time resource refactor touched -- the contention
-microbench, a two-job paper cell, SWIM replay cells, and a
-network-fabric shuffle cell -- and records, per bench:
+microbench, a two-job paper cell, SWIM replay cells, a network-fabric
+shuffle cell, and a memory-admission (memscale) cell -- and records,
+per bench:
 
 * ``wall_s``   -- wall-clock seconds (machine-dependent);
 * ``events``   -- simulation events fired (deterministic);
@@ -119,6 +120,32 @@ def bench_shuffle_net_25(scale: float = 1.0) -> dict:
     return {"events": int(out["events"]), "engine_ops": 0}
 
 
+def bench_memscale_25(scale: float = 1.0) -> dict:
+    """The memory-admission smoke cell: gated suspension on
+    swap-constrained nodes (the ``memscale`` experiment's machinery:
+    headroom snapshots per heartbeat, the admission gate on every
+    preemption decision, stateful footprints through the VMM)."""
+    from repro.experiments.memscale_study import (
+        RESERVE_BYTES,
+        SWAP_BYTES,
+        _run_once,
+    )
+    from repro.experiments.runner import derive_seed
+
+    trackers = max(int(25 * scale), 5)
+    num_jobs = max(int(25 * scale), 5)
+    out = _run_once(
+        mode="suspend-gated",
+        trackers=trackers,
+        num_jobs=num_jobs,
+        seed=derive_seed(
+            12000, "memscale", trackers, "suspend-gated",
+            SWAP_BYTES, RESERVE_BYTES, 0,
+        ),
+    )
+    return {"events": int(out["events"]), "engine_ops": 0}
+
+
 def _scale_cell(scenario: str, trackers: int, num_jobs: int) -> dict:
     from repro.experiments.runner import derive_seed
     from repro.experiments.scale_study import _run_once
@@ -139,6 +166,7 @@ BENCHES = {
     "scale_baseline_50": bench_scale_baseline_50,
     "scale_shuffle_100": bench_scale_shuffle_100,
     "shuffle_net_25": bench_shuffle_net_25,
+    "memscale_25": bench_memscale_25,
 }
 
 
