@@ -7,7 +7,9 @@
     repro reproduce --figure 2 --runs 20 --out results/
     repro reproduce --all --quick
     repro schedule --primitive suspend --progress 50
+    repro trace fig2 --out run.json     # Perfetto/Chrome trace export
     repro profile scale --quick         # cProfile hotspot report
+    repro profile scale --engine        # engine self-profile (labels)
     repro real-demo --input-mb 24       # real-process prototype
 
 ``run`` executes a single registered experiment (name or alias);
@@ -59,6 +61,8 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="directory for CSV output (optional)")
     run.add_argument("--no-plots", action="store_true",
                      help="tables only, no ASCII plots")
+    run.add_argument("--quiet", "-q", action="store_true",
+                     help="suppress per-cell progress lines (stderr)")
 
     rep = sub.add_parser("reproduce", help="regenerate figures")
     rep.add_argument("--figure", "-f", action="append", default=[],
@@ -76,6 +80,8 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="directory for CSV output (optional)")
     rep.add_argument("--no-plots", action="store_true",
                      help="tables only, no ASCII plots")
+    rep.add_argument("--quiet", "-q", action="store_true",
+                     help="suppress per-cell progress lines (stderr)")
 
     sch = sub.add_parser("schedule", help="print one execution schedule")
     sch.add_argument("--primitive", "-p", default="suspend",
@@ -84,6 +90,24 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="tl progress at launch of th (percent)")
     sch.add_argument("--heavy", action="store_true",
                      help="memory-hungry tasks (2 GB footprints)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="export a Chrome trace-event / Perfetto JSON span trace "
+        "of one experiment cell",
+    )
+    trace.add_argument("experiment", help="experiment to trace "
+                       "(fig2, fig3, scale, shuffle, memscale)")
+    trace.add_argument("--quick", action="store_true",
+                       help="smaller replay cell (10 trackers)")
+    trace.add_argument("--seed", type=int, default=None,
+                       help="override the cell's derived seed")
+    trace.add_argument("--out", default="run.json",
+                       help="output JSON path (default run.json); load "
+                       "it at https://ui.perfetto.dev")
+    trace.add_argument("--heartbeats", action="store_true",
+                       help="include per-heartbeat instant events "
+                       "(verbose)")
 
     prof = sub.add_parser(
         "profile", help="run one experiment under cProfile and print hotspots"
@@ -102,6 +126,10 @@ def _build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--out", default=None,
                       help="also dump raw pstats data to this file "
                       "(inspect later with `python -m pstats`)")
+    prof.add_argument("--engine", action="store_true",
+                      help="engine self-profile instead of cProfile: "
+                      "per-label fired-event counts and callback wall "
+                      "time for a representative cell")
 
     demo = sub.add_parser("real-demo", help="real-process prototype demo")
     demo.add_argument("--input-mb", type=int, default=24,
@@ -199,11 +227,20 @@ def _apply_workers(name: str, runner, kwargs: dict, requested: int) -> None:
         )
 
 
+def _set_progress(args) -> None:
+    """Per-cell progress lines: on by default for parallel runs (the
+    ones long enough to want them), off under --quiet."""
+    from repro.experiments.runner import set_progress
+
+    set_progress(_resolve_workers(args.workers) > 1 and not args.quiet)
+
+
 def _cmd_run(args) -> int:
     import inspect
 
     name = resolve_name(args.experiment)
     runner = get_experiment(name)
+    _set_progress(args)
     kwargs = _quick_kwargs(name) if args.quick else {}
     if args.runs is not None:
         kwargs["runs"] = args.runs
@@ -233,6 +270,7 @@ def _cmd_reproduce(args) -> int:
     if not names:
         print("nothing to do: pass --figure or --all", file=sys.stderr)
         return 2
+    _set_progress(args)
     exit_code = 0
     for raw_name in names:
         name = resolve_name(raw_name)
@@ -248,15 +286,63 @@ def _cmd_reproduce(args) -> int:
     return exit_code
 
 
+def _cmd_trace(args) -> int:
+    """Trace one experiment cell and export Perfetto JSON.
+
+    Runs a representative cell with a telemetry span collector
+    subscribed (observation only -- the run is event-for-event the one
+    the sweep would do), stitches the flat trace records into
+    attempt/suspend/episode/transfer spans, and writes Chrome
+    trace-event JSON for https://ui.perfetto.dev.
+    """
+    from repro.telemetry.capture import capture_experiment
+    from repro.telemetry.export import write_chrome_trace
+
+    capture = capture_experiment(
+        resolve_name(args.experiment),
+        quick=args.quick,
+        seed=args.seed,
+        heartbeats=args.heartbeats,
+    )
+    write_chrome_trace(args.out, capture.to_chrome())
+    print(f"wrote {args.out}")
+    for cell in capture.cells:
+        episodes = cell.collector.by_category("episode")
+        wasted = sum(s.args.get("wasted_seconds", 0.0) for s in episodes)
+        print(
+            f"  {cell.name}: {len(cell.collector.spans)} spans, "
+            f"{len(episodes)} preemption episodes "
+            f"({wasted:.1f}s wasted), "
+            f"{cell.engine.get('events_fired', 0)} engine events"
+        )
+    print("open the file at https://ui.perfetto.dev (or chrome://tracing)")
+    return 0
+
+
 def _cmd_profile(args) -> int:
     """Run one experiment under cProfile; print the hotspot table.
 
     The fast path to "where did this replay's time go" -- the same
     loop the PR-level optimisation work uses, now one command:
-    ``repro profile scale --quick``.
+    ``repro profile scale --quick``.  With ``--engine`` the engine
+    profiles *itself* instead: deterministic per-label fired-event
+    counts with wall-time attribution, for a representative cell.
     """
     import cProfile
     import pstats
+
+    if args.engine:
+        from repro.telemetry.capture import capture_experiment
+        from repro.telemetry.profiling import render_engine_stats
+
+        capture = capture_experiment(
+            resolve_name(args.experiment), quick=args.quick, profile=True
+        )
+        for cell in capture.cells:
+            print(f"=== {cell.name} ===")
+            print(render_engine_stats(cell.engine, top=args.top))
+            print()
+        return 0
 
     name = resolve_name(args.experiment)
     runner = get_experiment(name)
@@ -327,6 +413,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "reproduce":
             return _cmd_reproduce(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "profile":
             return _cmd_profile(args)
         if args.command == "schedule":

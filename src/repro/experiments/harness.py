@@ -77,6 +77,8 @@ class TwoJobHarness:
         hadoop_config=None,
         workers: int = 1,
         admission=None,
+        collector=None,
+        profile: bool = False,
     ):
         if not 0.0 < progress_at_launch < 1.0:
             raise ConfigurationError("progress_at_launch must be in (0, 1)")
@@ -96,6 +98,14 @@ class TwoJobHarness:
         #: optional AdmissionConfig routing suspend requests through
         #: the swap-aware admission gate (fig2's gated variant)
         self.admission = admission
+        #: optional telemetry SpanCollector subscribed to each run's
+        #: TraceLog (observation only -- the silence differential pins
+        #: that runs are identical with or without it); like kept
+        #: traces, collectors are in-process state and pin runs serial
+        self.collector = collector
+        #: when true, each run's engine attributes fired events to
+        #: their labels (repro profile --engine / bench_guard)
+        self.profile = profile
         # Overridable for the GC ablation (see experiments.gc_study).
         from repro.hadoop.jvm import GcPolicy
 
@@ -113,7 +123,10 @@ class TwoJobHarness:
             seed=seed,
             trace=self.keep_traces,
             gc_policy=self.gc_policy,
+            profile=self.profile,
         )
+        if self.collector is not None:
+            self.collector.attach(cluster.sim.trace_log)
         tl_spec, th_spec = two_job_microbenchmark(
             heavy=self.heavy,
             tl_footprint=self.tl_footprint,
@@ -193,7 +206,7 @@ class TwoJobHarness:
         pure function of its seed).  Kept traces pin the run serial --
         a simulated cluster does not survive pickling.
         """
-        if self.workers > 1 and not self.keep_traces:
+        if self.workers > 1 and not self.keep_traces and self.collector is None:
             params = self._cell_params()
             cells = [
                 Cell.make(

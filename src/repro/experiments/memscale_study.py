@@ -40,6 +40,7 @@ from repro.experiments import params as P
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import Cell, derive_seed, run_cells
 from repro.experiments.scale_study import metrics_digest
+from repro.experiments.sketches import cell_sketch, merge_sketches
 from repro.hadoop.cluster import HadoopCluster
 from repro.metrics.series import Series
 from repro.metrics.stats import percentile, summarize
@@ -176,8 +177,16 @@ def _run_once(
     seed: int,
     swap_bytes: int = SWAP_BYTES,
     reserve_bytes: int = RESERVE_BYTES,
+    trace: bool = False,
+    collector=None,
+    profile: bool = False,
 ) -> Dict[str, float]:
-    """One replay cell: pure function of its arguments."""
+    """One replay cell: pure function of its arguments.
+
+    ``trace`` / ``collector`` / ``profile`` are the telemetry hooks
+    (same contract as :func:`repro.experiments.scale_study._run_once`):
+    observation only, pinned by the silence differential suite.
+    """
     node_config = P.paper_node_config().replace(swap_bytes=swap_bytes)
     hadoop_config = P.paper_hadoop_config().replace(
         map_slots=2,
@@ -192,13 +201,16 @@ def _run_once(
         hadoop_config=hadoop_config,
         scheduler=scheduler,
         seed=seed,
-        trace=False,
+        trace=trace,
         racks=racks,
         net_config=NetConfig.oversubscribed(
             hosts_per_rack=HOSTS_PER_RACK, oversubscription=2.0
         ),
+        profile=profile,
     )
     scheduler.attach_cluster(cluster)
+    if collector is not None:
+        collector.attach(cluster.sim.trace_log)
 
     generator = SwimGenerator(
         cluster.sim.rng.stream("swim"),
@@ -244,7 +256,7 @@ def _run_once(
     finish = max(job.finish_time for job in jobs if job.finish_time is not None)
     failed = sum(1 for job in jobs if job.state.value == "FAILED")
     gate = scheduler.admission
-    return {
+    out = {
         "mean_sojourn": sum(sojourns) / len(sojourns),
         "p95_sojourn": percentile(sojourns, 95),
         "small_mean_sojourn": sum(small) / len(small) if small else 0.0,
@@ -270,6 +282,14 @@ def _run_once(
         "jobs_completed": float(finished["count"]),
         "events": float(cluster.sim.events_fired),
     }
+    out["sketch"] = cell_sketch(f"{mode}/{trackers}/", sojourns, small, out)
+    if trace:
+        out["trace_digest"] = cluster.sim.trace_log.digest()
+    if profile:
+        from repro.telemetry.profiling import engine_stats
+
+        out["engine"] = engine_stats(cluster.sim)
+    return out
 
 
 def _jobs_for(trackers: int, num_jobs: Optional[int]) -> int:
@@ -382,8 +402,12 @@ def run_memscale_study(
         "rarer per node as the cluster grows"
     )
     report.add_note(f"metrics digest: {metrics_digest(flat)}")
+    sketch = merge_sketches(results)
+    report.add_note(f"sketch digest: {sketch.digest()}")
     report.extras["metrics"] = metrics
     report.extras["digest"] = metrics_digest(flat)
+    report.extras["sketch"] = sketch.to_dict()
+    report.extras["sketch_digest"] = sketch.digest()
     report.extras["cluster_sizes"] = sizes
     report.extras["modes"] = chosen_modes
     report.extras["swap_bytes"] = swap_bytes

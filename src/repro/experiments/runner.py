@@ -27,6 +27,8 @@ import hashlib
 import importlib
 import multiprocessing
 import os
+import sys
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Tuple
 
@@ -34,6 +36,44 @@ from repro.errors import ConfigurationError
 
 #: hard cap so a typo'd ``--workers 4000`` does not fork-bomb the host
 MAX_WORKERS = 64
+
+#: live progress to stderr (module-level so the CLI can flip it once
+#: for every study a command runs); stdout artifacts never change
+_progress_enabled = False
+
+
+def set_progress(enabled: bool) -> None:
+    """Enable/disable per-cell progress lines on stderr.
+
+    Off by default (library callers and tests see no output); the CLI
+    turns it on for interactive runs and ``--quiet`` turns it back
+    off.  Progress is *reporting only* -- cell results are identical
+    either way.
+    """
+    global _progress_enabled
+    _progress_enabled = bool(enabled)
+
+
+def progress_enabled() -> bool:
+    """Current progress-reporting state."""
+    return _progress_enabled
+
+
+#: params worth echoing in a progress line, in display order
+_LABEL_KEYS = ("scenario", "mode", "primitive", "primitive_name",
+               "trackers", "num_jobs", "seed")
+
+
+def _cell_label(cell: "Cell") -> str:
+    """Compact human label for one cell's progress lines."""
+    params = cell.kwargs
+    parts = [f"{key}={params[key]}" for key in _LABEL_KEYS if key in params]
+    module = cell.module.rsplit(".", 1)[-1]
+    return f"{module}.{cell.func}({', '.join(parts)})"
+
+
+def _progress(message: str) -> None:
+    print(message, file=sys.stderr, flush=True)
 
 
 def default_workers() -> int:
@@ -105,8 +145,21 @@ def run_cells(
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
     workers = min(workers, MAX_WORKERS, max(len(cell_list), 1))
-    if workers <= 1 or len(cell_list) <= 1:
-        return [execute_cell(cell) for cell in cell_list]
+    total = len(cell_list)
+    if workers <= 1 or total <= 1:
+        if not _progress_enabled:
+            return [execute_cell(cell) for cell in cell_list]
+        results = []
+        for index, cell in enumerate(cell_list, start=1):
+            _progress(f"[{index}/{total}] start {_cell_label(cell)}")
+            started = time.perf_counter()
+            results.append(execute_cell(cell))
+            _progress(
+                f"[{index}/{total}] done in "
+                f"{time.perf_counter() - started:.1f}s "
+                f"({total - index} cells remaining)"
+            )
+        return results
     # Fork keeps the warm interpreter (and sys.path) on POSIX; spawn is
     # the portable fallback and works because cells carry module paths,
     # not closures.
@@ -115,4 +168,20 @@ def run_cells(
         "fork" if "fork" in methods else "spawn"
     )
     with context.Pool(processes=workers) as pool:
-        return pool.map(execute_cell, cell_list, chunksize=chunksize)
+        if not _progress_enabled:
+            return pool.map(execute_cell, cell_list, chunksize=chunksize)
+        # imap preserves cell order but yields each result as soon as
+        # its cell (and every earlier one) finished, so the parent can
+        # narrate completions while the pool keeps working.
+        results = []
+        started = time.perf_counter()
+        for index, result in enumerate(
+            pool.imap(execute_cell, cell_list, chunksize=chunksize), start=1
+        ):
+            results.append(result)
+            _progress(
+                f"[{index}/{total}] {_cell_label(cell_list[index - 1])} "
+                f"done at {time.perf_counter() - started:.1f}s elapsed "
+                f"({total - index} cells remaining)"
+            )
+        return results

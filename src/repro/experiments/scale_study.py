@@ -29,6 +29,7 @@ from repro.errors import ConfigurationError
 from repro.experiments import params as P
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import Cell, derive_seed, run_cells
+from repro.experiments.sketches import cell_sketch, merge_sketches
 from repro.hadoop.cluster import HadoopCluster
 from repro.metrics.series import Series
 from repro.metrics.stats import percentile, summarize
@@ -89,6 +90,8 @@ def _run_once(
     seed: int,
     admission=None,
     trace: bool = False,
+    collector=None,
+    profile: bool = False,
 ) -> Dict[str, float]:
     """One replay cell: pure function of its arguments.
 
@@ -97,7 +100,11 @@ def _run_once(
     suspensions through the swap-aware gate; ``trace`` keeps the
     TraceLog and adds its digest to the result -- both exist for the
     gated-vs-ungated differential tests and default to the historical
-    behaviour.
+    behaviour.  ``collector`` (a telemetry
+    :class:`~repro.telemetry.spans.SpanCollector`) subscribes to the
+    cell's TraceLog -- observation only, and in-process only (never a
+    Cell param); ``profile`` turns on the engine's per-label
+    attribution and adds its stats under ``"engine"``.
     """
     if scenario not in SCENARIOS:
         raise ConfigurationError(
@@ -122,8 +129,11 @@ def _run_once(
         scheduler=scheduler,
         seed=seed,
         trace=trace,
+        profile=profile,
     )
     scheduler.attach_cluster(cluster)
+    if collector is not None:
+        collector.attach(cluster.sim.trace_log)
 
     mean_interarrival = LOAD_SECONDS / trackers
     generator = SwimGenerator(
@@ -176,8 +186,15 @@ def _run_once(
         "jobs_completed": float(finished["count"]),
         "events": float(cluster.sim.events_fired),
     }
+    out["sketch"] = cell_sketch(
+        f"{scenario}/{trackers}/{primitive_name}/", sojourns, small, out
+    )
     if trace:
         out["trace_digest"] = cluster.sim.trace_log.digest()
+    if profile:
+        from repro.telemetry.profiling import engine_stats
+
+        out["engine"] = engine_stats(cluster.sim)
     return out
 
 
@@ -291,8 +308,12 @@ def run_scale_study(
         for k in METRIC_KEYS
     }
     report.add_note(f"metrics digest: {metrics_digest(flat)}")
+    sketch = merge_sketches(results)
+    report.add_note(f"sketch digest: {sketch.digest()}")
     report.extras["metrics"] = metrics
     report.extras["digest"] = metrics_digest(flat)
+    report.extras["sketch"] = sketch.to_dict()
+    report.extras["sketch_digest"] = sketch.digest()
     report.extras["scenarios"] = chosen_scenarios
     report.extras["cluster_sizes"] = sizes
     report.extras["primitives"] = chosen_primitives

@@ -32,6 +32,7 @@ from repro.experiments import params as P
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import Cell, derive_seed, run_cells
 from repro.experiments.scale_study import metrics_digest
+from repro.experiments.sketches import cell_sketch, merge_sketches
 from repro.hadoop.cluster import HadoopCluster
 from repro.metrics.series import Series
 from repro.metrics.stats import percentile, summarize
@@ -74,8 +75,15 @@ def _run_once(
     oversubscription: float,
     seed: int,
     locality_wait: float = 0.0,
+    trace: bool = False,
+    collector=None,
+    profile: bool = False,
 ) -> Dict[str, float]:
-    """One replay cell: pure function of its arguments."""
+    """One replay cell: pure function of its arguments.
+
+    ``trace`` / ``collector`` / ``profile`` are the telemetry hooks
+    (same contract as :func:`repro.experiments.scale_study._run_once`).
+    """
     if oversubscription <= 0:
         raise ConfigurationError("oversubscription must be positive")
     if primitive_name == "wait":
@@ -101,11 +109,14 @@ def _run_once(
         ),
         scheduler=scheduler,
         seed=seed,
-        trace=False,
+        trace=trace,
         racks=racks,
         net_config=net,
+        profile=profile,
     )
     scheduler.attach_cluster(cluster)
+    if collector is not None:
+        collector.attach(cluster.sim.trace_log)
 
     generator = SwimGenerator(
         cluster.sim.rng.stream("swim"),
@@ -151,7 +162,7 @@ def _run_once(
     ]
     finish = max(job.finish_time for job in jobs if job.finish_time is not None)
     fabric = cluster.fabric
-    return {
+    out = {
         "mean_sojourn": sum(sojourns) / len(sojourns),
         "p95_sojourn": percentile(sojourns, 95),
         "small_mean_sojourn": sum(small) / len(small) if small else 0.0,
@@ -166,6 +177,17 @@ def _run_once(
         "jobs_completed": float(finished["count"]),
         "events": float(cluster.sim.events_fired),
     }
+    out["sketch"] = cell_sketch(
+        f"{primitive_name}/{trackers}/{oversubscription:g}/",
+        sojourns, small, out,
+    )
+    if trace:
+        out["trace_digest"] = cluster.sim.trace_log.digest()
+    if profile:
+        from repro.telemetry.profiling import engine_stats
+
+        out["engine"] = engine_stats(cluster.sim)
+    return out
 
 
 def _jobs_for(trackers: int, num_jobs: Optional[int]) -> int:
@@ -271,8 +293,12 @@ def run_shuffle_study(
         f"locality wait {locality_wait:g}s"
     )
     report.add_note(f"metrics digest: {metrics_digest(flat)}")
+    sketch = merge_sketches(results)
+    report.add_note(f"sketch digest: {sketch.digest()}")
     report.extras["metrics"] = metrics
     report.extras["digest"] = metrics_digest(flat)
+    report.extras["sketch"] = sketch.to_dict()
+    report.extras["sketch_digest"] = sketch.digest()
     report.extras["cluster_sizes"] = sizes
     report.extras["primitives"] = chosen_primitives
     report.extras["oversubscription"] = oversubscription

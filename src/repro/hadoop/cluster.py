@@ -56,12 +56,13 @@ class HadoopCluster:
         replication: int = 1,
         racks: int = 1,
         net_config: Optional[NetConfig] = None,
+        profile: bool = False,
     ):
         if num_nodes < 1:
             raise ConfigurationError("a cluster needs at least one node")
         if racks < 1:
             raise ConfigurationError("a cluster needs at least one rack")
-        self.sim = Simulation(seed=seed, trace=trace)
+        self.sim = Simulation(seed=seed, trace=trace, profile=profile)
         self.hadoop_config = hadoop_config or HadoopConfig()
         base_node_config = node_config or NodeConfig()
         if scheduler is None:

@@ -648,9 +648,10 @@ class JobTracker:
         # failed/killed job are teardown collateral, not a preemption
         # cost -- keeping the causes apart is what makes the fault
         # studies' kill-vs-suspend wasted-work comparison honest.
+        wasted_seconds = tip.work_seconds(status.progress)
         self.wasted.add(
             PREEMPTION_KILL if reschedule else JOB_TEARDOWN,
-            tip.work_seconds(status.progress),
+            wasted_seconds,
             tip.tip_id,
         )
         # A killed reducer's shuffle traffic died with it; suspended
@@ -665,6 +666,9 @@ class JobTracker:
             "jt.tip-killed",
             tip=tip.tip_id,
             lost=round(status.progress, 3),
+            # exact ledger charge, so kill-episode spans reconcile with
+            # the wasted-work totals
+            wasted=wasted_seconds,
             reschedule=reschedule,
         )
         self.scheduler.job_updated(job)

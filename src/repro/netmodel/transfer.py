@@ -42,18 +42,22 @@ class Transfer:
         "on_done",
         "label",
         "owner",
+        "seq",
         "state",
         "flow",
         "_final_bytes",
     )
 
-    def __init__(self, src, dst, nbytes, on_done, label, owner):
+    def __init__(self, src, dst, nbytes, on_done, label, owner, seq=0):
         self.src = src
         self.dst = dst
         self.nbytes = float(nbytes)
         self.on_done = on_done
         self.label = label
         self.owner = owner
+        #: manager-assigned id, deterministic in fetch order; the
+        #: telemetry span tracer keys start/done records on it
+        self.seq = seq
         self.state = TransferState.QUEUED
         self.flow: Optional[Flow] = None
         self._final_bytes: Optional[float] = None
@@ -82,6 +86,7 @@ class TransferManager:
         self.max_flows_per_host = max_flows_per_host
         self._active: Dict[str, int] = {}
         self._queues: Dict[str, Deque[Transfer]] = {}
+        self._xfer_seq = 0
 
     # -- API ------------------------------------------------------------------
 
@@ -96,7 +101,9 @@ class TransferManager:
     ) -> Transfer:
         """Request a transfer; it starts now if ``dst`` has fetch
         budget, else queues behind the host's earlier requests."""
-        transfer = Transfer(src, dst, nbytes, on_done, label, owner)
+        self._xfer_seq += 1
+        transfer = Transfer(src, dst, nbytes, on_done, label, owner,
+                            seq=self._xfer_seq)
         self._queues.setdefault(dst, deque()).append(transfer)
         self._pump(dst)
         return transfer
@@ -128,10 +135,14 @@ class TransferManager:
         if transfer.state in (TransferState.DONE, TransferState.CANCELLED):
             return
         was_active = transfer.state is TransferState.ACTIVE
+        started = transfer.flow is not None
         transfer._final_bytes = transfer.transferred
         transfer.state = TransferState.CANCELLED
         if transfer.flow is not None:
             self.fabric.cancel_flow(transfer.flow)
+        if started:
+            self._trace("net.xfer-cancel", transfer,
+                        bytes=int(transfer.transferred))
         if was_active:
             self._release_slot(transfer.dst)
 
@@ -151,6 +162,8 @@ class TransferManager:
                 # A previously paused transfer: resume where it left off.
                 self.fabric.resume_flow(transfer.flow)
             else:
+                self._trace("net.xfer-start", transfer,
+                            bytes=int(transfer.nbytes))
                 transfer.flow = self.fabric.start_flow(
                     transfer.src,
                     transfer.dst,
@@ -163,8 +176,23 @@ class TransferManager:
     def _done(self, transfer: Transfer) -> None:
         transfer.state = TransferState.DONE
         transfer._final_bytes = transfer.nbytes
+        self._trace("net.xfer-done", transfer, bytes=int(transfer.nbytes))
         self._release_slot(transfer.dst)
         transfer.on_done(transfer)
+
+    def _trace(self, label: str, transfer: Transfer, **fields) -> None:
+        """Narrate a transfer milestone (records only; no events)."""
+        sim = self.fabric.sim
+        sim.trace_log.record(
+            sim.now,
+            label,
+            xfer=transfer.seq,
+            name=transfer.label,
+            src=transfer.src,
+            dst=transfer.dst,
+            owner=getattr(transfer.owner, "name", "") or "",
+            **fields,
+        )
 
     def _release_slot(self, dst: str) -> None:
         self._active[dst] = max(0, self._active.get(dst, 0) - 1)

@@ -24,7 +24,8 @@ Typical use::
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+import time as _wallclock
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SchedulingInPastError, SimulationError
 from repro.sim.events import EventHandle
@@ -44,13 +45,21 @@ class Simulation:
     trace:
         When true, every fired event is appended to :attr:`trace_log`.
         Useful in tests and when rendering Figure 1 style schedules.
+    profile:
+        When true, :meth:`step` attributes every fired event to its
+        label: :attr:`label_counts` (deterministic -- same seed, same
+        counts) and :attr:`label_wall` (wall seconds spent inside the
+        callbacks, machine-dependent).  Observation only: the event
+        sequence, RNG draws and trace records are identical with
+        profiling on or off.
     """
 
     #: heaps smaller than this are never compacted (the rebuild would
     #: cost more than the dead entries ever will)
     COMPACTION_MIN_SIZE = 64
 
-    def __init__(self, seed: int = 0, trace: bool = False):
+    def __init__(self, seed: int = 0, trace: bool = False,
+                 profile: bool = False):
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
         self.trace_log = TraceLog(enabled=trace)
@@ -70,6 +79,9 @@ class Simulation:
         self._scheduled = 0
         self._reschedules = 0
         self._reschedule_reuses = 0
+        self._profile = profile
+        self._label_counts: Dict[str, int] = {}
+        self._label_wall: Dict[str, float] = {}
         #: bound once: attribute access on self would otherwise build a
         #: fresh bound-method object per scheduled event
         self._on_cancel_hook = self._note_cancelled
@@ -199,7 +211,17 @@ class Simulation:
             handle._mark_fired()
             self._events_fired += 1
             self.trace_log.record(self.now, handle.label)
-            handle.callback(*handle.args)
+            if self._profile:
+                label = handle.label
+                self._label_counts[label] = self._label_counts.get(label, 0) + 1
+                start = _wallclock.perf_counter()
+                handle.callback(*handle.args)
+                self._label_wall[label] = (
+                    self._label_wall.get(label, 0.0)
+                    + (_wallclock.perf_counter() - start)
+                )
+            else:
+                handle.callback(*handle.args)
             return True
         return False
 
@@ -365,6 +387,22 @@ class Simulation:
         """Reschedules that reused the resident heap entry (same-time
         no-ops plus deferred moves) instead of pushing a fresh one."""
         return self._reschedule_reuses
+
+    @property
+    def profile_enabled(self) -> bool:
+        """True when per-label event attribution is being collected."""
+        return self._profile
+
+    @property
+    def label_counts(self) -> Dict[str, int]:
+        """Fired events per label (profiling only; deterministic)."""
+        return dict(self._label_counts)
+
+    @property
+    def label_wall(self) -> Dict[str, float]:
+        """Wall seconds inside callbacks per label (profiling only;
+        machine-dependent -- never compare across hosts)."""
+        return dict(self._label_wall)
 
     @property
     def idle(self) -> bool:

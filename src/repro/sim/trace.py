@@ -10,8 +10,10 @@ these records, and tests assert on them.
 from __future__ import annotations
 
 import hashlib
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from itertools import islice
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -48,7 +50,10 @@ class TraceLog:
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
         self.enabled = enabled
         self.capacity = capacity
-        self._records: List[TraceRecord] = []
+        # A bounded deque evicts the oldest record in O(1) per append;
+        # the list it replaced paid an O(capacity) front-deletion for
+        # every record once full.
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
         self._subscribers: List[Callable[[TraceRecord], None]] = []
 
     def record(self, time: float, label: str, **fields: Any) -> None:
@@ -56,8 +61,6 @@ class TraceLog:
         rec = TraceRecord(time, label, fields)
         if self.enabled:
             self._records.append(rec)
-            if self.capacity is not None and len(self._records) > self.capacity:
-                del self._records[: len(self._records) - self.capacity]
         for subscriber in self._subscribers:
             subscriber(rec)
 
@@ -119,5 +122,8 @@ class TraceLog:
 
     def render(self, limit: Optional[int] = None) -> str:
         """Human-readable dump of the last ``limit`` records."""
-        records = self._records if limit is None else self._records[-limit:]
+        if limit is None or limit >= len(self._records):
+            records: Iterator[TraceRecord] = iter(self._records)
+        else:
+            records = islice(self._records, len(self._records) - limit, None)
         return "\n".join(str(rec) for rec in records)

@@ -1,0 +1,53 @@
+"""Observability substrate: metric sketches, span traces, profiling.
+
+The paper's claims are about *episodes* -- a suspend is cheap because
+its SIGTSTP -> swap-out -> SIGCONT -> fault-in arc wastes little work
+compared with a kill's relaunch arc -- yet the raw simulation output
+is a flat :class:`~repro.sim.trace.TraceLog`.  This package turns that
+stream into three structured views, none of which may perturb the
+simulation they observe:
+
+* :mod:`repro.telemetry.registry` -- counters, gauges and
+  deterministic log-bucket histograms with exact merge, so sharded
+  experiment runs aggregate *streams* instead of materialised sample
+  lists, byte-identically for any ``--workers`` count;
+* :mod:`repro.telemetry.spans` -- a span tracer riding
+  ``TraceLog.subscribe`` that stitches flat records into parent/child
+  spans (attempt lifecycles, preemption episodes, shuffle flows),
+  exported as Chrome trace-event / Perfetto JSON
+  (:mod:`repro.telemetry.export`);
+* :mod:`repro.telemetry.profiling` -- the engine's self-profile
+  (per-label fired-event counts, per-callback wall attribution, heap
+  churn), surfaced through ``repro profile --engine`` and the
+  bench_guard artifact.
+
+**Silence invariant**: every collector here is observation only.  A
+run with telemetry attached produces the same events, the same RNG
+draws and the same TraceLog digest as a run without -- the
+differential suite pins that, exactly as it pins the admission gate.
+"""
+
+from repro.telemetry.export import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    LogHistogram,
+    MetricRegistry,
+)
+from repro.telemetry.spans import Span, SpanCollector
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LogHistogram",
+    "MetricRegistry",
+    "Span",
+    "SpanCollector",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,141 @@
+"""Chrome trace-event / Perfetto JSON export for span collections.
+
+Emits the JSON-object flavour of the trace-event format --
+``{"traceEvents": [...]}`` -- which both ``chrome://tracing`` and
+https://ui.perfetto.dev load directly.  Simulated seconds map to
+trace microseconds (``ts = time * 1e6``), so a 300-second run renders
+as a 5-minute timeline.
+
+Mapping:
+
+* a *process* groups one experiment cell (e.g. ``fig2/suspend``);
+* a *thread* is one span track (a host, a ``tip:<id>`` lane, ...);
+* closed spans become ``"X"`` complete events;
+* instants become ``"i"`` instant events (thread scope);
+* process/thread names are declared with ``"M"`` metadata events.
+
+Everything is emitted in deterministic order (metadata first, then
+events sorted by ``(ts, pid, tid, name)``), so the exported JSON for a
+fixed seed is byte-identical across runs -- the CI smoke job diffs on
+that.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.telemetry.spans import Instant, Span
+
+US_PER_SECOND = 1_000_000.0
+
+#: event phases the validator accepts (the subset this exporter emits)
+_PHASES = {"X", "i", "M"}
+_METADATA_NAMES = {"process_name", "thread_name", "process_sort_index",
+                   "thread_sort_index"}
+
+
+def _ts(time_s: float) -> float:
+    return round(time_s * US_PER_SECOND, 3)
+
+
+def to_chrome_trace(
+    groups: Sequence[Tuple[str, Iterable[Span], Iterable[Instant]]],
+) -> Dict[str, Any]:
+    """Build a trace-event JSON object.
+
+    ``groups`` is a sequence of ``(process_name, spans, instants)``;
+    each group becomes one trace process, its tracks become threads.
+    """
+    events: List[Dict[str, Any]] = []
+    body: List[Dict[str, Any]] = []
+    for pid, (process_name, spans, instants) in enumerate(groups, start=1):
+        spans = list(spans)
+        instants = list(instants)
+        tracks = sorted(
+            {span.track for span in spans} | {inst.track for inst in instants}
+        )
+        tids = {track: tid for tid, track in enumerate(tracks, start=1)}
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": process_name},
+        })
+        for track, tid in sorted(tids.items()):
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": track},
+            })
+        for span in spans:
+            body.append({
+                "ph": "X",
+                "name": span.name,
+                "cat": span.cat,
+                "ts": _ts(span.start),
+                "dur": _ts(span.end) - _ts(span.start),
+                "pid": pid,
+                "tid": tids[span.track],
+                "args": dict(span.args),
+            })
+        for inst in instants:
+            body.append({
+                "ph": "i",
+                "s": "t",
+                "name": inst.name,
+                "cat": inst.cat,
+                "ts": _ts(inst.time),
+                "pid": pid,
+                "tid": tids[inst.track],
+                "args": dict(inst.args),
+            })
+    body.sort(key=lambda ev: (ev["ts"], ev["pid"], ev["tid"], ev["name"]))
+    events.extend(body)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated-seconds", "us_per_second": US_PER_SECOND},
+    }
+
+
+def validate_chrome_trace(obj: Any) -> None:
+    """Raise ``ValueError`` unless ``obj`` is a well-formed
+    trace-event JSON object (the subset this package emits)."""
+    if not isinstance(obj, dict):
+        raise ValueError("trace must be a JSON object")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace missing 'traceEvents' list")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"{where}: event must be an object")
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            raise ValueError(f"{where}: unknown phase {ph!r}")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            raise ValueError(f"{where}: missing event name")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                raise ValueError(f"{where}: {key} must be an integer")
+        if ph == "M":
+            if ev["name"] not in _METADATA_NAMES:
+                raise ValueError(f"{where}: unknown metadata {ev['name']!r}")
+            if not isinstance(ev.get("args"), dict):
+                raise ValueError(f"{where}: metadata needs args")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: complete event needs dur >= 0")
+        if ph == "i" and ev.get("s") not in (None, "t", "p", "g"):
+            raise ValueError(f"{where}: bad instant scope {ev.get('s')!r}")
+
+
+def write_chrome_trace(path: str, obj: Dict[str, Any]) -> None:
+    """Validate and write a trace to ``path`` (deterministic JSON)."""
+    validate_chrome_trace(obj)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(obj, handle, indent=1, sort_keys=True)
+        handle.write("\n")

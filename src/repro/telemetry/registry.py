@@ -1,0 +1,391 @@
+"""Streaming metric sketches with an order-insensitive exact merge.
+
+The fleet-scale runner shards experiment grids over worker processes;
+every shard streams its samples into a :class:`MetricRegistry` and the
+parent folds the shard registries together.  Two properties make that
+fold safe to run in *any* order:
+
+* **histogram buckets are deterministic** -- a sample lands in a
+  log-spaced bucket computed from its IEEE-754 exponent and mantissa
+  (no data-dependent bucket boundaries, no reservoir randomness);
+* **moments are exact** -- sums and sums of squares accumulate as
+  :class:`fractions.Fraction` (every float is an exact rational, and
+  rational addition is associative and commutative), so merging shards
+  A+(B+C) or (C+A)+B yields the same bits, and :meth:`MetricRegistry.
+  digest` over a serial run equals the digest over any ``--workers N``
+  sharding.
+
+Floats only surface at read time (:meth:`LogHistogram.mean`,
+:meth:`LogHistogram.quantile`), after the exact arithmetic has
+settled.  This is the "streaming metric sketches instead of
+materialized sojourn lists" piece of the ROADMAP's fleet-scale item:
+a histogram holds O(buckets) state however many samples it absorbs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from fractions import Fraction
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: sub-buckets per power of two: relative bucket width 2**(1/8) ~ 9%,
+#: plenty for sojourn percentiles while keeping sketches tiny
+SUBBUCKETS = 8
+
+#: mantissa boundaries of the sub-buckets, in [0.5, 1.0); computed
+#: once so bucket assignment is a short deterministic scan
+_BOUNDS: Tuple[float, ...] = tuple(
+    0.5 * 2.0 ** (i / SUBBUCKETS) for i in range(SUBBUCKETS)
+)
+
+
+def bucket_index(value: float) -> Tuple[int, int]:
+    """Deterministic (sign, log-bucket) key for a finite sample.
+
+    The bucket is ``exponent * SUBBUCKETS + sub`` where ``exponent``
+    comes from :func:`math.frexp` and ``sub`` places the mantissa
+    among :data:`SUBBUCKETS` geometric slices -- pure IEEE arithmetic,
+    identical on every platform the tests run on.
+    """
+    if value == 0:
+        return (0, 0)
+    sign = 1 if value > 0 else -1
+    mantissa, exponent = math.frexp(abs(value))
+    sub = 0
+    for i in range(SUBBUCKETS - 1, 0, -1):
+        if mantissa >= _BOUNDS[i]:
+            sub = i
+            break
+    return (sign, exponent * SUBBUCKETS + sub)
+
+
+def bucket_bounds(key: Tuple[int, int]) -> Tuple[float, float]:
+    """The [low, high) value range of a bucket key (0 for the zero
+    bucket)."""
+    sign, idx = key
+    if sign == 0:
+        return (0.0, 0.0)
+    exponent, sub = divmod(idx, SUBBUCKETS)
+    low = _BOUNDS[sub] * 2.0 ** exponent
+    if sub == SUBBUCKETS - 1:
+        high = 0.5 * 2.0 ** (exponent + 1)
+    else:
+        high = _BOUNDS[sub + 1] * 2.0 ** exponent
+    return (sign * low, sign * high) if sign > 0 else (sign * high, sign * low)
+
+
+def _bucket_sort_key(key: Tuple[int, int]) -> Tuple[int, int]:
+    """Ascending value order: negatives (large idx first), zero,
+    positives."""
+    sign, idx = key
+    return (sign, idx if sign >= 0 else -idx)
+
+
+class Counter:
+    """A monotonically growing integer."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self, value: int = 0):
+        self.value = int(value)
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ConfigurationError("counters only count up")
+        self.value += int(n)
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+    def state(self) -> str:
+        return f"counter:{self.value}"
+
+
+class Gauge:
+    """A last-write-wins sample; merge keeps the lexicographic max of
+    ``(time, value)`` so shard order cannot matter."""
+
+    __slots__ = ("time", "value")
+    kind = "gauge"
+
+    def __init__(self, time: Optional[float] = None, value: float = 0.0):
+        self.time = time
+        self.value = float(value)
+
+    def set(self, time: float, value: float) -> None:
+        if self.time is None or (time, value) >= (self.time, self.value):
+            self.time, self.value = float(time), float(value)
+
+    def merge(self, other: "Gauge") -> None:
+        if other.time is not None:
+            self.set(other.time, other.value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "time": self.time, "value": self.value}
+
+    def state(self) -> str:
+        return f"gauge:{self.time!r}:{self.value!r}"
+
+
+class LogHistogram:
+    """Deterministic log-bucket histogram with exact moments."""
+
+    __slots__ = ("counts", "count", "_sum", "_sum_sq", "minimum", "maximum")
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.counts: Dict[Tuple[int, int], int] = {}
+        self.count = 0
+        self._sum = Fraction(0)
+        self._sum_sq = Fraction(0)
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ConfigurationError(
+                f"histograms take finite samples (got {value!r})"
+            )
+        key = bucket_index(value)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.count += 1
+        exact = Fraction(value)
+        self._sum += exact
+        self._sum_sq += exact * exact
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    # -- reads ------------------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        """Exact sum of every sample, rounded once to float."""
+        return float(self._sum)
+
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return float(self._sum / self.count)
+
+    def variance(self) -> float:
+        """Population variance from the exact moments."""
+        if self.count == 0:
+            return 0.0
+        n = self.count
+        return float(self._sum_sq / n - (self._sum / n) ** 2)
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (q in [0, 1]).
+
+        Walks the buckets in value order and returns the geometric
+        midpoint of the bucket holding the q-th sample -- within one
+        bucket width (~9% relative) of the exact order statistic, and
+        a pure function of the bucket counts, so identical however
+        the shards merged.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("quantile q must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * (self.count - 1)
+        seen = 0
+        for key in sorted(self.counts, key=_bucket_sort_key):
+            seen += self.counts[key]
+            if seen > rank:
+                low, high = bucket_bounds(key)
+                if low == 0.0 or high == 0.0:
+                    return 0.0
+                mid = math.sqrt(abs(low) * abs(high))
+                return mid if low > 0 else -mid
+        low, high = bucket_bounds(max(self.counts, key=_bucket_sort_key))
+        return high  # pragma: no cover - defensive (rank < count always)
+
+    # -- merge / io -------------------------------------------------------
+
+    def merge(self, other: "LogHistogram") -> None:
+        for key, n in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + n
+        self.count += other.count
+        self._sum += other._sum
+        self._sum_sq += other._sum_sq
+        for bound in (other.minimum,):
+            if bound is not None and (self.minimum is None or bound < self.minimum):
+                self.minimum = bound
+        for bound in (other.maximum,):
+            if bound is not None and (self.maximum is None or bound > self.maximum):
+                self.maximum = bound
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "counts": {f"{s}:{i}": n for (s, i), n in self.counts.items()},
+            "count": self.count,
+            "sum": f"{self._sum.numerator}/{self._sum.denominator}",
+            "sum_sq": f"{self._sum_sq.numerator}/{self._sum_sq.denominator}",
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def state(self) -> str:
+        items = sorted(self.counts.items())
+        return (
+            f"hist:{items!r}:{self.count}:{self._sum!r}:{self._sum_sq!r}"
+            f":{self.minimum!r}:{self.maximum!r}"
+        )
+
+
+Metric = Union[Counter, Gauge, LogHistogram]
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": LogHistogram}
+
+
+def _metric_from_dict(payload: Dict[str, Any]) -> Metric:
+    kind = payload.get("kind")
+    if kind == "counter":
+        return Counter(payload["value"])
+    if kind == "gauge":
+        return Gauge(payload["time"], payload["value"])
+    if kind == "histogram":
+        hist = LogHistogram()
+        hist.counts = {
+            (int(k.split(":")[0]), int(k.split(":")[1])): int(n)
+            for k, n in payload["counts"].items()
+        }
+        hist.count = int(payload["count"])
+        num, den = payload["sum"].split("/")
+        hist._sum = Fraction(int(num), int(den))
+        num, den = payload["sum_sq"].split("/")
+        hist._sum_sq = Fraction(int(num), int(den))
+        hist.minimum = payload["min"]
+        hist.maximum = payload["max"]
+        return hist
+    raise ConfigurationError(f"unknown metric kind {kind!r}")
+
+
+class MetricRegistry:
+    """A named bag of metrics experiments stream samples into.
+
+    Accessors are create-on-first-use; asking for an existing name
+    with a different kind is an error (silent kind aliasing would make
+    shard merges ill-defined).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, kind: type) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise ConfigurationError(
+                f"metric {name!r} is a {metric.kind}, not a "
+                f"{kind.kind}"  # type: ignore[attr-defined]
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> LogHistogram:
+        return self._get(name, LogHistogram)  # type: ignore[return-value]
+
+    def observe(self, name: str, value: float) -> None:
+        """Stream one sample into the named histogram."""
+        self.histogram(name).observe(value)
+
+    # -- introspection ----------------------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Tuple[str, Metric]]:
+        return iter(sorted(self._metrics.items()))
+
+    # -- merge / io / digest ----------------------------------------------
+
+    def merge(self, other: "MetricRegistry") -> "MetricRegistry":
+        """Fold another registry in; returns self for chaining.
+
+        Commutative and associative: every metric's merge is, and the
+        name space is a plain union.
+        """
+        for name, metric in other._metrics.items():
+            mine = self._metrics.get(name)
+            if mine is None:
+                self._metrics[name] = _metric_from_dict(metric.to_dict())
+            elif type(mine) is not type(metric):
+                raise ConfigurationError(
+                    f"cannot merge {name!r}: {mine.kind} vs {metric.kind}"
+                )
+            else:
+                mine.merge(metric)  # type: ignore[arg-type]
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able snapshot (crosses process boundaries in cell
+        results)."""
+        return {name: metric.to_dict() for name, metric in self._metrics.items()}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MetricRegistry":
+        registry = cls()
+        for name, metric_payload in payload.items():
+            registry._metrics[name] = _metric_from_dict(metric_payload)
+        return registry
+
+    def digest(self) -> str:
+        """SHA-256 over every metric's exact state, name-sorted.
+
+        Two registries digest equal iff they hold bit-identical state
+        -- the value the serial-vs-sharded aggregation tests compare.
+        """
+        h = hashlib.sha256()
+        for name in sorted(self._metrics):
+            h.update(name.encode("utf-8"))
+            h.update(b"\x1f")
+            h.update(self._metrics[name].state().encode("utf-8"))
+            h.update(b"\x00")
+        return h.hexdigest()
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Human-facing view: per-metric headline numbers."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Counter):
+                out[name] = {"value": float(metric.value)}
+            elif isinstance(metric, Gauge):
+                out[name] = {"value": metric.value}
+            else:
+                out[name] = {
+                    "count": float(metric.count),
+                    "mean": metric.mean(),
+                    "p50": metric.quantile(0.50),
+                    "p95": metric.quantile(0.95),
+                    "min": metric.minimum if metric.minimum is not None else 0.0,
+                    "max": metric.maximum if metric.maximum is not None else 0.0,
+                }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"MetricRegistry({len(self._metrics)} metrics)"

@@ -1,0 +1,384 @@
+"""Deterministic span tracing over the flat TraceLog stream.
+
+The simulator narrates itself as flat ``(time, label, fields)``
+records; this module stitches them into *spans* -- named intervals
+with a category, a track (the Perfetto "thread" row they render on)
+and structured args -- via :meth:`~repro.sim.trace.TraceLog.subscribe`,
+so it works streaming with the stored log disabled, or after the fact
+via :meth:`SpanCollector.feed`.
+
+Span families (category / what opens and closes them):
+
+``attempt``
+    One task-attempt lifecycle: ``attempt.launch`` ->
+    ``attempt.finished``; args carry the terminal state.
+``suspend``
+    A process's stopped interval: ``os.stopped`` -> ``os.resumed``
+    (children of the attempt span on the same track).
+``episode``
+    A preemption episode on one TIP.  A *suspend episode* opens at
+    ``jt.must-suspend`` and closes at ``jt.resumed`` (or the tip's
+    terminal record), with child phases ``suspending`` (directive ->
+    stop confirmed) and ``stopped`` (stop -> resume confirmed); its
+    ``wasted_seconds`` is 0 by construction -- pages fault back in
+    and work continues.  A *kill episode* opens at ``jt.must-kill``
+    and closes when the relaunched attempt of the same TIP starts (or
+    at teardown); ``wasted_seconds`` accumulates the exact work the
+    JobTracker charged to the wasted ledger for those kills, so the
+    episode view reconciles with the ledger.
+``net``
+    One managed shuffle transfer: ``net.xfer-start`` ->
+    ``net.xfer-done`` / ``net.xfer-cancel``; args carry the byte
+    counts.
+
+Heartbeat scheduling rounds (``jt.response``) and preemption
+directives are emitted as instant events.
+
+**Silence invariant**: the collector only reads records.  Attaching
+it changes no event, no RNG draw and no stored record -- the
+differential suite pins TraceLog digests with and without a collector
+across fig2/scale/memscale cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+ATTEMPT_PREFIX = "attempt_"
+
+
+def tip_of_attempt(attempt_id: str) -> Optional[str]:
+    """The TIP id embedded in an attempt id
+    (``attempt_<tip>_<n>`` -> ``<tip>``)."""
+    if not attempt_id.startswith(ATTEMPT_PREFIX):
+        return None
+    body = attempt_id[len(ATTEMPT_PREFIX):]
+    tip, sep, seq = body.rpartition("_")
+    if not sep or not seq.isdigit():
+        return None
+    return tip
+
+
+@dataclass
+class Span:
+    """One closed interval on a track."""
+
+    name: str
+    cat: str
+    start: float
+    end: float
+    track: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Instant:
+    """A zero-duration marker."""
+
+    name: str
+    cat: str
+    time: float
+    track: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class SpanCollector:
+    """Stitches TraceLog records into spans.
+
+    Parameters
+    ----------
+    include_heartbeats:
+        Emit an instant event per ``jt.response`` round (off by
+        default: large replays produce one per heartbeat exchange).
+    """
+
+    def __init__(self, include_heartbeats: bool = False):
+        self.include_heartbeats = include_heartbeats
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        #: records seen (telemetry's own liveness counter)
+        self.records_seen = 0
+        # open state, keyed as noted
+        self._attempts: Dict[str, Dict[str, Any]] = {}  # attempt_id
+        self._stops: Dict[str, Dict[str, Any]] = {}  # process name
+        self._suspends: Dict[str, Dict[str, Any]] = {}  # tip_id
+        self._kills: Dict[str, Dict[str, Any]] = {}  # tip_id
+        self._transfers: Dict[int, Dict[str, Any]] = {}  # xfer seq
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, trace_log: TraceLog) -> "SpanCollector":
+        """Subscribe to a live log (works with storage disabled)."""
+        trace_log.subscribe(self.on_record)
+        return self
+
+    def feed(self, trace_log: TraceLog) -> "SpanCollector":
+        """Replay a stored log through the collector."""
+        for record in trace_log:
+            self.on_record(record)
+        return self
+
+    # -- record dispatch --------------------------------------------------
+
+    def on_record(self, rec: TraceRecord) -> None:
+        self.records_seen += 1
+        label = rec.label
+        if label.startswith("attempt."):
+            self._on_attempt(rec)
+        elif label.startswith("os."):
+            self._on_os(rec)
+        elif label.startswith("jt."):
+            self._on_jobtracker(rec)
+        elif label.startswith("net."):
+            self._on_net(rec)
+        elif label.startswith("preempt."):
+            self.instants.append(
+                Instant(
+                    name=label,
+                    cat="directive",
+                    time=rec.time,
+                    track="preemption",
+                    args=dict(rec.fields),
+                )
+            )
+
+    # -- attempt lifecycle ------------------------------------------------
+
+    def _on_attempt(self, rec: TraceRecord) -> None:
+        attempt_id = rec.fields.get("attempt")
+        if attempt_id is None:
+            return
+        host = rec.fields.get("host", "?")
+        if rec.label == "attempt.launch":
+            self._attempts[attempt_id] = {"start": rec.time, "host": host}
+            tip = tip_of_attempt(attempt_id)
+            if tip is not None and tip in self._kills:
+                # The relaunch arc completes the kill episode: work
+                # re-starts from zero here.
+                self._close_kill(tip, rec.time, relaunched=True)
+        elif rec.label == "attempt.finished":
+            open_attempt = self._attempts.pop(attempt_id, None)
+            if open_attempt is None:
+                return
+            tip = tip_of_attempt(attempt_id)
+            self.spans.append(
+                Span(
+                    name=attempt_id,
+                    cat="attempt",
+                    start=open_attempt["start"],
+                    end=rec.time,
+                    track=open_attempt["host"],
+                    args={
+                        "state": rec.fields.get("state", "?"),
+                        "tip": tip or "?",
+                    },
+                )
+            )
+
+    # -- process stop/resume ----------------------------------------------
+
+    def _on_os(self, rec: TraceRecord) -> None:
+        name = rec.fields.get("name")
+        if name is None:
+            return
+        host = rec.fields.get("host", "?")
+        if rec.label == "os.stopped":
+            self._stops[name] = {"start": rec.time, "host": host}
+        elif rec.label == "os.resumed":
+            stop = self._stops.pop(name, None)
+            if stop is not None:
+                self.spans.append(
+                    Span(
+                        name=f"stopped:{name}",
+                        cat="suspend",
+                        start=stop["start"],
+                        end=rec.time,
+                        track=stop["host"],
+                        args={"process": name},
+                    )
+                )
+
+    # -- preemption episodes ----------------------------------------------
+
+    def _on_jobtracker(self, rec: TraceRecord) -> None:
+        label, fields = rec.label, rec.fields
+        tip = fields.get("tip")
+        if label == "jt.must-suspend" and tip is not None:
+            self._suspends.setdefault(
+                tip, {"start": rec.time, "confirmed": None, "phases": []}
+            )
+        elif label == "jt.suspended" and tip in self._suspends:
+            episode = self._suspends[tip]
+            episode["confirmed"] = rec.time
+            episode["phases"].append(("suspending", episode["start"], rec.time))
+        elif label == "jt.resumed" and tip in self._suspends:
+            episode = self._suspends.pop(tip)
+            if episode["confirmed"] is not None:
+                episode["phases"].append(
+                    ("stopped", episode["confirmed"], rec.time)
+                )
+            self._emit_suspend_episode(tip, episode, rec.time)
+        elif label == "jt.must-kill" and tip is not None:
+            self._kills.setdefault(
+                tip, {"start": rec.time, "wasted": 0.0, "kills": 0}
+            )
+        elif label == "jt.tip-killed" and tip in self._kills:
+            episode = self._kills[tip]
+            episode["kills"] += 1
+            episode["wasted"] += float(fields.get("wasted", 0.0))
+            if not fields.get("reschedule", True):
+                # Teardown collateral: no relaunch is coming.
+                self._close_kill(tip, rec.time, relaunched=False)
+        elif label == "jt.tip-done" and tip is not None:
+            # A tip finishing closes any episode still open on it
+            # (e.g. resumed-to-completion without a resume confirm,
+            # or a kill whose job completed from another attempt).
+            if tip in self._suspends:
+                self._emit_suspend_episode(
+                    tip, self._suspends.pop(tip), rec.time
+                )
+            if tip in self._kills:
+                self._close_kill(tip, rec.time, relaunched=False)
+        elif label == "jt.response" and self.include_heartbeats:
+            self.instants.append(
+                Instant(
+                    name="heartbeat",
+                    cat="heartbeat",
+                    time=rec.time,
+                    track=str(fields.get("tracker", "?")),
+                    args={"actions": fields.get("actions", "")},
+                )
+            )
+
+    def _emit_suspend_episode(
+        self, tip: str, episode: Dict[str, Any], end: float
+    ) -> None:
+        for phase_name, start, stop in episode["phases"]:
+            self.spans.append(
+                Span(
+                    name=phase_name,
+                    cat="episode-phase",
+                    start=start,
+                    end=stop,
+                    track=f"tip:{tip}",
+                )
+            )
+        self.spans.append(
+            Span(
+                name=f"suspend-episode:{tip}",
+                cat="episode",
+                start=episode["start"],
+                end=end,
+                track=f"tip:{tip}",
+                args={"kind": "suspend", "wasted_seconds": 0.0},
+            )
+        )
+
+    def _close_kill(self, tip: str, end: float, relaunched: bool) -> None:
+        episode = self._kills.pop(tip)
+        self.spans.append(
+            Span(
+                name=f"kill-episode:{tip}",
+                cat="episode",
+                start=episode["start"],
+                end=end,
+                track=f"tip:{tip}",
+                args={
+                    "kind": "kill",
+                    "wasted_seconds": episode["wasted"],
+                    "kills": episode["kills"],
+                    "relaunched": relaunched,
+                },
+            )
+        )
+
+    # -- network transfers ------------------------------------------------
+
+    def _on_net(self, rec: TraceRecord) -> None:
+        xfer = rec.fields.get("xfer")
+        if xfer is None:
+            return
+        if rec.label == "net.xfer-start":
+            self._transfers[xfer] = {
+                "start": rec.time,
+                "label": rec.fields.get("name", "xfer"),
+                "dst": rec.fields.get("dst", "?"),
+                "src": rec.fields.get("src", "?"),
+            }
+        elif rec.label in ("net.xfer-done", "net.xfer-cancel"):
+            open_xfer = self._transfers.pop(xfer, None)
+            if open_xfer is None:
+                return
+            self.spans.append(
+                Span(
+                    name=open_xfer["label"],
+                    cat="net",
+                    start=open_xfer["start"],
+                    end=rec.time,
+                    track=open_xfer["dst"],
+                    args={
+                        "src": open_xfer["src"],
+                        "bytes": rec.fields.get("bytes", 0),
+                        "cancelled": rec.label == "net.xfer-cancel",
+                    },
+                )
+            )
+
+    # -- teardown ---------------------------------------------------------
+
+    def close_open(self, now: float) -> None:
+        """Close every still-open span at ``now`` (end of run)."""
+        for attempt_id, open_attempt in sorted(self._attempts.items()):
+            self.spans.append(
+                Span(
+                    name=attempt_id,
+                    cat="attempt",
+                    start=open_attempt["start"],
+                    end=now,
+                    track=open_attempt["host"],
+                    args={"state": "open", "tip": tip_of_attempt(attempt_id) or "?"},
+                )
+            )
+        self._attempts.clear()
+        for name, stop in sorted(self._stops.items()):
+            self.spans.append(
+                Span(
+                    name=f"stopped:{name}",
+                    cat="suspend",
+                    start=stop["start"],
+                    end=now,
+                    track=stop["host"],
+                    args={"process": name, "open": True},
+                )
+            )
+        self._stops.clear()
+        for tip in sorted(self._suspends):
+            self._emit_suspend_episode(tip, self._suspends.pop(tip), now)
+        for tip in sorted(self._kills):
+            self._close_kill(tip, now, relaunched=False)
+
+    # -- queries ----------------------------------------------------------
+
+    def by_category(self, cat: str) -> List[Span]:
+        """Closed spans of one category, in emission order."""
+        return [span for span in self.spans if span.cat == cat]
+
+    def episode_wasted_seconds(self) -> float:
+        """Summed ``wasted_seconds`` across every closed episode --
+        the number the wasted-work-ledger reconciliation tests check."""
+        return sum(
+            span.args.get("wasted_seconds", 0.0) for span in self.by_category("episode")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SpanCollector({len(self.spans)} spans, "
+            f"{len(self.instants)} instants, {self.records_seen} records)"
+        )

@@ -1,0 +1,123 @@
+"""Edge cases for :mod:`repro.metrics.series` and
+:mod:`repro.metrics.timeline`.
+
+The happy paths are exercised by every experiment test; these pin the
+boundaries -- empty series, single samples, mismatched curve lengths,
+overlapping and unclosed timeline intervals -- where off-by-one
+regressions like to hide.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.series import Series
+from repro.metrics.stats import percentile
+from repro.metrics.timeline import (
+    TimelineSegment,
+    extract_timeline,
+    render_gantt,
+)
+from repro.sim.trace import TraceLog
+
+
+class TestSeriesEdges:
+    def test_empty_series_rows_and_labels(self):
+        series = Series(name="s", x_label="x", y_label="y")
+        assert series.rows() == []
+        assert series.labels() == []
+
+    def test_curve_length_must_match_axis(self):
+        series = Series(name="s", x_label="x", y_label="y",
+                        x_values=[1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            series.add_curve("short", [1.0])
+
+    def test_curve_on_empty_axis_is_allowed(self):
+        # No x-axis yet: any length attaches (the axis comes later).
+        series = Series(name="s", x_label="x", y_label="y")
+        series.add_curve("a", [1.0, 2.0, 3.0])
+        assert series.labels() == ["a"]
+
+    def test_point_unknown_label_and_x(self):
+        series = Series(name="s", x_label="x", y_label="y", x_values=[1.0])
+        series.add_curve("a", [5.0])
+        assert series.point("a", 1.0) == 5.0
+        with pytest.raises(ConfigurationError):
+            series.point("missing", 1.0)
+        with pytest.raises(ConfigurationError):
+            series.point("a", 9.0)
+
+    def test_crossover_never_and_at_boundary(self):
+        series = Series(name="s", x_label="x", y_label="y",
+                        x_values=[1.0, 2.0, 3.0])
+        series.add_curve("lo", [0.0, 0.0, 0.0])
+        series.add_curve("hi", [1.0, 1.0, 1.0])
+        assert series.crossover("lo", "hi") is None
+        series.add_curve("rising", [-1.0, 0.0, 2.0])
+        # Crossing exactly at equality counts (previous < 0 <= sign).
+        assert series.crossover("rising", "lo") == 2.0
+
+    def test_single_sample_percentiles(self):
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 95) == 7.0
+        assert percentile([7.0], 100) == 7.0
+
+
+class TestTimelineEdges:
+    def test_empty_trace_yields_empty_timeline(self):
+        log = TraceLog()
+        assert extract_timeline(log) == []
+        assert render_gantt([]) == "(empty timeline)"
+
+    def test_unclosed_run_emits_no_segment(self):
+        log = TraceLog()
+        log.record(1.0, "attempt.launch", attempt="a1")
+        # No finish: a half-open interval must not leak a segment.
+        assert extract_timeline(log) == []
+
+    def test_suspend_resume_splits_run_segments(self):
+        log = TraceLog()
+        log.record(0.0, "attempt.launch", attempt="a1")
+        log.record(2.0, "os.stopped", name="a1")
+        log.record(5.0, "os.resumed", name="a1")
+        log.record(9.0, "attempt.finished", attempt="a1")
+        segments = extract_timeline(log)
+        assert [(s.kind, s.start, s.end) for s in segments] == [
+            ("run", 0.0, 2.0),
+            ("suspended", 2.0, 5.0),
+            ("run", 5.0, 9.0),
+        ]
+
+    def test_finish_while_stopped_closes_suspended_segment(self):
+        log = TraceLog()
+        log.record(0.0, "attempt.launch", attempt="a1")
+        log.record(2.0, "os.stopped", name="a1")
+        log.record(4.0, "attempt.finished", attempt="a1")
+        segments = extract_timeline(log)
+        assert [(s.kind, s.end) for s in segments] == [
+            ("run", 2.0), ("suspended", 4.0),
+        ]
+
+    def test_overlapping_tasks_keep_separate_rows(self):
+        log = TraceLog()
+        log.record(0.0, "attempt.launch", attempt="a1")
+        log.record(1.0, "attempt.launch", attempt="a2")
+        log.record(3.0, "attempt.finished", attempt="a2")
+        log.record(4.0, "attempt.finished", attempt="a1")
+        segments = extract_timeline(log)
+        by_task = {s.task: (s.start, s.end) for s in segments}
+        assert by_task == {"a1": (0.0, 4.0), "a2": (1.0, 3.0)}
+        chart = render_gantt(segments)
+        assert chart.count("|") == 4  # two bracketed rows
+
+    def test_zero_duration_segment_renders(self):
+        segment = TimelineSegment("t", "run", 1.0, 1.0)
+        assert segment.duration == 0.0
+        chart = render_gantt([segment])
+        assert "=" in chart
+
+    def test_render_scales_to_explicit_t_end(self):
+        segments = [TimelineSegment("t", "run", 0.0, 1.0)]
+        wide = render_gantt(segments, width=40, t_end=100.0)
+        assert "100.0s" in wide

@@ -61,3 +61,48 @@ class TestTraceRecord:
         rec = TraceRecord(1.5, "x", {"k": "v"})
         assert "k=v" in str(rec)
         assert "x" in str(rec)
+
+
+class TestBoundedStorage:
+    """Capacity eviction is O(1) per append (deque, not list-trim)."""
+
+    def test_storage_is_a_bounded_deque(self):
+        from collections import deque
+
+        log = TraceLog(capacity=100)
+        assert isinstance(log._records, deque)
+        assert log._records.maxlen == 100
+
+    def test_unbounded_log_has_no_maxlen(self):
+        log = TraceLog()
+        assert log._records.maxlen is None
+
+    def test_eviction_preserves_query_helpers(self):
+        log = TraceLog(capacity=4)
+        for i in range(10):
+            log.record(float(i), "tick", n=i)
+        assert [r.fields["n"] for r in log] == [6, 7, 8, 9]
+        assert log.first("tick").fields["n"] == 6
+        assert log.last("tick").fields["n"] == 9
+        assert len(log.find("tick", n=3)) == 0
+
+    def test_render_limit_larger_than_log(self):
+        log = TraceLog(capacity=3)
+        for i in range(5):
+            log.record(float(i), f"e{i}")
+        out = log.render(limit=50)
+        assert "e2" in out and "e4" in out and "e1" not in out
+
+    def test_digest_covers_exactly_the_surviving_window(self):
+        kept = TraceLog(capacity=2)
+        kept.record(0.5, "early")
+        kept.record(1.0, "x")
+        evicting = TraceLog(capacity=2)
+        evicting.record(-1.0, "evicted")
+        evicting.record(0.5, "early")
+        evicting.record(1.0, "x")
+        # Same surviving records -> same digest...
+        assert evicting.digest() == kept.digest()
+        # ...and the digest changes with the window contents.
+        kept.record(2.0, "y")
+        assert evicting.digest() != kept.digest()

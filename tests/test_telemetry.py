@@ -1,0 +1,341 @@
+"""Telemetry units: metric sketches, span stitching, trace export,
+engine self-profiling.
+
+These pin the contracts ARCHITECTURE.md's Telemetry section states:
+deterministic log-buckets with exact moments, order-insensitive
+merges, span stitching from flat trace records, trace-event schema
+validation, and stable label-family collapsing.
+"""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import TraceLog
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    LogHistogram,
+    MetricRegistry,
+    SpanCollector,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.telemetry.profiling import (
+    UNLABELLED,
+    collapse_labels,
+    label_family,
+    render_engine_stats,
+)
+from repro.telemetry.registry import (
+    _metric_from_dict,
+    bucket_bounds,
+    bucket_index,
+)
+from repro.telemetry.spans import Instant, Span, tip_of_attempt
+
+
+class TestBuckets:
+    def test_value_falls_inside_its_bucket(self):
+        for value in (1e-9, 0.37, 1.0, 2.5, 17.0, 4096.0, 1e12):
+            lo, hi = bucket_bounds(bucket_index(value))
+            assert lo <= value < hi or value == lo
+
+    def test_negative_values_mirror_positive(self):
+        sign, sub = bucket_index(-2.5)
+        pos_sign, pos_sub = bucket_index(2.5)
+        assert sign == -1 and pos_sign == 1 and sub == pos_sub
+
+    def test_bucket_width_is_bounded(self):
+        # 8 sub-buckets per octave: width ratio 2**(1/8) ~ 9%.
+        lo, hi = bucket_bounds(bucket_index(123.456))
+        assert hi / lo == pytest.approx(2 ** 0.125)
+
+
+class TestCounter:
+    def test_counts_up_only(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter(3), Counter(4)
+        a.merge(b)
+        assert a.value == 7
+
+
+class TestGauge:
+    def test_set_keeps_latest(self):
+        gauge = Gauge()
+        gauge.set(1.0, 10.0)
+        gauge.set(5.0, 2.0)
+        gauge.set(3.0, 99.0)  # earlier than the current sample: ignored
+        assert gauge.value == 2.0
+        assert gauge.time == 5.0
+
+    def test_merge_is_order_insensitive(self):
+        a, b = Gauge(), Gauge()
+        a.set(2.0, 7.0)
+        b.set(4.0, 1.0)
+        ab = Gauge()
+        ab.merge(a)
+        ab.merge(b)
+        ba = Gauge()
+        ba.merge(b)
+        ba.merge(a)
+        assert ab.state() == ba.state()
+        assert ab.value == 1.0
+
+
+class TestLogHistogram:
+    def test_moments_are_exact(self):
+        hist = LogHistogram()
+        for value in (0.1, 0.2, 0.3):
+            hist.observe(value)
+        # Fraction accumulation: no float drift in the sum.
+        assert hist.mean() == pytest.approx(0.2)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(0.6)
+
+    def test_rejects_non_finite(self):
+        hist = LogHistogram()
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ConfigurationError):
+                hist.observe(bad)
+
+    def test_quantile_bounds_and_range_check(self):
+        hist = LogHistogram()
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.quantile(0.0) <= hist.quantile(0.5) <= hist.quantile(1.0)
+        # ~9% relative bucket width bounds the quantile error.
+        assert hist.quantile(0.5) == pytest.approx(50.0, rel=0.1)
+        with pytest.raises(ConfigurationError):
+            hist.quantile(1.5)
+
+    def test_single_sample_quantiles(self):
+        hist = LogHistogram()
+        hist.observe(42.0)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert hist.quantile(q) == pytest.approx(42.0, rel=0.1)
+
+    def test_merge_matches_single_stream_exactly(self):
+        rng = random.Random(7)
+        values = [rng.expovariate(0.1) for _ in range(500)]
+        whole = LogHistogram()
+        for value in values:
+            whole.observe(value)
+        shards = [LogHistogram() for _ in range(4)]
+        for index, value in enumerate(values):
+            shards[index % 4].observe(value)
+        rng.shuffle(shards)
+        merged = LogHistogram()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.state() == whole.state()
+
+    def test_dict_round_trip(self):
+        hist = LogHistogram()
+        for value in (0.5, 1.5, -3.0):
+            hist.observe(value)
+        clone = _metric_from_dict(json.loads(json.dumps(hist.to_dict())))
+        assert clone.state() == hist.state()
+        json.dumps(hist.to_dict())  # payload must be JSON-serializable
+
+
+class TestMetricRegistry:
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+
+    def test_digest_ignores_insertion_order(self):
+        a = MetricRegistry()
+        a.counter("c").inc(2)
+        a.observe("h", 1.5)
+        b = MetricRegistry()
+        b.observe("h", 1.5)
+        b.counter("c").inc(2)
+        assert a.digest() == b.digest()
+
+    def test_merge_permutation_invariant(self):
+        rng = random.Random(11)
+        shards = []
+        for shard_index in range(5):
+            registry = MetricRegistry()
+            for _ in range(50):
+                registry.observe("sojourn", rng.expovariate(0.05))
+            registry.counter("jobs").inc(shard_index + 1)
+            shards.append(registry)
+        merged_fwd = MetricRegistry()
+        for shard in shards:
+            merged_fwd.merge(shard)
+        merged_rev = MetricRegistry()
+        for shard in reversed(shards):
+            merged_rev.merge(shard)
+        assert merged_fwd.digest() == merged_rev.digest()
+        assert merged_fwd.counter("jobs").value == 15
+
+    def test_from_dict_round_trip_preserves_digest(self):
+        registry = MetricRegistry()
+        registry.observe("h", 0.125)
+        registry.gauge("g").set(3.0, 9.0)
+        registry.counter("c").inc(7)
+        payload = json.loads(json.dumps(registry.to_dict()))
+        assert MetricRegistry.from_dict(payload).digest() == registry.digest()
+
+
+class TestTipOfAttempt:
+    def test_parses_standard_ids(self):
+        assert tip_of_attempt("attempt_job1_m_0003_1") == "job1_m_0003"
+        assert tip_of_attempt("attempt_x_0") == "x"
+
+    def test_rejects_non_attempts(self):
+        assert tip_of_attempt("task_job1_m_0003") is None
+        assert tip_of_attempt("attempt_noseq") is None
+
+
+class TestSpanStitching:
+    def test_attempt_lifecycle_becomes_host_span(self):
+        log = TraceLog()
+        collector = SpanCollector().attach(log)
+        log.record(1.0, "attempt.launch", attempt="attempt_t1_0", host="n0")
+        log.record(9.0, "attempt.finished", attempt="attempt_t1_0",
+                   host="n0", state="SUCCEEDED")
+        (span,) = collector.by_category("attempt")
+        assert (span.start, span.end, span.track) == (1.0, 9.0, "n0")
+        assert span.args["tip"] == "t1"
+
+    def test_suspend_episode_with_phases(self):
+        log = TraceLog()
+        collector = SpanCollector().attach(log)
+        log.record(2.0, "jt.must-suspend", tip="t1")
+        log.record(2.5, "jt.suspended", tip="t1")
+        log.record(8.0, "jt.resumed", tip="t1")
+        (episode,) = collector.by_category("episode")
+        assert episode.args["kind"] == "suspend"
+        assert episode.args["wasted_seconds"] == 0.0
+        phases = {s.name: (s.start, s.end)
+                  for s in collector.by_category("episode-phase")}
+        assert phases == {"suspending": (2.0, 2.5), "stopped": (2.5, 8.0)}
+
+    def test_kill_episode_accumulates_wasted_until_relaunch(self):
+        log = TraceLog()
+        collector = SpanCollector().attach(log)
+        log.record(3.0, "jt.must-kill", tip="t2")
+        log.record(3.5, "jt.tip-killed", tip="t2", wasted=12.25,
+                   reschedule=True)
+        log.record(7.0, "attempt.launch", attempt="attempt_t2_1", host="n1")
+        (episode,) = collector.by_category("episode")
+        assert episode.args == {
+            "kind": "kill", "wasted_seconds": 12.25, "kills": 1,
+            "relaunched": True,
+        }
+        assert (episode.start, episode.end) == (3.0, 7.0)
+        assert collector.episode_wasted_seconds() == 12.25
+
+    def test_net_transfer_span_and_cancel_flag(self):
+        log = TraceLog()
+        collector = SpanCollector().attach(log)
+        log.record(1.0, "net.xfer-start", xfer=1, name="shuffle:a",
+                   src="n0", dst="n1", bytes=100)
+        log.record(4.0, "net.xfer-cancel", xfer=1, name="shuffle:a",
+                   src="n0", dst="n1", bytes=60)
+        (span,) = collector.by_category("net")
+        assert span.track == "n1"
+        assert span.args["cancelled"] is True
+        assert span.args["bytes"] == 60
+
+    def test_close_open_flushes_everything(self):
+        log = TraceLog()
+        collector = SpanCollector().attach(log)
+        log.record(1.0, "attempt.launch", attempt="attempt_t3_0", host="n0")
+        log.record(2.0, "jt.must-suspend", tip="t3")
+        collector.close_open(10.0)
+        assert all(span.end == 10.0 for span in collector.spans)
+        assert not collector._attempts and not collector._suspends
+
+    def test_feed_replays_a_stored_log(self):
+        log = TraceLog()
+        log.record(1.0, "attempt.launch", attempt="attempt_t4_0", host="n0")
+        log.record(2.0, "attempt.finished", attempt="attempt_t4_0", host="n0")
+        collector = SpanCollector().feed(log)
+        assert len(collector.by_category("attempt")) == 1
+        assert collector.records_seen == 2
+
+    def test_heartbeats_off_by_default(self):
+        log = TraceLog()
+        quiet = SpanCollector().attach(log)
+        chatty = SpanCollector(include_heartbeats=True).attach(log)
+        log.record(1.0, "jt.response", tracker="n0", actions="")
+        assert quiet.instants == []
+        assert len(chatty.instants) == 1
+
+
+class TestChromeExport:
+    def _groups(self):
+        spans = [Span("work", "attempt", 1.0, 2.0, "n0", {"tip": "t"})]
+        instants = [Instant("mark", "directive", 1.5, "n0")]
+        return [("cell", spans, instants)]
+
+    def test_export_validates_and_is_deterministic(self):
+        a = to_chrome_trace(self._groups())
+        b = to_chrome_trace(self._groups())
+        validate_chrome_trace(a)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_export_scales_seconds_to_microseconds(self):
+        trace = to_chrome_trace(self._groups())
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert complete[0]["ts"] == pytest.approx(1_000_000.0)
+        assert complete[0]["dur"] == pytest.approx(1_000_000.0)
+
+    def test_validator_rejects_malformed_traces(self):
+        good = to_chrome_trace(self._groups())
+        for mutate in (
+            lambda t: t.pop("traceEvents"),
+            lambda t: t["traceEvents"].append({"ph": "Z", "name": "x",
+                                               "pid": 1, "tid": 1, "ts": 0}),
+            lambda t: t["traceEvents"].append({"ph": "X", "name": "x",
+                                               "pid": 1, "tid": 1,
+                                               "ts": -1.0, "dur": 1.0}),
+            lambda t: t["traceEvents"].append({"ph": "X", "name": "x",
+                                               "pid": 1, "tid": 1,
+                                               "ts": 0.0}),  # missing dur
+        ):
+            broken = json.loads(json.dumps(good))
+            mutate(broken)
+            with pytest.raises(ValueError):
+                validate_chrome_trace(broken)
+
+
+class TestLabelFamilies:
+    def test_strips_entity_suffix_and_host_prefix(self):
+        assert label_family("tt.heartbeat:node03") == "tt.heartbeat"
+        assert label_family("node03.cpu.crossing") == "cpu.crossing"
+        assert label_family("node12.disk.write.crossing") == "disk.write.crossing"
+        assert label_family("jt.expiry-check") == "jt.expiry-check"
+        assert label_family("") == UNLABELLED
+
+    def test_collapse_sums_families(self):
+        counts = {"tt.heartbeat:node00": 2, "tt.heartbeat:node01": 3,
+                  "node00.cpu.crossing": 5, "": 1}
+        assert collapse_labels(counts) == {
+            "tt.heartbeat": 5, "cpu.crossing": 5, UNLABELLED: 1,
+        }
+
+    def test_render_engine_stats_without_profile(self):
+        stats = {
+            "events_fired": 10, "events_scheduled": 12, "reschedules": 1,
+            "reschedule_reuses": 0, "compactions": 0, "heap_size": 2,
+            "pending_events": 2, "profile_enabled": False,
+        }
+        out = render_engine_stats(stats)
+        assert "profile=True" in out

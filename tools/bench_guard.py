@@ -8,11 +8,17 @@ per bench:
 
 * ``wall_s``   -- wall-clock seconds (machine-dependent);
 * ``events``   -- simulation events fired (deterministic);
-* ``engine_ops`` -- schedule + reschedule calls (deterministic).
+* ``engine_ops`` -- schedule + reschedule calls (deterministic);
+* ``labels``   -- fired events per collapsed label family, from the
+  engine's self-profiling hooks (deterministic: same seed, same
+  counts to the event).
 
 ``--check BASELINE`` compares against a checked-in baseline.  **Only
-the deterministic event/op counters are strict**: they compare exactly
-on any machine, so a >20% counter growth exits non-zero.  Wall-clock
+the deterministic counters are strict**: they compare exactly on any
+machine, so a >20% event/op growth exits non-zero, and the per-label
+family counts must match the baseline *exactly* -- any drift in what
+the engine fires per label is a behaviour change someone must either
+explain or bless with ``--update-baseline``.  Wall-clock
 baselines are checked in from whatever host refreshed them last, and
 per-bench speed ratios vary across CPUs far beyond any useful
 tolerance; the guard therefore *recalibrates* the wall baseline --
@@ -56,10 +62,11 @@ def bench_resource_churn(scale: float = 1.0) -> dict:
     """The tentpole pattern: one resource, many claims, heavy churn."""
     from repro.osmodel.resources import RateResource
     from repro.sim.engine import Simulation
+    from repro.telemetry.profiling import collapse_labels
 
     claims_n = max(int(600 * scale), 8)
     cycles = max(int(20_000 * scale), 16)
-    sim = Simulation()
+    sim = Simulation(profile=True)
     res = RateResource(sim, capacity=100.0)
     claims = [res.submit(1e8 + i, lambda: None) for i in range(claims_n)]
     for cycle in range(cycles):
@@ -71,6 +78,7 @@ def bench_resource_churn(scale: float = 1.0) -> dict:
     return {
         "events": sim.events_fired,
         "engine_ops": sim.events_scheduled + sim.reschedules,
+        "labels": collapse_labels(sim.label_counts),
     }
 
 
@@ -78,16 +86,21 @@ def bench_two_job_suspend(scale: float = 1.0) -> dict:
     """Figure-2 microbenchmark cells (suspend at 50%), heavy variant
     included so the bench clears the wall-clock floor."""
     from repro.experiments.harness import TwoJobHarness
+    from repro.telemetry.profiling import collapse_labels
 
     runs = max(int(10 * scale), 1)
     events = ops = 0
+    labels = {}
     for seed in range(99, 99 + runs):
-        harness = TwoJobHarness("suspend", 0.5, runs=1, keep_traces=True)
+        harness = TwoJobHarness("suspend", 0.5, runs=1, keep_traces=True,
+                                profile=True)
         result = harness.run_once(seed=seed)
         sim = result.trace_cluster.sim
         events += sim.events_fired
         ops += sim.events_scheduled + sim.reschedules
-    return {"events": events, "engine_ops": ops}
+        for family, count in collapse_labels(sim.label_counts).items():
+            labels[family] = labels.get(family, 0) + count
+    return {"events": events, "engine_ops": ops, "labels": labels}
 
 
 def bench_scale_baseline_50(scale: float = 1.0) -> dict:
@@ -116,8 +129,10 @@ def bench_shuffle_net_25(scale: float = 1.0) -> dict:
         num_jobs=num_jobs,
         oversubscription=2.5,
         seed=derive_seed(11000, "shuffle", trackers, "kill", 2.5, 0.0, 0),
+        profile=True,
     )
-    return {"events": int(out["events"]), "engine_ops": 0}
+    return {"events": int(out["events"]), "engine_ops": 0,
+            "labels": out["engine"]["labels"]}
 
 
 def bench_memscale_25(scale: float = 1.0) -> dict:
@@ -142,8 +157,10 @@ def bench_memscale_25(scale: float = 1.0) -> dict:
             12000, "memscale", trackers, "suspend-gated",
             SWAP_BYTES, RESERVE_BYTES, 0,
         ),
+        profile=True,
     )
-    return {"events": int(out["events"]), "engine_ops": 0}
+    return {"events": int(out["events"]), "engine_ops": 0,
+            "labels": out["engine"]["labels"]}
 
 
 def _scale_cell(scenario: str, trackers: int, num_jobs: int) -> dict:
@@ -156,8 +173,10 @@ def _scale_cell(scenario: str, trackers: int, num_jobs: int) -> dict:
         trackers=trackers,
         num_jobs=num_jobs,
         seed=derive_seed(9000, "scale", scenario, trackers, "suspend", 0),
+        profile=True,
     )
-    return {"events": int(out["events"]), "engine_ops": 0}
+    return {"events": int(out["events"]), "engine_ops": 0,
+            "labels": out["engine"]["labels"]}
 
 
 BENCHES = {
@@ -215,6 +234,22 @@ def check(current: dict, baseline: dict) -> tuple:
                     f"{name}: {counter} {cur[counter]} vs baseline "
                     f"{base[counter]} (> {COUNTER_TOLERANCE:.0%})"
                 )
+        # Per-label event counts are exact-deterministic: any drift is
+        # a behaviour change, so compare strictly (no tolerance).
+        if "labels" in base and "labels" in cur and cur["labels"] != base["labels"]:
+            families = sorted(set(base["labels"]) | set(cur["labels"]))
+            drift = [
+                f"{family} {base['labels'].get(family, 0)}->"
+                f"{cur['labels'].get(family, 0)}"
+                for family in families
+                if base["labels"].get(family, 0) != cur["labels"].get(family, 0)
+            ]
+            problems.append(
+                f"{name}: per-label event counts drifted "
+                f"({'; '.join(drift[:8])}"
+                + (f"; +{len(drift) - 8} more" if len(drift) > 8 else "")
+                + ")"
+            )
         if base["wall_s"] >= WALL_FLOOR_S and machine_factor > 0:
             recalibrated = base["wall_s"] * machine_factor
             if cur["wall_s"] > recalibrated * WALL_TOLERANCE:

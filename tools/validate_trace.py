@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file produced by ``repro trace``.
+
+Thin CLI over :func:`repro.telemetry.export.validate_chrome_trace` so
+CI (and anyone handed a ``run.json``) can check a trace against the
+trace-event schema without opening Perfetto.  Exits non-zero with the
+first schema violation; on success prints a one-line summary of what
+the file contains (event counts by phase, traced processes).
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_trace.py run.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.telemetry.export import validate_chrome_trace  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace-event JSON file to validate")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="require at least this many non-metadata events (default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            obj = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"validate_trace: cannot read {args.trace}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    try:
+        validate_chrome_trace(obj)
+    except ValueError as exc:
+        print(f"validate_trace: {args.trace}: {exc}", file=sys.stderr)
+        return 1
+
+    events = obj["traceEvents"]
+    phases = Counter(event["ph"] for event in events)
+    body = sum(count for phase, count in phases.items() if phase != "M")
+    if body < args.min_events:
+        print(
+            f"validate_trace: {args.trace}: only {body} non-metadata "
+            f"events (need >= {args.min_events})",
+            file=sys.stderr,
+        )
+        return 1
+    processes = sorted(
+        event["args"]["name"]
+        for event in events
+        if event["ph"] == "M" and event["name"] == "process_name"
+    )
+    summary = ", ".join(f"{phase}={count}" for phase, count in sorted(phases.items()))
+    print(
+        f"validate_trace: {args.trace} OK -- {len(events)} events "
+        f"({summary}); processes: {', '.join(processes) or '(none)'}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
