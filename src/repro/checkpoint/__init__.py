@@ -1,0 +1,44 @@
+"""Checkpointable, forkable simulations.
+
+``snapshot`` freezes a live :class:`~repro.sim.engine.Simulation` (or a
+whole :class:`~repro.hadoop.cluster.HadoopCluster`) into a versioned,
+self-describing blob; ``restore`` thaws it into an independent copy
+that replays event-for-event identically to the original -- the same
+replay-identity invariant the differential oracle tests pin.  ``fork``
+turns one warm checkpoint into many what-if branches with re-derived
+RNG streams, so "same state, four admission policies" costs one warm-up
+instead of four runs from t=0.
+
+The on-disk format is a magic tag + JSON header (readable without
+unpickling anything) followed by a pickle body; the header carries a
+schema fingerprint of the whole ``repro`` source tree, so a checkpoint
+written by different code is rejected instead of silently diverging.
+"""
+
+from repro.checkpoint.core import (
+    Checkpoint,
+    fork,
+    layer_inventory,
+    load,
+    read_header,
+    restore,
+    save,
+    schema_fingerprint,
+    snapshot,
+    validate_header,
+    write,
+)
+
+__all__ = [
+    "Checkpoint",
+    "fork",
+    "layer_inventory",
+    "load",
+    "read_header",
+    "restore",
+    "save",
+    "schema_fingerprint",
+    "snapshot",
+    "validate_header",
+    "write",
+]

@@ -1,0 +1,168 @@
+"""Representative checkpointable cells of each experiment family.
+
+The CLI (``repro checkpoint`` / ``repro resume``), the CI smoke job and
+bench_guard all exercise the same three cells -- one per stateful
+stack: the fig2 two-job microbenchmark (engine + osmodel + harness
+callbacks), a scale replay (SWIM workload + HFSP + preemption) and a
+memscale replay (VMM/swap admission + oversubscribed fabric).  Each
+builds mid-flight, snapshots at a virtual time, finishes, and can be
+finished again from the checkpoint; the two finishes must agree on the
+TraceLog digest and every metric byte.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Tuple
+
+from repro.checkpoint.core import Checkpoint, load, restore
+from repro.errors import ConfigurationError, SnapshotError
+
+
+#: per-kind defaults: the representative seed derivation and a snapshot
+#: instant that lands mid-flight for the cell's size
+CELL_DEFAULTS = {
+    "fig2": {"at": 40.0},
+    "scale": {"at": 120.0, "trackers": 5, "num_jobs": 5},
+    "memscale": {"at": 40.0, "trackers": 5, "num_jobs": 5},
+}
+
+
+def default_seed(kind: str) -> int:
+    """The representative cell's seed, matching the experiment's own
+    derivation so checkpoint runs stay comparable with study cells."""
+    from repro.experiments.runner import derive_seed
+
+    if kind == "fig2":
+        return 1000
+    if kind == "scale":
+        d = CELL_DEFAULTS["scale"]
+        return derive_seed(
+            9000, "scale", "baseline", d["trackers"], "suspend", 0
+        )
+    if kind == "memscale":
+        from repro.experiments.memscale_study import RESERVE_BYTES, SWAP_BYTES
+
+        d = CELL_DEFAULTS["memscale"]
+        return derive_seed(
+            12000, "memscale", d["trackers"], "suspend-gated",
+            SWAP_BYTES, RESERVE_BYTES, 0,
+        )
+    raise ConfigurationError(
+        f"unknown checkpoint cell {kind!r}; known: "
+        f"{', '.join(sorted(CELL_DEFAULTS))}"
+    )
+
+
+def build_cell(kind: str, seed: Optional[int] = None) -> Tuple[Any, Dict]:
+    """Build one representative cell, loaded but not yet driven.
+
+    Returns ``(cluster, meta)`` where ``meta`` is the context a resume
+    needs to finish the run and recompute its metrics.
+    """
+    seed = default_seed(kind) if seed is None else seed
+    if kind == "fig2":
+        from repro.experiments.harness import TwoJobHarness
+
+        harness = TwoJobHarness("suspend", 0.5, runs=1, keep_traces=True)
+        cluster = harness.build_cluster(seed)
+        meta = {"kind": "fig2", "seed": seed}
+        return cluster, meta
+    if kind == "scale":
+        from repro.experiments import scale_study
+
+        d = CELL_DEFAULTS["scale"]
+        cluster, _ = scale_study._build_run(
+            "baseline", "suspend", d["trackers"], d["num_jobs"], seed,
+            trace=True,
+        )
+        meta = {
+            "kind": "scale", "scenario": "baseline",
+            "primitive_name": "suspend", "trackers": d["trackers"],
+            "num_jobs": d["num_jobs"], "seed": seed, "trace": True,
+        }
+        return cluster, meta
+    if kind == "memscale":
+        from repro.experiments import memscale_study
+
+        d = CELL_DEFAULTS["memscale"]
+        cluster, _ = memscale_study._build_run(
+            "suspend-gated", d["trackers"], d["num_jobs"], seed, trace=True,
+        )
+        meta = {
+            "kind": "memscale", "mode": "suspend-gated",
+            "trackers": d["trackers"], "num_jobs": d["num_jobs"],
+            "seed": seed, "trace": True,
+        }
+        return cluster, meta
+    raise ConfigurationError(
+        f"unknown checkpoint cell {kind!r}; known: "
+        f"{', '.join(sorted(CELL_DEFAULTS))}"
+    )
+
+
+def finish_cell(cluster: Any, meta: Dict) -> Dict[str, Any]:
+    """Drive a built (or restored) cell to completion; return metrics.
+
+    The dict always carries ``trace_digest`` -- the replay-identity
+    value the smoke job compares.
+    """
+    kind = meta.get("kind")
+    if kind == "fig2":
+        from repro.experiments.harness import measure_two_job
+
+        cluster.run_until_jobs_complete(timeout=14_400.0)
+        result = measure_two_job(cluster)
+        return {
+            "sojourn_th": result.sojourn_th,
+            "makespan": result.makespan,
+            "tl_paged_bytes": float(result.tl_paged_bytes),
+            "th_paged_bytes": float(result.th_paged_bytes),
+            "tl_wasted_seconds": result.tl_wasted_seconds,
+            "suspend_count": float(result.suspend_count),
+            "trace_digest": cluster.sim.trace_log.digest(),
+        }
+    if kind == "scale":
+        from repro.experiments import scale_study
+
+        return scale_study._finish_run(cluster, meta)
+    if kind == "memscale":
+        from repro.experiments import memscale_study
+
+        return memscale_study._finish_run(cluster, meta)
+    raise SnapshotError(
+        f"checkpoint meta names no runnable cell (kind={kind!r}); "
+        "only checkpoints written by `repro checkpoint` carry a "
+        "continuation recipe"
+    )
+
+
+def checkpoint_cell(
+    kind: str,
+    path: str,
+    at: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run one representative cell, snapshotting mid-flight to ``path``.
+
+    Returns the *unbroken* run's metrics (including ``trace_digest``);
+    the file at ``path`` can then be resumed and must reproduce them.
+    """
+    at = CELL_DEFAULTS.get(kind, {}).get("at", 60.0) if at is None else at
+    cluster, meta = build_cell(kind, seed=seed)
+    cluster.sim.snapshot_at(at, path, root=cluster, meta=meta)
+    metrics = finish_cell(cluster, meta)
+    if not os.path.exists(path):
+        raise SnapshotError(
+            f"snapshot instant t={at:g} is past the end of the run "
+            f"(finished at t={cluster.sim.now:.1f}); pass an earlier "
+            "--at"
+        )
+    return metrics
+
+
+def resume_cell(path: str) -> Dict[str, Any]:
+    """Restore a checkpoint file and finish the run it froze."""
+    checkpoint: Checkpoint = load(path)
+    cluster = restore(checkpoint)
+    return finish_cell(cluster, dict(checkpoint.meta))

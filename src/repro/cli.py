@@ -10,6 +10,8 @@
     repro trace fig2 --out run.json     # Perfetto/Chrome trace export
     repro profile scale --quick         # cProfile hotspot report
     repro profile scale --engine        # engine self-profile (labels)
+    repro checkpoint fig2 --at 40 --out ck.bin   # snapshot mid-flight
+    repro resume ck.bin                 # restore + finish the frozen run
     repro real-demo --input-mb 24       # real-process prototype
 
 ``run`` executes a single registered experiment (name or alias);
@@ -63,6 +65,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="tables only, no ASCII plots")
     run.add_argument("--quiet", "-q", action="store_true",
                      help="suppress per-cell progress lines (stderr)")
+    run.add_argument("--checkpoint-dir", default=None,
+                     help="persist each finished grid cell here; a killed "
+                     "sweep restarted with the same directory re-runs "
+                     "only the missing cells")
 
     rep = sub.add_parser("reproduce", help="regenerate figures")
     rep.add_argument("--figure", "-f", action="append", default=[],
@@ -130,6 +136,29 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="engine self-profile instead of cProfile: "
                       "per-label fired-event counts and callback wall "
                       "time for a representative cell")
+
+    ckpt = sub.add_parser(
+        "checkpoint",
+        help="run a representative cell, snapshotting mid-flight",
+    )
+    ckpt.add_argument("cell", help="checkpointable cell "
+                      "(fig2, scale, memscale)")
+    ckpt.add_argument("--at", type=float, default=None,
+                      help="virtual time of the snapshot "
+                      "(default: the cell's mid-flight instant)")
+    ckpt.add_argument("--seed", type=int, default=None,
+                      help="override the cell's derived seed")
+    ckpt.add_argument("--out", default="ck.bin",
+                      help="checkpoint file path (default ck.bin)")
+
+    res = sub.add_parser(
+        "resume",
+        help="restore a checkpoint file and finish its run "
+        "(or report a --checkpoint-dir sweep's completion state)",
+    )
+    res.add_argument("path", help="checkpoint file written by "
+                     "`repro checkpoint`, or a --checkpoint-dir "
+                     "sweep directory")
 
     demo = sub.add_parser("real-demo", help="real-process prototype demo")
     demo.add_argument("--input-mb", type=int, default=24,
@@ -241,6 +270,10 @@ def _cmd_run(args) -> int:
     name = resolve_name(args.experiment)
     runner = get_experiment(name)
     _set_progress(args)
+    if args.checkpoint_dir is not None:
+        from repro.experiments.runner import set_cell_cache
+
+        set_cell_cache(args.checkpoint_dir)
     kwargs = _quick_kwargs(name) if args.quick else {}
     if args.runs is not None:
         kwargs["runs"] = args.runs
@@ -387,6 +420,89 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
+def _print_cell_metrics(metrics: dict) -> None:
+    width = max(len(key) for key in metrics)
+    for key, value in sorted(metrics.items()):
+        if isinstance(value, float):
+            print(f"  {key:<{width}}  {value:.6g}")
+        else:
+            print(f"  {key:<{width}}  {value}")
+
+
+def _cmd_checkpoint(args) -> int:
+    """Run one representative cell, freezing it mid-flight to a file.
+
+    The run continues to completion after the snapshot, so the printed
+    metrics are the *unbroken* reference -- ``repro resume`` on the
+    written file must reproduce every one of them, ``trace_digest``
+    included.
+    """
+    from repro.checkpoint.cells import checkpoint_cell
+    from repro.checkpoint.core import read_header
+
+    metrics = checkpoint_cell(
+        args.cell, args.out, at=args.at, seed=args.seed
+    )
+    header = read_header(args.out)
+    print(f"wrote {args.out} ({os.path.getsize(args.out)} bytes, "
+          f"layers: {', '.join(header.get('layers', []))})")
+    print("unbroken-run metrics (resume must reproduce these):")
+    _print_cell_metrics(metrics)
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    if not os.path.exists(args.path):
+        print(f"error: {args.path}: no such checkpoint file or sweep "
+              "directory", file=sys.stderr)
+        return 1
+    if os.path.isdir(args.path):
+        return _report_sweep_dir(args.path)
+    from repro.checkpoint.cells import resume_cell
+
+    metrics = resume_cell(args.path)
+    print(f"resumed {args.path}:")
+    _print_cell_metrics(metrics)
+    return 0
+
+
+def _report_sweep_dir(directory: str) -> int:
+    """Completion report for a ``--checkpoint-dir`` sweep directory."""
+    import json
+
+    manifest_path = os.path.join(directory, "manifest.json")
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except OSError:
+        print(
+            f"error: {directory} has no manifest.json -- was it written "
+            "by `repro run ... --checkpoint-dir`?",
+            file=sys.stderr,
+        )
+        return 1
+    # The manifest's `done` flags can be stale (it is written at sweep
+    # start, and a kill may land before the final refresh); the cache
+    # files themselves are the truth.
+    cells = manifest.get("cells", [])
+    for entry in cells:
+        entry["done"] = os.path.exists(
+            os.path.join(directory, f"{entry.get('key')}.pkl")
+        )
+    done = sum(1 for entry in cells if entry["done"])
+    total = manifest.get("total", len(cells))
+    print(f"{directory}: {done}/{total} cells checkpointed")
+    for entry in cells:
+        mark = "x" if entry["done"] else " "
+        print(f"  [{mark}] {entry.get('label', entry.get('key'))}")
+    if done < total:
+        print(
+            "re-run the original `repro run ... --checkpoint-dir "
+            f"{directory}` command to finish the remaining cells"
+        )
+    return 0
+
+
 def _cmd_real_demo(args) -> int:
     from repro.posixrt.runner import MiniExperiment
 
@@ -419,6 +535,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_profile(args)
         if args.command == "schedule":
             return _cmd_schedule(args)
+        if args.command == "checkpoint":
+            return _cmd_checkpoint(args)
+        if args.command == "resume":
+            return _cmd_resume(args)
         if args.command == "real-demo":
             return _cmd_real_demo(args)
     except ReproError as exc:

@@ -147,6 +147,24 @@ class CheckpointError(PreemptionError):
 
 
 # --------------------------------------------------------------------------
+# Simulation snapshot/restore (repro.checkpoint)
+# --------------------------------------------------------------------------
+
+
+class SnapshotError(ReproError):
+    """A simulation snapshot could not be taken or restored."""
+
+
+class SnapshotFormatError(SnapshotError):
+    """The bytes are not a checkpoint file (bad magic / header)."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """The checkpoint was written by an incompatible format or code
+    schema; replay identity cannot be guaranteed."""
+
+
+# --------------------------------------------------------------------------
 # Real POSIX runtime
 # --------------------------------------------------------------------------
 

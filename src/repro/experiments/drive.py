@@ -1,0 +1,74 @@
+"""Shared drive-loop helpers for the replay studies.
+
+Every study drives its cluster the same way: register a completion
+tally with the jobtracker, then step the simulation until every
+generated job is terminal (the generic run-until helper would stop
+early if the cluster drained while a late arrival was still on the
+event heap).  The tally is a module-level class rather than a closure
+so a mid-run cluster pickles for checkpointing, and the loop itself is
+reused by the checkpoint continuation path (``repro resume``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class CompletionCounter:
+    """Picklable job-completion tally registered with the jobtracker."""
+
+    __slots__ = ("count",)
+
+    def __init__(self):
+        self.count = 0
+
+    def __call__(self, job) -> None:
+        self.count += 1
+
+
+def install_counter(cluster) -> CompletionCounter:
+    """Create a counter and register it for job completions."""
+    counter = CompletionCounter()
+    cluster.jobtracker.on_job_complete(counter)
+    return counter
+
+
+def find_counter(cluster) -> CompletionCounter:
+    """The counter a (restored) cluster carries.
+
+    Raises :class:`ConfigurationError` when the cluster was not driven
+    through :func:`install_counter` -- the continuation path needs the
+    tally to know when to stop.
+    """
+    for callback in cluster.jobtracker._completion_callbacks:
+        if isinstance(callback, CompletionCounter):
+            return callback
+    raise ConfigurationError(
+        "cluster carries no CompletionCounter; it was not built by a "
+        "study drive loop"
+    )
+
+
+def drive_to_completion(
+    cluster,
+    counter: CompletionCounter,
+    num_jobs: int,
+    what: str,
+    deadline_seconds: float = 86_400.0,
+) -> None:
+    """Step the simulation until ``num_jobs`` completions are tallied.
+
+    Raises :class:`ConfigurationError` when more than
+    ``deadline_seconds`` of simulated time pass first (a deadlock
+    guard, identical to the studies' historical inline loops).
+    """
+    cluster.start()
+    deadline = cluster.sim.now + deadline_seconds
+    while counter.count < num_jobs:
+        if cluster.sim.now >= deadline:
+            raise ConfigurationError(
+                f"{what} still running after "
+                f"{deadline_seconds:.0f}s of simulated time"
+            )
+        if not cluster.sim.step():
+            break

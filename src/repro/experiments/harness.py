@@ -60,6 +60,79 @@ class TwoJobResult:
         ]
 
 
+class _PreemptAndSubmit:
+    """Progress-watch callback: submit ``th`` and preempt ``tl`` the
+    instant ``tl`` crosses the launch threshold (picklable replacement
+    for a closure, so mid-run clusters survive checkpointing)."""
+
+    __slots__ = ("cluster", "gate", "primitive", "job_tl", "th_spec")
+
+    def __init__(self, cluster, gate, primitive, job_tl, th_spec):
+        self.cluster = cluster
+        self.gate = gate
+        self.primitive = primitive
+        self.job_tl = job_tl
+        self.th_spec = th_spec
+
+    def __call__(self) -> None:
+        from repro.preemption.admission import admit_and_preempt
+
+        self.cluster.jobtracker.submit_job(self.th_spec)
+        tip = self.job_tl.tips[0]
+        if tip.state.value == "RUNNING":
+            admit_and_preempt(self.gate, self.primitive, tip)
+
+
+class _RestoreTl:
+    """Job-completion callback: restore ``tl`` when ``th`` finishes."""
+
+    __slots__ = ("primitive", "job_tl")
+
+    def __init__(self, primitive, job_tl):
+        self.primitive = primitive
+        self.job_tl = job_tl
+
+    def __call__(self, job) -> None:
+        if job.spec.name == "th":
+            tip = self.job_tl.tips[0]
+            self.primitive.restore(tip)
+
+
+def measure_two_job(
+    cluster: HadoopCluster, keep_trace: Optional[bool] = None
+) -> SingleRunResult:
+    """Metrics of one finished two-job run.
+
+    Module-level (rather than only a harness method) so the checkpoint
+    resume path can measure a restored cluster without rebuilding the
+    harness that created it.  ``keep_trace`` defaults to whether the
+    cluster records traces at all.
+    """
+    if keep_trace is None:
+        keep_trace = cluster.sim.trace_log.enabled
+    job_tl = cluster.job_by_name("tl")
+    job_th = cluster.job_by_name("th")
+    finish = max(job_tl.finish_time, job_th.finish_time)
+    tl_paged = max(
+        (a.lifetime_swapped_bytes() for a in cluster.attempts_of("tl")),
+        default=0,
+    )
+    th_paged = max(
+        (a.lifetime_swapped_bytes() for a in cluster.attempts_of("th")),
+        default=0,
+    )
+    suspends = sum(a.suspend_count for a in cluster.attempts_of("tl"))
+    return SingleRunResult(
+        sojourn_th=job_th.sojourn_time,
+        makespan=finish - job_tl.submit_time,
+        tl_paged_bytes=tl_paged,
+        th_paged_bytes=th_paged,
+        tl_wasted_seconds=job_tl.wasted_seconds,
+        suspend_count=suspends,
+        trace_cluster=cluster if keep_trace else None,
+    )
+
+
 class TwoJobHarness:
     """Builds, runs and measures the two-job microbenchmark."""
 
@@ -115,6 +188,17 @@ class TwoJobHarness:
 
     def run_once(self, seed: int) -> SingleRunResult:
         """One simulated run with one seed."""
+        cluster = self.build_cluster(seed)
+        cluster.run_until_jobs_complete(timeout=14_400.0)
+        return self.measure(cluster)
+
+    def build_cluster(self, seed: int) -> HadoopCluster:
+        """Build one fully wired (but not yet driven) benchmark run.
+
+        Split from :meth:`run_once` so checkpoint tooling can snapshot
+        the cluster mid-flight and finish it later with
+        ``run_until_jobs_complete`` + :meth:`measure`.
+        """
         cluster = HadoopCluster(
             num_nodes=1,
             node_config=self.node_config or P.paper_node_config(),
@@ -141,45 +225,17 @@ class TwoJobHarness:
 
             gate = SuspendAdmissionGate(cluster, self.admission)
         job_tl = cluster.submit_job(tl_spec)
-
-        def preempt_and_submit() -> None:
-            from repro.preemption.admission import admit_and_preempt
-
-            cluster.jobtracker.submit_job(th_spec)
-            tip = job_tl.tips[0]
-            if tip.state.value == "RUNNING":
-                admit_and_preempt(gate, primitive, tip)
-
-        cluster.when_job_progress("tl", self.progress_at_launch, preempt_and_submit)
-
-        def restore_tl(job) -> None:
-            if job.spec.name == "th":
-                tip = job_tl.tips[0]
-                primitive.restore(tip)
-
-        cluster.jobtracker.on_job_complete(restore_tl)
-        cluster.run_until_jobs_complete(timeout=14_400.0)
-
-        job_th = cluster.job_by_name("th")
-        finish = max(job_tl.finish_time, job_th.finish_time)
-        tl_paged = max(
-            (a.lifetime_swapped_bytes() for a in cluster.attempts_of("tl")),
-            default=0,
+        cluster.when_job_progress(
+            "tl",
+            self.progress_at_launch,
+            _PreemptAndSubmit(cluster, gate, primitive, job_tl, th_spec),
         )
-        th_paged = max(
-            (a.lifetime_swapped_bytes() for a in cluster.attempts_of("th")),
-            default=0,
-        )
-        suspends = sum(a.suspend_count for a in cluster.attempts_of("tl"))
-        return SingleRunResult(
-            sojourn_th=job_th.sojourn_time,
-            makespan=finish - job_tl.submit_time,
-            tl_paged_bytes=tl_paged,
-            th_paged_bytes=th_paged,
-            tl_wasted_seconds=job_tl.wasted_seconds,
-            suspend_count=suspends,
-            trace_cluster=cluster if self.keep_traces else None,
-        )
+        cluster.jobtracker.on_job_complete(_RestoreTl(primitive, job_tl))
+        return cluster
+
+    def measure(self, cluster: HadoopCluster) -> SingleRunResult:
+        """Extract the run's metrics from a finished cluster."""
+        return measure_two_job(cluster, keep_trace=self.keep_traces)
 
     # -- aggregation ---------------------------------------------------------------------
 
@@ -203,8 +259,9 @@ class TwoJobHarness:
 
         With ``workers > 1`` the repetitions shard across processes
         (identical numbers to the serial path: each repetition is a
-        pure function of its seed).  Kept traces pin the run serial --
-        a simulated cluster does not survive pickling.
+        pure function of its seed).  Kept traces and attached
+        collectors pin the run serial -- they are in-process state
+        that a worker pool cannot share.
         """
         if self.workers > 1 and not self.keep_traces and self.collector is None:
             params = self._cell_params()

@@ -13,6 +13,7 @@ the size-based analogue of Figures 2a/2b.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Optional
 
 from repro.experiments import params as P
@@ -67,7 +68,7 @@ def _run_once(
         scheduler = HfspScheduler(primitive_factory=None)
     else:
         scheduler = HfspScheduler(
-            primitive_factory=lambda cluster: make_primitive(primitive_name, cluster),
+            primitive_factory=functools.partial(make_primitive, primitive_name),
             admission_config=admission,
         )
     cluster = HadoopCluster(

@@ -33,10 +33,16 @@ byte-identical to serial.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.experiments import params as P
+from repro.experiments.drive import (
+    drive_to_completion,
+    find_counter,
+    install_counter,
+)
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import Cell, derive_seed, run_cells
 from repro.experiments.scale_study import metrics_digest
@@ -141,13 +147,13 @@ def _make_scheduler(
         return HfspScheduler(primitive_factory=None)
     if mode == "kill":
         return HfspScheduler(
-            primitive_factory=lambda cluster: make_primitive("kill", cluster)
+            primitive_factory=functools.partial(make_primitive, "kill")
         )
     # Both suspend regimes run the raw primitive (the static capacity
     # check would deny *every* suspension against this study's small
     # swap device); they differ only in the admission gate.
-    factory = lambda cluster: make_primitive(  # noqa: E731
-        "suspend", cluster, enforce_swap_capacity=False
+    factory = functools.partial(
+        make_primitive, "suspend", enforce_swap_capacity=False
     )
     if mode == "suspend-ungated":
         return HfspScheduler(
@@ -187,6 +193,34 @@ def _run_once(
     (same contract as :func:`repro.experiments.scale_study._run_once`):
     observation only, pinned by the silence differential suite.
     """
+    cluster, finished = _build_run(
+        mode, trackers, num_jobs, seed, swap_bytes=swap_bytes,
+        reserve_bytes=reserve_bytes, trace=trace, collector=collector,
+        profile=profile,
+    )
+    drive_to_completion(
+        cluster, finished, num_jobs,
+        what=f"memscale cell {mode}/{trackers}",
+    )
+    return _collect_run(
+        cluster, mode, trackers, num_jobs, finished, trace, profile
+    )
+
+
+def _build_run(
+    mode: str,
+    trackers: int,
+    num_jobs: int,
+    seed: int,
+    swap_bytes: int = SWAP_BYTES,
+    reserve_bytes: int = RESERVE_BYTES,
+    trace: bool = False,
+    collector=None,
+    profile: bool = False,
+):
+    """Build one fully loaded (but not yet driven) memscale cell;
+    returns ``(cluster, completion_counter)`` (see
+    :func:`repro.experiments.scale_study._build_run`)."""
     node_config = P.paper_node_config().replace(swap_bytes=swap_bytes)
     hadoop_config = P.paper_hadoop_config().replace(
         map_slots=2,
@@ -220,26 +254,41 @@ def _run_once(
         ),
     )
     specs = generator.generate_workload(num_jobs)
-    small_names = {spec.name for spec in specs if len(spec.map_tasks) <= 3}
     for spec in specs:
         cluster.submit_job(spec)
+    return cluster, install_counter(cluster)
 
-    finished = {"count": 0}
-    cluster.jobtracker.on_job_complete(
-        lambda job: finished.__setitem__("count", finished["count"] + 1)
+
+def _finish_run(cluster, meta: Dict) -> Dict[str, float]:
+    """Drive a (restored) memscale cell to completion and collect."""
+    finished = find_counter(cluster)
+    drive_to_completion(
+        cluster, finished, int(meta["num_jobs"]),
+        what=f"memscale cell {meta['mode']}/{meta['trackers']}",
     )
-    cluster.start()
-    deadline = cluster.sim.now + 86_400.0
-    while finished["count"] < num_jobs:
-        if cluster.sim.now >= deadline:
-            raise ConfigurationError(
-                f"memscale cell {mode}/{trackers} "
-                f"still running after 86400s of simulated time"
-            )
-        if not cluster.sim.step():
-            break
+    return _collect_run(
+        cluster, meta["mode"], int(meta["trackers"]),
+        int(meta["num_jobs"]), finished,
+        bool(meta.get("trace")), bool(meta.get("profile")),
+    )
 
+
+def _collect_run(
+    cluster,
+    mode: str,
+    trackers: int,
+    num_jobs: int,
+    finished,
+    trace: bool,
+    profile: bool,
+) -> Dict[str, float]:
+    """The metric tail of :func:`_run_once`, recomputable after a
+    checkpoint restore."""
+    scheduler = cluster.scheduler
     jobs = list(cluster.jobtracker.jobs.values())
+    small_names = {
+        job.spec.name for job in jobs if len(job.spec.map_tasks) <= 3
+    }
     sojourns = sorted(
         job.sojourn_time for job in jobs if job.sojourn_time is not None
     )
@@ -279,7 +328,7 @@ def _run_once(
         ),
         "preemptions": float(scheduler.preemptions),
         "jobs_failed": float(failed),
-        "jobs_completed": float(finished["count"]),
+        "jobs_completed": float(finished.count),
         "events": float(cluster.sim.events_fired),
     }
     out["sketch"] = cell_sketch(f"{mode}/{trackers}/", sojourns, small, out)

@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import hashlib
 import importlib
+import json
 import multiprocessing
 import os
+import pickle
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -40,6 +42,10 @@ MAX_WORKERS = 64
 #: live progress to stderr (module-level so the CLI can flip it once
 #: for every study a command runs); stdout artifacts never change
 _progress_enabled = False
+
+#: per-cell result cache directory (module-level for the same reason
+#: as progress: the CLI flips it once per command); None = no caching
+_cell_cache_dir: Optional[str] = None
 
 
 def set_progress(enabled: bool) -> None:
@@ -59,9 +65,36 @@ def progress_enabled() -> bool:
     return _progress_enabled
 
 
+def set_cell_cache(directory: Optional[str]) -> None:
+    """Persist every finished cell's result under ``directory``.
+
+    With a cache set, :func:`run_cells` writes each cell's result to
+    ``<dir>/<cell_key>.pkl`` the moment it finishes and skips cells
+    whose result file already exists -- so a killed ``--workers`` sweep
+    restarted with the same cache directory re-runs only the missing
+    cells, and the reassembled result list is identical to an
+    uninterrupted run (cells are pure functions of their params).
+    ``None`` disables caching.
+    """
+    global _cell_cache_dir
+    _cell_cache_dir = directory
+
+
+def cell_cache_dir() -> Optional[str]:
+    """Current cell-cache directory (None = caching off)."""
+    return _cell_cache_dir
+
+
+def cell_key(cell: "Cell") -> str:
+    """Stable content address of one cell: its module, function and
+    params (the same coordinates that derive its seed)."""
+    payload = repr((cell.module, cell.func, cell.params))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
 #: params worth echoing in a progress line, in display order
 _LABEL_KEYS = ("scenario", "mode", "primitive", "primitive_name",
-               "trackers", "num_jobs", "seed")
+               "progress_at_launch", "trackers", "num_jobs", "seed")
 
 
 def _cell_label(cell: "Cell") -> str:
@@ -128,10 +161,56 @@ def execute_cell(cell: Cell) -> Any:
     return fn(**cell.kwargs)
 
 
+def _cache_path(directory: str, cell: Cell) -> str:
+    return os.path.join(directory, cell_key(cell) + ".pkl")
+
+
+def _cache_read(directory: str, cell: Cell) -> Tuple[bool, Any]:
+    """(hit, result) for one cell; unreadable files count as misses."""
+    path = _cache_path(directory, cell)
+    try:
+        with open(path, "rb") as fh:
+            return True, pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return False, None
+
+
+def _cache_write(directory: str, cell: Cell, result: Any) -> None:
+    """Atomic (tmp + rename) result write, so a kill mid-write never
+    leaves a half-cached cell behind."""
+    path = _cache_path(directory, cell)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+def _write_manifest(directory: str, cell_list: List[Cell]) -> None:
+    """Human-readable sweep inventory: every cell's key, label and
+    completion state (``repro resume <dir>`` reports from this)."""
+    entries = []
+    for cell in cell_list:
+        entries.append({
+            "key": cell_key(cell),
+            "label": _cell_label(cell),
+            "done": os.path.exists(_cache_path(directory, cell)),
+        })
+    manifest = {
+        "total": len(entries),
+        "done": sum(1 for e in entries if e["done"]),
+        "cells": entries,
+    }
+    tmp = os.path.join(directory, f"manifest.json.tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2)
+    os.replace(tmp, os.path.join(directory, "manifest.json"))
+
+
 def run_cells(
     cells: Iterable[Cell],
     workers: int = 1,
     chunksize: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[Any]:
     """Execute every cell; results come back in cell order.
 
@@ -140,48 +219,88 @@ def run_cells(
     returned list lines up index-for-index with the input cells, and
     because each cell's seed is derived from its coordinates (see
     :func:`derive_seed`) the values are identical for any ``workers``.
+
+    ``cache_dir`` (or the module-level :func:`set_cell_cache`) turns on
+    per-cell checkpointing: finished results persist immediately and
+    already-persisted cells are loaded instead of re-run, so a killed
+    sweep resumed with the same directory completes with identical
+    results.
     """
     cell_list = list(cells)
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
     workers = min(workers, MAX_WORKERS, max(len(cell_list), 1))
     total = len(cell_list)
-    if workers <= 1 or total <= 1:
-        if not _progress_enabled:
-            return [execute_cell(cell) for cell in cell_list]
-        results = []
-        for index, cell in enumerate(cell_list, start=1):
-            _progress(f"[{index}/{total}] start {_cell_label(cell)}")
+    directory = cache_dir if cache_dir is not None else _cell_cache_dir
+    results: List[Any] = [None] * total
+    todo = list(range(total))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+        todo = []
+        for index, cell in enumerate(cell_list):
+            hit, value = _cache_read(directory, cell)
+            if hit:
+                results[index] = value
+            else:
+                todo.append(index)
+        if _progress_enabled and len(todo) < total:
+            _progress(
+                f"[cache] {total - len(todo)}/{total} cells already "
+                f"checkpointed in {directory}; running {len(todo)}"
+            )
+        # Written before running (not just after) so a sweep killed
+        # mid-flight still leaves an inventory `repro resume <dir>`
+        # can report from.
+        _write_manifest(directory, cell_list)
+
+    def finish(index: int, result: Any) -> None:
+        results[index] = result
+        if directory:
+            _cache_write(directory, cell_list[index], result)
+
+    if workers <= 1 or len(todo) <= 1:
+        for position, index in enumerate(todo, start=1):
+            cell = cell_list[index]
+            if _progress_enabled:
+                _progress(
+                    f"[{position}/{len(todo)}] start {_cell_label(cell)}"
+                )
             started = time.perf_counter()
-            results.append(execute_cell(cell))
-            _progress(
-                f"[{index}/{total}] done in "
-                f"{time.perf_counter() - started:.1f}s "
-                f"({total - index} cells remaining)"
-            )
-        return results
-    # Fork keeps the warm interpreter (and sys.path) on POSIX; spawn is
-    # the portable fallback and works because cells carry module paths,
-    # not closures.
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
-    with context.Pool(processes=workers) as pool:
-        if not _progress_enabled:
-            return pool.map(execute_cell, cell_list, chunksize=chunksize)
-        # imap preserves cell order but yields each result as soon as
-        # its cell (and every earlier one) finished, so the parent can
-        # narrate completions while the pool keeps working.
-        results = []
-        started = time.perf_counter()
-        for index, result in enumerate(
-            pool.imap(execute_cell, cell_list, chunksize=chunksize), start=1
-        ):
-            results.append(result)
-            _progress(
-                f"[{index}/{total}] {_cell_label(cell_list[index - 1])} "
-                f"done at {time.perf_counter() - started:.1f}s elapsed "
-                f"({total - index} cells remaining)"
-            )
-        return results
+            finish(index, execute_cell(cell))
+            if _progress_enabled:
+                _progress(
+                    f"[{position}/{len(todo)}] done in "
+                    f"{time.perf_counter() - started:.1f}s "
+                    f"({len(todo) - position} cells remaining)"
+                )
+    else:
+        # Fork keeps the warm interpreter (and sys.path) on POSIX;
+        # spawn is the portable fallback and works because cells carry
+        # module paths, not closures.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        pending = [cell_list[index] for index in todo]
+        with context.Pool(processes=workers) as pool:
+            # imap preserves cell order but yields each result as soon
+            # as its cell (and every earlier one) finished, so the
+            # parent can narrate completions -- and persist each result
+            # the moment it exists -- while the pool keeps working.
+            started = time.perf_counter()
+            for position, result in enumerate(
+                pool.imap(execute_cell, pending, chunksize=chunksize),
+                start=1,
+            ):
+                finish(todo[position - 1], result)
+                if _progress_enabled:
+                    _progress(
+                        f"[{position}/{len(pending)}] "
+                        f"{_cell_label(pending[position - 1])} "
+                        f"done at {time.perf_counter() - started:.1f}s "
+                        f"elapsed ({len(pending) - position} cells "
+                        f"remaining)"
+                    )
+    if directory:
+        _write_manifest(directory, cell_list)
+    return results

@@ -22,11 +22,17 @@ makespan, wasted work and preemption counts.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.experiments import params as P
+from repro.experiments.drive import (
+    drive_to_completion,
+    find_counter,
+    install_counter,
+)
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import Cell, derive_seed, run_cells
 from repro.experiments.sketches import cell_sketch, merge_sketches
@@ -106,6 +112,37 @@ def _run_once(
     Cell param); ``profile`` turns on the engine's per-label
     attribution and adds its stats under ``"engine"``.
     """
+    cluster, finished = _build_run(
+        scenario, primitive_name, trackers, num_jobs, seed,
+        admission=admission, trace=trace, collector=collector,
+        profile=profile,
+    )
+    drive_to_completion(
+        cluster, finished, num_jobs,
+        what=f"scale cell {scenario}/{primitive_name}/{trackers}",
+    )
+    return _collect_run(
+        cluster, scenario, primitive_name, trackers, finished, trace, profile
+    )
+
+
+def _build_run(
+    scenario: str,
+    primitive_name: str,
+    trackers: int,
+    num_jobs: int,
+    seed: int,
+    admission=None,
+    trace: bool = False,
+    collector=None,
+    profile: bool = False,
+):
+    """Build one fully loaded (but not yet driven) replay cell.
+
+    Split from :func:`_run_once` so checkpoint tooling can snapshot
+    the cluster mid-flight and finish it later with
+    :func:`_finish_run`.  Returns ``(cluster, completion_counter)``.
+    """
     if scenario not in SCENARIOS:
         raise ConfigurationError(
             f"unknown scenario {scenario!r}; known: {', '.join(sorted(SCENARIOS))}"
@@ -115,9 +152,7 @@ def _run_once(
         scheduler = HfspScheduler(primitive_factory=None)
     else:
         scheduler = HfspScheduler(
-            primitive_factory=lambda cluster: make_primitive(
-                primitive_name, cluster
-            ),
+            primitive_factory=functools.partial(make_primitive, primitive_name),
             admission_config=admission,
         )
     cluster = HadoopCluster(
@@ -142,31 +177,50 @@ def _run_once(
         arrival=_arrival_spec(shape["arrival"], mean_interarrival),
     )
     specs = generator.generate_workload(num_jobs)
-    small_names = {
-        spec.name for spec in specs if len(spec.map_tasks) <= 3
-    }
     for spec in specs:
         cluster.submit_job(spec)
+    return cluster, install_counter(cluster)
 
-    # Drive until every *generated* job is terminal; the generic
-    # run-until helper would stop early if the cluster drained while a
-    # late arrival was still on the event heap.
-    finished = {"count": 0}
-    cluster.jobtracker.on_job_complete(
-        lambda job: finished.__setitem__("count", finished["count"] + 1)
+
+def _finish_run(cluster, meta: Dict) -> Dict[str, float]:
+    """Drive a (restored) cell to completion and collect its metrics.
+
+    ``meta`` is the checkpoint meta written by
+    :mod:`repro.checkpoint.cells` -- the cell coordinates needed to
+    recompute the sketch prefix and deadlock message.
+    """
+    finished = find_counter(cluster)
+    drive_to_completion(
+        cluster, finished, int(meta["num_jobs"]),
+        what=(
+            f"scale cell {meta['scenario']}/{meta['primitive_name']}"
+            f"/{meta['trackers']}"
+        ),
     )
-    cluster.start()
-    deadline = cluster.sim.now + 86_400.0
-    while finished["count"] < num_jobs:
-        if cluster.sim.now >= deadline:
-            raise ConfigurationError(
-                f"scale cell {scenario}/{primitive_name}/{trackers} "
-                f"still running after 86400s of simulated time"
-            )
-        if not cluster.sim.step():
-            break
+    return _collect_run(
+        cluster, meta["scenario"], meta["primitive_name"],
+        int(meta["trackers"]), finished,
+        bool(meta.get("trace")), bool(meta.get("profile")),
+    )
 
+
+def _collect_run(
+    cluster,
+    scenario: str,
+    primitive_name: str,
+    trackers: int,
+    finished,
+    trace: bool,
+    profile: bool,
+) -> Dict[str, float]:
+    """The metric tail of :func:`_run_once`, recomputable after a
+    checkpoint restore (small jobs are re-identified from the submitted
+    specs, which ride inside the checkpoint)."""
+    scheduler = cluster.scheduler
     jobs = list(cluster.jobtracker.jobs.values())
+    small_names = {
+        job.spec.name for job in jobs if len(job.spec.map_tasks) <= 3
+    }
     sojourns = sorted(
         job.sojourn_time for job in jobs if job.sojourn_time is not None
     )
@@ -183,7 +237,7 @@ def _run_once(
         "makespan": finish,
         "wasted": cluster.jobtracker.wasted.total(),
         "preemptions": float(scheduler.preemptions),
-        "jobs_completed": float(finished["count"]),
+        "jobs_completed": float(finished.count),
         "events": float(cluster.sim.events_fired),
     }
     out["sketch"] = cell_sketch(

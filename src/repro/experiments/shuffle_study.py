@@ -25,10 +25,12 @@ like the scale study -- cells derive their seeds from coordinates, so
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.experiments import params as P
+from repro.experiments.drive import drive_to_completion, install_counter
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import Cell, derive_seed, run_cells
 from repro.experiments.scale_study import metrics_digest
@@ -92,9 +94,7 @@ def _run_once(
         )
     else:
         scheduler = HfspScheduler(
-            primitive_factory=lambda cluster: make_primitive(
-                primitive_name, cluster
-            ),
+            primitive_factory=functools.partial(make_primitive, primitive_name),
             locality_wait_seconds=locality_wait,
         )
     racks = max(1, (trackers + HOSTS_PER_RACK - 1) // HOSTS_PER_RACK)
@@ -130,20 +130,11 @@ def _run_once(
     for spec in specs:
         cluster.submit_job(spec)
 
-    finished = {"count": 0}
-    cluster.jobtracker.on_job_complete(
-        lambda job: finished.__setitem__("count", finished["count"] + 1)
+    finished = install_counter(cluster)
+    drive_to_completion(
+        cluster, finished, num_jobs,
+        what=f"shuffle cell {primitive_name}/{trackers}",
     )
-    cluster.start()
-    deadline = cluster.sim.now + 86_400.0
-    while finished["count"] < num_jobs:
-        if cluster.sim.now >= deadline:
-            raise ConfigurationError(
-                f"shuffle cell {primitive_name}/{trackers} "
-                f"still running after 86400s of simulated time"
-            )
-        if not cluster.sim.step():
-            break
 
     jobs = list(cluster.jobtracker.jobs.values())
     sojourns = sorted(
@@ -174,7 +165,7 @@ def _run_once(
         "core_util": fabric.core.mean_utilization(cluster.sim.now),
         "offrack_flows": float(fabric.offrack_flows),
         "flows_completed": float(fabric.flows_completed),
-        "jobs_completed": float(finished["count"]),
+        "jobs_completed": float(finished.count),
         "events": float(cluster.sim.events_fired),
     }
     out["sketch"] = cell_sketch(

@@ -41,6 +41,33 @@ from repro.sim.engine import Simulation
 from repro.workloads.jobspec import JobSpec, TaskKind, TaskSpec
 
 
+class _ProgressWatchArmer:
+    """Launch callback that arms a progress watch on the first task
+    attempt of a named job (picklable replacement for a closure)."""
+
+    __slots__ = ("cluster", "job_name", "fraction", "callback", "done")
+
+    def __init__(self, cluster: "HadoopCluster", job_name: str,
+                 fraction: float, callback: Callable[[], None]):
+        self.cluster = cluster
+        self.job_name = job_name
+        self.fraction = fraction
+        self.callback = callback
+        self.done = False
+
+    def __call__(self, new_attempt: TaskAttempt) -> None:
+        if self.done or new_attempt.role is not AttemptRole.TASK:
+            return
+        try:
+            job = self.cluster.job_by_name(self.job_name)
+        except UnknownJobError:
+            return
+        if new_attempt.job_id != job.job_id:
+            return
+        self.done = True
+        new_attempt.jvm.engine.when_progress(self.fraction, self.callback)
+
+
 class HadoopCluster:
     """A simulated Hadoop 1 cluster."""
 
@@ -340,21 +367,9 @@ class HadoopCluster:
         if attempt is not None:
             attempt.jvm.engine.when_progress(fraction, callback)
             return
-        armed = {"done": False}
-
-        def on_launch(new_attempt: TaskAttempt) -> None:
-            if armed["done"] or new_attempt.role is not AttemptRole.TASK:
-                return
-            try:
-                job = self.job_by_name(job_name)
-            except UnknownJobError:
-                return
-            if new_attempt.job_id != job.job_id:
-                return
-            armed["done"] = True
-            new_attempt.jvm.engine.when_progress(fraction, callback)
-
-        self.on_attempt_launched(on_launch)
+        self.on_attempt_launched(
+            _ProgressWatchArmer(self, job_name, fraction, callback)
+        )
 
     # -- memory introspection ----------------------------------------------------------
 

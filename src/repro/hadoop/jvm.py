@@ -47,6 +47,28 @@ class GcPolicy(enum.Enum):
     RELEASE = "release"  # G1-style: System.gc() after large-object disposal
 
 
+def _sigtstp_noop(proc) -> None:
+    """SIGTSTP handler body: streams are implicitly paused, nothing to
+    tidy.  Module-level so suspended JVMs survive checkpoint pickling."""
+
+
+class _GcReleaseItem(SleepItem):
+    """A short GC pause that returns the stateful footprint to the OS
+    (RELEASE policy only)."""
+
+    __slots__ = ("release_bytes",)
+
+    def __init__(self, release_bytes: int, label: str = "gc-release"):
+        super().__init__(0.2, label=label)  # System.gc() pause
+        self.release_bytes = release_bytes
+
+    def begin(self, engine: WorkEngine) -> None:
+        engine.kernel.release_memory(engine.process, self.release_bytes)
+        self.duration = 0.2
+        self.remaining = self.duration
+        SleepItem.begin(self, engine)
+
+
 class ChildJVM:
     """One task attempt's process and work plan."""
 
@@ -76,7 +98,7 @@ class ChildJVM:
         # SIGTSTP handler: tidy external state before stopping.  The
         # latency is charged by the process model; the handler body is
         # a no-op here because streams are implicitly paused.
-        self.process.dispositions.install(Signal.SIGTSTP, lambda proc: None)
+        self.process.dispositions.install(Signal.SIGTSTP, _sigtstp_noop)
         self.engine = WorkEngine(self.process, WorkPlan(self._build_items()))
 
     # -- plan construction ---------------------------------------------------
@@ -174,16 +196,7 @@ class ChildJVM:
         compares suspended footprints (and hence paging overheads)
         under the two collectors.
         """
-        release_bytes = self.spec.footprint_bytes
-
-        class _GcItem(SleepItem):
-            def begin(inner, engine: WorkEngine) -> None:  # noqa: N805
-                engine.kernel.release_memory(engine.process, release_bytes)
-                inner.duration = 0.2  # System.gc() pause
-                inner.remaining = inner.duration
-                SleepItem.begin(inner, engine)
-
-        return _GcItem(0.2, label="gc-release")
+        return _GcReleaseItem(self.spec.footprint_bytes, label="gc-release")
 
     # -- convenience -----------------------------------------------------------
 

@@ -8,11 +8,18 @@ what makes the paper's swappiness discussion meaningful).
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Dict, Optional, Set
 
 from repro.errors import BlockNotFoundError
 from repro.hdfs.block import Block
 from repro.osmodel.kernel import NodeKernel
+
+
+def _deliver(on_done: Callable[[], None], flow) -> None:
+    """Flow-completion adapter: drop the flow argument (picklable
+    stand-in for ``lambda flow: on_done()``)."""
+    on_done()
 
 
 class DataNode:
@@ -69,19 +76,27 @@ class DataNode:
         fabric = self.kernel.fabric
         if reader_host and reader_host != self.host and fabric is not None:
             self.remote_bytes_served += block.size
-
-            def ship() -> None:
-                fabric.start_flow(
-                    self.host,
-                    reader_host,
-                    block.size,
-                    lambda flow: on_done(),
-                    label=label,
-                )
-
+            ship = functools.partial(
+                self._ship, block.size, reader_host, on_done, label
+            )
             self.kernel.read_file(block.size, ship, label=label)
         else:
             self.kernel.read_file(block.size, on_done, label=label)
+
+    def _ship(
+        self,
+        nbytes: int,
+        reader_host: str,
+        on_done: Callable[[], None],
+        label: str,
+    ) -> None:
+        self.kernel.fabric.start_flow(
+            self.host,
+            reader_host,
+            nbytes,
+            functools.partial(_deliver, on_done),
+            label=label,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"DataNode(host={self.host!r}, blocks={len(self._blocks)})"

@@ -29,9 +29,12 @@ class RunStats:
     @property
     def max_relative_deviation(self) -> float:
         """max(|min-mean|, |max-mean|) / mean -- the paper's 5% check."""
-        if self.mean == 0:
-            return 0.0
         spread = max(abs(self.minimum - self.mean), abs(self.maximum - self.mean))
+        if self.mean == 0:
+            # A zero mean with nonzero spread is an *infinite* relative
+            # deviation, not a perfect one -- returning 0.0 here would
+            # pass the 5% check on samples like [-1, 1].
+            return 0.0 if spread == 0 else math.inf
         return spread / abs(self.mean)
 
     def ci95_halfwidth(self) -> float:
@@ -68,9 +71,15 @@ def summarize(values: Sequence[float]) -> RunStats:
 
 
 def relative_change(value: float, baseline: float) -> float:
-    """(value - baseline) / baseline, guarding zero baselines."""
+    """(value - baseline) / baseline, guarding zero baselines.
+
+    A zero baseline yields ``0.0`` for a zero value and a signed
+    infinity otherwise, so the sign of the change survives the guard.
+    """
     if baseline == 0:
-        return 0.0 if value == 0 else math.inf
+        if value == 0:
+            return 0.0
+        return math.inf if value > 0 else -math.inf
     return (value - baseline) / baseline
 
 

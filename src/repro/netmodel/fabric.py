@@ -29,6 +29,7 @@ Determinism rules (pinned by ``tests/test_netmodel.py``):
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, Iterable, List, Optional
 
 from repro.errors import SimulationError
@@ -183,13 +184,13 @@ class Fabric:
         self._flows.pop(flow.flow_id, None)
 
     def _flow_done(self, on_done):
-        def finish(flow: Flow) -> None:
-            self._detach(flow)
-            self._flows.pop(flow.flow_id, None)
-            self.flows_completed += 1
-            on_done(flow)
+        return functools.partial(self._finish_flow, on_done)
 
-        return finish
+    def _finish_flow(self, on_done, flow: Flow) -> None:
+        self._detach(flow)
+        self._flows.pop(flow.flow_id, None)
+        self.flows_completed += 1
+        on_done(flow)
 
     # -- coupled rate updates ----------------------------------------------------
 

@@ -20,6 +20,7 @@ transfer completion -- within one fetch of the requested instant.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, List, Sequence, Tuple
 
 from repro.errors import SimulationError
@@ -213,13 +214,13 @@ class NetworkFetchItem(WorkItem):
                 )
 
     def _fire_crossing(self, crossing: list):
-        def fire() -> None:
-            if crossing[2]:
-                return
-            crossing[2] = True
-            crossing[1]()
+        return functools.partial(self._fire_crossing_cb, crossing)
 
-        return fire
+    def _fire_crossing_cb(self, crossing: list) -> None:
+        if crossing[2]:
+            return
+        crossing[2] = True
+        crossing[1]()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -13,6 +13,7 @@ crossing).
 from __future__ import annotations
 
 import enum
+import functools
 from collections import deque
 from typing import Callable, Deque, Dict, Optional, TYPE_CHECKING
 
@@ -168,10 +169,13 @@ class TransferManager:
                     transfer.src,
                     transfer.dst,
                     transfer.nbytes,
-                    lambda flow, t=transfer: self._done(t),
+                    functools.partial(self._flow_done, transfer),
                     label=transfer.label,
                     owner=transfer.owner,
                 )
+
+    def _flow_done(self, transfer: Transfer, flow: Flow) -> None:
+        self._done(transfer)
 
     def _done(self, transfer: Transfer) -> None:
         transfer.state = TransferState.DONE

@@ -14,6 +14,7 @@ the small syscall-like surface the Hadoop layer uses:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -43,6 +44,23 @@ class AllocationCharge:
         return self.touch_time + self.reclaim_time
 
 
+class SimClock:
+    """A picklable ``now()`` callable bound to one simulation.
+
+    Components that only need the current virtual time (e.g. the VMM)
+    hold one of these instead of a ``lambda: sim.now`` closure, so the
+    whole object graph survives checkpoint pickling.
+    """
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim: Simulation):
+        self.sim = sim
+
+    def __call__(self) -> float:
+        return self.sim.now
+
+
 class NodeKernel:
     """The operating system of one simulated node."""
 
@@ -55,7 +73,7 @@ class NodeKernel:
             self.config,
             self.disk,
             live_processes=self.live_processes,
-            now=lambda: self.sim.now,
+            now=SimClock(sim),
         )
         self._processes: Dict[int, OSProcess] = {}
         self._next_pid = 1000
@@ -203,12 +221,12 @@ class NodeKernel:
         self, nbytes: int, on_done: Callable[[], None], label: str = "read", owner=None
     ) -> Claim:
         """Stream ``nbytes`` from disk; fills the page cache on completion."""
-
-        def finish() -> None:
-            self.vmm.cache_file_read(nbytes)
-            on_done()
-
+        finish = functools.partial(self._finish_read, nbytes, on_done)
         return self.disk.stream_read(nbytes, finish, label=label, owner=owner)
+
+    def _finish_read(self, nbytes: int, on_done: Callable[[], None]) -> None:
+        self.vmm.cache_file_read(nbytes)
+        on_done()
 
     def write_file(
         self, nbytes: int, on_done: Callable[[], None], label: str = "write", owner=None

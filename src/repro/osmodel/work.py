@@ -21,6 +21,7 @@ paper's preemption primitive bites:
 from __future__ import annotations
 
 import abc
+import functools
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.errors import OutOfMemoryError, SimulationError
@@ -213,7 +214,7 @@ class RateWorkItem(WorkItem):
         resource = self._resource(engine)
         self.claim = resource.create(
             self.units,
-            lambda: self._finish(engine),
+            functools.partial(self._finish, engine),
             label=self.label,
             owner=engine.process,
         )

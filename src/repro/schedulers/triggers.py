@@ -14,6 +14,7 @@ arrival of ``th`` on "tl progress at launch of th (%)".
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
@@ -129,7 +130,7 @@ class TriggerEngine:
     def _arm(self, trigger: ProgressTrigger, attempt) -> None:
         self._armed[id(trigger)] = True
         attempt.jvm.engine.when_progress(
-            trigger.at_progress, lambda: self._fire_progress(trigger)
+            trigger.at_progress, functools.partial(self._fire_progress, trigger)
         )
 
     def _fire_progress(self, trigger: ProgressTrigger) -> None:

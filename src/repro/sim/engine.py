@@ -139,10 +139,12 @@ class Simulation:
         """Move a pending event to absolute virtual time ``time``.
 
         The handle keeps its callback and args; only the firing time
-        changes, with FIFO ordering as if the event had been freshly
-        scheduled now.  Three cost tiers:
+        changes.  A reschedule to a *different* time re-sequences the
+        event behind its new same-instant peers, as if freshly
+        scheduled now; a same-time reschedule is a no-op that keeps
+        the event's original FIFO position.  Three cost tiers:
 
-        * unchanged time: no heap traffic at all;
+        * unchanged time: no heap traffic at all (and no re-sequencing);
         * later time: the existing heap entry is left in place and
           recycled when it surfaces (one lazy push, no cancel);
         * earlier time: one push; the old entry is dropped lazily.
@@ -246,7 +248,17 @@ class Simulation:
                     break
                 if self.step():
                     fired += 1
-            if until is not None and not self._stopped and self.now < until:
+            # Advance the clock to ``until`` only when the heap truly
+            # holds nothing before it -- if ``max_events`` (or stop())
+            # halted the loop with events still pending before
+            # ``until``, jumping the clock would strand those events in
+            # the past and the next step() would see a corrupted heap.
+            if (
+                until is not None
+                and not self._stopped
+                and self.now < until
+                and self._peek_time() > until
+            ):
                 self.now = until
         finally:
             self._running = False
@@ -254,6 +266,68 @@ class Simulation:
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot_at(
+        self,
+        time: float,
+        path: str,
+        root: Any = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> EventHandle:
+        """Schedule a checkpoint of ``root`` at absolute virtual time.
+
+        ``root`` defaults to this simulation; pass the owning
+        :class:`~repro.hadoop.cluster.HadoopCluster` to capture the
+        whole cluster.  The write happens inside an ordinary event, so
+        repeated ``run(until=...)`` paced replays hit it exactly; the
+        snapshot event's own trace record lands *before* the write and
+        is therefore part of the checkpoint -- a restored run's
+        TraceLog digest stays comparable with the original's.
+        """
+        from repro.checkpoint.core import SnapshotEvent
+
+        return self.schedule_at(
+            time,
+            SnapshotEvent(self if root is None else root, path, meta),
+            label="checkpoint.snapshot",
+        )
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle with a live-only heap.
+
+        Dead entries (cancelled handles, orphans of earlier-move
+        reschedules) are filtered out without mutating the running
+        simulation, and deferred representatives are emitted at their
+        *current* desired key -- exactly what :meth:`_compact` does,
+        but on a copy.  The restored engine is never mid-:meth:`run`.
+        """
+        live = []
+        for time, seq, handle in self._heap:
+            entry = handle._entry
+            if entry is None or entry[0] != time or entry[1] != seq:
+                continue
+            if handle.cancelled:
+                continue
+            live.append((handle.time, handle.seq, handle))
+        heapq.heapify(live)
+        state = dict(self.__dict__)
+        state["_heap"] = live
+        state["_dead_in_heap"] = 0
+        state["_running"] = False
+        state["_stopped"] = False
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        # Re-point every representative at its (possibly recycled) heap
+        # key: __getstate__ emits one entry per live handle but cannot
+        # touch the handles of the simulation it copied from.
+        for time, seq, handle in self._heap:
+            handle._entry = (time, seq)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -49,12 +49,24 @@ class TraceLog:
 
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
         self.enabled = enabled
-        self.capacity = capacity
         # A bounded deque evicts the oldest record in O(1) per append;
         # the list it replaced paid an O(capacity) front-deletion for
         # every record once full.
         self._records: Deque[TraceRecord] = deque(maxlen=capacity)
         self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Maximum records retained (``None`` = unbounded)."""
+        return self._records.maxlen
+
+    @capacity.setter
+    def capacity(self, capacity: Optional[int]) -> None:
+        """Rebound the log.  The deque is rebuilt with the new
+        ``maxlen``, keeping the newest records that still fit."""
+        if capacity == self._records.maxlen:
+            return
+        self._records = deque(self._records, maxlen=capacity)
 
     def record(self, time: float, label: str, **fields: Any) -> None:
         """Append a record (if enabled) and notify subscribers (always)."""

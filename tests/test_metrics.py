@@ -164,3 +164,19 @@ class TestTimeline:
     def test_segment_duration(self):
         seg = TimelineSegment("t", "run", 1.0, 3.5)
         assert seg.duration == 2.5
+
+
+class TestZeroGuardEdges:
+    """Signed-infinity guards on zero baselines and zero means."""
+
+    def test_relative_change_keeps_the_sign_of_the_change(self):
+        assert relative_change(5.0, 0.0) == math.inf
+        assert relative_change(-5.0, 0.0) == -math.inf
+        assert relative_change(0.0, 0.0) == 0.0
+
+    def test_zero_mean_with_spread_is_infinite_deviation(self):
+        # [-1, 1] must *fail* a 5% repeatability check, not ace it.
+        assert math.isinf(summarize([-1.0, 1.0]).max_relative_deviation)
+
+    def test_all_zero_sample_is_perfectly_repeatable(self):
+        assert summarize([0.0, 0.0, 0.0]).max_relative_deviation == 0.0

@@ -492,3 +492,59 @@ class TestReschedule:
         assert fired == alive
         assert sim.pending_events == 0
         assert sim.heap_size == 0
+
+
+class TestRunUntilWithMaxEvents:
+    """run(until=..., max_events=...) interplay: the clock must only
+    jump to ``until`` when nothing is left pending before it."""
+
+    def test_max_events_halt_does_not_strand_pending_events(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run(until=10.0, max_events=1)
+        assert fired == ["a"]
+        # b is still pending at t=2 < until; jumping to 10 would
+        # strand it in the past.
+        assert sim.now == 1.0
+        sim.run(until=10.0)
+        assert fired == ["a", "b"]
+        assert sim.now == 10.0
+
+    def test_stop_halt_does_not_strand_pending_events(self):
+        sim = Simulation()
+        fired = []
+
+        def first():
+            fired.append("a")
+            sim.stop()
+
+        sim.schedule(1.0, first)
+        sim.schedule(2.0, fired.append, "b")
+        sim.run(until=10.0)
+        assert fired == ["a"]
+        assert sim.now == 1.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_until_alone_still_paces_the_clock(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+        sim.run(until=9.0)  # empty heap: clock still advances
+        assert sim.now == 9.0
+
+    def test_same_time_reschedule_keeps_fifo_position(self):
+        # The documented no-op: a reschedule to the event's *current*
+        # time keeps its original position among same-instant peers
+        # (unlike a real move, which re-sequences behind them).
+        sim = Simulation()
+        fired = []
+        sim.schedule(2.0, fired.append, "a")
+        pinned = sim.schedule(2.0, fired.append, "b")
+        sim.schedule(2.0, fired.append, "c")
+        sim.reschedule(pinned, 2.0)
+        sim.run()
+        assert fired == ["a", "b", "c"]

@@ -106,3 +106,39 @@ class TestBoundedStorage:
         # ...and the digest changes with the window contents.
         kept.record(2.0, "y")
         assert evicting.digest() != kept.digest()
+
+
+class TestCapacityResize:
+    """`capacity` is a live property: reading reports the bound,
+    assigning rebuilds the window (keeping the newest records)."""
+
+    def test_capacity_reports_the_bound(self):
+        assert TraceLog(capacity=5).capacity == 5
+        assert TraceLog().capacity is None
+
+    def test_shrink_keeps_newest_records(self):
+        log = TraceLog(capacity=10)
+        for i in range(10):
+            log.record(float(i), "tick", n=i)
+        log.capacity = 3
+        assert log.capacity == 3
+        assert [r.fields["n"] for r in log] == [7, 8, 9]
+        log.record(10.0, "tick", n=10)
+        assert [r.fields["n"] for r in log] == [8, 9, 10]
+
+    def test_grow_and_unbound(self):
+        log = TraceLog(capacity=2)
+        for i in range(4):
+            log.record(float(i), "tick", n=i)
+        log.capacity = None
+        for i in range(4, 8):
+            log.record(float(i), "tick", n=i)
+        assert [r.fields["n"] for r in log] == [2, 3, 4, 5, 6, 7]
+
+    def test_same_capacity_assignment_is_a_noop(self):
+        log = TraceLog(capacity=4)
+        for i in range(6):
+            log.record(float(i), "tick", n=i)
+        records_before = log._records
+        log.capacity = 4
+        assert log._records is records_before

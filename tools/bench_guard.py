@@ -163,6 +163,40 @@ def bench_memscale_25(scale: float = 1.0) -> dict:
             "labels": out["engine"]["labels"]}
 
 
+def bench_checkpoint_smoke(scale: float = 1.0) -> dict:
+    """Checkpoint round trip on the fig2 cell: snapshot mid-flight,
+    finish, restore, finish again -- and *assert* replay identity
+    (digest + metrics equality), so a divergence fails the bench
+    outright rather than drifting a counter.
+
+    Beyond the standard fields it records ``checkpoint_bytes`` (file
+    size) and ``resume_wall_s`` (restore + replay-to-completion wall
+    seconds); both are advisory, like ``wall_s``.
+    """
+    import tempfile
+
+    from repro.checkpoint.cells import checkpoint_cell, resume_cell
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "fig2.ck")
+        unbroken = checkpoint_cell("fig2", path)
+        nbytes = os.path.getsize(path)
+        start = time.perf_counter()
+        resumed = resume_cell(path)
+        resume_wall = round(time.perf_counter() - start, 4)
+    if resumed != unbroken:
+        raise AssertionError(
+            "checkpoint replay diverged from the unbroken run: "
+            f"{resumed} != {unbroken}"
+        )
+    # The gate here is the assertion above; the counters the generic
+    # checker polices stay zero (the cells run unprofiled because
+    # engine self-profile stats are the one legitimately
+    # restored-vs-continued divergence).
+    return {"events": 0, "engine_ops": 0,
+            "checkpoint_bytes": nbytes, "resume_wall_s": resume_wall}
+
+
 def _scale_cell(scenario: str, trackers: int, num_jobs: int) -> dict:
     from repro.experiments.runner import derive_seed
     from repro.experiments.scale_study import _run_once
@@ -186,6 +220,7 @@ BENCHES = {
     "scale_shuffle_100": bench_scale_shuffle_100,
     "shuffle_net_25": bench_shuffle_net_25,
     "memscale_25": bench_memscale_25,
+    "checkpoint_smoke": bench_checkpoint_smoke,
 }
 
 

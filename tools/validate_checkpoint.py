@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Validate a checkpoint file produced by ``repro checkpoint``.
+
+Thin CLI over :mod:`repro.checkpoint` so CI (and anyone handed a
+``ck.bin``) can sanity-check a file without blindly unpickling it.
+Three depths, each implying the previous:
+
+* default -- parse the header (magic, JSON, required keys) and print
+  the per-layer inventory; no pickle byte is executed;
+* ``--strict`` -- additionally require the header's format version
+  and schema fingerprint to match *this* source tree (the only tree
+  whose replay identity the file guarantees);
+* ``--restore`` -- additionally unpickle the payload and cross-check
+  the live object graph against the header's layer inventory (clock,
+  pending events, RNG streams, trace digest).
+
+Exits non-zero with the first violation; on success prints a one-line
+summary per layer.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_checkpoint.py ck.bin --strict
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.checkpoint import (  # noqa: E402
+    layer_inventory,
+    load,
+    read_header,
+    restore,
+    validate_header,
+)
+from repro.errors import SnapshotError  # noqa: E402
+
+REQUIRED_KEYS = ("format", "schema", "root_type", "layers")
+
+
+def _check_header(header: dict, path: str) -> None:
+    missing = [key for key in REQUIRED_KEYS if key not in header]
+    if missing:
+        raise SnapshotError(
+            f"{path}: header is missing required keys: {', '.join(missing)}"
+        )
+    layers = header["layers"]
+    if not isinstance(layers, dict) or "engine" not in layers:
+        raise SnapshotError(
+            f"{path}: layer inventory lacks the engine layer "
+            f"(has: {sorted(layers) if isinstance(layers, dict) else layers!r})"
+        )
+
+
+def _check_live_graph(header: dict, root, path: str) -> None:
+    """The restored object must match what the header advertised."""
+    live = layer_inventory(root)
+    frozen = header["layers"]
+    if sorted(live) != sorted(frozen):
+        raise SnapshotError(
+            f"{path}: restored layers {sorted(live)} != header "
+            f"layers {sorted(frozen)}"
+        )
+    for layer in live:
+        if live[layer] != frozen[layer]:
+            raise SnapshotError(
+                f"{path}: layer {layer!r} diverged on restore: "
+                f"{live[layer]} != {frozen[layer]}"
+            )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("checkpoint", help="checkpoint file to validate")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="require format/schema to match this source tree",
+    )
+    parser.add_argument(
+        "--restore",
+        action="store_true",
+        help="unpickle the payload and cross-check it against the "
+        "header (implies --strict: a drifted schema cannot restore)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        header = read_header(args.checkpoint)
+        _check_header(header, args.checkpoint)
+        if args.strict or args.restore:
+            validate_header(header)
+        if args.restore:
+            root = restore(load(args.checkpoint))
+            _check_live_graph(header, root, args.checkpoint)
+    except (SnapshotError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    depth = ("restored" if args.restore
+             else "strict" if args.strict else "header")
+    print(f"{args.checkpoint}: valid ({depth} check, "
+          f"format {header['format']}, schema {header['schema']}, "
+          f"root {header['root_type']})")
+    for name in sorted(header["layers"]):
+        print(f"  {name}: {header['layers'][name]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
