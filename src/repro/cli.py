@@ -69,6 +69,22 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="persist each finished grid cell here; a killed "
                      "sweep restarted with the same directory re-runs "
                      "only the missing cells")
+    run.add_argument("--max-retries", type=int, default=None,
+                     help="per-cell retry budget for crashed/hung/corrupt "
+                     "worker attempts before the cell is quarantined "
+                     "(default 2; results are identical with or without "
+                     "retries)")
+    run.add_argument("--cell-timeout", type=float, default=None,
+                     help="wall-clock seconds one cell attempt may run "
+                     "before its worker is killed and the cell retried")
+    run.add_argument("--snapshot-every", type=float, default=None,
+                     help="auto-snapshot long resumable cells every N "
+                     "simulated seconds into --checkpoint-dir, so a "
+                     "crashed shard resumes mid-cell (default 900)")
+    run.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                     help="inject a seeded chaos plan (worker kills, "
+                     "hangs, corrupt payloads) into the sweep; results "
+                     "must be -- and are -- identical to a clean run")
 
     rep = sub.add_parser("reproduce", help="regenerate figures")
     rep.add_argument("--figure", "-f", action="append", default=[],
@@ -274,6 +290,19 @@ def _cmd_run(args) -> int:
         from repro.experiments.runner import set_cell_cache
 
         set_cell_cache(args.checkpoint_dir)
+    if any(
+        value is not None
+        for value in (args.max_retries, args.cell_timeout,
+                      args.snapshot_every, args.chaos)
+    ):
+        from repro.experiments.runner import set_supervision
+
+        set_supervision(
+            max_retries=args.max_retries,
+            cell_timeout=args.cell_timeout,
+            snapshot_every=args.snapshot_every,
+            chaos_seed=args.chaos,
+        )
     kwargs = _quick_kwargs(name) if args.quick else {}
     if args.runs is not None:
         kwargs["runs"] = args.runs
@@ -491,14 +520,30 @@ def _report_sweep_dir(directory: str) -> int:
         )
     done = sum(1 for entry in cells if entry["done"])
     total = manifest.get("total", len(cells))
-    print(f"{directory}: {done}/{total} cells checkpointed")
+    quarantined = [entry for entry in cells if entry.get("quarantined")]
+    print(f"{directory}: {done}/{total} cells checkpointed"
+          + (f", {len(quarantined)} quarantined" if quarantined else ""))
     for entry in cells:
-        mark = "x" if entry["done"] else " "
-        print(f"  [{mark}] {entry.get('label', entry.get('key'))}")
+        mark = "x" if entry["done"] else (
+            "q" if entry.get("quarantined") else " "
+        )
+        line = f"  [{mark}] {entry.get('label', entry.get('key'))}"
+        if entry.get("quarantined") and entry.get("causes"):
+            line += f"  <- {entry['causes'][-1]}"
+        print(line)
+    stats = manifest.get("supervisor")
+    if stats:
+        interesting = {k: v for k, v in sorted(stats.items()) if v}
+        if interesting:
+            print("supervisor: " + ", ".join(
+                f"{k}={v}" for k, v in interesting.items()
+            ))
     if done < total:
         print(
             "re-run the original `repro run ... --checkpoint-dir "
             f"{directory}` command to finish the remaining cells"
+            + (" (quarantined cells retry from scratch)"
+               if quarantined else "")
         )
     return 0
 

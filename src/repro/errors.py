@@ -165,6 +165,30 @@ class SnapshotVersionError(SnapshotError):
 
 
 # --------------------------------------------------------------------------
+# Supervised sweep runner (repro.experiments.supervisor)
+# --------------------------------------------------------------------------
+
+
+class SupervisorError(ReproError):
+    """The supervised sweep runner could not make progress (all worker
+    slots permanently dead, malformed worker protocol, bad config)."""
+
+
+class QuarantineError(SupervisorError):
+    """A sweep completed but one or more poison cells exhausted their
+    retry budget and were quarantined.
+
+    Raised *after* every other cell has run (and, with a cache
+    directory, persisted), so nothing but the quarantined cells is
+    lost; ``records`` carries one entry per quarantined cell.
+    """
+
+    def __init__(self, message: str, records=()):
+        super().__init__(message)
+        self.records = list(records)
+
+
+# --------------------------------------------------------------------------
 # Real POSIX runtime
 # --------------------------------------------------------------------------
 

@@ -1,0 +1,189 @@
+"""Deterministic chaos harness for supervised sweeps.
+
+The supervisor (:mod:`repro.experiments.supervisor`) claims that a
+sweep whose workers are killed, hung or fed garbage still produces the
+*byte-identical* result list a clean serial run produces.  This module
+makes that claim testable: a :class:`ChaosPlan` is a seeded, fully
+deterministic schedule of worker-level faults keyed on ``(cell_key,
+attempt)`` pairs -- the same plan always injects the same faults at
+the same cell boundaries, no matter which worker picks the cell up or
+when.
+
+Fault kinds (all injected *inside the worker process*, so the parent
+supervisor only ever sees their symptoms):
+
+``kill``
+    The worker SIGKILLs itself at the cell boundary, before any work
+    happens -- a segfault/OOM stand-in.
+``kill-mid``
+    A timer thread SIGKILLs the worker ``delay`` wall seconds after
+    the cell starts -- lands mid-cell, exercising the mid-cell
+    snapshot/resume path when one exists.
+``hang``
+    The worker sleeps ``hang_seconds`` at the cell boundary instead of
+    working; its heartbeat thread keeps pinging, so only the per-cell
+    wall-clock timeout can catch it.
+``corrupt``
+    The worker computes the cell *correctly* but garbles the pickled
+    result payload on the wire; the supervisor's payload digest check
+    rejects it and retries.
+
+Faults never touch the simulation itself -- cells are pure functions
+of their params, every injected failure is retried from the cell's
+coordinates (or its mid-cell snapshot), and the differential suite
+pins chaos-run == clean-run equality down to TraceLog and sketch
+digests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: fault kinds a plan may carry, in the order the seeded builder
+#: cycles through them
+FAULT_KINDS = ("kill", "hang", "corrupt", "kill-mid")
+
+#: fault kinds that end with the worker process dead
+LETHAL_KINDS = frozenset({"kill", "kill-mid"})
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One planned fault: what happens, and (for ``kill-mid``) when."""
+
+    kind: str
+    delay: float = 0.0  # wall seconds after cell start (kill-mid only)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown chaos fault kind {self.kind!r}; known: "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.delay < 0:
+            raise ConfigurationError("chaos fault delay must be >= 0")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic schedule of faults for one sweep.
+
+    ``faults`` maps ``(cell_key, attempt)`` to the fault injected when
+    that attempt of that cell starts; attempts that are not in the map
+    run clean.  The plan is immutable and picklable -- every worker
+    process carries the same copy, so which worker runs a cell cannot
+    change what happens to it.
+    """
+
+    faults: Tuple[Tuple[Tuple[str, int], ChaosFault], ...] = ()
+    #: how long a ``hang`` fault sleeps; must exceed the supervisor's
+    #: cell timeout for the hang to be observable as one
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self):
+        seen = set()
+        for key, _fault in self.faults:
+            if key in seen:
+                raise ConfigurationError(
+                    f"chaos plan repeats fault key {key!r}"
+                )
+            seen.add(key)
+
+    @property
+    def _index(self) -> Dict[Tuple[str, int], ChaosFault]:
+        return dict(self.faults)
+
+    def fault_for(self, cell_key: str, attempt: int) -> Optional[ChaosFault]:
+        """The fault planned for this attempt of this cell, if any."""
+        return self._index.get((cell_key, attempt))
+
+    def requires_timeout(self) -> bool:
+        """True when the plan hangs a worker (and therefore needs a
+        per-cell wall-clock timeout to make progress)."""
+        return any(f.kind == "hang" for _k, f in self.faults)
+
+    def counts(self) -> Dict[str, int]:
+        """Fault tally by kind (for manifests and smoke reports)."""
+        out: Dict[str, int] = {}
+        for _key, fault in self.faults:
+            out[fault.kind] = out.get(fault.kind, 0) + 1
+        return out
+
+    def describe(self) -> str:
+        tally = self.counts()
+        if not tally:
+            return "chaos plan: empty"
+        inner = ", ".join(f"{k}={tally[k]}" for k in sorted(tally))
+        return f"chaos plan: {inner}"
+
+
+def make_plan(
+    faults: Dict[Tuple[str, int], ChaosFault],
+    hang_seconds: float = 3600.0,
+) -> ChaosPlan:
+    """Build a plan from an explicit ``(cell_key, attempt) -> fault``
+    mapping (the tests' precision tool)."""
+    ordered = tuple(sorted(faults.items()))
+    return ChaosPlan(faults=ordered, hang_seconds=hang_seconds)
+
+
+def seeded_plan(
+    cell_keys: Iterable[str],
+    seed: int,
+    kinds: Sequence[str] = ("kill", "hang", "corrupt"),
+    rate: float = 0.5,
+    max_faulted_attempts: int = 1,
+    hang_seconds: float = 3600.0,
+    kill_mid_delay: float = 0.5,
+) -> ChaosPlan:
+    """A reproducible plan over a sweep's cells.
+
+    Each cell draws from its own :class:`random.Random` seeded by
+    ``(seed, cell_key)``, so the plan depends only on the seed and the
+    cell's identity -- never on cell order, worker count, or wall
+    time.  With probability ``rate`` a cell is faulted; the fault kind
+    cycles deterministically through ``kinds`` and applies to attempts
+    ``0..max_faulted_attempts-1`` (keep ``max_faulted_attempts`` at or
+    below the supervisor's retry cap or the cell quarantines -- which
+    is sometimes exactly the point).
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError(f"chaos rate must be in [0, 1], got {rate}")
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown chaos fault kind {kind!r}; known: "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+    faults: Dict[Tuple[str, int], ChaosFault] = {}
+    for cell_key in sorted(set(cell_keys)):
+        rng = random.Random(f"{seed}:chaos:{cell_key}")
+        if rng.random() >= rate:
+            continue
+        kind = kinds[rng.randrange(len(kinds))]
+        for attempt in range(max_faulted_attempts):
+            faults[(cell_key, attempt)] = ChaosFault(
+                kind=kind,
+                delay=kill_mid_delay if kind == "kill-mid" else 0.0,
+            )
+    return make_plan(faults, hang_seconds=hang_seconds)
+
+
+def corrupt_payload(payload: bytes) -> bytes:
+    """Deterministically garble a pickled result payload.
+
+    Flips one byte near the middle and truncates the tail, so both the
+    digest check and (if that were ever skipped) the unpickle itself
+    fail loudly rather than yielding a plausible wrong value.
+    """
+    if not payload:
+        return b"\xff"
+    mid = len(payload) // 2
+    flipped = bytes([payload[mid] ^ 0xFF])
+    return payload[:mid] + flipped + payload[mid + 1:mid + 1 + max(
+        0, len(payload) // 4
+    )]

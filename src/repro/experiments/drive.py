@@ -7,9 +7,20 @@ early if the cluster drained while a late arrival was still on the
 event heap).  The tally is a module-level class rather than a closure
 so a mid-run cluster pickles for checkpointing, and the loop itself is
 reused by the checkpoint continuation path (``repro resume``).
+
+The loop is also where supervised sweeps auto-snapshot long cells:
+:func:`set_autosnapshot` arms a per-process hook that persists the
+whole cluster every ``every`` *virtual* seconds.  The snapshot happens
+**between** engine steps -- never as a scheduled event -- because a
+snapshot event would bump ``events_fired`` and write a TraceLog
+record, and then a resumed or chaos-disturbed run could no longer be
+byte-identical to an undisturbed one.  Observation stays outside the
+event heap; that is the determinism rule.
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict, Optional
 
 from repro.errors import ConfigurationError
 
@@ -49,6 +60,56 @@ def find_counter(cluster) -> CompletionCounter:
     )
 
 
+# ----------------------------------------------------------------------
+# Mid-cell auto-snapshot (armed per worker process by the supervisor)
+# ----------------------------------------------------------------------
+
+#: ``(path, every_virtual_seconds, meta)`` or None; module-level like
+#: the runner's progress/cache state so the worker arms it once per
+#: cell without threading a parameter through every study signature
+_autosnapshot: Optional[Dict[str, Any]] = None
+
+
+def set_autosnapshot(
+    path: Optional[str],
+    every: float = 0.0,
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Arm (or, with ``path=None``, disarm) mid-cell auto-snapshots.
+
+    While armed, :func:`drive_to_completion` atomically rewrites
+    ``path`` with a full checkpoint of the cluster every ``every``
+    virtual seconds; ``meta`` must be a continuation recipe
+    :func:`repro.checkpoint.cells.finish_cell` understands, so a
+    crashed shard can restore the file and finish the cell instead of
+    re-running it from zero.
+    """
+    global _autosnapshot
+    if path is None:
+        _autosnapshot = None
+        return
+    if every <= 0:
+        raise ConfigurationError(
+            f"autosnapshot interval must be > 0 virtual seconds, got {every}"
+        )
+    _autosnapshot = {"path": path, "every": float(every),
+                     "meta": dict(meta or {})}
+
+
+def autosnapshot_state() -> Optional[Dict[str, Any]]:
+    """The armed auto-snapshot hook (None when disarmed)."""
+    return _autosnapshot
+
+
+def _write_midcell_snapshot(cluster, state: Dict[str, Any]) -> None:
+    """Persist one mid-cell checkpoint (atomic via checkpoint.core)."""
+    from repro.checkpoint.core import save
+
+    meta = dict(state["meta"])
+    meta["midcell_now"] = cluster.sim.now
+    save(cluster, state["path"], meta=meta)
+
+
 def drive_to_completion(
     cluster,
     counter: CompletionCounter,
@@ -61,14 +122,26 @@ def drive_to_completion(
     Raises :class:`ConfigurationError` when more than
     ``deadline_seconds`` of simulated time pass first (a deadlock
     guard, identical to the studies' historical inline loops).
+
+    When an auto-snapshot hook is armed (:func:`set_autosnapshot`) the
+    loop persists the cluster between steps whenever the clock crosses
+    the next interval boundary -- trace- and event-silent, so the
+    driven run is byte-identical with the hook on or off.
     """
     cluster.start()
     deadline = cluster.sim.now + deadline_seconds
+    snap = _autosnapshot
+    next_due = (
+        cluster.sim.now + snap["every"] if snap is not None else float("inf")
+    )
     while counter.count < num_jobs:
         if cluster.sim.now >= deadline:
             raise ConfigurationError(
                 f"{what} still running after "
                 f"{deadline_seconds:.0f}s of simulated time"
             )
+        if snap is not None and cluster.sim.now >= next_due:
+            _write_midcell_snapshot(cluster, snap)
+            next_due = cluster.sim.now + snap["every"]
         if not cluster.sim.step():
             break

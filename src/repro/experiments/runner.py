@@ -12,13 +12,18 @@ processes.  This module is the one place that fan-out lives:
   a cell's randomness depends only on *what* it is, never on *which
   worker* runs it or in what order;
 * :func:`run_cells` executes a cell list either serially in-process
-  (``workers=1``) or on a process pool, returning results in cell
+  (``workers=1``) or sharded over *supervised* worker processes
+  (:mod:`repro.experiments.supervisor`), returning results in cell
   order either way.
 
 Because cells are pure functions of their arguments and results are
 re-assembled in grid order, a parallel run is **bit-identical** to the
 serial run -- the determinism test suite asserts exactly that, and the
-CLI exposes the knob as ``repro run <experiment> --workers N``.
+CLI exposes the knob as ``repro run <experiment> --workers N``.  The
+supervised pool survives worker crashes, hangs and corrupt results:
+failed cells are retried deterministically and poison cells are
+quarantined instead of aborting the sweep (``--max-retries``,
+``--cell-timeout``, ``--chaos``).
 """
 
 from __future__ import annotations
@@ -26,7 +31,6 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
-import multiprocessing
 import os
 import pickle
 import sys
@@ -34,7 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, QuarantineError
 
 #: hard cap so a typo'd ``--workers 4000`` does not fork-bomb the host
 MAX_WORKERS = 64
@@ -83,6 +87,43 @@ def set_cell_cache(directory: Optional[str]) -> None:
 def cell_cache_dir() -> Optional[str]:
     """Current cell-cache directory (None = caching off)."""
     return _cell_cache_dir
+
+
+#: sweep-supervision overrides (module-level for the same reason as
+#: progress/cache: the CLI flips them once per command); empty = the
+#: supervisor's defaults
+_supervision: Dict[str, Any] = {}
+
+
+def set_supervision(
+    max_retries: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    chaos_seed: Optional[int] = None,
+    snapshot_every: Optional[float] = None,
+) -> None:
+    """Configure how :func:`run_cells` supervises its worker shards.
+
+    Only non-None knobs override the
+    :class:`~repro.experiments.supervisor.SupervisorConfig` defaults;
+    calling with no arguments resets to them.  ``chaos_seed`` arms the
+    deterministic chaos harness: a seeded
+    :class:`~repro.experiments.chaos.ChaosPlan` is built over the
+    sweep's cell keys and injected into every worker (results are
+    still byte-identical to an undisturbed run -- that is the point).
+    """
+    global _supervision
+    knobs = {
+        "max_retries": max_retries,
+        "cell_timeout": cell_timeout,
+        "chaos_seed": chaos_seed,
+        "snapshot_every": snapshot_every,
+    }
+    _supervision = {k: v for k, v in knobs.items() if v is not None}
+
+
+def supervision_overrides() -> Dict[str, Any]:
+    """The active supervision overrides (empty = defaults)."""
+    return dict(_supervision)
 
 
 def cell_key(cell: "Cell") -> str:
@@ -166,12 +207,34 @@ def _cache_path(directory: str, cell: Cell) -> str:
 
 
 def _cache_read(directory: str, cell: Cell) -> Tuple[bool, Any]:
-    """(hit, result) for one cell; unreadable files count as misses."""
+    """(hit, result) for one cell.
+
+    A missing file is a plain miss; a file that *exists* but does not
+    unpickle (truncated by a crash mid-write outside the atomic path,
+    bit-rotted, wrong format) is quarantined to ``<key>.pkl.corrupt``
+    with a stderr warning and treated as a miss -- the cell re-runs
+    instead of the sweep crashing on its own cache.
+    """
     path = _cache_path(directory, cell)
     try:
-        with open(path, "rb") as fh:
+        fh = open(path, "rb")
+    except OSError:
+        return False, None
+    try:
+        with fh:
             return True, pickle.load(fh)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+    except Exception as exc:
+        quarantine = f"{path}.corrupt"
+        try:
+            os.replace(path, quarantine)
+            where = f"; moved to {quarantine}"
+        except OSError:
+            where = ""
+        print(
+            f"warning: corrupt cell cache {path} ({exc!r}); treating as "
+            f"a miss and re-running the cell{where}",
+            file=sys.stderr,
+        )
         return False, None
 
 
@@ -185,51 +248,117 @@ def _cache_write(directory: str, cell: Cell, result: Any) -> None:
     os.replace(tmp, path)
 
 
-def _write_manifest(directory: str, cell_list: List[Cell]) -> None:
+def _write_manifest(
+    directory: str,
+    cell_list: List[Cell],
+    quarantined: Optional[List[Any]] = None,
+    stats: Optional[Dict[str, int]] = None,
+) -> None:
     """Human-readable sweep inventory: every cell's key, label and
-    completion state (``repro resume <dir>`` reports from this)."""
+    completion state (``repro resume <dir>`` reports from this).
+
+    A supervised sweep also records its quarantined poison cells (per
+    cell: attempts and failure causes) and the supervisor's counters
+    (retries, worker deaths, timeouts, ...), so a chaos or crash story
+    is reconstructable from the manifest alone.
+    """
+    by_index = {
+        record.index: record for record in (quarantined or [])
+    }
     entries = []
-    for cell in cell_list:
-        entries.append({
+    for index, cell in enumerate(cell_list):
+        entry = {
             "key": cell_key(cell),
             "label": _cell_label(cell),
             "done": os.path.exists(_cache_path(directory, cell)),
-        })
+        }
+        record = by_index.get(index)
+        if record is not None:
+            entry["quarantined"] = True
+            entry["attempts"] = record.attempts
+            entry["causes"] = list(record.causes)
+        entries.append(entry)
     manifest = {
         "total": len(entries),
         "done": sum(1 for e in entries if e["done"]),
+        "quarantined": len(by_index),
         "cells": entries,
     }
+    if stats is not None:
+        manifest["supervisor"] = dict(stats)
     tmp = os.path.join(directory, f"manifest.json.tmp.{os.getpid()}")
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(manifest, fh, indent=2)
     os.replace(tmp, os.path.join(directory, "manifest.json"))
 
 
+def _build_supervision(cell_list: List[Cell]):
+    """The sweep's :class:`SupervisorConfig` from the module-level
+    overrides (None when no override is active)."""
+    if not _supervision:
+        return None
+    from repro.experiments.supervisor import SupervisorConfig
+
+    kwargs: Dict[str, Any] = {
+        key: _supervision[key]
+        for key in ("max_retries", "cell_timeout", "snapshot_every")
+        if key in _supervision
+    }
+    chaos_seed = _supervision.get("chaos_seed")
+    if chaos_seed is not None:
+        from repro.experiments.chaos import seeded_plan
+
+        kwargs["chaos"] = seeded_plan(
+            [cell_key(cell) for cell in cell_list], chaos_seed
+        )
+        # A seeded plan may hang workers; a hung cell needs a
+        # wall-clock budget to be detectable at all.
+        kwargs.setdefault("cell_timeout", 600.0)
+    return SupervisorConfig(**kwargs)
+
+
 def run_cells(
     cells: Iterable[Cell],
     workers: int = 1,
-    chunksize: int = 1,
+    chunksize: int = 1,  # kept for API compatibility; dispatch is
+    #                      per-cell under supervision
     cache_dir: Optional[str] = None,
+    supervise=None,
+    on_quarantine: str = "raise",
 ) -> List[Any]:
     """Execute every cell; results come back in cell order.
 
     ``workers <= 1`` runs serially in-process (no pool, no pickling);
-    more workers shard the list over a process pool.  Either way the
-    returned list lines up index-for-index with the input cells, and
-    because each cell's seed is derived from its coordinates (see
-    :func:`derive_seed`) the values are identical for any ``workers``.
+    more workers shard the list over *supervised* worker processes
+    (:mod:`repro.experiments.supervisor`): crashed, hung or
+    garbage-emitting workers are detected, their cells retried
+    deterministically, and poison cells quarantined so the rest of the
+    sweep still completes.  Either way the returned list lines up
+    index-for-index with the input cells, and because each cell's seed
+    is derived from its coordinates (see :func:`derive_seed`) the
+    values are identical for any ``workers`` -- crashes, retries and
+    chaos included.
 
     ``cache_dir`` (or the module-level :func:`set_cell_cache`) turns on
     per-cell checkpointing: finished results persist immediately and
     already-persisted cells are loaded instead of re-run, so a killed
     sweep resumed with the same directory completes with identical
-    results.
+    results.  A ``KeyboardInterrupt`` mid-sweep flushes the manifest
+    before re-raising -- Ctrl-C never loses completed cells.
+
+    ``supervise`` (a :class:`~repro.experiments.supervisor.\
+SupervisorConfig`) overrides the module-level supervision knobs; with
+    quarantined cells, ``on_quarantine="raise"`` (default) raises
+    :class:`~repro.errors.QuarantineError` *after* the sweep completes
+    and persists, while ``"keep"`` leaves ``None`` at their indices.
     """
     cell_list = list(cells)
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
-    workers = min(workers, MAX_WORKERS, max(len(cell_list), 1))
+    if on_quarantine not in ("raise", "keep"):
+        raise ConfigurationError(
+            f"on_quarantine must be 'raise' or 'keep', got {on_quarantine!r}"
+        )
     total = len(cell_list)
     directory = cache_dir if cache_dir is not None else _cell_cache_dir
     results: List[Any] = [None] * total
@@ -252,55 +381,94 @@ def run_cells(
         # mid-flight still leaves an inventory `repro resume <dir>`
         # can report from.
         _write_manifest(directory, cell_list)
+    # A warm cache leaves fewer cells than the grid: size the pool by
+    # the *remaining* work so a nearly finished sweep does not fork a
+    # fleet of idle workers.
+    workers = min(workers, MAX_WORKERS, max(len(todo), 1))
+    config = supervise if supervise is not None else _build_supervision(
+        cell_list
+    )
 
     def finish(index: int, result: Any) -> None:
         results[index] = result
         if directory:
             _cache_write(directory, cell_list[index], result)
 
-    if workers <= 1 or len(todo) <= 1:
-        for position, index in enumerate(todo, start=1):
-            cell = cell_list[index]
-            if _progress_enabled:
-                _progress(
-                    f"[{position}/{len(todo)}] start {_cell_label(cell)}"
-                )
-            started = time.perf_counter()
-            finish(index, execute_cell(cell))
-            if _progress_enabled:
-                _progress(
-                    f"[{position}/{len(todo)}] done in "
-                    f"{time.perf_counter() - started:.1f}s "
-                    f"({len(todo) - position} cells remaining)"
-                )
-    else:
-        # Fork keeps the warm interpreter (and sys.path) on POSIX;
-        # spawn is the portable fallback and works because cells carry
-        # module paths, not closures.
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn"
-        )
-        pending = [cell_list[index] for index in todo]
-        with context.Pool(processes=workers) as pool:
-            # imap preserves cell order but yields each result as soon
-            # as its cell (and every earlier one) finished, so the
-            # parent can narrate completions -- and persist each result
-            # the moment it exists -- while the pool keeps working.
-            started = time.perf_counter()
-            for position, result in enumerate(
-                pool.imap(execute_cell, pending, chunksize=chunksize),
-                start=1,
-            ):
-                finish(todo[position - 1], result)
+    quarantined: List[Any] = []
+    stats: Optional[Dict[str, int]] = None
+    try:
+        if len(todo) <= 1 or (workers <= 1 and config is None):
+            for position, index in enumerate(todo, start=1):
+                cell = cell_list[index]
                 if _progress_enabled:
                     _progress(
-                        f"[{position}/{len(pending)}] "
-                        f"{_cell_label(pending[position - 1])} "
-                        f"done at {time.perf_counter() - started:.1f}s "
-                        f"elapsed ({len(pending) - position} cells "
-                        f"remaining)"
+                        f"[{position}/{len(todo)}] start {_cell_label(cell)}"
                     )
+                started = time.perf_counter()
+                finish(index, execute_cell(cell))
+                if _progress_enabled:
+                    _progress(
+                        f"[{position}/{len(todo)}] done in "
+                        f"{time.perf_counter() - started:.1f}s "
+                        f"({len(todo) - position} cells remaining)"
+                    )
+        else:
+            from repro.experiments.supervisor import (
+                SupervisorConfig,
+                supervise_cells,
+            )
+
+            started = time.perf_counter()
+            remaining = [len(todo)]
+
+            def narrate(index: int, result: Any) -> None:
+                finish(index, result)
+                remaining[0] -= 1
+                if _progress_enabled:
+                    _progress(
+                        f"[{len(todo) - remaining[0]}/{len(todo)}] "
+                        f"{_cell_label(cell_list[index])} done at "
+                        f"{time.perf_counter() - started:.1f}s elapsed "
+                        f"({remaining[0]} cells remaining)"
+                    )
+
+            sweep = supervise_cells(
+                cell_list,
+                todo,
+                workers,
+                config or SupervisorConfig(),
+                cache_dir=directory,
+                on_finish=narrate,
+                progress=_progress if _progress_enabled else None,
+            )
+            quarantined = sweep.quarantined
+            stats = sweep.stats
+    except KeyboardInterrupt:
+        # Every finished cell is already persisted (finish() writes
+        # through); refresh the manifest so `repro resume <dir>` sees
+        # the true completion state, then let the interrupt fly.
+        if directory:
+            _write_manifest(directory, cell_list)
+            print(
+                f"interrupted: completed cells are checkpointed in "
+                f"{directory}; re-run with the same directory to finish",
+                file=sys.stderr,
+            )
+        raise
     if directory:
-        _write_manifest(directory, cell_list)
+        _write_manifest(directory, cell_list, quarantined=quarantined,
+                        stats=stats)
+    if quarantined and on_quarantine == "raise":
+        names = "; ".join(
+            f"{record.label} after {record.attempts} attempt(s): "
+            f"{record.causes[-1] if record.causes else 'unknown'}"
+            for record in quarantined
+        )
+        where = f" (manifest: {os.path.join(directory, 'manifest.json')})" \
+            if directory else ""
+        raise QuarantineError(
+            f"{len(quarantined)} poison cell(s) quarantined after the "
+            f"sweep completed{where}: {names}",
+            records=quarantined,
+        )
     return results

@@ -1,5 +1,8 @@
 """The parallel experiment runner: sharding, seeds, ordering."""
 
+import json
+import os
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -19,6 +22,10 @@ def probe_cell(seed: int, scale: float = 1.0) -> dict:
 
 def failing_cell(seed: int) -> None:
     raise ValueError(f"cell {seed} exploded")
+
+
+def interrupting_cell(seed: int) -> None:
+    raise KeyboardInterrupt
 
 
 class TestDeriveSeed:
@@ -89,3 +96,71 @@ class TestRunCells:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+    def test_pool_sized_by_remaining_work_not_grid(self, tmp_path, monkeypatch):
+        """A warm cache leaves 2 of 6 cells; asking for 8 workers must
+        fork at most 2, not min(8, len(grid))."""
+        import repro.experiments.supervisor as supervisor_mod
+
+        cells = self.cells(6)
+        cache = str(tmp_path / "sweep")
+        run_cells(cells, workers=1, cache_dir=cache)
+        from repro.experiments.runner import _cache_path
+
+        os.remove(_cache_path(cache, cells[1]))
+        os.remove(_cache_path(cache, cells[4]))
+
+        seen = {}
+
+        def fake_supervise(cell_list, todo, workers, *args, **kwargs):
+            seen["workers"] = workers
+            seen["todo"] = list(todo)
+            from repro.experiments.supervisor import SweepResult
+
+            results = [execute_cell(cell_list[i]) for i in todo]
+            on_finish = kwargs.get("on_finish")
+            if on_finish is not None:
+                for position, index in enumerate(todo):
+                    on_finish(index, results[position])
+            return SweepResult(results, [], {})
+
+        monkeypatch.setattr(supervisor_mod, "supervise_cells", fake_supervise)
+        results = run_cells(cells, workers=8, cache_dir=cache)
+        assert seen["workers"] == 2
+        assert seen["todo"] == [1, 4]
+        assert [r["seed"] for r in results] == [0, 1, 2, 3, 4, 5]
+
+    def test_corrupt_cache_quarantined_with_warning(self, tmp_path, capsys):
+        from repro.experiments.runner import _cache_path
+
+        cells = self.cells(3)
+        cache = str(tmp_path / "sweep")
+        reference = run_cells(cells, workers=1, cache_dir=cache)
+        path = _cache_path(cache, cells[1])
+        with open(path, "wb") as fh:
+            fh.write(b"\x80\x05garbage-truncated")
+        assert run_cells(cells, workers=1, cache_dir=cache) == reference
+        err = capsys.readouterr().err
+        assert "corrupt cell cache" in err
+        assert os.path.exists(f"{path}.corrupt")  # original preserved
+        assert os.path.exists(path)  # re-run result re-cached
+
+    def test_keyboard_interrupt_flushes_manifest(self, tmp_path, capsys):
+        """Ctrl-C mid-sweep: finished cells stay checkpointed and the
+        manifest reflects them before the interrupt propagates."""
+        cells = self.cells(2) + [
+            Cell.make("tests.test_runner", "interrupting_cell", seed=0),
+        ]
+        cache = str(tmp_path / "sweep")
+        with pytest.raises(KeyboardInterrupt):
+            run_cells(cells, workers=1, cache_dir=cache)
+        with open(os.path.join(cache, "manifest.json")) as fh:
+            manifest = json.load(fh)
+        assert manifest["done"] == 2
+        assert [e["done"] for e in manifest["cells"]] == [True, True, False]
+        assert "interrupted" in capsys.readouterr().err
+        # resuming with the same directory completes the healthy cells
+        healthy = cells[:2]
+        assert run_cells(healthy, workers=1, cache_dir=cache) == [
+            probe_cell(0), probe_cell(1)
+        ]
