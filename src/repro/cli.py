@@ -12,6 +12,8 @@
     repro profile scale --engine        # engine self-profile (labels)
     repro checkpoint fig2 --at 40 --out ck.bin   # snapshot mid-flight
     repro resume ck.bin                 # restore + finish the frozen run
+    repro run scale --workers 4 --serve 8800     # + live HTTP observatory
+    repro watch results/sweep           # ANSI dashboard over a ledger
     repro real-demo --input-mb 24       # real-process prototype
 
 ``run`` executes a single registered experiment (name or alias);
@@ -85,6 +87,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="inject a seeded chaos plan (worker kills, "
                      "hangs, corrupt payloads) into the sweep; results "
                      "must be -- and are -- identical to a clean run")
+    run.add_argument("--serve", nargs="?", type=int, const=0, default=None,
+                     metavar="PORT",
+                     help="serve the live sweep observatory over HTTP "
+                     "while the run executes: GET / (dashboard), /state "
+                     "(JSON snapshot), /events (SSE ledger tail); "
+                     "default PORT 0 picks a free one")
 
     rep = sub.add_parser("reproduce", help="regenerate figures")
     rep.add_argument("--figure", "-f", action="append", default=[],
@@ -175,6 +183,22 @@ def _build_parser() -> argparse.ArgumentParser:
     res.add_argument("path", help="checkpoint file written by "
                      "`repro checkpoint`, or a --checkpoint-dir "
                      "sweep directory")
+
+    wat = sub.add_parser(
+        "watch",
+        help="live ANSI terminal dashboard for a sweep "
+        "(progress, ETA, mid-sweep quantiles)",
+    )
+    wat.add_argument("target", help="a --checkpoint-dir sweep directory, "
+                     "a ledger.jsonl file, or a `repro run --serve` "
+                     "observatory URL")
+    wat.add_argument("--interval", type=float, default=0.5,
+                     help="redraw period in seconds (default 0.5)")
+    wat.add_argument("--once", action="store_true",
+                     help="render one frame and exit")
+    wat.add_argument("--max-seconds", type=float, default=None,
+                     help="give up after this many wall seconds "
+                     "(exit code 1) instead of waiting for sweep-finish")
 
     demo = sub.add_parser("real-demo", help="real-process prototype demo")
     demo.add_argument("--input-mb", type=int, default=24,
@@ -320,9 +344,47 @@ def _cmd_run(args) -> int:
                 f"warning: {name} takes no seed; ignoring --seed",
                 file=sys.stderr,
             )
-    report = runner(**kwargs)
+    server = None
+    if args.serve is not None:
+        import tempfile
+
+        from repro.experiments.runner import set_ledger
+        from repro.obs.ledger import ledger_path
+        from repro.obs.server import ObsServer
+
+        if args.checkpoint_dir is not None:
+            os.makedirs(args.checkpoint_dir, exist_ok=True)
+            path = ledger_path(args.checkpoint_dir)
+        else:
+            # No cache directory: park the ledger in a throwaway spot
+            # purely so the HTTP endpoints have a file to tail.
+            path = ledger_path(tempfile.mkdtemp(prefix="repro-obs-"))
+            set_ledger(path)
+        server = ObsServer(path, port=args.serve).start()
+        print(
+            f"observatory at {server.url} -- GET / (dashboard), "
+            "/state (JSON), /events (SSE); or `repro watch "
+            f"{server.url}`",
+            file=sys.stderr,
+        )
+    try:
+        report = runner(**kwargs)
+    finally:
+        if server is not None:
+            server.stop()
     _emit_report(report, args.out, plots=not args.no_plots)
     return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.obs.watch import watch
+
+    return watch(
+        args.target,
+        interval=args.interval,
+        once=args.once,
+        max_seconds=args.max_seconds,
+    )
 
 
 def _cmd_reproduce(args) -> int:
@@ -584,6 +646,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_checkpoint(args)
         if args.command == "resume":
             return _cmd_resume(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
         if args.command == "real-demo":
             return _cmd_real_demo(args)
     except ReproError as exc:

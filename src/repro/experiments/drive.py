@@ -108,6 +108,17 @@ def _write_midcell_snapshot(cluster, state: Dict[str, Any]) -> None:
     meta = dict(state["meta"])
     meta["midcell_now"] = cluster.sim.now
     save(cluster, state["path"], meta=meta)
+    # Narrate the write to the sweep ledger (armed per worker process
+    # by the supervisor).  Ledger appends happen *between* engine
+    # steps, exactly like the snapshot itself -- trace-silent.
+    from repro.obs.ledger import process_ledger
+
+    ledger = process_ledger()
+    if ledger is not None:
+        ledger.emit(
+            "snapshot", path=state["path"],
+            virtual_now=round(cluster.sim.now, 6),
+        )
 
 
 def drive_to_completion(

@@ -84,6 +84,29 @@ def set_cell_cache(directory: Optional[str]) -> None:
     _cell_cache_dir = directory
 
 
+#: explicit run-ledger file path; None = derive from the cache dir
+#: (``<cache>/ledger.jsonl``) or no file at all
+_ledger_path_override: Optional[str] = None
+
+
+def set_ledger(path: Optional[str]) -> None:
+    """Write the sweep's run ledger to an explicit file.
+
+    Without an override the ledger rides the cell cache
+    (``<checkpoint-dir>/ledger.jsonl``); this knob exists for sweeps
+    that want live observation (``repro run --serve``) without result
+    caching.  Like every observation hook, the ledger never alters
+    results -- the differential suite pins ledger-on == ledger-off.
+    """
+    global _ledger_path_override
+    _ledger_path_override = path
+
+
+def ledger_override() -> Optional[str]:
+    """The explicit ledger path (None = derive or disable)."""
+    return _ledger_path_override
+
+
 def cell_cache_dir() -> Optional[str]:
     """Current cell-cache directory (None = caching off)."""
     return _cell_cache_dir
@@ -317,6 +340,64 @@ def _build_supervision(cell_list: List[Cell]):
     return SupervisorConfig(**kwargs)
 
 
+def _grid_digest(cell_list: List[Cell]) -> str:
+    """Content address of the whole grid (sweep-start identity)."""
+    h = hashlib.sha256()
+    for cell in cell_list:
+        h.update(cell_key(cell).encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()[:24]
+
+
+def cell_cost(result: Any) -> float:
+    """A cell's *virtual cost*: its simulation's fired-event count
+    when the result reports one, else 1.0.  Weights the observatory's
+    throughput/ETA math so heavy cells count for what they cost."""
+    if isinstance(result, dict):
+        try:
+            cost = float(result.get("events", 1.0))
+        except (TypeError, ValueError):
+            return 1.0
+        return cost if cost > 0 else 1.0
+    return 1.0
+
+
+def _open_ledger(directory: Optional[str]):
+    """The sweep's :class:`~repro.obs.ledger.Ledger`, or None.
+
+    A file sink is attached when an explicit path was set
+    (:func:`set_ledger`) or a cache directory is active (the ledger
+    then lives at ``<dir>/ledger.jsonl``); a console renderer is
+    subscribed when progress is enabled.  With neither, there is no
+    ledger at all -- zero overhead for bare library sweeps.
+    """
+    from repro.obs.ledger import ledger_path as _ledger_path
+
+    path = _ledger_path_override or (
+        _ledger_path(directory) if directory else None
+    )
+    if path is None and not _progress_enabled:
+        return None
+    from repro.obs.ledger import Ledger
+
+    try:
+        ledger = Ledger(path)
+    except OSError as exc:
+        print(
+            f"warning: cannot open run ledger {path} ({exc}); "
+            "running unobserved",
+            file=sys.stderr,
+        )
+        if not _progress_enabled:
+            return None
+        ledger = Ledger(None)
+    if _progress_enabled:
+        from repro.obs.console import ConsoleRenderer
+
+        ledger.subscribe(ConsoleRenderer())
+    return ledger
+
+
 def run_cells(
     cells: Iterable[Cell],
     workers: int = 1,
@@ -372,11 +453,6 @@ SupervisorConfig`) overrides the module-level supervision knobs; with
                 results[index] = value
             else:
                 todo.append(index)
-        if _progress_enabled and len(todo) < total:
-            _progress(
-                f"[cache] {total - len(todo)}/{total} cells already "
-                f"checkpointed in {directory}; running {len(todo)}"
-            )
         # Written before running (not just after) so a sweep killed
         # mid-flight still leaves an inventory `repro resume <dir>`
         # can report from.
@@ -389,48 +465,103 @@ SupervisorConfig`) overrides the module-level supervision knobs; with
         cell_list
     )
 
+    ledger = _open_ledger(directory)
+
+    # Manifest freshness: quarantine records and supervisor counters
+    # surface through ledger events *as they happen*, so the manifest
+    # on disk is accurate after every cell -- a SIGKILLed parent can no
+    # longer leave a stale inventory behind.
+    live_quarantined: List[Any] = []
+    live_stats: Dict[str, int] = {}
+
+    def flush_manifest() -> None:
+        if directory:
+            _write_manifest(
+                directory, cell_list,
+                quarantined=live_quarantined,
+                stats=live_stats or None,
+            )
+
+    if ledger is not None:
+
+        def track(record: Dict[str, Any]) -> None:
+            event = record.get("event")
+            if event == "cell-quarantine":
+                from repro.experiments.supervisor import QuarantineRecord
+
+                live_quarantined.append(QuarantineRecord(
+                    index=int(record["index"]),
+                    key=record.get("key", ""),
+                    label=record.get("label", ""),
+                    attempts=int(record.get("attempts", 0)),
+                    causes=list(record.get("causes", [])),
+                ))
+                flush_manifest()
+            elif event == "counters":
+                live_stats.update(record.get("counters") or {})
+
+        ledger.subscribe(track)
+
+    def emit(event: str, **fields: Any) -> None:
+        if ledger is not None:
+            ledger.emit(event, **fields)
+
     def finish(index: int, result: Any) -> None:
         results[index] = result
         if directory:
             _cache_write(directory, cell_list[index], result)
+            flush_manifest()
+
+    emit(
+        "sweep-start",
+        total=total,
+        workers=workers,
+        cached=total - len(todo),
+        grid_digest=_grid_digest(cell_list),
+        experiment=(
+            f"{cell_list[0].module.rsplit('.', 1)[-1]}.{cell_list[0].func}"
+            if cell_list else None
+        ),
+        ledger_path=ledger.path if ledger is not None else None,
+        supervised=config is not None or (workers > 1 and len(todo) > 1),
+        cells=[
+            {"index": i, "key": cell_key(c), "label": _cell_label(c)}
+            for i, c in enumerate(cell_list)
+        ],
+    )
+    if directory:
+        todo_set = set(todo)
+        for index in range(total):
+            if index not in todo_set:
+                emit("cell-cached", index=index,
+                     key=cell_key(cell_list[index]))
 
     quarantined: List[Any] = []
     stats: Optional[Dict[str, int]] = None
     try:
         if len(todo) <= 1 or (workers <= 1 and config is None):
-            for position, index in enumerate(todo, start=1):
+            for index in todo:
                 cell = cell_list[index]
-                if _progress_enabled:
-                    _progress(
-                        f"[{position}/{len(todo)}] start {_cell_label(cell)}"
-                    )
+                emit("cell-start", index=index, key=cell_key(cell),
+                     label=_cell_label(cell), attempt=0)
                 started = time.perf_counter()
-                finish(index, execute_cell(cell))
-                if _progress_enabled:
-                    _progress(
-                        f"[{position}/{len(todo)}] done in "
-                        f"{time.perf_counter() - started:.1f}s "
-                        f"({len(todo) - position} cells remaining)"
-                    )
+                result = execute_cell(cell)
+                finish(index, result)
+                emit(
+                    "cell-finish", index=index, key=cell_key(cell),
+                    label=_cell_label(cell), attempt=0,
+                    duration_s=round(time.perf_counter() - started, 3),
+                    cost=cell_cost(result),
+                    sketch=(
+                        result.get("sketch")
+                        if isinstance(result, dict) else None
+                    ),
+                )
         else:
             from repro.experiments.supervisor import (
                 SupervisorConfig,
                 supervise_cells,
             )
-
-            started = time.perf_counter()
-            remaining = [len(todo)]
-
-            def narrate(index: int, result: Any) -> None:
-                finish(index, result)
-                remaining[0] -= 1
-                if _progress_enabled:
-                    _progress(
-                        f"[{len(todo) - remaining[0]}/{len(todo)}] "
-                        f"{_cell_label(cell_list[index])} done at "
-                        f"{time.perf_counter() - started:.1f}s elapsed "
-                        f"({remaining[0]} cells remaining)"
-                    )
 
             sweep = supervise_cells(
                 cell_list,
@@ -438,23 +569,35 @@ SupervisorConfig`) overrides the module-level supervision knobs; with
                 workers,
                 config or SupervisorConfig(),
                 cache_dir=directory,
-                on_finish=narrate,
-                progress=_progress if _progress_enabled else None,
+                on_finish=finish,
+                ledger=ledger,
             )
             quarantined = sweep.quarantined
             stats = sweep.stats
+            live_stats.update(stats)
     except KeyboardInterrupt:
         # Every finished cell is already persisted (finish() writes
         # through); refresh the manifest so `repro resume <dir>` sees
         # the true completion state, then let the interrupt fly.
         if directory:
-            _write_manifest(directory, cell_list)
+            flush_manifest()
             print(
                 f"interrupted: completed cells are checkpointed in "
                 f"{directory}; re-run with the same directory to finish",
                 file=sys.stderr,
             )
         raise
+    else:
+        emit(
+            "sweep-finish",
+            done=sum(1 for r in results if r is not None),
+            total=total,
+            quarantined=len(quarantined),
+            counters=stats,
+        )
+    finally:
+        if ledger is not None:
+            ledger.close()
     if directory:
         _write_manifest(directory, cell_list, quarantined=quarantined,
                         stats=stats)

@@ -258,13 +258,27 @@ def _worker_main(
     snapshot_every: Optional[float],
     chaos: Optional[ChaosPlan],
     heartbeat_interval: float,
+    ledger_path: Optional[str] = None,
 ) -> None:
     """One supervised shard: pull a cell, run it, push the result.
 
     Every outbound message is guarded by a lock shared with the
     heartbeat thread so pings never interleave with result frames.
+    When the sweep has a file ledger, the worker opens its own
+    ``O_APPEND`` handle on it (line appends are atomic, so parent and
+    worker records interleave only at line boundaries) and arms it as
+    the process ledger -- which is how mid-cell snapshot writes inside
+    the drive loop get narrated.
     """
     from repro.experiments.runner import cell_key
+
+    if ledger_path is not None:
+        from repro.obs.ledger import Ledger, set_process_ledger
+
+        try:
+            set_process_ledger(Ledger(ledger_path))
+        except OSError:
+            pass  # observation never takes down the shard
 
     lock = threading.Lock()
     threading.Thread(
@@ -325,7 +339,7 @@ class _Slot:
 
     __slots__ = (
         "slot_id", "process", "conn", "inflight", "deadline",
-        "last_ping", "deaths", "kill_cause", "retired",
+        "last_ping", "deaths", "kill_cause", "retired", "started",
     )
 
     def __init__(self, slot_id: int):
@@ -338,6 +352,7 @@ class _Slot:
         self.deaths = 0          # consecutive, reset by any completion
         self.kill_cause: Optional[str] = None  # set when *we* kill it
         self.retired = False
+        self.started: Optional[float] = None  # dispatch time of inflight
 
     @property
     def live(self) -> bool:
@@ -360,6 +375,7 @@ class Supervisor:
         cache_dir: Optional[str] = None,
         on_finish: Optional[Callable[[int, Any], None]] = None,
         progress: Optional[Callable[[str], None]] = None,
+        ledger=None,
     ):
         if workers < 1:
             raise ConfigurationError("supervisor needs at least one worker")
@@ -369,6 +385,8 @@ class Supervisor:
         self.cache_dir = cache_dir
         self.on_finish = on_finish
         self.progress = progress or (lambda message: None)
+        self.ledger = ledger
+        self._next_counters = 0.0  # next periodic counters emission
         self.workers = min(workers, max(len(self.todo), 1))
 
         self.results: Dict[int, Any] = {}
@@ -403,6 +421,10 @@ class Supervisor:
             for name in _COUNTER_NAMES
         }
 
+    def _emit(self, event: str, **fields: Any) -> None:
+        if self.ledger is not None:
+            self.ledger.emit(event, **fields)
+
     def run(self) -> SweepResult:
         if not self.todo:
             return SweepResult([], [], self._stats())
@@ -429,6 +451,7 @@ class Supervisor:
                 slot.slot_id, child_conn, self.cache_dir,
                 self.config.snapshot_every, self.config.chaos,
                 self.config.heartbeat_interval,
+                self.ledger.path if self.ledger is not None else None,
             ),
             daemon=True,
         )
@@ -439,7 +462,9 @@ class Supervisor:
         slot.inflight = None
         slot.deadline = None
         slot.kill_cause = None
+        slot.started = None
         slot.last_ping = time.monotonic()
+        self._emit("worker-spawn", slot=slot.slot_id, worker_pid=process.pid)
 
     def _shutdown(self) -> None:
         for slot in self.slots:
@@ -464,6 +489,10 @@ class Supervisor:
         done = len(self.results) + len(self.quarantined)
         return len(self.todo) - done
 
+    #: wall seconds between periodic supervisor-counter snapshots in
+    #: the ledger (observation cadence only; results never depend on it)
+    COUNTERS_EVERY = 2.0
+
     def _loop(self) -> None:
         while self._outstanding() > 0:
             self._reap_dead()
@@ -471,6 +500,10 @@ class Supervisor:
             self._dispatch()
             if self._outstanding() == 0:
                 break
+            now = time.monotonic()
+            if self.ledger is not None and now >= self._next_counters:
+                self._next_counters = now + self.COUNTERS_EVERY
+                self._emit("counters", counters=self._stats())
             self._drain(timeout=_TICK)
 
     def _live_slots(self) -> List[_Slot]:
@@ -504,15 +537,16 @@ class Supervisor:
                 self.pending.insert(0, index)
                 continue
             slot.inflight = (index, attempt)
+            slot.started = now
             slot.deadline = (
                 now + self.config.cell_timeout
                 if self.config.cell_timeout is not None else None
             )
-            if attempt > 0:
-                self.progress(
-                    f"[supervisor] retry {attempt}/{self.config.max_retries} "
-                    f"for cell {index} on shard {slot.slot_id}"
-                )
+            self._emit(
+                "cell-start", index=index, key=_key_of(cell),
+                label=_label_of(cell), attempt=attempt,
+                slot=slot.slot_id,
+            )
 
     def _drain(self, timeout: float) -> None:
         connections = {
@@ -563,6 +597,8 @@ class Supervisor:
         _tag, index, attempt, payload, digest = message
         slot.inflight = None
         slot.deadline = None
+        started = slot.started
+        slot.started = None
         if hashlib.sha256(payload).hexdigest() != digest:
             self._inc("corrupt_results")
             self._fail(index, "corrupt result payload (digest mismatch)")
@@ -576,8 +612,25 @@ class Supervisor:
         slot.deaths = 0
         self._inc("cells_completed")
         self.results[index] = result
+        # Cache write first, ledger second: a cell-finish record must
+        # never precede the result file it announces (the manifest
+        # flush that rides the ledger relies on this ordering).
         if self.on_finish is not None:
             self.on_finish(index, result)
+        from repro.experiments.runner import cell_cost
+
+        cell = self.cells[index]
+        self._emit(
+            "cell-finish", index=index, key=_key_of(cell),
+            label=_label_of(cell), attempt=attempt,
+            duration_s=(
+                round(time.monotonic() - started, 3)
+                if started is not None else None
+            ),
+            cost=cell_cost(result),
+            sketch=result.get("sketch") if isinstance(result, dict) else None,
+            slot=slot.slot_id,
+        )
 
     def _handle_error(self, slot: _Slot, message: Tuple) -> None:
         """A Python exception inside a cell: deterministic (cells are
@@ -638,10 +691,16 @@ class Supervisor:
             if slot.kill_cause is None:
                 self._inc("worker_deaths")
             slot.deaths += 1
+            self._emit(
+                "worker-death", slot=slot.slot_id, cause=cause,
+                exitcode=exitcode, deaths=slot.deaths,
+                death_cap=self.config.worker_death_cap,
+            )
             if slot.inflight is not None:
                 index, _attempt = slot.inflight
                 slot.inflight = None
                 slot.deadline = None
+                slot.started = None
                 self._fail(index, cause)
             if slot.conn is not None:
                 slot.conn.close()
@@ -650,10 +709,9 @@ class Supervisor:
                 slot.retired = True
                 slot.process = None
                 remaining = len(self._live_slots())
-                self.progress(
-                    f"[supervisor] shard {slot.slot_id} retired after "
-                    f"{slot.deaths} consecutive deaths; pool shrinks to "
-                    f"{remaining} worker(s)"
+                self._emit(
+                    "worker-retire", slot=slot.slot_id,
+                    deaths=slot.deaths, remaining=remaining,
                 )
                 if remaining == 0 and self._outstanding() > 0:
                     raise SupervisorError(
@@ -662,11 +720,6 @@ class Supervisor:
                     )
             else:
                 self._inc("worker_restarts")
-                self.progress(
-                    f"[supervisor] shard {slot.slot_id} {cause}; "
-                    f"restarting (death {slot.deaths}/"
-                    f"{self.config.worker_death_cap})"
-                )
                 self._spawn(slot)
 
     def _fail(self, index: int, cause: str) -> None:
@@ -681,9 +734,10 @@ class Supervisor:
                 cap=self.config.backoff_cap,
             )
             self.pending.insert(0, index)
-            self.progress(
-                f"[supervisor] cell {index} failed ({cause}); "
-                f"retry {used}/{self.config.max_retries} queued"
+            self._emit(
+                "cell-retry", index=index, key=key,
+                cause=cause, attempt=used,
+                max_retries=self.config.max_retries,
             )
         else:
             self._inc("quarantines")
@@ -695,9 +749,10 @@ class Supervisor:
                 causes=list(self.causes[index]),
             )
             self.quarantined.append(record)
-            self.progress(
-                f"[supervisor] cell {index} quarantined after "
-                f"{used} attempt(s): {cause}"
+            self._emit(
+                "cell-quarantine", index=index, key=record.key,
+                label=record.label, attempts=used, cause=cause,
+                causes=list(record.causes),
             )
 
 
@@ -721,6 +776,7 @@ def supervise_cells(
     cache_dir: Optional[str] = None,
     on_finish: Optional[Callable[[int, Any], None]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    ledger=None,
 ) -> SweepResult:
     """Run ``cell_list[i] for i in todo`` under supervision.
 
@@ -728,10 +784,14 @@ def supervise_cells(
     with ``todo`` (quarantined cells hold ``None``).  This is the
     non-raising API; :func:`repro.experiments.runner.run_cells` wraps
     it and raises :class:`~repro.errors.QuarantineError` by default.
+    Pass a :class:`~repro.obs.ledger.Ledger` to narrate every
+    lifecycle event (``progress`` is kept for API compatibility; the
+    ledger's console renderer supersedes it).
     """
     supervisor = Supervisor(
         cell_list, todo, workers,
         config or SupervisorConfig(),
         cache_dir=cache_dir, on_finish=on_finish, progress=progress,
+        ledger=ledger,
     )
     return supervisor.run()

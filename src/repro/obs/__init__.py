@@ -1,0 +1,43 @@
+"""Live sweep observatory: run ledger, streaming aggregation, serving.
+
+The supervisor and serial runner narrate every sweep into an
+append-only JSONL **run ledger** (:mod:`repro.obs.ledger`); a
+**streaming aggregator** (:mod:`repro.obs.aggregate`) folds the ledger
+into live sweep state -- progress, ETA over virtual-cost-weighted
+cells, merged metric sketches with mid-sweep quantiles; and a
+**serving layer** exposes that state as Server-Sent Events plus JSON
+snapshots (:mod:`repro.obs.server`), an ANSI terminal dashboard
+(:mod:`repro.obs.watch`), and the runner's own console progress lines
+(:mod:`repro.obs.console`).  All three read the same events, so they
+cannot disagree.
+
+The ledger is observation only: it never touches the simulation, its
+RNG, or the TraceLog, and the differential suite pins ledger-on ==
+ledger-off result equality down to trace and sketch digests.
+"""
+
+from repro.obs.aggregate import SweepState, replay
+from repro.obs.console import ConsoleRenderer
+from repro.obs.ledger import (
+    LEDGER_FILENAME,
+    SCHEMA_VERSION,
+    Ledger,
+    iter_ledger,
+    tail_ledger,
+)
+from repro.obs.server import ObsServer
+from repro.obs.watch import render_dashboard, watch
+
+__all__ = [
+    "LEDGER_FILENAME",
+    "SCHEMA_VERSION",
+    "Ledger",
+    "iter_ledger",
+    "tail_ledger",
+    "SweepState",
+    "replay",
+    "ConsoleRenderer",
+    "ObsServer",
+    "render_dashboard",
+    "watch",
+]

@@ -1,0 +1,258 @@
+"""Stdlib-only HTTP service for watching a sweep.
+
+:class:`ObsServer` runs a :class:`http.server.ThreadingHTTPServer` on
+a daemon thread next to the sweep (or anywhere the ledger file is
+visible) and serves three endpoints:
+
+``GET /state``
+    JSON snapshot of the folded sweep state -- progress, per-cell
+    status table, live merged-sketch summary (p50/p95 mid-sweep),
+    supervisor counters, throughput and ETA.  Incremental: the server
+    keeps one :class:`~repro.obs.aggregate.SweepState` and folds only
+    the ledger lines appended since the last request.
+
+``GET /events``
+    Server-Sent Events tailing the ledger: every record becomes one
+    ``data: <json>`` frame, starting from the beginning of the file
+    (so a late-attaching client backfills the whole story) and
+    following live appends until the sweep finishes.  Corrupt lines
+    are skipped exactly as :func:`~repro.obs.ledger.iter_ledger`
+    skips them -- a crashed writer never takes the feed down.
+
+``GET /``
+    A single-file HTML dashboard consuming both endpoints.
+
+Everything here is observation: no endpoint mutates anything, and the
+server reads the ledger file exactly as ``repro watch`` does.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.obs.aggregate import SweepState
+from repro.obs.ledger import _decode_line, tail_ledger
+
+#: SSE keep-alive comment period (seconds) while the ledger is idle
+SSE_POLL = 0.25
+
+
+class _Follower:
+    """Incremental ledger -> SweepState fold shared by /state calls."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.state = SweepState()
+        self._offset = 0
+        self._lineno = 0
+        self._buffer = b""
+        self._lock = threading.Lock()
+
+    def refresh(self) -> SweepState:
+        """Fold any newly appended complete lines, then return state."""
+        with self._lock:
+            try:
+                with open(self.path, "rb") as fh:
+                    fh.seek(self._offset)
+                    chunk = fh.read()
+            except OSError:
+                return self.state
+            self._offset += len(chunk)
+            self._buffer += chunk
+            while b"\n" in self._buffer:
+                raw, self._buffer = self._buffer.split(b"\n", 1)
+                self._lineno += 1
+                record = _decode_line(raw, self._lineno, self.path,
+                                      warn=False)
+                if record is not None:
+                    self.state.apply(record)
+            return self.state
+
+
+class _ObsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+    #: injected by ObsServer via the handler subclass it builds
+    follower: _Follower = None
+    stopping: threading.Event = None
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the sweep's own output matters more than access logs
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload, default=repr).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Access-Control-Allow-Origin", "*")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/state":
+                self._send_json(self.follower.refresh().to_dict())
+            elif path == "/events":
+                self._serve_events()
+            elif path in ("/", "/index.html"):
+                body = DASHBOARD_HTML.encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "text/html; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            else:
+                self._send_json({"error": f"unknown path {path}"}, 404)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
+
+    def _serve_events(self) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Access-Control-Allow-Origin", "*")
+        self.end_headers()
+        stop = self.stopping
+        for record in tail_ledger(
+            self.follower.path,
+            poll=SSE_POLL,
+            stop=(stop.is_set if stop is not None else None),
+            warn=False,
+        ):
+            frame = (
+                f"event: {record.get('event', 'message')}\n"
+                f"data: {json.dumps(record, default=repr)}\n\n"
+            )
+            self.wfile.write(frame.encode("utf-8"))
+            self.wfile.flush()
+        self.wfile.write(b": sweep finished\n\n")
+        self.wfile.flush()
+
+
+class ObsServer:
+    """The sweep observatory service (daemon thread; stdlib only)."""
+
+    def __init__(self, ledger_path: str, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.ledger_path = ledger_path
+        self._stopping = threading.Event()
+        follower = _Follower(ledger_path)
+        self.follower = follower
+        handler = type(
+            "BoundObsHandler",
+            (_ObsHandler,),
+            {"follower": follower, "stopping": self._stopping},
+        )
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple:
+        return self.httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ObsServer":
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            daemon=True, name="repro-obs-server",
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+#: the whole dashboard, one file, no dependencies: polls /state for
+#: the table and rides /events for instant updates
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro sweep observatory</title>
+<style>
+  body { font-family: ui-monospace, monospace; margin: 1.5rem;
+         background: #111; color: #ddd; }
+  h1 { font-size: 1.1rem; }
+  .bar { height: 14px; background: #333; border-radius: 7px;
+         overflow: hidden; margin: .4rem 0 1rem; }
+  .bar > div { height: 100%; background: #4a9; float: left; }
+  .bar > div.q { background: #c55; }
+  table { border-collapse: collapse; font-size: .85rem; }
+  td, th { padding: .15rem .6rem; text-align: left; }
+  tr.done td { color: #7c7; } tr.cached td { color: #79c; }
+  tr.running td { color: #fd7; } tr.quarantined td { color: #f77; }
+  #meta, #sketch { margin: .5rem 0; white-space: pre; }
+</style>
+</head>
+<body>
+<h1>repro sweep observatory</h1>
+<div id="meta">connecting&hellip;</div>
+<div class="bar"><div id="done" style="width:0%"></div>
+<div id="quar" class="q" style="width:0%"></div></div>
+<div id="sketch"></div>
+<table id="cells"><thead>
+<tr><th>#</th><th>cell</th><th>state</th><th>attempts</th><th>last cause</th></tr>
+</thead><tbody></tbody></table>
+<script>
+async function refresh() {
+  const r = await fetch('/state'); const s = await r.json();
+  const done = s.done, total = s.total || 1;
+  const q = s.progress.quarantined || 0;
+  document.getElementById('done').style.width =
+      (100 * done / total) + '%';
+  document.getElementById('quar').style.width = (100 * q / total) + '%';
+  const eta = s.eta_seconds == null ? '?' :
+      (s.eta_seconds < 90 ? s.eta_seconds.toFixed(0) + 's'
+                          : (s.eta_seconds / 60).toFixed(1) + 'm');
+  document.getElementById('meta').textContent =
+      `${done}/${s.total} cells  (${q} quarantined)  ` +
+      `rate ${s.rate_cost_per_s.toFixed(1)} cost/s  eta ${eta}  ` +
+      (s.finished ? 'FINISHED' : 'running');
+  const sk = Object.entries(s.sketch || {}).map(([k, v]) =>
+      `${k}: n=${v.count} mean=${v.mean.toFixed(1)} ` +
+      `p50=${(v.p50 ?? 0).toFixed(1)} p95=${(v.p95 ?? 0).toFixed(1)}`);
+  document.getElementById('sketch').textContent = sk.join('\\n');
+  const tbody = document.querySelector('#cells tbody');
+  tbody.innerHTML = '';
+  for (const c of s.cells) {
+    const tr = document.createElement('tr');
+    tr.className = c.state;
+    const cause = c.causes.length ? c.causes[c.causes.length - 1] : '';
+    tr.innerHTML = `<td>${c.index}</td><td>${c.label || c.key || ''}</td>` +
+        `<td>${c.state}</td><td>${c.attempts}</td><td>${cause}</td>`;
+    tbody.appendChild(tr);
+  }
+  if (s.finished && window.__es) { window.__es.close(); }
+}
+refresh();
+window.__es = new EventSource('/events');
+window.__es.onmessage = () => refresh();
+for (const ev of ['sweep-start', 'cell-start', 'cell-finish',
+                  'cell-retry', 'cell-quarantine', 'sweep-finish',
+                  'counters', 'worker-death', 'worker-retire'])
+  window.__es.addEventListener(ev, () => refresh());
+setInterval(refresh, 5000);
+</script>
+</body>
+</html>
+"""

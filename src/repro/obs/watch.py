@@ -1,0 +1,176 @@
+"""``repro watch``: an ANSI terminal dashboard over a sweep's state.
+
+Watches either a sweep directory (reads ``ledger.jsonl`` directly,
+backfilling by replaying the file, then following appends) or a
+running observatory URL (polls ``GET /state``).  Both sources produce
+the same ``/state`` snapshot dict, and :func:`render_dashboard` turns
+it into one screenful -- so the terminal, the browser dashboard and
+the SSE feed always tell the same story.
+
+The redraw is curses-free: home the cursor, repaint, erase the
+remainder (``ESC[H`` ... ``ESC[J]``).  ``--once`` renders a single
+frame and exits (how the tests and the README transcript drive it).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.server import _Follower
+
+#: cells shown in the table; the rest collapse into a summary line
+MAX_ROWS = 24
+
+_BAR_WIDTH = 40
+
+
+def _bar(done: int, quarantined: int, total: int) -> str:
+    if total <= 0:
+        return "[" + " " * _BAR_WIDTH + "]"
+    full = int(_BAR_WIDTH * done / total)
+    bad = int(_BAR_WIDTH * quarantined / total)
+    if quarantined and bad == 0:
+        bad = 1
+    full = min(full, _BAR_WIDTH - bad)
+    return "[" + "#" * full + "!" * bad + "." * (_BAR_WIDTH - full - bad) + "]"
+
+
+def _fmt_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "?"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+_STATE_MARKS = {
+    "done": "x", "cached": "c", "running": ">",
+    "quarantined": "q", "pending": " ",
+}
+
+
+def render_dashboard(state: Dict[str, Any], width: int = 100) -> str:
+    """One screenful of sweep state from a ``/state`` snapshot dict."""
+    total = state.get("total", 0)
+    done = state.get("done", 0)
+    progress = state.get("progress", {})
+    quarantined = progress.get("quarantined", 0)
+    running = progress.get("running", 0)
+    lines = []
+    title = state.get("experiment") or "sweep"
+    status = "FINISHED" if state.get("finished") else (
+        f"{running} running" if running else "waiting"
+    )
+    lines.append(f"repro watch -- {title}  [{status}]")
+    lines.append(
+        f"{_bar(done, quarantined, total)} {done}/{total} cells"
+        + (f"  ({quarantined} quarantined)" if quarantined else "")
+    )
+    rate = state.get("rate_cost_per_s") or 0.0
+    lines.append(
+        f"rate {rate:.1f} cost/s   eta {_fmt_seconds(state.get('eta_seconds'))}"
+        + (f"   snapshots {state['snapshots']}"
+           if state.get("snapshots") else "")
+    )
+    supervisor = {
+        k: v for k, v in sorted((state.get("supervisor") or {}).items()) if v
+    }
+    if supervisor:
+        lines.append(
+            "supervisor: " + ", ".join(f"{k}={v}" for k, v in supervisor.items())
+        )
+    sketch = state.get("sketch") or {}
+    if sketch:
+        lines.append("")
+        lines.append("live merged sketches (mid-sweep quantiles):")
+        for name, entry in sorted(sketch.items())[:8]:
+            lines.append(
+                f"  {name}: n={entry['count']} mean={entry['mean']:.1f} "
+                f"p50={entry.get('p50', 0.0):.1f} "
+                f"p95={entry.get('p95', 0.0):.1f}"
+            )
+        if len(sketch) > 8:
+            lines.append(f"  ... and {len(sketch) - 8} more histograms")
+    cells = state.get("cells") or []
+    if cells:
+        lines.append("")
+        for cell in cells[:MAX_ROWS]:
+            mark = _STATE_MARKS.get(cell.get("state"), "?")
+            label = cell.get("label") or cell.get("key") or f"#{cell['index']}"
+            line = f"  [{mark}] {label}"
+            if cell.get("attempts", 0) > 1:
+                line += f"  (attempt {cell['attempts']})"
+            causes = cell.get("causes") or []
+            if causes and cell.get("state") == "quarantined":
+                line += f"  <- {causes[-1]}"
+            lines.append(line[:width])
+        if len(cells) > MAX_ROWS:
+            lines.append(f"  ... and {len(cells) - MAX_ROWS} more cells")
+    return "\n".join(lines)
+
+
+def _fetch_url_state(url: str) -> Dict[str, Any]:
+    target = url.rstrip("/")
+    if not target.endswith("/state"):
+        target += "/state"
+    with urllib.request.urlopen(target, timeout=10.0) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def watch(
+    target: str,
+    interval: float = 0.5,
+    once: bool = False,
+    out=None,
+    max_seconds: Optional[float] = None,
+) -> int:
+    """Render the live dashboard until the sweep finishes.
+
+    ``target`` is a sweep directory (containing ``ledger.jsonl``), a
+    ledger file path, or an ``http(s)://`` observatory URL.  Returns 0
+    when the sweep finished, 1 when ``max_seconds`` elapsed first.
+    """
+    import os
+
+    out = out if out is not None else sys.stdout
+    follower: Optional[_Follower] = None
+    if target.startswith(("http://", "https://")):
+        source = lambda: _fetch_url_state(target)  # noqa: E731
+    else:
+        path = target
+        if os.path.isdir(path):
+            from repro.obs.ledger import ledger_path
+
+            path = ledger_path(path)
+        if not os.path.exists(path):
+            raise ConfigurationError(
+                f"{target}: no ledger found (expected a sweep directory "
+                "with a ledger.jsonl, a ledger file, or an http URL)"
+            )
+        follower = _Follower(path)
+        source = lambda: follower.refresh().to_dict()  # noqa: E731
+    started = time.monotonic()
+    is_tty = hasattr(out, "isatty") and out.isatty()
+    while True:
+        state = source()
+        frame = render_dashboard(state)
+        if is_tty and not once:
+            # Home, repaint, erase whatever the last frame left behind.
+            out.write("\x1b[H" + frame + "\x1b[J\n")
+        else:
+            out.write(frame + "\n")
+        out.flush()
+        if once or state.get("finished"):
+            return 0
+        if max_seconds is not None and (
+            time.monotonic() - started > max_seconds
+        ):
+            return 1
+        time.sleep(interval)

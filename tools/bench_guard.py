@@ -213,6 +213,43 @@ def _scale_cell(scenario: str, trackers: int, num_jobs: int) -> dict:
             "labels": out["engine"]["labels"]}
 
 
+def bench_ledger_sweep(scale: float = 1.0) -> dict:
+    """The run-ledger observability path: a serial cached sweep plus a
+    warm-cache rerun, with the replayed ledger's event counts recorded
+    as strict deterministic counters (same policy as per-label event
+    families).  The serial path is used deliberately -- supervised
+    sweeps add wall-clock-gated ``counters`` records whose count is
+    machine-dependent."""
+    import tempfile
+
+    from repro.experiments.runner import Cell, derive_seed, run_cells
+    from repro.obs import replay
+    from repro.obs.ledger import ledger_path
+
+    trackers = max(int(5 * scale), 2)
+    num_jobs = max(int(5 * scale), 2)
+    cells = [
+        Cell.make(
+            "repro.experiments.scale_study", "_run_once",
+            scenario="baseline", primitive_name=primitive,
+            trackers=trackers, num_jobs=num_jobs,
+            seed=derive_seed(9000, "scale", "baseline", trackers,
+                             primitive, 0),
+        )
+        for primitive in ("wait", "suspend", "kill")
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        results = run_cells(cells, workers=1, cache_dir=tmp)
+        run_cells(cells, workers=1, cache_dir=tmp)  # warm -> cell-cached
+        state = replay(ledger_path(tmp), warn=False)
+    return {
+        "events": int(sum(r["events"] for r in results)),
+        "engine_ops": 0,
+        "labels": {f"ledger/{name}": count
+                   for name, count in sorted(state.event_counts.items())},
+    }
+
+
 BENCHES = {
     "resource_churn": bench_resource_churn,
     "two_job_suspend": bench_two_job_suspend,
@@ -221,6 +258,7 @@ BENCHES = {
     "shuffle_net_25": bench_shuffle_net_25,
     "memscale_25": bench_memscale_25,
     "checkpoint_smoke": bench_checkpoint_smoke,
+    "ledger_sweep": bench_ledger_sweep,
 }
 
 

@@ -55,6 +55,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="chaos-manifest.json",
                         help="where to copy the sweep manifest")
+    parser.add_argument("--ledger-out", default="chaos-ledger.jsonl",
+                        help="where to copy the sweep's run ledger "
+                        "(validate with tools/validate_ledger.py)")
     parser.add_argument("--trackers", type=int, default=5)
     parser.add_argument("--num-jobs", type=int, default=5)
     parser.add_argument("--cell-timeout", type=float, default=20.0,
@@ -102,6 +105,10 @@ def main(argv=None) -> int:
         if manifest_path.exists():
             shutil.copy(manifest_path, args.out)
             print(f"chaos_smoke: manifest copied to {args.out}")
+        ledger_file = cache / "ledger.jsonl"
+        if ledger_file.exists():
+            shutil.copy(ledger_file, args.ledger_out)
+            print(f"chaos_smoke: run ledger copied to {args.ledger_out}")
     finally:
         shutil.rmtree(cache, ignore_errors=True)
 

@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Validate a run ledger: schema, fold, and manifest agreement.
+
+Three checks, all of which a healthy sweep passes by construction:
+
+1. **Schema** -- every line decodes as a v<=1 JSON object with the
+   envelope fields (``v``, ``seq``, ``pid``, ``t``, ``event``), ``seq``
+   is monotone per writing process, and every event name is known.
+2. **Fold** -- :func:`repro.obs.replay` reconstructs a coherent final
+   state: a ``sweep-start``, every non-pending cell accounted for, and
+   (when the sweep ran to completion) a ``sweep-finish`` whose counts
+   match the folded cell table.
+3. **Manifest** -- with ``--manifest``, the replayed state must agree
+   with the sweep's final ``manifest.json``: same total, same done
+   count, same per-key completion and quarantine flags, and the same
+   supervisor counters the manifest recorded.
+
+Exit code 0 = valid; 1 = any violation (each printed).  CI runs this
+over the chaos-smoke sweep's ledger, so a chaos-ridden run must leave
+a ledger that replays into exactly the manifest it shipped with.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_ledger.py chaos-ledger.jsonl \\
+        --manifest chaos-manifest.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.aggregate import replay  # noqa: E402
+from repro.obs.ledger import SCHEMA_VERSION, iter_ledger  # noqa: E402
+
+#: every event the current writers emit; an unknown name in a ledger
+#: means writer and validator have drifted apart
+KNOWN_EVENTS = frozenset({
+    "sweep-start", "sweep-finish",
+    "cell-cached", "cell-start", "cell-finish", "cell-retry",
+    "cell-quarantine",
+    "worker-spawn", "worker-death", "worker-retire",
+    "snapshot", "counters",
+})
+
+#: envelope keys every record must carry
+ENVELOPE = ("v", "seq", "pid", "t", "event")
+
+
+def check_schema(path: str, errors: list) -> int:
+    """Envelope + per-pid seq monotonicity; returns records seen."""
+    last_seq: dict = {}
+    count = 0
+    for record in iter_ledger(path, warn=False):
+        count += 1
+        missing = [key for key in ENVELOPE if key not in record]
+        if missing:
+            errors.append(
+                f"record {count} ({record.get('event', '?')}) lacks "
+                f"envelope fields: {', '.join(missing)}"
+            )
+            continue
+        if record["v"] > SCHEMA_VERSION:
+            errors.append(f"record {count} claims future schema v{record['v']}")
+        if record["event"] not in KNOWN_EVENTS:
+            errors.append(f"record {count}: unknown event {record['event']!r}")
+        pid = record["pid"]
+        if pid in last_seq and record["seq"] <= last_seq[pid]:
+            errors.append(
+                f"record {count}: seq {record['seq']} not monotone for "
+                f"pid {pid} (last {last_seq[pid]})"
+            )
+        last_seq[pid] = record["seq"]
+    return count
+
+
+def check_fold(path: str, errors: list):
+    """Replay the file; sanity-check the folded final state."""
+    state = replay(path, warn=False)
+    if state.event_counts.get("sweep-start", 0) == 0:
+        errors.append("no sweep-start record")
+        return state
+    folded_done = state.count("done")
+    folded_cached = state.count("cached")
+    folded_quarantined = state.count("quarantined")
+    starts = state.event_counts.get("cell-start", 0)
+    finishes = state.event_counts.get("cell-finish", 0)
+    if finishes > starts:
+        errors.append(f"{finishes} cell-finish but only {starts} cell-start")
+    if state.finished:
+        if state.count("running"):
+            errors.append(
+                f"sweep-finish seen with {state.count('running')} cell(s) "
+                "still marked running"
+            )
+        expected = state.total - folded_quarantined
+        if folded_done + folded_cached != expected:
+            errors.append(
+                f"finished sweep folded to {folded_done}+{folded_cached} "
+                f"done/cached cells, expected {expected} "
+                f"(total {state.total} - {folded_quarantined} quarantined)"
+            )
+    return state
+
+
+def check_manifest(state, manifest_path: str, errors: list) -> None:
+    """The replayed state must equal the final manifest."""
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    if state.total != manifest.get("total"):
+        errors.append(
+            f"total: ledger {state.total} != manifest {manifest.get('total')}"
+        )
+    if state.done != manifest.get("done"):
+        errors.append(
+            f"done: ledger {state.done} != manifest {manifest.get('done')}"
+        )
+    folded = {
+        cell["key"]: cell for cell in state.cells.values()
+        if cell.get("key")
+    }
+    for entry in manifest.get("cells", []):
+        key = entry.get("key")
+        cell = folded.get(key)
+        if cell is None:
+            errors.append(f"manifest cell {key} absent from ledger")
+            continue
+        ledger_done = cell["state"] in ("done", "cached")
+        if ledger_done != entry.get("done", False):
+            errors.append(
+                f"cell {key}: ledger says "
+                f"{'done' if ledger_done else 'not done'}, manifest says "
+                f"{'done' if entry.get('done') else 'not done'}"
+            )
+        if bool(entry.get("quarantined")) != (
+            cell["state"] == "quarantined"
+        ):
+            errors.append(f"cell {key}: quarantine flag disagrees")
+    stats = manifest.get("supervisor")
+    if stats and state.counters:
+        for name, value in stats.items():
+            if name in state.counters and state.counters[name] != value:
+                errors.append(
+                    f"counter {name}: ledger {state.counters[name]} != "
+                    f"manifest {value}"
+                )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("ledger", help="ledger.jsonl to validate")
+    parser.add_argument("--manifest", default=None,
+                        help="final manifest.json the replayed state "
+                        "must agree with")
+    args = parser.parse_args(argv)
+
+    errors: list = []
+    count = check_schema(args.ledger, errors)
+    if count == 0:
+        errors.append("ledger holds no decodable records")
+    state = check_fold(args.ledger, errors)
+    if args.manifest:
+        check_manifest(state, args.manifest, errors)
+
+    if errors:
+        for message in errors:
+            print(f"validate_ledger: FAIL -- {message}", file=sys.stderr)
+        return 1
+    summary = (
+        f"{count} records, {state.total} cells "
+        f"({state.count('done')} done, {state.count('cached')} cached, "
+        f"{state.count('quarantined')} quarantined), "
+        f"{'finished' if state.finished else 'in flight'}"
+    )
+    print(f"validate_ledger: OK -- {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
