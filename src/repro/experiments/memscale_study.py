@@ -186,17 +186,22 @@ def _run_once(
     trace: bool = False,
     collector=None,
     profile: bool = False,
+    heartbeat_phases: int = 0,
+    batch_heartbeats: bool = False,
 ) -> Dict[str, float]:
     """One replay cell: pure function of its arguments.
 
-    ``trace`` / ``collector`` / ``profile`` are the telemetry hooks
-    (same contract as :func:`repro.experiments.scale_study._run_once`):
+    ``trace`` / ``collector`` / ``profile`` are the telemetry hooks,
+    ``heartbeat_phases`` / ``batch_heartbeats`` the batched-dispatch
+    knobs (same contract as
+    :func:`repro.experiments.scale_study._run_once`):
     observation only, pinned by the silence differential suite.
     """
     cluster, finished = _build_run(
         mode, trackers, num_jobs, seed, swap_bytes=swap_bytes,
         reserve_bytes=reserve_bytes, trace=trace, collector=collector,
-        profile=profile,
+        profile=profile, heartbeat_phases=heartbeat_phases,
+        batch_heartbeats=batch_heartbeats,
     )
     drive_to_completion(
         cluster, finished, num_jobs,
@@ -217,6 +222,8 @@ def _build_run(
     trace: bool = False,
     collector=None,
     profile: bool = False,
+    heartbeat_phases: int = 0,
+    batch_heartbeats: bool = False,
 ):
     """Build one fully loaded (but not yet driven) memscale cell;
     returns ``(cluster, completion_counter)`` (see
@@ -226,6 +233,8 @@ def _build_run(
         map_slots=2,
         reduce_slots=1,
         max_suspended_per_tracker=MAX_SUSPENDED_PER_TRACKER,
+        heartbeat_phases=heartbeat_phases,
+        batch_heartbeats=batch_heartbeats,
     )
     scheduler = _make_scheduler(mode, reserve_bytes, node_config, hadoop_config)
     racks = max(1, (trackers + HOSTS_PER_RACK - 1) // HOSTS_PER_RACK)

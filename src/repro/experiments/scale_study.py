@@ -50,6 +50,10 @@ SCENARIOS: Dict[str, Dict[str, str]] = {
     "shuffle-heavy": {"mix": "shuffle-heavy", "arrival": "poisson"},
     "burst": {"mix": "facebook", "arrival": "bursty"},
     "diurnal": {"mix": "facebook", "arrival": "diurnal"},
+    # Homogeneous long jobs: the whole workload stays live at once, the
+    # many-live-jobs regime the batched heartbeat dispatch amortizes
+    # (bench_guard's 2000/5000-tracker cells replay this scenario).
+    "steady": {"mix": "steady", "arrival": "poisson"},
 }
 
 DEFAULT_CLUSTER_SIZES = (25, 100, 400)
@@ -98,6 +102,8 @@ def _run_once(
     trace: bool = False,
     collector=None,
     profile: bool = False,
+    heartbeat_phases: int = 0,
+    batch_heartbeats: bool = False,
 ) -> Dict[str, float]:
     """One replay cell: pure function of its arguments.
 
@@ -111,11 +117,17 @@ def _run_once(
     cell's TraceLog -- observation only, and in-process only (never a
     Cell param); ``profile`` turns on the engine's per-label
     attribution and adds its stats under ``"engine"``.
+    ``heartbeat_phases`` locks tracker heartbeats onto that many shared
+    phase offsets and ``batch_heartbeats`` amortizes the JobTracker's
+    scheduling passes across each resulting same-instant batch; the
+    batched-vs-unbatched differential suites hold runs differing only
+    in ``batch_heartbeats`` digest-identical.
     """
     cluster, finished = _build_run(
         scenario, primitive_name, trackers, num_jobs, seed,
         admission=admission, trace=trace, collector=collector,
-        profile=profile,
+        profile=profile, heartbeat_phases=heartbeat_phases,
+        batch_heartbeats=batch_heartbeats,
     )
     drive_to_completion(
         cluster, finished, num_jobs,
@@ -136,6 +148,8 @@ def _build_run(
     trace: bool = False,
     collector=None,
     profile: bool = False,
+    heartbeat_phases: int = 0,
+    batch_heartbeats: bool = False,
 ):
     """Build one fully loaded (but not yet driven) replay cell.
 
@@ -159,7 +173,10 @@ def _build_run(
         num_nodes=trackers,
         node_config=P.paper_node_config(),
         hadoop_config=P.paper_hadoop_config().replace(
-            map_slots=2, reduce_slots=1
+            map_slots=2,
+            reduce_slots=1,
+            heartbeat_phases=heartbeat_phases,
+            batch_heartbeats=batch_heartbeats,
         ),
         scheduler=scheduler,
         seed=seed,

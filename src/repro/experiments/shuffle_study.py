@@ -80,11 +80,15 @@ def _run_once(
     trace: bool = False,
     collector=None,
     profile: bool = False,
+    heartbeat_phases: int = 0,
+    batch_heartbeats: bool = False,
 ) -> Dict[str, float]:
     """One replay cell: pure function of its arguments.
 
-    ``trace`` / ``collector`` / ``profile`` are the telemetry hooks
-    (same contract as :func:`repro.experiments.scale_study._run_once`).
+    ``trace`` / ``collector`` / ``profile`` are the telemetry hooks,
+    ``heartbeat_phases`` / ``batch_heartbeats`` the batched-dispatch
+    knobs (same contract as
+    :func:`repro.experiments.scale_study._run_once`).
     """
     if oversubscription <= 0:
         raise ConfigurationError("oversubscription must be positive")
@@ -105,7 +109,10 @@ def _run_once(
         num_nodes=trackers,
         node_config=P.paper_node_config(),
         hadoop_config=P.paper_hadoop_config().replace(
-            map_slots=2, reduce_slots=1
+            map_slots=2,
+            reduce_slots=1,
+            heartbeat_phases=heartbeat_phases,
+            batch_heartbeats=batch_heartbeats,
         ),
         scheduler=scheduler,
         seed=seed,

@@ -136,8 +136,15 @@ class HadoopCluster:
         if self._started:
             return
         self._started = True
+        phases = self.hadoop_config.heartbeat_phases
         for i, tracker in enumerate(self.trackers.values()):
-            tracker.start(stagger=0.05 + 0.11 * i)
+            # Historically every tracker gets a distinct stagger (free
+            # drift); with heartbeat_phases > 0 the staggers wrap onto P
+            # shared phase offsets, so trackers of the same phase
+            # heartbeat at the exact same instants forever and their
+            # events coalesce into one engine batch.
+            slot = i % phases if phases > 0 else i
+            tracker.start(stagger=0.05 + 0.11 * slot)
         self.jobtracker.start_expiry_monitor()
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:

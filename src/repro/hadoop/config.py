@@ -125,6 +125,16 @@ class HadoopConfig:
     speculative_execution: bool = False
     speculative_lag: float = 30.0
     speculative_slowness: float = 0.5
+    #: phase-locked heartbeat grid: with P > 0, tracker i heartbeats on
+    #: the exact instant grid ``0.05 + 0.11*(i % P) + k*interval`` and
+    #: snaps back to its grid line after every out-of-band heartbeat,
+    #: so same-phase trackers share each instant forever.  0 keeps the
+    #: historical free-drifting stagger.
+    heartbeat_phases: int = 0
+    #: let the JobTracker amortise one scheduler pass (candidate list,
+    #: SRPT order, aux scan) across all heartbeats sharing an engine
+    #: batch.  Pure caching: batched-on == batched-off event-for-event.
+    batch_heartbeats: bool = False
 
     def __post_init__(self) -> None:
         self.validate()
@@ -166,6 +176,17 @@ class HadoopConfig:
             raise ConfigurationError("speculative_lag may not be negative")
         if not 0 < self.speculative_slowness <= 1:
             raise ConfigurationError("speculative_slowness must be in (0, 1]")
+        if self.heartbeat_phases < 0:
+            raise ConfigurationError("heartbeat_phases out of range")
+        if (
+            self.heartbeat_phases > 0
+            and 0.05 + 0.11 * (self.heartbeat_phases - 1)
+            >= self.heartbeat_interval
+        ):
+            raise ConfigurationError(
+                "heartbeat_phases spread the phase offsets past one "
+                "heartbeat_interval; use fewer phases or a longer interval"
+            )
 
     def replace(self, **overrides) -> "HadoopConfig":
         """Return a copy with the given fields replaced."""

@@ -9,12 +9,14 @@ alongside the existing launch/kill actions.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.hadoop.states import AttemptState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hadoop.job import JobInProgress
     from repro.osmodel.vmm import MemoryHeadroom
 
 
@@ -125,3 +127,111 @@ class HeartbeatResponse:
     def describe(self) -> str:
         """Human-readable action list."""
         return "; ".join(a.describe() for a in self.actions) or "<none>"
+
+
+class HeartbeatBatch:
+    """Shared scheduling context for one batch of same-instant heartbeats.
+
+    When ``HadoopConfig.batch_heartbeats`` is on, the JobTracker keeps
+    one of these per engine event batch (see
+    :attr:`repro.sim.engine.Simulation.batch_id`): the job snapshot, the
+    pending-aux job list, and the scheduler's sorted job order are
+    computed once for the first heartbeat of the batch and *repaired*
+    -- via the jobs' observer notes -- rather than rebuilt for every
+    subsequent same-instant heartbeat.  Validity is
+    ``(batch_id, jobs epoch)``: a new batch, a submitted job, or any
+    job completion/kill discards the context wholesale.
+
+    The per-heartbeat answers produced through a batch context are
+    *identical* to the historical rebuild-every-time path; the
+    differential/property suites in ``tests/test_batched_differential.py``
+    and ``tests/test_batch_properties.py`` hold the two byte-for-byte
+    equal.
+    """
+
+    __slots__ = (
+        "batch_id",
+        "epoch",
+        "jobs",
+        "job_pos",
+        "aux_pos",
+        "aux_jobs",
+        "aux_ids",
+        "aux_dirty",
+        "size_dirty",
+        "sched_dirty",
+        "key_of",
+        "cand_keys",
+        "cand_jobs",
+        "cand_ids",
+    )
+
+    def __init__(self, batch_id: int, epoch: int, jobs: List["JobInProgress"]):
+        self.batch_id = batch_id
+        self.epoch = epoch
+        #: running-jobs snapshot in submission order (the JobTracker's
+        #: iteration order); stable for the life of the context because
+        #: any membership change bumps the epoch
+        self.jobs = jobs
+        self.job_pos: Dict[str, int] = {
+            job.job_id: i for i, job in enumerate(jobs)
+        }
+        #: jobs with a pending setup/cleanup tip, as parallel lists
+        #: sorted by submission position (= historical scan order);
+        #: repaired by bisect on aux notes instead of re-scanned
+        self.aux_pos: List[int] = []
+        self.aux_jobs: List["JobInProgress"] = []
+        self.aux_ids: Set[str] = set()
+        for i, job in enumerate(jobs):
+            if job.pending_aux_tip() is not None:
+                self.aux_pos.append(i)
+                self.aux_jobs.append(job)
+                self.aux_ids.add(job.job_id)
+        #: jobs whose pending-aux verdict may have moved since the last
+        #: repair -- dicts keyed by job_id (NOT sets of jobs: set
+        #: iteration order hashes object ids and is not deterministic)
+        self.aux_dirty: Dict[str, "JobInProgress"] = {}
+        #: jobs whose remaining-size sort key may have moved
+        self.size_dirty: Dict[str, "JobInProgress"] = {}
+        #: jobs whose has-schedulable-tips verdict may have moved
+        self.sched_dirty: Dict[str, "JobInProgress"] = {}
+        #: scheduler-owned SRPT bookkeeping, filled lazily on the
+        #: scheduler's first walk of the batch: job_id -> sort key for
+        #: *every* job, plus the parallel sorted key/job lists (and id
+        #: set) of just the jobs with schedulable tips -- so each walk
+        #: visits candidates, not the whole live-job set
+        self.key_of: Optional[dict] = None
+        self.cand_keys: Optional[list] = None
+        self.cand_jobs: Optional[List["JobInProgress"]] = None
+        self.cand_ids: Optional[Set[str]] = None
+
+    def note(self, job: "JobInProgress", kind: str) -> None:
+        """Observer hook: a job's hot state moved mid-batch."""
+        if kind == "size":
+            self.size_dirty[job.job_id] = job
+        elif kind == "sched":
+            self.sched_dirty[job.job_id] = job
+        else:
+            self.aux_dirty[job.job_id] = job
+
+    def refresh_aux(self) -> None:
+        """Repair the pending-aux lists from the dirty notes."""
+        if not self.aux_dirty:
+            return
+        for job_id, job in self.aux_dirty.items():
+            pos = self.job_pos.get(job_id)
+            if pos is None:
+                continue  # defensive: unknown job cannot be listed
+            pending = job.pending_aux_tip() is not None
+            present = job_id in self.aux_ids
+            if pending and not present:
+                at = bisect.bisect_left(self.aux_pos, pos)
+                self.aux_pos.insert(at, pos)
+                self.aux_jobs.insert(at, job)
+                self.aux_ids.add(job_id)
+            elif not pending and present:
+                at = bisect.bisect_left(self.aux_pos, pos)
+                del self.aux_pos[at]
+                del self.aux_jobs[at]
+                self.aux_ids.discard(job_id)
+        self.aux_dirty.clear()

@@ -10,13 +10,40 @@ makespan numbers.
 from __future__ import annotations
 
 import enum
+from array import array
 from typing import List, Optional
 
 from repro.errors import UnknownTaskError
 from repro.hadoop.counters import Counters
-from repro.hadoop.states import TipState
+from repro.hadoop.states import TIP_STATE_CODE, TipState
 from repro.hadoop.task import TaskInProgress, TipRole
 from repro.workloads.jobspec import JobSpec, TaskSpec
+
+#: dense code of the one state the scheduler scans for
+_UNASSIGNED_CODE = TIP_STATE_CODE[TipState.UNASSIGNED]
+
+
+class JobHotArrays:
+    """Array-of-struct hot state for one job's tips.
+
+    The per-heartbeat scheduler loops (remaining-size summation,
+    schedulable-tip scans) read these flat arrays instead of chasing
+    one Python object per tip.  Work tips occupy indices ``0..n-1`` in
+    :attr:`~JobInProgress.tips` order; the setup and cleanup tips (when
+    present) sit at the tail.  The tips themselves write through
+    (:meth:`repro.hadoop.task.TaskInProgress.adopt_hot`), so array and
+    object views never diverge.
+    """
+
+    __slots__ = ("num_work", "progress", "full_seconds", "state_codes",
+                 "trackers")
+
+    def __init__(self, num_work: int, total: int):
+        self.num_work = num_work
+        self.progress = array("d", bytes(8 * total))
+        self.full_seconds = array("d", bytes(8 * total))
+        self.state_codes = array("B", bytes(total))
+        self.trackers: List[Optional[str]] = [None] * total
 
 
 class JobState(enum.Enum):
@@ -73,6 +100,20 @@ class JobInProgress:
             )
         else:
             self.state = JobState.RUNNING
+        hot_tips = self.tips + [
+            t for t in (self.setup_tip, self.cleanup_tip) if t is not None
+        ]
+        #: shared flat arrays the scheduler hot loops read; tips write
+        #: through, so the arrays mirror the object graph exactly
+        self.hot = JobHotArrays(len(self.tips), len(hot_tips))
+        for hot_index, tip in enumerate(hot_tips):
+            tip.adopt_hot(self.hot, hot_index)
+        #: callback(job, kind) fired on hot-state changes -- kind
+        #: ``"size"`` when a tip's progress moved (the SRPT sort key is
+        #: stale) and ``"aux"`` when the pending-setup/cleanup verdict
+        #: may have moved; the JobTracker's batched heartbeat context
+        #: uses it to repair its caches instead of rebuilding them
+        self.observer = None
         self.launch_time: Optional[float] = None
         self.finish_time: Optional[float] = None
         #: aggregated counters of all terminal attempts
@@ -138,19 +179,40 @@ class JobInProgress:
         (-1); called from the tip state machine."""
         self._completed_work_tips += delta
         self._aux_dirty = True
+        if self.observer is not None:
+            self.observer(self, "aux")
 
     def note_tip_progress(self) -> None:
         """A tip's reported progress changed; the remaining-size
         aggregate must be re-derived before its next read."""
         self._remaining_dirty = True
+        if self.observer is not None:
+            self.observer(self, "size")
 
-    def note_tip_state_changed(self, old: "TipState", new: "TipState") -> None:
+    def note_tip_state_changed(
+        self,
+        old: "TipState",
+        new: "TipState",
+        tip: Optional[TaskInProgress] = None,
+    ) -> None:
         """Tip state-machine hook: drop caches the transition touches."""
         self._aux_dirty = True
         if self._schedulable_cache is not None and (
             old is TipState.UNASSIGNED or new is TipState.UNASSIGNED
         ):
             self._schedulable_cache = None
+        # Only setup/cleanup tip transitions can move the pending-aux
+        # verdict through this hook (work-tip completions and job
+        # lifecycle changes notify separately), so the observer is
+        # spared the noise of every work-tip launch and suspend.
+        if self.observer is not None and tip is not None:
+            if tip.is_aux:
+                self.observer(self, "aux")
+            elif old is TipState.UNASSIGNED or new is TipState.UNASSIGNED:
+                # Work-tip transitions into or out of UNASSIGNED are
+                # exactly the ones that can change whether this job has
+                # schedulable tips (the scheduler's candidate filter).
+                self.observer(self, "sched")
 
     def pending_aux_tip(self) -> Optional[TaskInProgress]:
         """The setup or cleanup tip awaiting launch right now, if any.
@@ -174,11 +236,16 @@ class JobInProgress:
         """Serial seconds of work left across all tips (size-based
         schedulers read this on every heartbeat for every live job)."""
         if self._remaining_dirty:
+            # Flat-array scan in tips order: identical floats in the
+            # identical summation order as the historical per-object
+            # loop, so cached values stay bit-identical to a fresh one.
             remaining = 0.0
-            for tip in self.tips:
-                progress = tip.progress
-                if progress < 1.0:
-                    remaining += tip.full_seconds * (1.0 - progress)
+            progress = self.hot.progress
+            full = self.hot.full_seconds
+            for i in range(self.hot.num_work):
+                p = progress[i]
+                if p < 1.0:
+                    remaining += full[i] * (1.0 - p)
             self._remaining_work = remaining
             self._remaining_dirty = False
         return self._remaining_work
@@ -197,7 +264,13 @@ class JobInProgress:
             return []
         tips = self._schedulable_cache
         if tips is None:
-            tips = self._schedulable_cache = [t for t in self.tips if t.schedulable]
+            codes = self.hot.state_codes
+            work = self.tips
+            tips = self._schedulable_cache = [
+                work[i]
+                for i in range(self.hot.num_work)
+                if codes[i] == _UNASSIGNED_CODE
+            ]
         return tips
 
     def running_tips(self) -> List[TaskInProgress]:
@@ -208,7 +281,8 @@ class JobInProgress:
         """Mean progress over work tips."""
         if not self.tips:
             return 1.0
-        return sum(t.progress for t in self.tips) / len(self.tips)
+        progress = self.hot.progress
+        return sum(progress[i] for i in range(self.hot.num_work)) / len(self.tips)
 
     # -- lifecycle events -------------------------------------------------------
 
@@ -218,6 +292,12 @@ class JobInProgress:
             self.state = JobState.RUNNING
             self.launch_time = now
             self._aux_dirty = True
+            if self.observer is not None:
+                self.observer(self, "aux")
+                # PREP -> RUNNING turns schedulable_tips() from [] to
+                # the unassigned work tips: the job becomes a scheduler
+                # candidate.
+                self.observer(self, "sched")
 
     def maybe_finish(self, now: float) -> bool:
         """Complete the job if all work (and cleanup) is done.

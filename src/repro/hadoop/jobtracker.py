@@ -25,6 +25,7 @@ from repro.errors import (
 from repro.hadoop.config import HadoopConfig
 from repro.hadoop.heartbeat import (
     AttemptStatus,
+    HeartbeatBatch,
     HeartbeatReport,
     HeartbeatResponse,
     KillTaskAction,
@@ -111,6 +112,14 @@ class JobTracker:
         self.speculator: Optional[SpeculativeExecutor] = None
         if config.speculative_execution:
             self.speculator = SpeculativeExecutor(self)
+        #: bumped whenever job *membership* can change (submission,
+        #: completion, failure, kill); a batched heartbeat context is
+        #: only valid while both the engine batch id and this epoch
+        #: match the values it was built under
+        self._jobs_epoch = 0
+        #: live batched-heartbeat context (config.batch_heartbeats);
+        #: None when batching is off or no batch is in flight
+        self._batch_ctx: Optional[HeartbeatBatch] = None
         self._expiry_event = None
         scheduler.bind(self)
 
@@ -140,6 +149,9 @@ class JobTracker:
         )
         self.jobs[job_id] = job
         self._live_jobs[job_id] = job
+        self._jobs_epoch += 1
+        if self.config.batch_heartbeats:
+            job.observer = self._on_job_note
         for tip in job.all_tips():
             self._tips[tip.tip_id] = tip
             tip.tracker_observer = self._on_tip_tracker_change
@@ -164,6 +176,9 @@ class JobTracker:
         """Kill a job and all of its live attempts."""
         job = self.job(job_id)
         job.kill(self.sim.now)
+        # kill() does not route through _announce_completion, so the
+        # membership epoch must move here.
+        self._jobs_epoch += 1
         for tip in job.all_tips():
             if tip.state.active and tip.state is not TipState.MUST_KILL:
                 try:
@@ -387,6 +402,10 @@ class JobTracker:
             if suspended > self.peak_suspended_bytes:
                 self.peak_suspended_bytes = suspended
         self._process_report(report)
+        # The batch context may only be fetched *after* the report is
+        # processed: attempts in the report can complete or fail jobs,
+        # and the historical path reads the job set after that point.
+        ctx = self._batch_context()
         actions: List[TrackerAction] = []
         free_map = report.free_map_slots
         free_reduce = report.free_reduce_slots
@@ -405,13 +424,21 @@ class JobTracker:
 
         # 2. Job setup/cleanup launches (Hadoop runs them outside the
         #    pluggable scheduler).
-        free_map = self._aux_launches(report, actions, free_map)
+        free_map = self._aux_launches(report, actions, free_map, ctx)
 
         # 3. Pluggable scheduler fills the remaining slots.  Guard
         #    against scheduler bugs: drop duplicates and tips that are
         #    no longer schedulable.
         seen = set()
-        for tip in self.scheduler.assign_tasks(report.tracker, free_map, free_reduce):
+        if ctx is not None and getattr(self.scheduler, "supports_batch", False):
+            assigned = self.scheduler.assign_tasks(
+                report.tracker, free_map, free_reduce, batch=ctx
+            )
+        else:
+            assigned = self.scheduler.assign_tasks(
+                report.tracker, free_map, free_reduce
+            )
+        for tip in assigned:
             if tip.tip_id in seen or not tip.schedulable:
                 continue
             if tip.speculative_tracker == report.tracker:
@@ -457,6 +484,38 @@ class JobTracker:
                 "jt.response", tracker=report.tracker, actions=response.describe()
             )
         return response
+
+    # -- batched heartbeat context ------------------------------------------------------------
+
+    def _batch_context(self) -> Optional[HeartbeatBatch]:
+        """The live :class:`HeartbeatBatch` for this engine batch, or
+        None when batching is off.
+
+        Built fresh for the first heartbeat of a batch (or after any
+        job-membership change) and reused -- with observer-driven
+        repairs -- for every further same-instant heartbeat.
+        """
+        if not self.config.batch_heartbeats:
+            return None
+        ctx = self._batch_ctx
+        if (
+            ctx is None
+            or ctx.batch_id != self.sim.batch_id
+            or ctx.epoch != self._jobs_epoch
+        ):
+            ctx = HeartbeatBatch(
+                self.sim.batch_id, self._jobs_epoch, self.running_jobs()
+            )
+            self._batch_ctx = ctx
+        return ctx
+
+    def _on_job_note(self, job: JobInProgress, kind: str) -> None:
+        """Job observer hook: forward hot-state notes to the live
+        batch context (stale contexts absorb them harmlessly -- they
+        can never be revalidated, batch ids only grow)."""
+        ctx = self._batch_ctx
+        if ctx is not None:
+            ctx.note(job, kind)
 
     # -- report processing --------------------------------------------------------------------
 
@@ -683,6 +742,7 @@ class JobTracker:
                 self._announce_completion(job)
 
     def _announce_completion(self, job: JobInProgress) -> None:
+        self._jobs_epoch += 1
         self.trace("jt.job-done", job=job.job_id, name=job.spec.name)
         self.scheduler.job_completed(job)
         for callback in self._completion_callbacks:
@@ -756,12 +816,31 @@ class JobTracker:
         return list(bucket.values())
 
     def _aux_launches(
-        self, report: HeartbeatReport, actions: List[TrackerAction], free_map: int
+        self,
+        report: HeartbeatReport,
+        actions: List[TrackerAction],
+        free_map: int,
+        ctx: Optional[HeartbeatBatch] = None,
     ) -> int:
         """Launch job setup/cleanup tasks (highest priority)."""
         if free_map <= 0:
             # The loop below breaks before its first launch check; skip
             # the live-job scan (most heartbeats on a busy cluster).
+            return free_map
+        if ctx is not None:
+            # Batched path: walk only the jobs with a pending aux tip,
+            # maintained in submission order across the batch.  The
+            # live re-check per job mirrors the historical loop (a job
+            # launched earlier in this very walk answers None and is
+            # skipped, exactly as the full scan would skip it).
+            ctx.refresh_aux()
+            for job in list(ctx.aux_jobs):
+                if free_map <= 0:
+                    break
+                aux_tip = job.pending_aux_tip()
+                if aux_tip is not None:
+                    actions.append(self._make_launch(aux_tip, report.tracker))
+                    free_map -= 1
             return free_map
         for job in self.running_jobs():
             if free_map <= 0:

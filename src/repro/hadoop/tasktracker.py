@@ -17,6 +17,7 @@ temporary outputs of the killed task").
 
 from __future__ import annotations
 
+from array import array
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.errors import SlotExhaustedError, UnknownTaskError
@@ -33,13 +34,66 @@ from repro.hadoop.heartbeat import (
     TrackerAction,
 )
 from repro.hadoop.jvm import GcPolicy
-from repro.hadoop.states import AttemptState
+from repro.hadoop.states import (
+    ATTEMPT_STATE_CODE,
+    ATTEMPT_STATE_CODES,
+    AttemptState,
+)
 from repro.osmodel.kernel import NodeKernel
 from repro.sim.engine import Simulation
 from repro.workloads.jobspec import TaskKind, TaskSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hadoop.jobtracker import JobTracker
+
+#: all heartbeat events share one batch key, so same-instant heartbeats
+#: from phase-locked trackers coalesce into one engine batch
+HEARTBEAT_BATCH_KEY = "hb"
+
+
+class AttemptStateTable:
+    """Array-of-struct attempt state for one TaskTracker incarnation.
+
+    One byte of state code per attempt ever launched on the tracker,
+    plus exact per-state population counts.  Attempts write through on
+    every transition (:meth:`repro.hadoop.attempt.TaskAttempt._set_state`),
+    which makes the per-heartbeat suspended-attempt count an O(1) array
+    read instead of a scan over the live attempt set.  A tracker
+    restart installs a *fresh* table; attempts of the dead incarnation
+    keep their reference to the old one, so late transitions from
+    stranded processes cannot corrupt the new daemon's counts.
+    """
+
+    __slots__ = ("codes", "attempt_ids", "counts")
+
+    def __init__(self):
+        self.codes = array("B")
+        self.attempt_ids: List[str] = []
+        self.counts = [0] * len(ATTEMPT_STATE_CODES)
+
+    def register(self, attempt_id: str, state: AttemptState) -> int:
+        """Add an attempt; returns its slot index."""
+        code = ATTEMPT_STATE_CODE[state]
+        index = len(self.codes)
+        self.codes.append(code)
+        self.attempt_ids.append(attempt_id)
+        self.counts[code] += 1
+        return index
+
+    def transition(self, index: int, old: AttemptState, new: AttemptState) -> None:
+        """Move one attempt's code between states."""
+        old_code = ATTEMPT_STATE_CODE[old]
+        new_code = ATTEMPT_STATE_CODE[new]
+        self.codes[index] = new_code
+        self.counts[old_code] -= 1
+        self.counts[new_code] += 1
+
+    def count(self, state: AttemptState) -> int:
+        """Current number of attempts in ``state``."""
+        return self.counts[ATTEMPT_STATE_CODE[state]]
+
+    def __len__(self) -> int:
+        return len(self.codes)
 
 
 class TaskTracker:
@@ -76,6 +130,17 @@ class TaskTracker:
         self._sequence = 0
         self._heartbeat_event = None
         self._oob_pending = False
+        #: per-incarnation attempt state codes + per-state counts;
+        #: replaced wholesale on restart (see AttemptStateTable)
+        self.attempt_table = AttemptStateTable()
+        #: phase-locked heartbeat grid (config.heartbeat_phases > 0):
+        #: absolute time of the first grid point and the integer index
+        #: of the next one.  Grid instants are computed as
+        #: ``origin + interval * tick`` -- a pure function of the tick,
+        #: never an accumulation -- so same-phase trackers produce the
+        #: exact same float forever and their heartbeats coalesce.
+        self._phase_origin: Optional[float] = None
+        self._phase_tick = 0
         self.started = False
         self.heartbeats_sent = 0
         #: callbacks fired with each TaskAttempt right after launch
@@ -127,8 +192,14 @@ class TaskTracker:
         if self.started:
             return
         self.started = True
+        if self.config.heartbeat_phases > 0:
+            self._phase_origin = self.sim.now + stagger
+            self._phase_tick = 0
         self._heartbeat_event = self.sim.schedule(
-            stagger, self._heartbeat, label=f"tt.heartbeat:{self.host}"
+            stagger,
+            self._heartbeat,
+            label=f"tt.heartbeat:{self.host}",
+            batch_key=HEARTBEAT_BATCH_KEY,
         )
 
     def request_oob_heartbeat(self) -> None:
@@ -143,6 +214,7 @@ class TaskTracker:
             self._heartbeat,
             True,
             label=f"tt.oob-heartbeat:{self.host}",
+            batch_key=HEARTBEAT_BATCH_KEY,
         )
 
     def _heartbeat(self, out_of_band: bool = False) -> None:
@@ -157,10 +229,44 @@ class TaskTracker:
             response.actions,
             label=f"tt.actions:{self.host}",
         )
-        self._heartbeat_event = self.sim.schedule(
-            self.config.heartbeat_interval,
+        self._arm_periodic_heartbeat()
+
+    def _arm_periodic_heartbeat(self) -> None:
+        """Schedule the next periodic heartbeat.
+
+        Historical mode (``heartbeat_phases == 0``): one interval from
+        now, so out-of-band heartbeats permanently shift the phase.
+        Phase-locked mode: the smallest grid instant strictly after
+        now, so the tracker snaps back onto its phase grid after every
+        out-of-band excursion and same-phase trackers keep sharing the
+        exact same firing instants.
+        """
+        origin = self._phase_origin
+        if origin is None:
+            self._heartbeat_event = self.sim.schedule(
+                self.config.heartbeat_interval,
+                self._heartbeat,
+                label=f"tt.heartbeat:{self.host}",
+                batch_key=HEARTBEAT_BATCH_KEY,
+            )
+            return
+        interval = self.config.heartbeat_interval
+        tick = self._phase_tick
+        # Directives granted against this heartbeat's report land one
+        # rpc hop out; reporting again before they occupy their slots
+        # would double-book them (the historical paths keep the same
+        # invariant: oob_heartbeat_latency > rpc_latency and periodic
+        # gaps of a full interval).  So the next grid point must clear
+        # now + rpc_latency, not merely now.
+        horizon = self.sim.now + self.config.rpc_latency
+        while origin + interval * tick <= horizon:
+            tick += 1
+        self._phase_tick = tick
+        self._heartbeat_event = self.sim.schedule_at(
+            origin + interval * tick,
             self._heartbeat,
             label=f"tt.heartbeat:{self.host}",
+            batch_key=HEARTBEAT_BATCH_KEY,
         )
 
     def build_report(self, out_of_band: bool = False) -> HeartbeatReport:
@@ -195,7 +301,10 @@ class TaskTracker:
             free_map_slots=self.free_map_slots,
             free_reduce_slots=self.free_reduce_slots,
             attempts=statuses,
-            suspended_count=len(self.suspended_attempts()),
+            # O(1) table read; equals len(self.suspended_attempts())
+            # because SUSPENDED is never terminal, so every suspended
+            # attempt is still reportable.
+            suspended_count=self.attempt_table.count(AttemptState.SUSPENDED),
             out_of_band=out_of_band,
             headroom=self.kernel.memory_headroom(),
         )
@@ -350,6 +459,13 @@ class TaskTracker:
         self._map_slot_holders.clear()
         self._reduce_slot_holders.clear()
         self._oob_pending = False
+        # Fresh incarnation, fresh state table: stranded attempts of
+        # the dead daemon keep their reference to the old table and
+        # cannot perturb the new counts.  The phase grid restarts from
+        # the resurrection instant.
+        self.attempt_table = AttemptStateTable()
+        self._phase_origin = None
+        self._phase_tick = 0
         self.trace("tt.restart")
         self.start(stagger=stagger)
 

@@ -157,12 +157,25 @@ MEMORY_HEAVY_CLASSES: List[SwimJobClass] = [
                  reduce_footprint_bytes=(896 * MB, 1408 * MB)),
 ]
 
+#: One homogeneous bin of long map-only jobs (1-2 tasks of roughly
+#: 300-600 s each).  Arrivals outpace completions for most of the
+#: replay, so the cluster holds its whole workload live at once --
+#: hundreds of concurrent jobs for the JobTracker to scan per
+#: heartbeat.  This is the regime the batched heartbeat dispatch
+#: amortizes, and the mix bench_guard's 2000/5000-tracker scale cells
+#: replay.
+STEADY_CLASSES: List[SwimJobClass] = [
+    SwimJobClass("span", weight=1.0, num_tasks=range(1, 3),
+                 input_bytes=(2 * GB, 4 * GB)),
+]
+
 #: Named mixes the scale experiment (and the CLI) select by key.
 MIXES: Dict[str, List[SwimJobClass]] = {
     "default": DEFAULT_CLASSES,
     "facebook": FACEBOOK_CLASSES,
     "shuffle-heavy": SHUFFLE_HEAVY_CLASSES,
     "memory-heavy": MEMORY_HEAVY_CLASSES,
+    "steady": STEADY_CLASSES,
 }
 
 

@@ -1,0 +1,264 @@
+"""Property suite for batched heartbeat dispatch (Hypothesis).
+
+Three layers of invariants, each randomized over its whole input
+space rather than pinned to a handful of seeds:
+
+* **engine batch-id fold** -- for any script of (time, batch_key)
+  schedules, events fire in timestamp order with FIFO order *within*
+  a timestamp pinned to insertion order, and batch ids partition the
+  fired sequence into exactly the maximal runs of consecutive
+  same-instant same-key events (``None`` keys never coalesce);
+* **structure-of-arrays coherence** -- stop a live replay cell at an
+  arbitrary mid-flight instant: every TIP's object view (state,
+  tracker binding, full seconds) must agree with its slot in the
+  job's :class:`~repro.hadoop.job.JobHotArrays`, the cached
+  remaining-work/schedulable/pending-aux aggregates must equal a
+  from-scratch recompute, and every tracker's
+  :class:`~repro.hadoop.tasktracker.AttemptStateTable` must agree
+  with the live attempt objects and its own population counts;
+* **dispatch fold** -- for any small workload (seed, scenario,
+  primitive, phase count), the batched and unbatched runs produce
+  identical TraceLog digests: same-instant heartbeats folded through
+  one repaired batch context answer exactly like heartbeats handled
+  one rebuild at a time, in the same FIFO order.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import derive_seed
+from repro.experiments.scale_study import _build_run
+from repro.experiments.scale_study import _run_once as scale_run_once
+from repro.hadoop.job import JobState
+from repro.hadoop.states import (
+    ATTEMPT_STATE_CODE,
+    TIP_STATE_CODE,
+    AttemptState,
+    TipState,
+)
+from repro.hadoop.tasktracker import AttemptStateTable
+from repro.sim.engine import Simulation
+
+# -- engine batch-id fold -----------------------------------------------------
+
+#: (time, batch_key) schedule scripts; a few distinct times and keys
+#: are enough to produce every adjacency pattern that matters
+SCRIPT = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.sampled_from([None, "hb", "other"]),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+@given(script=SCRIPT)
+def test_engine_batch_ids_partition_same_instant_key_runs(script):
+    sim = Simulation()
+    fired = []
+    for insertion, (time, key) in enumerate(script):
+        sim.schedule_at(
+            float(time),
+            (lambda t=time, k=key, i=insertion:
+             fired.append((t, k, i, sim.batch_id))),
+            label="script",
+            batch_key=key,
+        )
+    sim.run()
+
+    assert len(fired) == len(script)
+    # Timestamp order, FIFO within a timestamp: the fired sequence is
+    # the script stably sorted by time alone.
+    assert [(t, k, i) for t, k, i, _ in fired] == sorted(
+        [(float(t), k, i) for i, (t, k) in enumerate(script)],
+        key=lambda item: item[0],
+    )
+    # Batch ids partition the sequence into maximal runs of adjacent
+    # same-instant same-non-None-key events; everything else (key
+    # change, time change, None key) starts a fresh batch.
+    for prev, cur in zip(fired, fired[1:]):
+        prev_t, prev_k, _, prev_b = prev
+        cur_t, cur_k, _, cur_b = cur
+        coalesce = cur_t == prev_t and cur_k == prev_k and cur_k is not None
+        if coalesce:
+            assert cur_b == prev_b, f"run broken: {prev} -> {cur}"
+        else:
+            assert cur_b != prev_b, f"spurious coalesce: {prev} -> {cur}"
+
+
+@given(script=SCRIPT, data=st.data())
+def test_engine_fifo_within_timestamp_follows_insertion_order(script, data):
+    """Permuting whole-script insertion order permutes same-instant
+    fire order the same way: arrival order IS the processing order."""
+    order = data.draw(st.permutations(range(len(script))))
+
+    def fire_sequence(indices):
+        sim = Simulation()
+        fired = []
+        for insertion in indices:
+            time, key = script[insertion]
+            sim.schedule_at(
+                float(time),
+                lambda i=insertion: fired.append(i),
+                label="script",
+                batch_key=key,
+            )
+        sim.run()
+        return fired
+
+    base = fire_sequence(range(len(script)))
+    permuted = fire_sequence(order)
+    # Within each timestamp the fired order equals the insertion
+    # order -- so the permuted run's per-timestamp order is exactly
+    # the permutation's order restricted to that timestamp.
+    by_time = {}
+    for insertion, (time, _) in enumerate(script):
+        by_time.setdefault(time, set()).add(insertion)
+    for members in by_time.values():
+        assert [i for i in base if i in members] == sorted(members)
+        assert [i for i in permuted if i in members] == [
+            i for i in order if i in members
+        ]
+
+
+# -- AttemptStateTable counts -------------------------------------------------
+
+STATES = list(AttemptState)
+
+#: op scripts: True = register a new attempt in a random state,
+#: False = transition a random existing attempt to a random state
+TABLE_OPS = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=10 ** 6),
+              st.sampled_from(STATES)),
+    max_size=60,
+)
+
+
+@given(ops=TABLE_OPS)
+def test_attempt_state_table_counts_match_scan(ops):
+    table = AttemptStateTable()
+    mirror = []  # slot -> AttemptState, the brute-force view
+    for register, pick, state in ops:
+        if register or not mirror:
+            index = table.register(f"attempt_{len(mirror)}", state)
+            assert index == len(mirror)
+            mirror.append(state)
+        else:
+            index = pick % len(mirror)
+            table.transition(index, mirror[index], state)
+            mirror[index] = state
+    assert len(table) == len(mirror)
+    for state in STATES:
+        assert table.count(state) == sum(1 for s in mirror if s is state)
+    assert list(table.codes) == [ATTEMPT_STATE_CODE[s] for s in mirror]
+
+
+# -- structure-of-arrays coherence --------------------------------------------
+
+
+def _assert_job_coherent(job):
+    hot = job.hot
+    for tip in job.all_tips():
+        assert tip.hot is hot and tip.hot_index >= 0
+        slot = tip.hot_index
+        assert hot.state_codes[slot] == TIP_STATE_CODE[tip.state]
+        assert hot.trackers[slot] == tip.tracker
+        assert hot.full_seconds[slot] == tip.full_seconds
+    # Cached aggregates == from-scratch recompute (identical floats:
+    # the cache fills via the same summation order as this loop).
+    remaining = 0.0
+    for i in range(hot.num_work):
+        p = hot.progress[i]
+        if p < 1.0:
+            remaining += hot.full_seconds[i] * (1.0 - p)
+    assert job.remaining_work_seconds() == remaining
+    expect_schedulable = (
+        [tip for tip in job.tips if tip.state is TipState.UNASSIGNED]
+        if job.state is JobState.RUNNING
+        else []
+    )
+    assert list(job.schedulable_tips()) == expect_schedulable
+    # pending_aux_tip's documented brute-force definition: setup
+    # first, then cleanup, neither when nothing awaits launch.
+    if job.setup_pending:
+        expect_aux = job.setup_tip
+    elif job.cleanup_pending:
+        expect_aux = job.cleanup_tip
+    else:
+        expect_aux = None
+    assert job.pending_aux_tip() is expect_aux
+
+
+def _assert_tracker_coherent(tracker):
+    table = tracker.attempt_table
+    # Internal consistency: the counts array is the code histogram.
+    for state in STATES:
+        code = ATTEMPT_STATE_CODE[state]
+        assert table.counts[code] == sum(
+            1 for c in table.codes if c == code
+        )
+    # Live attempts of this incarnation write through to this table.
+    for attempt in tracker.attempts.values():
+        if attempt._table is table:
+            assert (
+                table.codes[attempt._table_index]
+                == ATTEMPT_STATE_CODE[attempt.state]
+            )
+
+
+@pytest.mark.integration
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed_salt=st.integers(min_value=0, max_value=50),
+    stop_at=st.floats(min_value=5.0, max_value=1500.0),
+    scenario=st.sampled_from(["baseline", "steady"]),
+    phases=st.sampled_from([0, 2]),
+)
+def test_soa_views_coherent_mid_flight(seed_salt, stop_at, scenario, phases):
+    cluster, _ = _build_run(
+        scenario, "suspend", 8, 6,
+        derive_seed(9000, "scale", scenario, 8, "suspend", seed_salt),
+        heartbeat_phases=phases, batch_heartbeats=True,
+    )
+    cluster.sim.run(until=stop_at)
+    for job in cluster.jobtracker.jobs.values():
+        _assert_job_coherent(job)
+    for tracker in cluster.trackers.values():
+        _assert_tracker_coherent(tracker)
+
+
+# -- dispatch fold ------------------------------------------------------------
+
+
+@pytest.mark.integration
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed_salt=st.integers(min_value=0, max_value=50),
+    scenario=st.sampled_from(["baseline", "shuffle-heavy", "steady"]),
+    primitive=st.sampled_from(["wait", "kill", "suspend"]),
+    phases=st.sampled_from([0, 1, 4]),
+)
+def test_batched_fold_matches_unbatched(seed_salt, scenario, primitive,
+                                        phases):
+    seed = derive_seed(9000, "scale", scenario, 6, primitive, seed_salt)
+
+    def run(batched):
+        return scale_run_once(
+            scenario=scenario, primitive_name=primitive, trackers=6,
+            num_jobs=5, seed=seed, trace=True,
+            heartbeat_phases=phases, batch_heartbeats=batched,
+        )
+
+    batched, unbatched = run(True), run(False)
+    assert batched["trace_digest"] == unbatched["trace_digest"]
+    assert batched["sketch"] == unbatched["sketch"]

@@ -74,6 +74,7 @@ class TestScaleStudy:
             "shuffle-heavy",
             "burst",
             "diurnal",
+            "steady",
         }
         for shape in SCENARIOS.values():
             assert shape["arrival"] in ("poisson", "bursty", "diurnal")

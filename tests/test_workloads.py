@@ -227,7 +227,7 @@ class TestSwimReduces:
 
     def test_named_mixes_registry(self):
         assert set(MIXES) == {
-            "default", "facebook", "shuffle-heavy", "memory-heavy"
+            "default", "facebook", "shuffle-heavy", "memory-heavy", "steady"
         }
         assert MIXES["default"] is DEFAULT_CLASSES
 

@@ -3,8 +3,11 @@
 Runs a small battery of deterministic workloads spanning the layers
 the virtual-time resource refactor touched -- the contention
 microbench, a two-job paper cell, SWIM replay cells, a network-fabric
-shuffle cell, and a memory-admission (memscale) cell -- and records,
-per bench:
+shuffle cell, a memory-admission (memscale) cell, and the
+batched-heartbeat scale cells (2000 trackers in the default tier,
+5000 behind ``--slow``), which assert sketch equality between the
+batched and unbatched dispatch paths and a >=3x speedup at full
+scale -- and records, per bench:
 
 * ``wall_s``   -- wall-clock seconds (machine-dependent);
 * ``events``   -- simulation events fired (deterministic);
@@ -197,6 +200,82 @@ def bench_checkpoint_smoke(scale: float = 1.0) -> dict:
             "checkpoint_bytes": nbytes, "resume_wall_s": resume_wall}
 
 
+def bench_scale_2000(scale: float = 1.0) -> dict:
+    """The batched-dispatch tentpole cell: 2000 trackers on the
+    steady mix, run twice -- batched heartbeats on, then off -- with
+    *assertions* that the two runs' metric sketches are byte-identical
+    and (at full scale) that the batched run is at least
+    ``MIN_BATCH_SPEEDUP`` times faster.  An equivalence break or a
+    speedup collapse fails the bench outright, like
+    ``checkpoint_smoke``'s replay gate."""
+    return _batched_speedup_cell(
+        trackers=max(int(2000 * scale), 20),
+        num_jobs=max(int(600 * scale), 10),
+        min_speedup=MIN_BATCH_SPEEDUP if scale >= 1.0 else 0.0,
+    )
+
+
+def bench_scale_5000(scale: float = 1.0) -> dict:
+    """The slow-tier batched-dispatch cell: 5000 trackers, same gates
+    as ``scale_2000``.  Lives in ``SLOW_BENCHES`` (opt-in via
+    ``--slow``) because the unbatched leg alone runs for minutes."""
+    return _batched_speedup_cell(
+        trackers=max(int(5000 * scale), 20),
+        num_jobs=max(int(600 * scale), 10),
+        min_speedup=MIN_BATCH_SPEEDUP if scale >= 1.0 else 0.0,
+    )
+
+
+def _batched_speedup_cell(trackers: int, num_jobs: int,
+                          min_speedup: float) -> dict:
+    """Run one steady-mix scale cell batched and unbatched; gate on
+    sketch equality (always) and the speedup floor (full scale only --
+    small test-scale cells cannot amortize enough work to hit it).
+
+    Runs unprofiled: the engine's per-label attribution adds the same
+    absolute overhead to both legs, which would compress the measured
+    ratio toward 1.  The deterministic ``events`` counter still gates
+    drift; ``speedup`` and the per-leg walls are advisory extras.
+    """
+    from repro.experiments.runner import derive_seed
+    from repro.experiments.scale_study import _run_once
+
+    seed = derive_seed(9000, "scale", "steady", trackers, "suspend", 0)
+    common = dict(scenario="steady", primitive_name="suspend",
+                  trackers=trackers, num_jobs=num_jobs, seed=seed,
+                  heartbeat_phases=4)
+    start = time.perf_counter()
+    batched = _run_once(batch_heartbeats=True, **common)
+    batched_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    unbatched = _run_once(batch_heartbeats=False, **common)
+    unbatched_wall = time.perf_counter() - start
+    if batched["sketch"] != unbatched["sketch"]:
+        raise AssertionError(
+            f"batched/unbatched divergence at {trackers} trackers: "
+            f"sketch {batched['sketch']} != {unbatched['sketch']}"
+        )
+    speedup = unbatched_wall / batched_wall
+    if speedup < min_speedup:
+        raise AssertionError(
+            f"batched dispatch speedup collapsed at {trackers} trackers: "
+            f"{speedup:.2f}x < required {min_speedup:.1f}x "
+            f"(batched {batched_wall:.1f}s, unbatched {unbatched_wall:.1f}s)"
+        )
+    if batched["events"] != unbatched["events"]:
+        raise AssertionError(
+            f"batched/unbatched event-count divergence at {trackers} "
+            f"trackers: {batched['events']:.0f} != {unbatched['events']:.0f}"
+        )
+    return {
+        "events": int(batched["events"]),
+        "engine_ops": 0,
+        "speedup": round(speedup, 2),
+        "batched_wall_s": round(batched_wall, 4),
+        "unbatched_wall_s": round(unbatched_wall, 4),
+    }
+
+
 def _scale_cell(scenario: str, trackers: int, num_jobs: int) -> dict:
     from repro.experiments.runner import derive_seed
     from repro.experiments.scale_study import _run_once
@@ -259,12 +338,27 @@ BENCHES = {
     "memscale_25": bench_memscale_25,
     "checkpoint_smoke": bench_checkpoint_smoke,
     "ledger_sweep": bench_ledger_sweep,
+    "scale_2000": bench_scale_2000,
 }
 
+#: opt-in tier (``--slow``): benches whose full-scale run takes
+#: minutes; ``check()`` compares shared names only, so a smoke
+#: baseline and a ``--slow`` run coexist without special-casing
+SLOW_BENCHES = {
+    "scale_5000": bench_scale_5000,
+}
 
-def run_benches(scale: float = 1.0) -> dict:
+#: the batched-dispatch cells must beat the unbatched path by at
+#: least this factor at full scale (the ISSUE-10 acceptance bar)
+MIN_BATCH_SPEEDUP = 3.0
+
+
+def run_benches(scale: float = 1.0, slow: bool = False) -> dict:
     results = {}
-    for name, fn in BENCHES.items():
+    benches = dict(BENCHES)
+    if slow:
+        benches.update(SLOW_BENCHES)
+    for name, fn in benches.items():
         start = time.perf_counter()
         counters = fn(scale)
         counters["wall_s"] = round(time.perf_counter() - start, 4)
@@ -346,10 +440,13 @@ def main(argv=None) -> int:
                         help=f"write results to {BASELINE_PATH}")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (tests use <1)")
+    parser.add_argument("--slow", action="store_true",
+                        help="also run the slow tier "
+                        f"({', '.join(SLOW_BENCHES)})")
     args = parser.parse_args(argv)
 
     print("bench_guard: running benches...")
-    results = run_benches(scale=args.scale)
+    results = run_benches(scale=args.scale, slow=args.slow)
     payload = {"scale": args.scale, "benches": results}
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
